@@ -1,0 +1,203 @@
+// Ablation benches for the design choices DESIGN.md calls out.
+//
+// A. Λ (μ) estimator: the paper's moment-ratio route vs the point-wise
+//    excess-ratio route — quantifies the variance-reduction claim.
+// B. Pooled-slope claim (Section IV-A): regression on log-binned masses
+//    recovers 1−α, regression on raw pmf recovers −α.
+// C. Poisson star bump vs the Section VI geometric replacement: how well
+//    each matches the empirical simplified law.
+// D. Core construction: zeta-degree configuration core vs Barabási–Albert
+//    growth — exponent fidelity and generation throughput.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "palu/palu.hpp"
+
+namespace {
+
+using namespace palu;
+
+// ------------------------------------------------------------------ A
+void ablation_mu_estimators() {
+  const auto params =
+      core::PaluParams::solve_hubs(5.0, 0.35, 0.2, 2.2, 0.8);
+  const auto k = core::simplified_constants(params);
+  constexpr int kReps = 32;
+  std::vector<double> moment, pointwise;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Rng rng(7000 + rep * 104729);
+    const auto h = core::sample_observed_degrees(params, 120000, rng);
+    const auto dist = stats::EmpiricalDistribution::from_histogram(h);
+    const auto fit = core::fit_palu(h);
+    moment.push_back(fit.mu);
+    pointwise.push_back(
+        core::estimate_mu_pointwise(dist, fit.c, fit.alpha));
+  }
+  const auto spread = [](const std::vector<double>& xs) {
+    double mean = 0.0;
+    for (const double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (const double x : xs) var += (x - mean) * (x - mean);
+    return std::pair<double, double>(
+        mean, std::sqrt(var / static_cast<double>(xs.size() - 1)));
+  };
+  const auto [m_mean, m_sd] = spread(moment);
+  const auto [p_mean, p_sd] = spread(pointwise);
+  std::printf("--- A. mu estimator variance (truth mu=%.3f, %d reps) "
+              "---\n",
+              k.mu, kReps);
+  std::printf("moment-ratio (paper):  mean=%.4f sd=%.4f\n", m_mean, m_sd);
+  std::printf("point-wise  (naive):   mean=%.4f sd=%.4f\n", p_mean, p_sd);
+  std::printf("variance ratio (pointwise/moment): %.2f  — the paper's "
+              "'substantially less variance' claim\n\n",
+              (p_sd * p_sd) / (m_sd * m_sd));
+}
+
+// ------------------------------------------------------------------ B
+void ablation_pooled_slope() {
+  const auto params =
+      core::PaluParams::solve_hubs(2.0, 0.5, 0.2, 2.4, 0.9);
+  const auto pooled = core::pooled_theory(params, 26);
+  std::vector<double> xb, yb, xr, yr;
+  for (std::uint32_t i = 10; i < 24; ++i) {
+    xb.push_back(std::log(static_cast<double>(Degree{1} << i)));
+    yb.push_back(std::log(pooled[i]));
+  }
+  for (Degree d = 1024; d <= 16384; d *= 2) {
+    xr.push_back(std::log(static_cast<double>(d)));
+    yr.push_back(std::log(core::degree_share(params, d)));
+  }
+  const auto binned = fit::linear_regression(xb, yb);
+  const auto raw = fit::linear_regression(xr, yr);
+  std::printf("--- B. pooled-slope claim (alpha=%.1f) ---\n", params.alpha);
+  std::printf("log-binned D(d_i) slope: %+.3f (theory: 1-alpha = %+.3f)\n",
+              binned.slope, 1.0 - params.alpha);
+  std::printf("raw pmf slope:           %+.3f (theory:  -alpha = %+.3f)\n\n",
+              raw.slope, -params.alpha);
+}
+
+// ------------------------------------------------------------------ C
+void ablation_poisson_vs_geometric() {
+  // Empirical simplified law with a Poisson bump; fit the Eq.-5 geometric
+  // family and compare against keeping the exact Poisson term.
+  const double c = 0.3, u = 0.05, mu = 3.0, alpha = 2.2;
+  std::vector<double> truth;  // unnormalized over d = 1..64
+  for (Degree d = 1; d <= 64; ++d) {
+    truth.push_back(
+        c * std::pow(static_cast<double>(d), -alpha) +
+        u * std::exp(static_cast<double>(d) * std::log(mu) -
+                     math::log_factorial(d)));
+  }
+  // Geometric replacement: residual after the best r over a grid.
+  double best_geo = 1e9, best_r = 0.0;
+  for (double r = 1.05; r < 8.0; r *= 1.05) {
+    double sse = 0.0;
+    for (Degree d = 2; d <= 64; ++d) {
+      const double geo =
+          c * std::pow(static_cast<double>(d), -alpha) +
+          u * mu * std::pow(r, 1.0 - static_cast<double>(d)) * r;
+      const double resid = truth[d - 1] - geo;
+      sse += resid * resid;
+    }
+    if (sse < best_geo) {
+      best_geo = sse;
+      best_r = r;
+    }
+  }
+  std::printf("--- C. Poisson bump vs geometric replacement (mu=%.1f) "
+              "---\n",
+              mu);
+  std::printf("geometric best r=%.3f, residual SSE=%.3e (Poisson term is "
+              "exact by construction)\n",
+              best_r, best_geo);
+  std::printf("head mismatch at d=2..5 (geo/truth): ");
+  for (Degree d = 2; d <= 5; ++d) {
+    const double geo =
+        c * std::pow(static_cast<double>(d), -alpha) +
+        u * mu * std::pow(best_r, 1.0 - static_cast<double>(d)) * best_r;
+    std::printf("%.3f ", geo / truth[d - 1]);
+  }
+  std::printf("\n(the geometric tail trades bump shape for the clean "
+              "Zipf-Mandelbrot connection of Eq. 5)\n\n");
+}
+
+// ------------------------------------------------------------------ D
+void ablation_core_builders() {
+  Rng rng(1);
+  const NodeId n = 50000;
+  const auto slope_of = [](const graph::Graph& g) {
+    std::vector<double> counts(64, 0.0);
+    for (const Degree d : g.degrees()) {
+      if (d >= 1 && d < counts.size()) counts[d] += 1.0;
+    }
+    std::vector<double> x, y;
+    for (Degree d = 2; d <= 32; ++d) {
+      if (counts[d] < 10) continue;
+      x.push_back(std::log(static_cast<double>(d)));
+      y.push_back(std::log(counts[d]));
+    }
+    return fit::linear_regression(x, y).slope;
+  };
+  const auto zeta_core = graph::zeta_degree_core(rng, n, 2.5, n - 1);
+  const auto ba_core = graph::barabasi_albert(rng, n, 2);
+  std::printf("--- D. core builder fidelity (target alpha tunable only "
+              "for zeta core) ---\n");
+  std::printf("zeta-degree core (alpha=2.5 requested): measured slope "
+              "%+.2f\n",
+              slope_of(zeta_core));
+  std::printf("barabasi-albert (alpha fixed ~3):        measured slope "
+              "%+.2f\n\n",
+              slope_of(ba_core));
+}
+
+void BM_ZetaCore(benchmark::State& state) {
+  Rng rng(2);
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::zeta_degree_core(rng, n, 2.5, n - 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ZetaCore)->Arg(10000)->Arg(100000);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  Rng rng(3);
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::barabasi_albert(rng, n, 2));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(10000)->Arg(100000);
+
+void BM_MomentRatioEstimator(benchmark::State& state) {
+  const auto params = core::PaluParams::solve_hubs(5.0, 0.35, 0.2, 2.2, 0.8);
+  Rng rng(4);
+  const auto h = core::sample_observed_degrees(params, 120000, rng);
+  const auto dist = stats::EmpiricalDistribution::from_histogram(h);
+  const auto fit = core::fit_palu(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::estimate_mu_pointwise(dist, fit.c, fit.alpha));
+  }
+}
+BENCHMARK(BM_MomentRatioEstimator);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablations ===\n\n");
+  ablation_mu_estimators();
+  ablation_pooled_slope();
+  ablation_poisson_vs_geometric();
+  ablation_core_builders();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Section IV-B — parameter-recovery study for the PALU estimation
+// pipeline.
+//
+// Generates observed networks with known constants, runs fit_palu across
+// many independent replicates, and reports per-parameter bias and spread —
+// the study the paper sketches but does not tabulate.  Then times the full
+// estimation pipeline.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "palu/palu.hpp"
+
+namespace {
+
+using namespace palu;
+
+struct Stats {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+
+Stats summarize(const std::vector<double>& xs) {
+  Stats s;
+  for (const double x : xs) s.mean += x;
+  s.mean /= static_cast<double>(xs.size());
+  for (const double x : xs) s.sd += (x - s.mean) * (x - s.mean);
+  s.sd = std::sqrt(s.sd / static_cast<double>(xs.size() - 1));
+  return s;
+}
+
+void recovery_study(const core::PaluParams& params, NodeId n,
+                    int replicates) {
+  const auto k = core::simplified_constants(params);
+  std::vector<double> alphas, cs, mus, us, ls;
+  ThreadPool pool;
+  std::mutex mu_lock;
+  parallel_for(pool, 0, static_cast<std::size_t>(replicates), 1,
+               [&](IndexRange range) {
+                 for (std::size_t rep = range.begin; rep < range.end;
+                      ++rep) {
+                   Rng rng(5000 + rep * 7919);
+                   const auto h =
+                       core::sample_observed_degrees(params, n, rng);
+                   const auto fit = core::fit_palu(h);
+                   std::lock_guard<std::mutex> g(mu_lock);
+                   alphas.push_back(fit.alpha);
+                   cs.push_back(fit.c);
+                   mus.push_back(fit.mu);
+                   us.push_back(fit.u);
+                   ls.push_back(fit.l);
+                 }
+               });
+  const auto row = [](const char* name, double truth,
+                      const std::vector<double>& xs) {
+    const Stats s = summarize(xs);
+    std::printf("%-8s %10.5f %10.5f %10.5f %9.1f%%\n", name, truth, s.mean,
+                s.sd, truth != 0.0 ? 100.0 * (s.mean - truth) / truth
+                                   : 0.0);
+  };
+  std::printf("%-8s %10s %10s %10s %9s\n", "param", "truth", "est.mean",
+              "est.sd", "bias");
+  row("alpha", params.alpha, alphas);
+  row("c", k.c, cs);
+  row("mu", k.mu, mus);
+  row("u", k.u, us);
+  row("l", k.l, ls);
+}
+
+// Samples directly from the simplified law (2)-(4) — no generator, no
+// approximation gap — so any residual bias belongs to the estimator alone.
+void recovery_from_exact_law(double c, double l, double u, double mu,
+                             double alpha, Count draws, int replicates) {
+  const Degree dmax = 1u << 14;
+  std::vector<double> weights;
+  weights.reserve(dmax);
+  weights.push_back(c + l + u * mu * (std::exp(mu) + 1.0));
+  for (Degree d = 2; d <= dmax; ++d) {
+    weights.push_back(
+        c * std::pow(static_cast<double>(d), -alpha) +
+        u * std::exp(static_cast<double>(d) * std::log(mu) -
+                     math::log_factorial(d)));
+  }
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  const rng::AliasSampler sampler(weights, /*offset=*/1);
+
+  std::vector<double> alphas, cs, mus, us, ls;
+  for (int rep = 0; rep < replicates; ++rep) {
+    Rng rng(9000 + static_cast<std::uint64_t>(rep) * 6151);
+    stats::DegreeHistogram h;
+    for (Count i = 0; i < draws; ++i) h.add(sampler(rng));
+    const auto fit = core::fit_palu(h);
+    alphas.push_back(fit.alpha);
+    cs.push_back(fit.c);
+    mus.push_back(fit.mu);
+    us.push_back(fit.u);
+    ls.push_back(fit.l);
+  }
+  const auto row = [&](const char* name, double truth,
+                       const std::vector<double>& xs) {
+    const Stats s = summarize(xs);
+    std::printf("%-8s %10.5f %10.5f %10.5f %9.1f%%\n", name, truth, s.mean,
+                s.sd, 100.0 * (s.mean - truth) / truth);
+  };
+  std::printf("%-8s %10s %10s %10s %9s\n", "param", "truth", "est.mean",
+              "est.sd", "bias");
+  row("alpha", alpha, alphas);
+  row("c", c / total, cs);
+  row("mu", mu, mus);
+  row("u", u / total, us);
+  row("l", l / total, ls);
+}
+
+void print_recovery() {
+  std::printf("=== Section IV-B estimator recovery ===\n\n");
+  std::printf("--- estimator-only bias: 1M iid draws from the simplified "
+              "law itself (16 reps) ---\n");
+  recovery_from_exact_law(0.30, 0.25, 0.04, 2.5, 2.2, 1'000'000, 16);
+  std::printf("\nBelow, \"truth\" is the PAPER-FORM constant "
+              "(Cp^a/zeta(a)V etc.); the c and l gaps there\nmix estimator "
+              "error with the paper's own approximations (integral-vs-sum "
+              "V, Bin(D,p)=Dp,\nleaf anchors inflating core degrees) — "
+              "bench_theory_vs_sim quantifies those separately.\n");
+  std::printf("\n(generative recovery: 24 replicates, 200k nodes each)\n");
+  std::printf("--- moderate stars: lambda=4, p=0.8, alpha=2.2 ---\n");
+  recovery_study(core::PaluParams::solve_hubs(4.0, 0.35, 0.25, 2.2, 0.8),
+                 200000, 24);
+  std::printf("\n--- star-dominated: lambda=8, p=0.9, alpha=2.5 ---\n");
+  recovery_study(core::PaluParams::solve_hubs(8.0, 0.25, 0.15, 2.5, 0.9),
+                 200000, 24);
+  std::printf("\n--- thin window: lambda=6, p=0.3, alpha=2.0 ---\n");
+  recovery_study(core::PaluParams::solve_hubs(6.0, 0.4, 0.2, 2.0, 0.3),
+                 200000, 24);
+  std::printf("\n");
+}
+
+void BM_FitPaluPipeline(benchmark::State& state) {
+  const auto params =
+      core::PaluParams::solve_hubs(4.0, 0.35, 0.25, 2.2, 0.8);
+  Rng rng(1);
+  const auto h = core::sample_observed_degrees(
+      params, static_cast<NodeId>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_palu(h));
+  }
+}
+BENCHMARK(BM_FitPaluPipeline)->Arg(50000)->Arg(200000);
+
+void BM_SampleObservedDegrees(benchmark::State& state) {
+  const auto params =
+      core::PaluParams::solve_hubs(4.0, 0.35, 0.25, 2.2, 0.8);
+  Rng rng(2);
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sample_observed_degrees(params, n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SampleObservedDegrees)->Arg(50000)->Arg(200000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_recovery();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

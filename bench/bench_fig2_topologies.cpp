@@ -1,0 +1,94 @@
+// Figure 2 — Traffic network topologies.
+//
+// Regenerates the topology census (unattached links, supernode leaves /
+// stars, core components with core leaves, plus the invisible isolated
+// nodes) across a grid of PALU parameters and window sizes, comparing the
+// measured unattached-link share with the Section IV prediction
+// U·λp·e^{−λp}/V.  Then times the census pass.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "palu/palu.hpp"
+
+namespace {
+
+using namespace palu;
+
+void census_row(double lambda, double core_frac, double window,
+                NodeId n) {
+  const auto params =
+      core::PaluParams::solve_hubs(lambda, core_frac, 0.2, 2.2, window);
+  Rng rng(5);
+  const auto net = core::generate_underlying(params, n, rng);
+  const auto observed = core::generate_observed(net, params, rng);
+  const auto census = graph::classify_topology(observed);
+  Count visible = 0;
+  for (const Degree d : observed.degrees()) visible += (d > 0);
+  const auto comp = core::observed_composition(params);
+  const double measured_link_share =
+      static_cast<double>(census.unattached_links) /
+      static_cast<double>(visible);
+  std::printf(
+      "%6.1f %5.2f %5.2f | %9llu %9llu %7llu %9llu %9llu %9llu | "
+      "%9.5f %9.5f\n",
+      lambda, core_frac, window,
+      static_cast<unsigned long long>(census.isolated_nodes),
+      static_cast<unsigned long long>(census.unattached_links),
+      static_cast<unsigned long long>(census.star_components),
+      static_cast<unsigned long long>(census.star_leaves),
+      static_cast<unsigned long long>(census.core_components),
+      static_cast<unsigned long long>(census.core_leaves),
+      measured_link_share, comp.unattached_link_share);
+}
+
+void print_fig2() {
+  std::printf("=== Figure 2: traffic topology census (N=200k scale) ===\n");
+  std::printf("lambda     C     p | isolated  un.links   stars st.leaves "
+              "core.cmp  co.leaves | meas.link  pred.link\n");
+  for (const double lambda : {1.0, 3.0, 8.0}) {
+    for (const double window : {0.3, 0.7, 1.0}) {
+      census_row(lambda, 0.35, window, 200000);
+    }
+  }
+  // Core-heavy vs star-heavy contrast at fixed window.
+  std::printf("--- composition contrast at p = 0.7 ---\n");
+  for (const double core_frac : {0.1, 0.4, 0.7}) {
+    census_row(2.0, core_frac, 0.7, 200000);
+  }
+  std::printf("\n");
+}
+
+void BM_ClassifyTopology(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto params = core::PaluParams::solve_hubs(3.0, 0.35, 0.2, 2.2, 0.7);
+  Rng rng(6);
+  const auto net = core::generate_underlying(params, n, rng);
+  const auto observed = core::generate_observed(net, params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::classify_topology(observed));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(observed.num_nodes()));
+}
+BENCHMARK(BM_ClassifyTopology)->Arg(50000)->Arg(200000)->Arg(800000);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto params = core::PaluParams::solve_hubs(3.0, 0.35, 0.2, 2.2, 0.7);
+  Rng rng(7);
+  const auto net = core::generate_underlying(
+      params, static_cast<NodeId>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::connected_components(net.graph));
+  }
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(50000)->Arg(200000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

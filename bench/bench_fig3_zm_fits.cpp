@@ -1,0 +1,186 @@
+// Figure 3 — Measured distributions and modified Zipf–Mandelbrot fits.
+//
+// Regenerates the figure's six-panel structure: synthetic "datasets"
+// spanning different underlying compositions and window sizes, each
+// measured over many consecutive windows to get D(d_i) ± 1σ, then fit with
+// the modified ZM model.  One panel is deliberately leaf/unattached-heavy
+// so the single (α, δ) law fits poorly — the paper's upper-right panel
+// whose deviation motivates PALU.  Prints measured mean ± σ vs model per
+// bin and the fit quality; then times the window → pooled → fit path.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "palu/palu.hpp"
+
+namespace {
+
+using namespace palu;
+
+struct Panel {
+  std::string name;
+  core::PaluParams params;
+  Count n_valid;
+};
+
+std::vector<Panel> make_panels() {
+  using P = core::PaluParams;
+  return {
+      {"backbone p=0.95", P::solve_hubs(2.0, 0.55, 0.15, 2.0, 0.95),
+       200000},
+      {"backbone p=0.4", P::solve_hubs(2.0, 0.55, 0.15, 2.0, 0.4), 50000},
+      {"steep core a=2.8", P::solve_hubs(1.5, 0.5, 0.2, 2.8, 0.8), 100000},
+      {"shallow core a=1.7", P::solve_hubs(1.5, 0.5, 0.2, 1.7, 0.8),
+       100000},
+      {"leafy site", P::solve_hubs(3.0, 0.3, 0.4, 2.2, 0.7), 100000},
+      {"bot-heavy (ZM misfit)", P::solve_hubs(9.0, 0.1, 0.1, 2.2, 1.0),
+       100000},
+  };
+}
+
+struct PanelResult {
+  std::vector<double> mean;
+  std::vector<double> sigma;
+  stats::LogBinned model;
+  fit::ZmFitResult fit;
+  Degree dmax = 0;
+  double max_sigma_deviation = 0.0;  // worst |mean−model|/max(σ, floor)
+};
+
+PanelResult run_panel(const Panel& panel, std::size_t num_windows,
+                      std::uint64_t seed) {
+  // Each window is an independent observation of the same underlying
+  // network (fresh edge-retention coin flips), matching the consecutive-
+  // window methodology of Section II.
+  Rng rng(seed);
+  const auto net = core::generate_underlying(panel.params, 150000, rng);
+  stats::BinnedEnsemble ensemble;
+  Degree dmax = 0;
+  for (std::size_t t = 0; t < num_windows; ++t) {
+    Rng window_rng = rng.fork(t + 1);
+    const auto observed =
+        core::generate_observed(net, panel.params, window_rng);
+    const auto h =
+        stats::DegreeHistogram::from_degrees(observed.degrees());
+    dmax = std::max(dmax, h.max_degree());
+    ensemble.add(stats::LogBinned::from_histogram(h));
+  }
+  PanelResult out;
+  out.mean = ensemble.mean();
+  out.sigma = ensemble.stddev();
+  out.dmax = dmax;
+  fit::ZmFitOptions opts;
+  opts.bin_sigma = out.sigma;
+  opts.sigma_floor = 1e-4;
+  out.fit = fit::fit_zipf_mandelbrot(stats::LogBinned(out.mean), dmax,
+                                     opts);
+  out.model =
+      fit::ZipfMandelbrot(out.fit.alpha, out.fit.delta, dmax).pooled();
+  for (std::size_t i = 0; i < out.mean.size(); ++i) {
+    const double m = i < out.model.num_bins() ? out.model[i] : 0.0;
+    const double dev = std::abs(out.mean[i] - m) /
+                       std::max(out.sigma[i], 1e-4);
+    out.max_sigma_deviation = std::max(out.max_sigma_deviation, dev);
+  }
+  return out;
+}
+
+void print_fig3() {
+  std::printf("=== Figure 3: measured D(d_i) +/- 1-sigma vs modified "
+              "Zipf-Mandelbrot fits ===\n");
+  std::printf("(each panel: 16 consecutive windows of the same underlying "
+              "network)\n\n");
+  std::uint64_t seed = 900;
+  for (const Panel& panel : make_panels()) {
+    const PanelResult r = run_panel(panel, 16, seed++);
+    std::printf("--- %-24s alpha=%.3f delta=%+.3f d_max=%llu "
+                "worst|dev|/sigma=%.1f ---\n",
+                panel.name.c_str(), r.fit.alpha, r.fit.delta,
+                static_cast<unsigned long long>(r.dmax),
+                r.max_sigma_deviation);
+    std::printf("  d_i        measured      sigma        model\n");
+    for (std::size_t i = 0; i < r.mean.size(); ++i) {
+      if (r.mean[i] <= 0.0 && (i >= r.model.num_bins() ||
+                               r.model[i] < 1e-9)) {
+        continue;
+      }
+      std::printf("  %-9llu  %.5e  %.5e  %.5e\n",
+                  static_cast<unsigned long long>(
+                      stats::LogBinned::bin_upper(
+                          static_cast<std::uint32_t>(i))),
+                  r.mean[i], r.sigma[i],
+                  i < r.model.num_bins() ? r.model[i] : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: the bot-heavy panel's worst deviation (in sigma) "
+              "dwarfs the others,\nreproducing the paper's upper-right "
+              "misfit that motivates the PALU model.\n\n");
+
+  // Extra panel: the same measurement via the *packet-window* path
+  // (Section II verbatim): consecutive N_V windows of one stream, pooled
+  // undirected degrees with cross-window sigma, modified-ZM fit.
+  const auto params =
+      core::PaluParams::solve_hubs(2.5, 0.45, 0.2, 2.1, 1.0);
+  Rng rng(1234);
+  const auto net = core::generate_underlying(params, 80000, rng);
+  ThreadPool pool;
+  const auto sweep = traffic::sweep_windows(
+      net.graph, traffic::RateModel{}, /*n_valid=*/150000,
+      /*num_windows=*/12, traffic::Quantity::kUndirectedDegree,
+      /*seed=*/77, pool);
+  fit::ZmFitOptions opts;
+  opts.bin_sigma = sweep.ensemble.stddev();
+  opts.sigma_floor = 1e-4;
+  const auto zm = fit::fit_zipf_mandelbrot(
+      stats::LogBinned(sweep.ensemble.mean()), sweep.max_value, opts);
+  std::printf("--- traffic-window panel (N_V=150k x 12 windows): "
+              "alpha=%.3f delta=%+.3f ---\n",
+              zm.alpha, zm.delta);
+  const auto model =
+      fit::ZipfMandelbrot(zm.alpha, zm.delta, sweep.max_value).pooled();
+  const auto mean = sweep.ensemble.mean();
+  const auto sigma = sweep.ensemble.stddev();
+  std::printf("  d_i        measured      sigma        model\n");
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    if (mean[i] <= 0.0) continue;
+    std::printf("  %-9llu  %.5e  %.5e  %.5e\n",
+                static_cast<unsigned long long>(
+                    stats::LogBinned::bin_upper(
+                        static_cast<std::uint32_t>(i))),
+                mean[i], sigma[i],
+                i < model.num_bins() ? model[i] : 0.0);
+  }
+  std::printf("\n");
+}
+
+void BM_Fig3PanelPipeline(benchmark::State& state) {
+  const auto panels = make_panels();
+  const Panel& panel = panels[static_cast<std::size_t>(state.range(0))];
+  std::uint64_t seed = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_panel(panel, 4, seed++));
+  }
+  state.SetLabel(panel.name);
+}
+BENCHMARK(BM_Fig3PanelPipeline)->Arg(0)->Arg(5);
+
+void BM_ZmPooledEvaluation(benchmark::State& state) {
+  const fit::ZipfMandelbrot zm(2.1, 0.7, 1u << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zm.pooled());
+  }
+}
+BENCHMARK(BM_ZmPooledEvaluation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Section VII — "determining if there is a better fitting model than the
+// Zipf–Mandelbrot distribution".
+//
+// Regenerates the model-selection experiment the conclusion calls for:
+// fit the whole discrete model zoo to (a) a PALU observed degree sample,
+// (b) a webcrawl-style core-only sample, and (c) a bot-heavy sample, rank
+// by AIC, and run Vuong tests between the top contenders.  Then times the
+// per-family fits.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "palu/palu.hpp"
+
+namespace {
+
+using namespace palu;
+
+stats::DegreeHistogram palu_sample(std::uint64_t seed) {
+  const auto params = core::PaluParams::solve_hubs(4.0, 0.35, 0.25, 2.2,
+                                                   0.7);
+  Rng rng(seed);
+  return core::sample_observed_degrees(params, 300000, rng);
+}
+
+stats::DegreeHistogram core_only_sample(std::uint64_t seed) {
+  // Webcrawl analogue (i): the PA core without leaves/stars, fully
+  // observed.
+  Rng rng(seed);
+  const auto g = graph::zeta_degree_core(rng, 150000, 2.2, 10000);
+  return stats::DegreeHistogram::from_degrees(g.degrees());
+}
+
+stats::DegreeHistogram crawl_sample(std::uint64_t seed) {
+  // Webcrawl analogue (ii): an actual BFS crawl over the full PALU
+  // underlying network — the crawler's degree view is supernode-biased
+  // and blind to unattached components (Section II's account of why
+  // crawl-era studies saw clean power laws).
+  const auto params = core::PaluParams::solve_hubs(4.0, 0.35, 0.25, 2.2,
+                                                   1.0);
+  Rng rng(seed);
+  const auto net = core::generate_underlying(params, 300000, rng);
+  const auto crawl = graph::bfs_crawl(rng, net.graph, 60000);
+  return graph::crawl_view_degrees(net.graph, crawl);
+}
+
+stats::DegreeHistogram bot_heavy_sample(std::uint64_t seed) {
+  const auto params = core::PaluParams::solve_hubs(9.0, 0.1, 0.1, 2.2,
+                                                   1.0);
+  Rng rng(seed);
+  return core::sample_observed_degrees(params, 300000, rng);
+}
+
+void print_ranking(const char* label, const stats::DegreeHistogram& h) {
+  std::printf("--- %s (n=%llu, support=%zu, d_max=%llu) ---\n", label,
+              static_cast<unsigned long long>(h.total()),
+              h.support_size(),
+              static_cast<unsigned long long>(h.max_degree()));
+  const auto ranking = fit::fit_all_models(h);
+  std::printf("%-18s %14s %14s %10s  params\n", "family", "logL", "AIC",
+              "dAIC");
+  for (const auto& entry : ranking) {
+    std::printf("%-18s %14.1f %14.1f %10.1f  ", entry.family.c_str(),
+                entry.log_likelihood, entry.aic, entry.delta_aic);
+    for (const auto& [name, value] : entry.parameters) {
+      std::printf("%s=%.4g ", name.c_str(), value);
+    }
+    std::printf("\n");
+  }
+  // Vuong test: ZM vs each alternative.
+  const auto zm = fit::fit_zipf_mandelbrot_model(h);
+  const auto zeta = fit::fit_zeta_model(h);
+  const auto lognormal = fit::fit_lognormal_model(h);
+  const auto cutoff = fit::fit_powerlaw_cutoff_model(h);
+  const auto report = [&](const char* name,
+                          const fit::DiscreteModel& other) {
+    const auto v = fit::vuong_test(*zm, other, h);
+    std::printf("vuong ZM vs %-16s z=%+7.2f  p=%.3g  -> %s\n", name,
+                v.statistic, v.p_two_sided,
+                v.statistic > 2.0
+                    ? "ZM better"
+                    : (v.statistic < -2.0 ? "ZM worse" : "tie"));
+  };
+  report("zeta", *zeta);
+  report("lognormal", *lognormal);
+  report("powerlaw-cutoff", *cutoff);
+  // And the decisive one: does the paper's own law beat ZM here?
+  const auto palu_model = fit::fit_palu_mixture_model(h);
+  const auto v = fit::vuong_test(*palu_model, *zm, h);
+  std::printf("vuong PALU-mixture vs ZM     z=%+7.2f  p=%.3g  -> %s\n",
+              v.statistic, v.p_two_sided,
+              v.statistic > 2.0
+                  ? "PALU better"
+                  : (v.statistic < -2.0 ? "ZM better" : "tie"));
+  std::printf("\n");
+}
+
+void print_experiment() {
+  std::printf("=== Model zoo: is anything better than Zipf-Mandelbrot? "
+              "===\n\n");
+  print_ranking("PALU observed degrees", palu_sample(100));
+  print_ranking("webcrawl-style core only", core_only_sample(200));
+  print_ranking("BFS crawl of PALU network", crawl_sample(250));
+  print_ranking("bot-heavy observed degrees", bot_heavy_sample(300));
+}
+
+void BM_FitFamily(benchmark::State& state) {
+  static const auto h = palu_sample(400);
+  const int family = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    switch (family) {
+      case 0:
+        benchmark::DoNotOptimize(fit::fit_zeta_model(h));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(fit::fit_zipf_mandelbrot_model(h));
+        break;
+      case 2:
+        benchmark::DoNotOptimize(fit::fit_powerlaw_cutoff_model(h));
+        break;
+      case 3:
+        benchmark::DoNotOptimize(fit::fit_lognormal_model(h));
+        break;
+      case 4:
+        benchmark::DoNotOptimize(fit::fit_geometric_model(h));
+        break;
+      default:
+        break;
+    }
+  }
+  static constexpr const char* kNames[] = {
+      "zeta", "zipf-mandelbrot", "powerlaw-cutoff", "lognormal",
+      "geometric"};
+  state.SetLabel(kNames[family]);
+}
+BENCHMARK(BM_FitFamily)->DenseRange(0, 4);
+
+void BM_VuongTest(benchmark::State& state) {
+  static const auto h = palu_sample(500);
+  static const auto zm = fit::fit_zipf_mandelbrot_model(h);
+  static const auto zeta = fit::fit_zeta_model(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::vuong_test(*zm, *zeta, h));
+  }
+}
+BENCHMARK(BM_VuongTest);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Bot-traffic lens: the paper attributes leaves and unattached links
+// largely to bot traffic.  This example compares two underlying networks —
+// a "clean" core-dominated one and a "bot-heavy" one with many stars — and
+// shows how the observed topology census and the fitted Zipf–Mandelbrot
+// offset δ separate them at every window size.
+//
+//   build/examples/botnet_census [node_scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "palu/palu.hpp"
+
+namespace {
+
+void profile(const char* name, const palu::core::PaluParams& base,
+             palu::NodeId n) {
+  using namespace palu;
+  std::printf("\n=== %s (lambda=%.1f, C=%.2f, L=%.2f, U=%.3f) ===\n", name,
+              base.lambda, base.core, base.leaves, base.hubs);
+  std::printf("%6s  %12s  %10s  %10s  %10s\n", "p", "unatt.links",
+              "link_share", "D(1)", "zm_delta");
+  for (const double p : {0.25, 0.5, 1.0}) {
+    const core::PaluParams params = base.at_window(p);
+    Rng rng(42);
+    const auto net = core::generate_underlying(params, n, rng);
+    const auto observed = core::generate_observed(net, params, rng);
+    const auto census = graph::classify_topology(observed);
+    const auto h = stats::DegreeHistogram::from_degrees(observed.degrees());
+    const auto dist = stats::EmpiricalDistribution::from_histogram(h);
+
+    const double visible = static_cast<double>(dist.sample_size());
+    const double link_share =
+        2.0 * static_cast<double>(census.unattached_links) / visible;
+
+    const auto pooled = stats::LogBinned::from_histogram(h);
+    const auto zm =
+        fit::fit_zipf_mandelbrot(pooled, dist.max_value());
+    std::printf("%6.2f  %12llu  %10.4f  %10.4f  %10.3f\n", p,
+                static_cast<unsigned long long>(census.unattached_links),
+                link_share, dist.mass_at_one(), zm.delta);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace palu;
+  const NodeId n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 150000;
+
+  // Clean network: most node mass in the PA core, few stars.
+  const auto clean =
+      core::PaluParams::solve_hubs(/*lambda=*/1.0, /*core=*/0.7,
+                                   /*leaves=*/0.1, /*alpha=*/2.1,
+                                   /*window=*/1.0);
+  // Bot-heavy network: star hubs and leaves dominate (scanners, C2 beacons
+  // touching few unique peers each).
+  const auto botty =
+      core::PaluParams::solve_hubs(/*lambda=*/1.5, /*core=*/0.15,
+                                   /*leaves=*/0.25, /*alpha=*/2.1,
+                                   /*window=*/1.0);
+  profile("clean backbone", clean, n);
+  profile("bot-heavy", botty, n);
+  std::printf("\nReading: at every window size the bot-heavy network shows "
+              "a far higher unattached-link share and\nmore degree-1 mass "
+              "D(1) — the deviation the red dots in the paper's Fig 3 mark "
+              "at d=1.\n");
+  return 0;
+}

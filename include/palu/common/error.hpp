@@ -1,0 +1,65 @@
+// Error handling primitives shared by every palu module.
+//
+// The library throws exceptions derived from `palu::Error` for programmer
+// errors (bad arguments, violated invariants) and for numerical failures
+// (non-converged fits).  Hot loops use PALU_ASSERT, which compiles to nothing
+// in NDEBUG builds; API boundaries use PALU_CHECK, which is always on.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace palu {
+
+/// Base class for all exceptions thrown by the palu library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes an argument outside its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an iterative numerical routine fails to converge.
+class ConvergenceError : public Error {
+ public:
+  explicit ConvergenceError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when data handed to an estimator is unusable (empty, degenerate).
+class DataError : public Error {
+ public:
+  explicit DataError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+[[noreturn]] void throw_assert_failure(const char* expr, const char* file,
+                                       int line);
+}  // namespace detail
+
+}  // namespace palu
+
+/// Always-on precondition check; throws palu::InvalidArgument on failure.
+#define PALU_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::palu::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only invariant check; disabled under NDEBUG.
+#ifdef NDEBUG
+#define PALU_ASSERT(expr) ((void)0)
+#else
+#define PALU_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::palu::detail::throw_assert_failure(#expr, __FILE__, __LINE__); \
+    }                                                                  \
+  } while (false)
+#endif

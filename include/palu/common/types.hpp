@@ -1,0 +1,20 @@
+// Fundamental identifier and count types used across the palu library.
+#pragma once
+
+#include <cstdint>
+
+namespace palu {
+
+/// Identifier of a network node (source or destination endpoint).
+using NodeId = std::uint64_t;
+
+/// Degree of a node, or any small count aggregated from a traffic window.
+using Degree = std::uint64_t;
+
+/// Count of packets / edges / nodes; large enough for trillion-scale windows.
+using Count = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+}  // namespace palu

@@ -1,0 +1,48 @@
+// Small-component structure and isolated-node extrapolation (Section VII
+// future work: "explore the existence and importance of isolated nodes"
+// and "define the large clusters of small disconnected components").
+//
+// In the observed PALU network every star component consists of its hub
+// plus a Po(μ)-distributed number of visible leaves (μ = λp), so the size
+// law of visible star components is
+//
+//     P(size = s) = Po(μ){s−1} / (1 − e^{−μ}),   s >= 2
+//
+// and the fitted constant u *is* the per-visible-node density of invisible
+// (zero-visible-leaf) hubs at the current window — giving a principled
+// estimate of nodes that exist but cannot be seen by traffic capture.
+#pragma once
+
+#include "palu/common/types.hpp"
+#include "palu/core/estimate.hpp"
+#include "palu/core/params.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::core {
+
+/// P(star component has `size` nodes | the star is visible), size >= 2.
+double star_component_size_share(const PaluParams& params, NodeId size);
+
+/// Histogram of observed component sizes up to `max_size` (inclusive),
+/// skipping size-1 (isolated) components, which capture cannot see.
+stats::DegreeHistogram small_component_size_histogram(
+    const graph::Graph& observed, NodeId max_size);
+
+/// Invisible-node extrapolation from fitted constants.
+struct IsolatedEstimate {
+  /// Hubs with zero visible leaves per visible node at this window; this
+  /// is exactly the fitted u = U·e^{−μ}/V.
+  double invisible_hubs_per_visible = 0.0;
+  /// Hubs isolated in the *underlying* network (zero leaves at p = 1),
+  /// per visible node: U·e^{−λ}/V = u·e^{μ − μ/p}, using λ = μ/p.
+  double underlying_isolated_per_visible = 0.0;
+  /// λ implied by the fit and the window: μ/p.
+  double implied_lambda = 0.0;
+};
+
+/// Requires 0 < window <= 1 and an identifiable μ (throws palu::DataError
+/// when the fit found no star bump to extrapolate from).
+IsolatedEstimate estimate_isolated(const PaluFit& fit, double window);
+
+}  // namespace palu::core

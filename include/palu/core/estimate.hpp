@@ -1,0 +1,126 @@
+// The Section IV-B parameter-estimation pipeline.
+//
+// Given an observed degree distribution, recover the simplified PALU
+// constants:
+//
+//  (a) Fit c and α to the tail (d >= tail_min, default 10) of the degree
+//      distribution by weighted log-log linear regression (Eq. 4: slope
+//      −α, intercept log c).
+//  (b) Form the excess e(d) = share(d) − c·d^{−α} for 2 <= d < tail_min,
+//      and take the moment ratio R = Σ d·e(d) / Σ e(d).  Under the model
+//      the excess is a Poisson bump u·μ^d/d! with μ = λp, so
+//      R = g(μ) = μ + μ²/(e^μ − μ − 1); invert g to recover μ.  (The paper
+//      labels the recovered parameter Λ; in the generative model the
+//      moment ratio identifies μ = λp, with Λ = e·μ.)  This moment-ratio
+//      route is the paper's "substantially less variance" estimator; the
+//      point-wise alternative is provided for the ablation bench.
+//  (c) u = Σ e(d) / (e^μ − 1 − μ), then l from the degree-1 mass:
+//      share(1) = c + l + u·μ·(e^μ + 1).
+#pragma once
+
+#include <cstdint>
+
+#include "palu/common/types.hpp"
+#include "palu/core/theory.hpp"
+#include "palu/fit/bootstrap.hpp"
+#include "palu/stats/distribution.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::core {
+
+/// How step (a) extracts (c, α) from the tail.
+enum class TailMethod {
+  /// Discrete MLE for α on the tail (Clauset–Shalizi–Newman) plus c from
+  /// tail-mass matching c·ζ(α, tail_min) = P[d >= tail_min].  Lower
+  /// variance than the paper's regression: singleton counts at large d
+  /// flatten a log-log regression but leave the MLE unbiased.  Default.
+  kMleTailMass,
+  /// The paper's literal recipe: weighted log-log linear regression with
+  /// slope −α and intercept log c.  Kept for the fidelity ablation.
+  kRegression,
+};
+
+struct PaluFitOptions {
+  Degree tail_min = 10;       ///< Eq. (4) applies from here up
+  TailMethod tail_method = TailMethod::kMleTailMass;
+  bool weight_by_count = true;  ///< weight regression points by n(d)
+  bool clip_negative_excess = true;  ///< drop e(d) < 0 in step (b)
+  /// Upper degree bound for the excess sums.  The paper writes Σ_{d≥2},
+  /// but with finite data the tiny residuals at large d are pure sampling
+  /// noise that overwhelms the first moment, so the sum is restricted to
+  /// the region where a Poisson bump (μ = λp ≤ 20) can actually live.
+  Degree excess_max = 64;
+  /// Below this excess mass the bump is treated as absent (μ, u = 0).
+  double min_excess_mass = 1e-5;
+  /// Moment ratios implying μ beyond this are declared unidentifiable:
+  /// λ ≤ 20 and p ≤ 1 bound the true μ = λp by 20, so anything past 25 is
+  /// noise masquerading as a bump.
+  double mu_cap = 25.0;
+  /// When the recovered μ implies the Poisson bump reaches past tail_min
+  /// (bump support ~ μ + 4√μ), refit with the tail start pushed beyond it.
+  /// Without this, a large-μ bump contaminates the (c, α) tail fit and
+  /// biases every downstream constant.
+  bool adaptive_tail = true;
+};
+
+struct PaluFit {
+  double alpha = 0.0;  ///< core exponent
+  double c = 0.0;      ///< core amplitude
+  double mu = 0.0;     ///< μ = λp recovered from the moment ratio
+  double u = 0.0;      ///< star-hub amplitude U·e^{−λp}/V
+  double l = 0.0;      ///< leaf share L·p/V
+
+  /// The paper's Λ = e·λ·p.
+  double lambda_cap() const;
+
+  // Diagnostics.
+  double tail_r_squared = 0.0;   ///< goodness of the step-(a) regression
+  double excess_mass = 0.0;      ///< Σ e(d) used in (b)/(c)
+  double moment_ratio = 0.0;     ///< R fed into g^{-1}
+  std::size_t tail_points = 0;   ///< support points in the (a) regression
+  bool mu_identifiable = true;   ///< false when R <= 2 forced μ = 0
+
+  /// Model prediction share(d) implied by the fit (Poisson star bump).
+  double predicted_share(Degree d) const;
+
+  /// The star contribution to share(1): u·μ·(e^μ + 1).
+  double predicted_star_degree_one() const;
+};
+
+/// Runs (a)–(c) on an observed degree distribution.  Throws
+/// palu::DataError when the tail has too few support points to regress.
+PaluFit fit_palu(const stats::EmpiricalDistribution& dist,
+                 const PaluFitOptions& opts = {});
+
+/// Convenience overload from a histogram.
+PaluFit fit_palu(const stats::DegreeHistogram& h,
+                 const PaluFitOptions& opts = {});
+
+/// Bootstrap confidence intervals for the five fitted constants
+/// (α, c, μ, u, l in that order), from a single resampling pass.
+struct PaluFitCi {
+  fit::BootstrapResult alpha, c, mu, u, l;
+};
+PaluFitCi bootstrap_palu_fit(const stats::DegreeHistogram& h, Rng& rng,
+                             ThreadPool& pool,
+                             const fit::BootstrapOptions& boot_opts = {},
+                             const PaluFitOptions& fit_opts = {});
+
+/// Joint polish: starting from a IV-B pipeline fit, refines
+/// (α, c, μ, u, l) together by Levenberg–Marquardt on the weighted
+/// residuals between predicted_share(d) and the empirical pmf over
+/// d = 1..refine_max (weights √n(d), i.e. Poisson-ish).  Typically
+/// shaves the remaining bias of the staged pipeline; falls back to the
+/// input fit if LM cannot improve it.
+PaluFit refine_palu_fit(const stats::EmpiricalDistribution& dist,
+                        const PaluFit& initial, Degree refine_max = 256);
+
+/// Ablation twin of step (b): estimates μ by point-wise matching of
+/// consecutive excess ratios e(d+1)/e(d) = μ/(d+1) instead of the moment
+/// ratio — the higher-variance route the paper advises against.  Returns
+/// the count-weighted median of the point-wise estimates.
+double estimate_mu_pointwise(const stats::EmpiricalDistribution& dist,
+                             double c, double alpha,
+                             const PaluFitOptions& opts = {});
+
+}  // namespace palu::core

@@ -1,0 +1,45 @@
+// PALU model parameters (Section III-A).
+//
+// The underlying network has three parts: a preferential-attachment core
+// with power-law exponent α; degree-1 leaves attached to the core; and
+// "unattached" star components whose leaf counts are iid Po(λ).  C, L, U
+// are node proportions — C of core nodes, L of leaves, U of star hubs —
+// normalized so that expected node mass is 1:
+//
+//     C + L + U·(1 + λ − e^{−λ}) = 1
+//
+// (each hub brings itself, λ expected leaves, minus the e^{−λ} chance of
+// being an invisible isolated hub).  The observed network keeps each edge
+// independently with probability p (the window-size parameter); λ, C, L,
+// U, α are window-invariant, only p grows with the window.
+#pragma once
+
+namespace palu::core {
+
+struct PaluParams {
+  double lambda = 1.0;  ///< mean star leaf count, λ ∈ [0, 20]
+  double core = 0.5;    ///< C: core node proportion
+  double leaves = 0.2;  ///< L: leaf node proportion
+  double hubs = 0.1;    ///< U: star-hub proportion
+  double alpha = 2.0;   ///< core power-law exponent, α ∈ (1.5, 3]
+  double window = 1.0;  ///< p: edge retention probability ∈ (0, 1]
+
+  /// C + L + U(1 + λ − e^{−λ}) − 1; zero when normalized.
+  double constraint_residual() const;
+
+  /// Throws palu::InvalidArgument when any parameter is outside its
+  /// documented domain or the normalization constraint is violated beyond
+  /// `tolerance`.
+  void validate(double tolerance = 1e-9) const;
+
+  /// Builds a normalized parameter set by solving the constraint for U
+  /// given λ, C, L (requires C + L < 1 and λ, C, L, α, p in-domain).
+  static PaluParams solve_hubs(double lambda, double core, double leaves,
+                               double alpha, double window);
+
+  /// Same parameter set at a different window size (the paper's invariance:
+  /// only p changes across windows).
+  PaluParams at_window(double new_window) const;
+};
+
+}  // namespace palu::core

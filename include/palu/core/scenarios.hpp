@@ -1,0 +1,45 @@
+// Named scenario presets used across examples, benches, and docs.
+//
+// Each returns a normalized PaluParams capturing one of the traffic
+// archetypes the paper's narrative distinguishes.  Window defaults to 1
+// (full observation); call .at_window(p) to shrink it.
+#pragma once
+
+#include "palu/core/params.hpp"
+
+namespace palu::core::scenarios {
+
+/// Core-dominated backbone traffic: most node mass in the PA core, light
+/// star activity — the regime where a single power law almost works.
+inline PaluParams backbone() {
+  return PaluParams::solve_hubs(/*lambda=*/1.5, /*core=*/0.55,
+                                /*leaves=*/0.15, /*alpha=*/2.0,
+                                /*window=*/1.0);
+}
+
+/// Access-network style traffic with a heavy leaf population hanging off
+/// the core supernodes.
+inline PaluParams leafy_site() {
+  return PaluParams::solve_hubs(/*lambda=*/3.0, /*core=*/0.3,
+                                /*leaves=*/0.4, /*alpha=*/2.2,
+                                /*window=*/1.0);
+}
+
+/// Bot-heavy traffic: star hubs dominate the node mass (scanners, C2
+/// beacons) — the regime whose D(d_i) the Zipf–Mandelbrot model cannot
+/// fit (the paper's Fig-3 upper-right panel).
+inline PaluParams bot_heavy() {
+  return PaluParams::solve_hubs(/*lambda=*/9.0, /*core=*/0.1,
+                                /*leaves=*/0.1, /*alpha=*/2.2,
+                                /*window=*/1.0);
+}
+
+/// The paper's "typical" mixed regime used as the default in most of this
+/// library's experiments.
+inline PaluParams mixed() {
+  return PaluParams::solve_hubs(/*lambda=*/4.0, /*core=*/0.35,
+                                /*leaves=*/0.25, /*alpha=*/2.2,
+                                /*window=*/1.0);
+}
+
+}  // namespace palu::core::scenarios

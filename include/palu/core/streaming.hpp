@@ -1,0 +1,53 @@
+// Streaming PALU estimation.
+//
+// The paper's data arrive as an endless sequence of fixed-N_V windows;
+// an operator wants running parameter estimates, not a one-shot batch
+// fit.  This accumulator merges window histograms as they arrive, refits
+// the Section IV-B constants after each, and keeps the trajectory so
+// drift (e.g. a botnet ramping up the star density) is visible as a time
+// series of (α, μ, u, l).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "palu/core/estimate.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::core {
+
+class StreamingPaluEstimator {
+ public:
+  explicit StreamingPaluEstimator(PaluFitOptions opts = {})
+      : opts_(opts) {}
+
+  /// Folds one window's degree histogram into the running aggregate and
+  /// refits.  Windows whose aggregate is still too thin to fit (DataError
+  /// from the pipeline) are absorbed without producing a snapshot.
+  void add_window(const stats::DegreeHistogram& window);
+
+  std::size_t windows_seen() const noexcept { return windows_; }
+
+  /// Latest successful fit; throws palu::DataError when no window has
+  /// produced a fittable aggregate yet.
+  const PaluFit& current() const;
+
+  bool has_fit() const noexcept { return latest_.has_value(); }
+
+  /// One entry per successful refit, in arrival order.
+  const std::vector<PaluFit>& history() const noexcept { return history_; }
+
+  /// The merged histogram backing the current fit.
+  const stats::DegreeHistogram& aggregate() const noexcept {
+    return merged_;
+  }
+
+ private:
+  PaluFitOptions opts_;
+  stats::DegreeHistogram merged_;
+  std::optional<PaluFit> latest_;
+  std::vector<PaluFit> history_;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace palu::core

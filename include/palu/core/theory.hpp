@@ -1,0 +1,105 @@
+// Closed-form predictions for the observed network (Section IV).
+//
+// All quantities are ratios against the total number of *visible* nodes
+// (degree >= 1 in the observed network).  V is the expected visible-node
+// mass relative to the underlying normalization:
+//
+//   V = C·p^{α−1} / ((α−1)·ζ(α)) + L·p + U·(1 + λp − e^{−λp})
+//
+// Degree-distribution predictions (exact Poisson forms; the paper's
+// (Λ/d)^d is a Stirling approximation of these):
+//
+//   share(1)    = [ C·p^α/ζ(α) + L·p + U·λp·(1 + e^{−λp}) ] / V
+//   share(d>=2) = [ C·p^α/ζ(α) · d^{−α} + U·e^{−λp}·(λp)^d / d! ] / V
+#pragma once
+
+#include <cstdint>
+
+#include "palu/common/types.hpp"
+#include "palu/core/params.hpp"
+#include "palu/stats/log_binning.hpp"
+
+namespace palu::core {
+
+/// Per-class composition of the observed network (node-count ratios).
+struct ObservedComposition {
+  double visible_mass = 0.0;      // V
+  double core_share = 0.0;        // # core nodes / total
+  double leaf_share = 0.0;        // # leaves / total
+  double unattached_share = 0.0;  // # unattached (star) nodes / total
+  double unattached_link_share = 0.0;  // # 2-node star components / total
+};
+
+/// The simplified constants of Section IV-B, all per-visible-node:
+///   c = C·p^α / (ζ(α)·V), l = L·p / V, u = U·e^{−λp} / V, Λ = e·λ·p.
+struct SimplifiedConstants {
+  double c = 0.0;
+  double l = 0.0;
+  double u = 0.0;
+  double lambda_cap = 0.0;  // Λ = e·λ·p
+  double mu = 0.0;          // λ·p, the Poisson rate of visible star leaves
+};
+
+/// Evaluates V and the class shares for a parameter set.
+ObservedComposition observed_composition(const PaluParams& params);
+
+/// Evaluates c, l, u, Λ (and μ = λp).
+SimplifiedConstants simplified_constants(const PaluParams& params);
+
+/// share(d): expected fraction of visible nodes with observed degree d
+/// (exact Poisson star term).  Requires d >= 1.
+double degree_share(const PaluParams& params, Degree d);
+
+/// The paper's Stirling-form approximation c·d^{−α} + u·(Λ/d)^d for d >= 2
+/// (Eq. 3), provided for the fidelity ablation against `degree_share`.
+double degree_share_paper_approx(const PaluParams& params, Degree d);
+
+/// Log-binned theoretical distribution over bins 0..nbins−1 (bin i pools
+/// degrees (2^{i−1}, 2^i]); core term by exact partial zeta sums, star term
+/// summed until it underflows.  Mass is NOT renormalized over the binned
+/// range — it already sums to ~1 when nbins covers the support.
+stats::LogBinned pooled_theory(const PaluParams& params,
+                               std::uint32_t nbins);
+
+/// Section IV-A: the predicted log-log slope of pooled bin mass vs bin
+/// upper edge for large bins is 1−α (not −α).  Returns that predicted
+/// slope; trivial accessor used by benches/tests for self-documentation.
+inline double pooled_tail_slope(const PaluParams& params) {
+  return 1.0 - params.alpha;
+}
+
+// ---------------------------------------------------------------------
+// Exact binomial-thinning predictions.
+//
+// The paper approximates Bin(D, p) ≈ D·p, which leaves its Section IV
+// forms internally inconsistent (the degree-law amplitude C·p^α/ζ(α) does
+// not sum to the visible-mass formula C·p^{α−1}/((α−1)ζ(α))).  The exact
+// forms below mix the bounded-zeta underlying core degree D over the full
+// Binomial(D, p) thinning law and are self-consistent: they are what the
+// generative sampler actually converges to, and what the
+// theory-vs-simulation bench validates.
+// ---------------------------------------------------------------------
+
+/// Exact visible mass: C·P[Bin(D, p) >= 1] + L·p + U·(1 + λp − e^{−λp}),
+/// with D ~ zeta(α) truncated at `core_dmax` (0 = effectively unbounded).
+double visible_mass_exact(const PaluParams& params, Degree core_dmax = 0);
+
+/// Exact-thinning counterpart of observed_composition: same fields, with
+/// the core visibility from the true Binomial mixture instead of the
+/// paper's integral form.  Shares sum to 1 by construction.
+ObservedComposition observed_composition_exact(const PaluParams& params,
+                                               Degree core_dmax = 0);
+
+/// Exact share of visible nodes with observed degree d >= 1.
+double degree_share_exact(const PaluParams& params, Degree d,
+                          Degree core_dmax = 0);
+
+/// Log-binned exact-thinned theory (the self-consistent counterpart of
+/// pooled_theory).  Cost grows with 2^nbins × the Bin(D, p) ridge width,
+/// so nbins is capped at 14 — enough to cover the head and shoulder where
+/// the thinning correction matters; the far tail is pure power law.
+stats::LogBinned pooled_theory_exact(const PaluParams& params,
+                                     std::uint32_t nbins,
+                                     Degree core_dmax = 0);
+
+}  // namespace palu::core

@@ -1,0 +1,53 @@
+// Weighted-edge extension (Section VII future work: "extend to the case of
+// weighted edges where potential weights could be the number of packets or
+// number of bytes sent along a link").
+//
+// Each observed edge is dressed with an iid positive integer weight — the
+// long-term packet (or byte) count of the link.  Two laws are provided:
+// a heavy-tailed bounded zeta (elephant flows) and a geometric (light
+// tail).  The module exposes the two Fig-1-style weighted quantities: the
+// link-weight histogram and the node-strength histogram (strength = sum of
+// incident edge weights), plus the predicted strength tail exponent
+// min(α, γ): whichever is heavier of the degree tail (many links) and the
+// weight tail (one elephant link) dominates a node's strength.
+#pragma once
+
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/rng/xoshiro.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::core {
+
+struct WeightModel {
+  enum class Law {
+    kZeta,       // P(w) ∝ w^{-gamma}, w ∈ [1, wmax]
+    kGeometric,  // P(w) = q(1-q)^{w-1}; param = q
+  };
+  Law law = Law::kZeta;
+  double param = 2.0;       // gamma for kZeta, q for kGeometric
+  Count wmax = 1u << 20;    // zeta truncation
+};
+
+/// One iid weight per edge of `g`, in edge order.
+std::vector<Count> assign_edge_weights(Rng& rng, const graph::Graph& g,
+                                       const WeightModel& model);
+
+/// Histogram of the link weights themselves (the "link packets" quantity).
+stats::DegreeHistogram link_weight_histogram(
+    const std::vector<Count>& weights);
+
+/// Histogram of per-node strengths Σ incident weights (the weighted
+/// analogue of the degree distribution; degree-0 nodes are dropped).
+stats::DegreeHistogram node_strength_histogram(
+    const graph::Graph& g, const std::vector<Count>& weights);
+
+/// Predicted pmf tail exponent of the strength distribution when the
+/// degree law has exponent `degree_alpha`: min(α, γ) for zeta weights
+/// (heavy weights can dominate), α for geometric weights (light tail).
+double predicted_strength_tail_exponent(double degree_alpha,
+                                        const WeightModel& model);
+
+}  // namespace palu::core

@@ -1,0 +1,73 @@
+// Section VI: the Zipf–Mandelbrot connection, Eq. (5).
+//
+// Replacing the Poisson star bump (Λ/d)^d by a geometric tail r^{1−d}
+// turns the simplified PALU degree law into the one-parameter family
+//
+//     PALU(d) ∝ d^{−α} + r^{1−d} · ((1+δ)^{−α} − 1)
+//
+// whose amplitude is pinned to the Zipf–Mandelbrot parameters through
+// u/c = (1+δ)^{−α} − 1.  Varying r sweeps a family of curves (Fig 4) that
+// approaches the ZM distribution; the map back to generative parameters is
+//     (1+δ)^{−α} = (U/C)·e^{−λp}·ζ(α)·p^{−α} + 1.
+#pragma once
+
+#include <cstdint>
+
+#include "palu/common/types.hpp"
+#include "palu/core/params.hpp"
+#include "palu/stats/log_binning.hpp"
+
+namespace palu::core {
+
+/// u/c implied by ZM parameters: (1+δ)^{−α} − 1 (negative for δ > 0).
+double u_over_c_from_delta(double alpha, double delta);
+
+/// δ implied by u/c: (u/c + 1)^{−1/α} − 1; requires u/c > −1.
+double delta_from_u_over_c(double alpha, double u_over_c);
+
+/// δ implied by generative parameters (Section VI closing relation).
+double delta_from_params(const PaluParams& params);
+
+/// The Eq.-(5) curve normalized over d = 1..dmax.
+class PaluZmCurve {
+ public:
+  /// Requires alpha > 0, delta > −1, r > 1, dmax >= 1, and a non-negative
+  /// pmf over the support (throws palu::InvalidArgument otherwise).
+  PaluZmCurve(double alpha, double delta, double r, Degree dmax);
+
+  double alpha() const noexcept { return alpha_; }
+  double delta() const noexcept { return delta_; }
+  double r() const noexcept { return r_; }
+  Degree dmax() const noexcept { return dmax_; }
+
+  /// Unnormalized d^{−α} + β·r^{1−d} with β = (1+δ)^{−α} − 1.
+  double unnormalized(Degree d) const;
+
+  double pmf(Degree d) const;
+  double cdf(Degree d) const;
+
+  /// Pooled D(d_i) over bins 0..bin(dmax), by exact partial sums.
+  stats::LogBinned pooled() const;
+
+ private:
+  /// Σ_{d=1}^{x} of the unnormalized curve (geometric + zeta partial sums).
+  double partial_sum(Degree x) const;
+
+  double alpha_;
+  double delta_;
+  double r_;
+  double beta_;  // (1+δ)^{−α} − 1
+  Degree dmax_;
+  double normalizer_;
+};
+
+/// Fits r so the pooled PaluZmCurve best matches the pooled ZM(α, δ, dmax)
+/// distribution in least squares — the Fig-4 "PALU tends to ZM" sweep.
+/// Returns the best r and the residual SSE.
+struct RFitResult {
+  double r = 0.0;
+  double sse = 0.0;
+};
+RFitResult fit_r_to_zipf_mandelbrot(double alpha, double delta, Degree dmax);
+
+}  // namespace palu::core

@@ -1,0 +1,51 @@
+// Nonparametric bootstrap confidence intervals for fitted statistics.
+//
+// The paper reports point estimates (α, δ, the PALU constants) without
+// uncertainty; this utility attaches percentile confidence intervals by
+// resampling the observed degree histogram with replacement and refitting
+// any user statistic.  Replicates run in parallel on a ThreadPool with
+// deterministic per-replicate RNG streams.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/parallel/thread_pool.hpp"
+#include "palu/rng/xoshiro.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::fit {
+
+struct BootstrapOptions {
+  int replicates = 200;
+  double confidence = 0.95;  // central percentile interval
+};
+
+struct BootstrapResult {
+  double estimate = 0.0;   // statistic on the original data
+  double lower = 0.0;      // percentile CI bounds
+  double upper = 0.0;
+  double std_error = 0.0;  // bootstrap standard deviation
+  int replicates_used = 0; // replicates whose statistic evaluated cleanly
+};
+
+/// `statistic` maps a histogram to a scalar (e.g. the fitted ZM α); it may
+/// throw palu::Error for degenerate resamples, which are skipped.  Throws
+/// palu::DataError when fewer than 10 replicates survive.
+BootstrapResult bootstrap_ci(
+    const stats::DegreeHistogram& h,
+    const std::function<double(const stats::DegreeHistogram&)>& statistic,
+    Rng& rng, ThreadPool& pool, const BootstrapOptions& opts = {});
+
+/// Vector-valued variant: one resampling pass yields CIs for several
+/// statistics at once (e.g. all five PALU constants from a single refit
+/// per replicate).  The statistic must return the same number of values
+/// on every call; replicates where it throws are skipped entirely.
+std::vector<BootstrapResult> bootstrap_ci_multi(
+    const stats::DegreeHistogram& h,
+    const std::function<std::vector<double>(const stats::DegreeHistogram&)>&
+        statistic,
+    Rng& rng, ThreadPool& pool, const BootstrapOptions& opts = {});
+
+}  // namespace palu::fit

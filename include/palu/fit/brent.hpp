@@ -1,0 +1,24 @@
+// One-dimensional root finding and minimization (Brent's methods).
+#pragma once
+
+#include <functional>
+
+namespace palu::fit {
+
+struct BrentOptions {
+  double tolerance = 1e-10;  // absolute x tolerance
+  int max_iterations = 200;
+};
+
+/// Finds a root of `f` in [a, b]; f(a) and f(b) must bracket (opposite
+/// signs, or one of them zero).  Classic Brent: bisection safeguarded
+/// inverse quadratic interpolation.
+double brent_root(const std::function<double(double)>& f, double a, double b,
+                  const BrentOptions& opts = {});
+
+/// Minimizes `f` on [a, b] by Brent's golden-section/parabolic method.
+/// Returns the argmin; the minimum value is f(result).
+double brent_minimize(const std::function<double(double)>& f, double a,
+                      double b, const BrentOptions& opts = {});
+
+}  // namespace palu::fit

@@ -1,0 +1,45 @@
+// Kolmogorov–Smirnov tests with asymptotic p-values.
+//
+// Complements the CSN bootstrap: the Kolmogorov distribution gives a fast
+// (asymptotic, slightly conservative for discrete data) significance level
+// for an observed KS distance, and the two-sample variant answers the
+// operational question "did the traffic distribution change between these
+// two windows?" without any model.
+#pragma once
+
+#include <cmath>
+
+#include "palu/common/types.hpp"
+#include "palu/stats/distribution.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::fit {
+
+/// Kolmogorov survival function Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²};
+/// the limiting P[√n·D_n > λ].  Q(0) = 1, decreasing to 0.
+double kolmogorov_survival(double lambda);
+
+struct KsTestResult {
+  double statistic = 0.0;  // sup |F₁ − F₂|
+  double p_value = 1.0;    // asymptotic, conservative for discrete data
+  double effective_n = 0.0;
+};
+
+/// One-sample test of a histogram against a model cdf callable.
+template <typename ModelCdf>
+KsTestResult ks_test_one_sample(const stats::DegreeHistogram& h,
+                                ModelCdf&& cdf) {
+  const auto dist = stats::EmpiricalDistribution::from_histogram(h);
+  KsTestResult out;
+  out.statistic = stats::ks_distance(dist, cdf);
+  out.effective_n = static_cast<double>(dist.sample_size());
+  out.p_value =
+      kolmogorov_survival(std::sqrt(out.effective_n) * out.statistic);
+  return out;
+}
+
+/// Two-sample test between histograms (effective n = n₁n₂/(n₁+n₂)).
+KsTestResult ks_test_two_sample(const stats::DegreeHistogram& a,
+                                const stats::DegreeHistogram& b);
+
+}  // namespace palu::fit

@@ -1,0 +1,36 @@
+// Levenberg–Marquardt nonlinear least squares with a forward-difference
+// Jacobian, solving the damped normal equations via Cholesky.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace palu::fit {
+
+struct LevMarOptions {
+  double initial_damping = 1e-3;
+  double damping_up = 2.0;        // multiplier on rejected steps
+  double damping_down = 3.0;      // divisor on accepted steps
+  double gradient_tolerance = 1e-12;
+  double step_tolerance = 1e-12;
+  int max_iterations = 200;
+  double fd_step = 1e-7;          // relative forward-difference step
+};
+
+struct LevMarResult {
+  std::vector<double> x;
+  double chi_squared = 0.0;       // final Σ residual²
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes Σ_i r_i(x)² where `residuals(x)` returns the residual vector
+/// (fixed length across calls).  Residual functions may throw
+/// palu::InvalidArgument for out-of-domain x during line search; such steps
+/// are treated as rejected.
+LevMarResult levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        residuals,
+    std::vector<double> x0, const LevMarOptions& opts = {});
+
+}  // namespace palu::fit

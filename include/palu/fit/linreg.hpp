@@ -1,0 +1,32 @@
+// Weighted least-squares line fit y ≈ intercept + slope·x.
+//
+// Section IV of the paper estimates α and log(c) by linear regression on a
+// log-log plot of the degree distribution, and Section IV-A shows the
+// log-binned slope is 1−α instead of −α; both claims are exercised through
+// this fitter.
+#pragma once
+
+#include <span>
+
+namespace palu::fit {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  double slope_stderr = 0.0;
+  double intercept_stderr = 0.0;
+  std::size_t n = 0;
+};
+
+/// Ordinary least squares; requires at least 2 distinct x values.
+LinearFit linear_regression(std::span<const double> x,
+                            std::span<const double> y);
+
+/// Weighted least squares with per-point weights w >= 0 (at least two
+/// points with positive weight and distinct x required).
+LinearFit weighted_linear_regression(std::span<const double> x,
+                                     std::span<const double> y,
+                                     std::span<const double> w);
+
+}  // namespace palu::fit

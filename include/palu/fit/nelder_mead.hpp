@@ -1,0 +1,32 @@
+// Derivative-free simplex minimization (Nelder–Mead with adaptive
+// parameters), used where residuals are non-smooth in the parameters —
+// e.g. the pooled Zipf–Mandelbrot objective whose bins quantize d.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace palu::fit {
+
+struct NelderMeadOptions {
+  double initial_step = 0.25;     // per-coordinate simplex spread
+  double f_tolerance = 1e-12;     // spread of simplex values at convergence
+  double x_tolerance = 1e-10;     // simplex diameter at convergence
+  int max_iterations = 2000;
+  int restarts = 1;               // re-seed simplex at the best point
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `f` starting from `x0`.  Objectives may return +inf to reject
+/// out-of-domain points (the simplex contracts away from them).
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opts = {});
+
+}  // namespace palu::fit

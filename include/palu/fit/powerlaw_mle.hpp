@@ -1,0 +1,54 @@
+// Discrete power-law fitting in the Clauset–Shalizi–Newman (2009) style:
+// maximum-likelihood α for a zeta law p(d) ∝ d^{-α}, d ≥ xmin, with
+// KS-minimizing xmin selection and a parametric-bootstrap goodness-of-fit
+// test.  Referenced by the paper ([23]) as the standard power-law toolkit;
+// PALU's claim is precisely that traffic data deviate from this family at
+// small d.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "palu/common/types.hpp"
+#include "palu/parallel/thread_pool.hpp"
+#include "palu/rng/xoshiro.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::fit {
+
+struct PowerLawFit {
+  double alpha = 0.0;       // MLE exponent
+  double alpha_stderr = 0.0;
+  Degree xmin = 1;          // lower cutoff the fit applies from
+  double ks_statistic = 0.0;
+  Count tail_size = 0;      // observations with d >= xmin
+  double log_likelihood = 0.0;
+};
+
+/// MLE of α for the tail d >= xmin of `h`:
+///   α̂ = argmax [ −n·ln ζ(α, xmin) − α Σ ln d ].
+/// Throws palu::DataError when fewer than 2 observations lie in the tail
+/// or all tail observations equal xmin.
+PowerLawFit fit_power_law_fixed_xmin(const stats::DegreeHistogram& h,
+                                     Degree xmin);
+
+/// Full CSN procedure: scan candidate xmin over the support, fit α for
+/// each, keep the (xmin, α) minimizing the KS distance between the tail
+/// empirical cdf and the fitted zeta cdf.  `max_xmin_candidates` bounds the
+/// scan for heavy supports (the largest candidates are skipped first).
+PowerLawFit fit_power_law(const stats::DegreeHistogram& h,
+                          std::size_t max_xmin_candidates = 100);
+
+/// Parametric bootstrap p-value for the fit (CSN §4): synthesize
+/// `replicates` datasets of the same size from the semi-parametric model
+/// (empirical below xmin, fitted zeta at/above), refit each, and report the
+/// fraction whose KS statistic exceeds the observed one.  Runs replicates
+/// in parallel on `pool`.
+double bootstrap_gof_pvalue(const stats::DegreeHistogram& h,
+                            const PowerLawFit& fit, int replicates,
+                            Rng& rng, ThreadPool& pool);
+
+/// cdf of the fitted zeta tail model: P[X <= d | X >= xmin].
+double zeta_tail_cdf(double alpha, Degree xmin, Degree d);
+
+}  // namespace palu::fit

@@ -1,0 +1,33 @@
+// Clustering coefficients (Section VII future work: "deeper study into the
+// degree distribution and clustering coefficients").
+//
+// Local coefficient: c(v) = triangles(v) / (deg(v)·(deg(v)−1)/2) on the
+// simple graph (self-loops and multi-edges removed first).  Global
+// (transitivity): 3·triangles / wedges.  Triangle counting intersects
+// sorted neighbor lists along rank-ordered edges — O(Σ deg^{3/2})-ish,
+// comfortably fast at the node scales the experiments use.
+#pragma once
+
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/graph/graph.hpp"
+
+namespace palu::graph {
+
+struct ClusteringSummary {
+  double average_local = 0.0;  // mean c(v) over nodes with deg >= 2
+  double global = 0.0;         // 3·triangles / wedges
+  Count triangles = 0;
+  Count wedges = 0;            // paths of length 2 (ordered center count)
+  Count eligible_nodes = 0;    // nodes with deg >= 2
+};
+
+/// Per-node local clustering coefficients (0 for deg < 2 nodes).
+/// The input is simplified internally.
+std::vector<double> local_clustering(const Graph& g);
+
+/// Triangle/wedge census and the two standard summary coefficients.
+ClusteringSummary clustering_summary(const Graph& g);
+
+}  // namespace palu::graph

@@ -1,0 +1,86 @@
+// Connected components and the Figure-2 topology census.
+//
+// The paper's Figure 2 names the structures visible in traffic windows:
+// isolated nodes (invisible to capture), unattached links (2-node
+// components), larger star components, and densely connected core(s) with
+// their degree-1 core leaves.  `classify_topology` reproduces that census
+// from any observed graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/graph/graph.hpp"
+
+namespace palu::graph {
+
+/// Union-find over node ids with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n);
+
+  NodeId find(NodeId x);
+  /// Returns true if the union merged two distinct sets.
+  bool unite(NodeId a, NodeId b);
+  NodeId component_size(NodeId x);
+  NodeId num_components() const noexcept { return components_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> size_;
+  NodeId components_;
+};
+
+/// One connected component's shape summary.
+struct ComponentInfo {
+  NodeId nodes = 0;
+  Count edges = 0;  // multi-edges counted individually
+  Degree max_degree = 0;
+};
+
+/// All connected components of a graph (isolated nodes included, as
+/// single-node components with 0 edges).
+std::vector<ComponentInfo> connected_components(const Graph& g);
+
+/// The Figure-2 census of an observed network.
+struct TopologyCensus {
+  Count isolated_nodes = 0;    // degree-0 nodes (unseen by capture)
+  Count unattached_links = 0;  // 2-node / 1-edge components
+  Count star_components = 0;   // >= 3 nodes, tree, one hub covers all edges
+  Count star_leaves = 0;       // degree-1 nodes inside star components
+  Count core_components = 0;   // everything larger / denser
+  Count core_nodes = 0;        // nodes inside core components
+  Count core_leaves = 0;       // degree-1 nodes hanging off core components
+  Count largest_component = 0;
+
+  Count total_components() const {
+    return unattached_links + star_components + core_components;
+  }
+};
+
+/// Classifies every component of `g` per Figure 2.  A component with k >= 3
+/// nodes is a "star" when it is a tree whose hub touches every edge;
+/// anything with a cycle or without a single hub is "core".
+TopologyCensus classify_topology(const Graph& g);
+
+/// k-core numbers by the Matula–Beck peeling order: node v's core number
+/// is the largest k such that v survives in the subgraph where every node
+/// has degree >= k.  The paper's "densely connected core(s)" heritage
+/// ([16], [22], [31], [32]) makes core depth the natural density measure
+/// for the PA component.  Self-loops/multi-edges are removed first.
+std::vector<Degree> k_core_numbers(const Graph& g);
+
+/// Extracts the largest connected component (by node count) as a graph
+/// with ids renumbered 0..k−1.  `id_map`, when non-null, receives the
+/// new-id → original-id mapping.  The empty graph maps to itself.
+Graph largest_component(const Graph& g,
+                        std::vector<NodeId>* id_map = nullptr);
+
+/// Degree assortativity: the Pearson correlation of endpoint degrees over
+/// edges (Newman's r).  Heavy-tailed traffic graphs are typically
+/// disassortative (supernodes talk to leaves).  Returns 0 for graphs with
+/// < 2 edges or degenerate variance.
+double degree_assortativity(const Graph& g);
+
+}  // namespace palu::graph

@@ -1,0 +1,42 @@
+// Simulated webcrawl sampling.
+//
+// The paper's Section II contrasts two ways of observing a network:
+// webcrawls, which "naturally sample the supernodes" and produce clean
+// single-exponent power laws, and trunk-line packet windows, which also
+// see leaves and unattached components.  `bfs_crawl` reproduces the crawl
+// process — breadth-first expansion from seed nodes up to a node budget —
+// so the two observation biases can be compared on the same underlying
+// network.
+#pragma once
+
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/rng/xoshiro.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::graph {
+
+struct CrawlResult {
+  /// Subgraph induced on the visited nodes, with ids renumbered 0..k-1.
+  Graph subgraph;
+  /// Original id of each subgraph node.
+  std::vector<NodeId> visited;
+  /// Number of distinct seed expansions used (crawls restart from a fresh
+  /// random node whenever the frontier empties before the budget).
+  std::size_t seed_count = 0;
+};
+
+/// Crawls until `budget` nodes are visited (or the graph is exhausted).
+/// Starts at a uniformly random node; frontier order is FIFO (BFS) with
+/// neighbors enqueued in adjacency order.
+CrawlResult bfs_crawl(Rng& rng, const Graph& g, NodeId budget);
+
+/// Degree histogram of the crawl's *view*: each visited node's degree in
+/// the underlying graph (what a crawler would report), not in the induced
+/// subgraph.
+stats::DegreeHistogram crawl_view_degrees(const Graph& g,
+                                          const CrawlResult& crawl);
+
+}  // namespace palu::graph

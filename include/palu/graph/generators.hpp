@@ -1,0 +1,73 @@
+// Random graph generators: the building blocks of the PALU underlying
+// network (Section III/V) plus the classic baselines the paper references.
+#pragma once
+
+#include <cstdint>
+
+#include "palu/common/types.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/rng/xoshiro.hpp"
+
+namespace palu::graph {
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `m` existing nodes chosen proportionally to
+/// degree (repeated-endpoint list trick; duplicate targets are re-drawn).
+/// Produces the paper's "core" archetype with exponent ≈ 3.
+Graph barabasi_albert(Rng& rng, NodeId num_nodes, NodeId edges_per_node);
+
+/// Growth-process preferential attachment with initial attractiveness
+/// (Dorogovtsev–Mendes–Samukhin): newcomers attach proportionally to
+/// (degree + a), giving degree exponent α = 3 + a/m.  a ∈ (−m, ∞): a = 0
+/// recovers Barabási–Albert (α = 3); negative a reaches the paper's
+/// α ∈ (2, 3) range with a genuinely grown (connected) core.
+Graph dms_attachment(Rng& rng, NodeId num_nodes, NodeId edges_per_node,
+                     double attractiveness);
+
+/// Power-law core with tunable exponent: node degrees are drawn iid from
+/// the bounded zeta law P(d) ∝ d^{-alpha}, d ∈ [1, dmax] — exactly the
+/// d^{-α}/ζ(α) degree law the PALU core assumes (Section V) — and wired by
+/// an erased configuration model (self-loops and duplicate edges dropped).
+/// alpha ∈ (1.5, 3] matches the paper's observed range.
+Graph zeta_degree_core(Rng& rng, NodeId num_nodes, double alpha,
+                       Degree dmax);
+
+/// Erdős–Rényi G(n, p): every unordered pair independently with
+/// probability p (geometric edge skipping, O(edges) expected).
+Graph erdos_renyi(Rng& rng, NodeId num_nodes, double p);
+
+/// Star forest: `num_stars` hub nodes, each with Po(lambda) fresh leaves —
+/// the PALU unattached component (Section V).  Hubs that draw 0 leaves
+/// remain isolated nodes.
+Graph star_forest(Rng& rng, Count num_stars, double lambda);
+
+/// The observed-network sampler: keeps each edge of `g` independently with
+/// probability p (node set unchanged).  This is the Erdős–Rényi random
+/// subnetwork step of Section V.
+Graph bernoulli_edge_sample(Rng& rng, const Graph& g, double p);
+
+/// Hybrid preferential-attachment + Erdős–Rényi model (Section VII future
+/// work: "combining preferential attachment with the Erdos-Renyi model"):
+/// a Barabási–Albert backbone of `num_nodes`/`edges_per_node` overlaid
+/// with G(n, p_er) random edges.  The ER overlay thickens the low-degree
+/// head while the PA backbone keeps the power-law tail.
+Graph pa_er_hybrid(Rng& rng, NodeId num_nodes, NodeId edges_per_node,
+                   double p_er);
+
+/// Degree-preserving randomization (the configuration-model null): applies
+/// `swaps` random double-edge swaps (u,v),(x,y) → (u,y),(x,v), rejecting
+/// swaps that would create self-loops.  Destroys higher-order structure
+/// (clustering, assortativity) while keeping every degree — the classic
+/// null model for asking whether an observed clustering level is explained
+/// by degrees alone.
+Graph rewire_degree_preserving(Rng& rng, const Graph& g, Count swaps);
+
+/// Degree-preserving connection: merges every edge-bearing component into
+/// the largest one by 2-edge swaps ((u,v),(x,y) → (u,x),(v,y)), which keep
+/// every node degree exactly.  Isolated (edge-free) nodes are untouched.
+/// Used to make configuration-model cores connected, matching the paper's
+/// preferential-attachment core whose growth process guarantees a single
+/// component.
+Graph connect_by_edge_swap(Rng& rng, const Graph& g);
+
+}  // namespace palu::graph

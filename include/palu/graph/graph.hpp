@@ -1,0 +1,66 @@
+// Undirected multigraph as an edge list with node count.
+//
+// The paper treats traffic networks as undirected for the degree analysis
+// (Section III) — "Using a directed model has a small impact on the overall
+// degree distribution analysis."  Self-loops and parallel edges can arise
+// from the configuration-model core builder; helpers below expose both raw
+// and simplified views.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "palu/common/types.hpp"
+
+namespace palu::graph {
+
+struct Edge {
+  NodeId u;
+  NodeId v;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId num_nodes) : num_nodes_(num_nodes) {}
+  Graph(NodeId num_nodes, std::vector<Edge> edges);
+
+  NodeId num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Appends an edge; endpoints must be < num_nodes().
+  void add_edge(NodeId u, NodeId v);
+
+  /// Appends `count` fresh isolated nodes, returning the first new id.
+  NodeId add_nodes(NodeId count);
+
+  /// Per-node degree (self-loops count 2, parallel edges count each).
+  std::vector<Degree> degrees() const;
+
+  /// Copy with self-loops and duplicate edges removed (edges are
+  /// canonicalized u <= v before deduplication).
+  Graph simplified() const;
+
+  /// Compressed sparse row adjacency (neighbor lists), built on demand.
+  struct Adjacency {
+    std::vector<std::size_t> offsets;  // size num_nodes + 1
+    std::vector<NodeId> neighbors;
+    std::size_t degree(NodeId v) const {
+      return offsets[v + 1] - offsets[v];
+    }
+  };
+  Adjacency adjacency() const;
+
+  /// Disjoint union: appends `other`'s nodes and edges after this graph's,
+  /// returning the id offset assigned to `other`'s node 0.
+  NodeId append_disjoint(const Graph& other);
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace palu::graph

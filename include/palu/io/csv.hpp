@@ -1,0 +1,43 @@
+// CSV export of the library's result objects, for plotting the paper's
+// figures with external tooling.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "palu/fit/model_zoo.hpp"
+#include "palu/stats/distribution.hpp"
+#include "palu/stats/log_binning.hpp"
+
+namespace palu::io {
+
+/// "d,pmf,cdf" rows over the empirical support.
+void write_distribution_csv(std::ostream& out,
+                            const stats::EmpiricalDistribution& dist);
+
+/// "bin,d_i,mass[,sigma]" rows; `sigma` may be empty or per-bin.
+void write_pooled_csv(std::ostream& out, const stats::LogBinned& pooled,
+                      std::span<const double> sigma = {});
+
+/// "family,log_likelihood,aic,delta_aic,params..." rows, ranked.
+void write_model_comparison_csv(
+    std::ostream& out, std::span<const fit::ModelComparison> ranking);
+
+/// A Fig-3-style panel: "bin,d_i,measured,sigma,model" rows — everything
+/// a plotting script needs for one measured-vs-fit comparison.
+void write_panel_csv(std::ostream& out, std::span<const double> measured,
+                     std::span<const double> sigma,
+                     const stats::LogBinned& model);
+
+/// "d,count" rows; the interchange format for degree data (public degree
+/// datasets usually ship exactly this).
+void write_histogram_csv(std::ostream& out,
+                         const stats::DegreeHistogram& h);
+
+/// Parses "d,count" rows; a first line equal to "d,count" is treated as a
+/// header; blank lines and '#' comments are skipped.  Throws
+/// palu::DataError with the line number on malformed input.
+stats::DegreeHistogram read_histogram_csv(std::istream& in);
+
+}  // namespace palu::io

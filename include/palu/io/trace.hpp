@@ -1,0 +1,36 @@
+// Plain-text packet traces: the library's ingestion path for real data.
+//
+// Format: one packet per line, "src dst" as unsigned 64-bit ids, blank
+// lines and '#'-prefixed comments ignored.  This is the de-facto exchange
+// format of anonymized flow logs once IPs are mapped to integer ids; a
+// WIDE/CAIDA-style capture exported this way drops straight into the
+// Section II window pipeline.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "palu/graph/graph.hpp"
+#include "palu/traffic/packet.hpp"
+
+namespace palu::io {
+
+/// Parses a trace; throws palu::DataError with the line number on
+/// malformed input.
+std::vector<traffic::Packet> read_trace(std::istream& in);
+
+/// Writes packets one per line, with a format header comment.
+void write_trace(std::ostream& out, std::span<const traffic::Packet> pkts);
+
+/// Writes a graph as "u v" edge lines, preceded by a "# nodes=N" directive
+/// so isolated nodes survive the round trip.
+void write_edge_list(std::ostream& out, const graph::Graph& g);
+
+/// Parses an edge list.  A leading "# nodes=N" comment fixes the node
+/// count; otherwise it is max endpoint + 1.  Throws palu::DataError on
+/// malformed lines or endpoints out of the declared range.
+graph::Graph read_edge_list(std::istream& in);
+
+}  // namespace palu::io

@@ -1,0 +1,107 @@
+// Small dense row-major matrix/vector kit.
+//
+// palu's optimizers solve tiny normal-equation systems (2–5 parameters for
+// the Zipf–Mandelbrot and PALU fits), so this is a deliberately compact
+// dense implementation — no expression templates, no BLAS — with the two
+// factorizations the fitters need: Cholesky (for SPD normal equations with
+// Levenberg–Marquardt damping) and Householder QR (for plain least squares).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "palu/common/error.hpp"
+
+namespace palu::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    PALU_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    PALU_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  Matrix transposed() const;
+
+  /// this · other
+  Matrix multiply(const Matrix& other) const;
+
+  /// this · v
+  Vector multiply(const Vector& v) const;
+
+  /// thisᵀ · this (the Gram matrix of the columns), computed symmetric.
+  Matrix gram() const;
+
+  /// thisᵀ · v
+  Vector transpose_multiply(const Vector& v) const;
+
+  /// Max |a_ij − b_ij|.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+/// Throws palu::ConvergenceError if A is not (numerically) SPD.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  /// Solves A·x = b.
+  Vector solve(const Vector& b) const;
+
+  /// log det A.
+  double log_determinant() const;
+
+  const Matrix& lower() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// Householder QR of an m×n matrix with m >= n; solves least squares
+/// min ‖A·x − b‖₂.
+class HouseholderQr {
+ public:
+  explicit HouseholderQr(const Matrix& a);
+
+  /// Least-squares solution of A·x ≈ b (b has m entries, x has n).
+  Vector solve(const Vector& b) const;
+
+  /// |r_kk| of the triangular factor; zero signals rank deficiency.
+  double min_abs_diag() const;
+
+ private:
+  Matrix qr_;          // Householder vectors below the diagonal, R on/above
+  Vector tau_;         // reflector scales
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Dot product; sizes must agree.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+}  // namespace palu::linalg

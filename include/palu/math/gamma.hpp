@@ -1,0 +1,34 @@
+// Log-gamma, log-factorial, and the discrete pmfs built from them.
+//
+// The PALU model's unattached component is a forest of stars whose leaf
+// counts are Poisson(λ); the observed network thins every edge with a
+// Bernoulli(p) coin, producing Binomial mixtures (Section V).  The fitting
+// pipeline and the tests both need exact log-pmfs of these laws.
+#pragma once
+
+#include <cstdint>
+
+namespace palu::math {
+
+/// ln Γ(x) for x > 0 (Lanczos approximation, ~1e-13 relative accuracy).
+double log_gamma(double x);
+
+/// ln(n!) with a cached table for small n.
+double log_factorial(std::uint64_t n);
+
+/// Binomial coefficient ln C(n, k); requires k <= n.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// Poisson pmf P[X = k] for X ~ Po(lambda), lambda >= 0.
+double poisson_pmf(std::uint64_t k, double lambda);
+
+/// ln P[X = k] for X ~ Po(lambda), lambda > 0.
+double poisson_log_pmf(std::uint64_t k, double lambda);
+
+/// Binomial pmf P[X = k] for X ~ Bin(n, p), 0 <= p <= 1.
+double binomial_pmf(std::uint64_t k, std::uint64_t n, double p);
+
+/// ln P[X = k] for X ~ Bin(n, p), 0 < p < 1, k <= n.
+double binomial_log_pmf(std::uint64_t k, std::uint64_t n, double p);
+
+}  // namespace palu::math

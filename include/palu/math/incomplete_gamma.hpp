@@ -1,0 +1,21 @@
+// Regularized incomplete gamma functions P(a, x) and Q(a, x).
+//
+// Needed for chi-square goodness-of-fit p-values on pooled distributions:
+// P[χ²_k > x] = Q(k/2, x/2).  Series expansion for x < a + 1, Lentz
+// continued fraction otherwise — the classic numerically stable split.
+#pragma once
+
+namespace palu::math {
+
+/// Lower regularized incomplete gamma P(a, x) = γ(a, x)/Γ(a); a > 0,
+/// x >= 0.
+double regularized_gamma_p(double a, double x);
+
+/// Upper regularized incomplete gamma Q(a, x) = 1 − P(a, x).
+double regularized_gamma_q(double a, double x);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: P[χ² > x].
+double chi_squared_survival(double x, double dof);
+
+}  // namespace palu::math

@@ -1,0 +1,29 @@
+// The Λ moment-ratio function of Section IV-B and its inverse.
+//
+// After subtracting the fitted power-law term c·d^{-α} from the observed
+// degree distribution, the paper forms the ratio of the first-moment excess
+// to the zeroth-moment excess:
+//
+//     R = Σ_{d≥2} d·excess(d) / Σ_{d≥2} excess(d)
+//       ≈ g(Λ) := Λ + Λ² / (e^Λ − Λ − 1)
+//
+// and recovers Λ = eλp by solving g(Λ) = R.  g is strictly increasing on
+// (0, ∞) with g(0⁺) = 2 (Taylor: g(Λ) ≈ 2 + Λ/3 near 0, matching the
+// paper's expansion), so the inverse is well defined for R > 2.
+#pragma once
+
+namespace palu::math {
+
+/// g(Λ) = Λ + Λ²/(e^Λ − Λ − 1), evaluated stably for Λ ≥ 0.
+/// g(0) is defined by continuity as 2.
+double lambda_moment_ratio(double lambda_cap);
+
+/// Derivative g'(Λ), used by the Newton refinement of the inverse.
+double lambda_moment_ratio_derivative(double lambda_cap);
+
+/// Solves g(Λ) = r for Λ ≥ 0.  Requires r >= 2 (returns 0 at r == 2);
+/// throws palu::InvalidArgument for r < 2 and palu::ConvergenceError if the
+/// bracketing/Newton iteration fails (it should not for finite r).
+double invert_lambda_moment_ratio(double r);
+
+}  // namespace palu::math

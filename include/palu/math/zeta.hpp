@@ -1,0 +1,35 @@
+// Zeta-family special functions needed by power-law models.
+//
+// The paper normalizes the preferential-attachment core degree law by the
+// Riemann zeta function ζ(α) (Section IV) and the modified Zipf–Mandelbrot
+// model by truncated Hurwitz-style sums Σ_{d=1}^{dmax} (d+δ)^{-α}
+// (Section II-B).  All functions here are evaluated with Euler–Maclaurin
+// tail corrections and are accurate to ~1e-12 over the parameter ranges the
+// models use (α ∈ [1.01, 64], δ ≥ 0).
+#pragma once
+
+#include <cstdint>
+
+namespace palu::math {
+
+/// Riemann zeta ζ(s) = Σ_{n≥1} n^{-s}, for s > 1.
+/// Throws palu::InvalidArgument for s <= 1 (the series diverges).
+double riemann_zeta(double s);
+
+/// Hurwitz zeta ζ(s, q) = Σ_{n≥0} (n+q)^{-s}, for s > 1, q > 0.
+double hurwitz_zeta(double s, double q);
+
+/// Truncated zeta Σ_{d=1}^{dmax} d^{-s}; the generalized harmonic number
+/// H(dmax, s).  Valid for any real s when dmax is finite.
+double truncated_zeta(double s, std::uint64_t dmax);
+
+/// Σ_{d=1}^{dmax} (d+q)^{-s}: the normalizer of the modified Zipf–Mandelbrot
+/// model with offset q = δ.  Requires s > 0, q > -1, dmax >= 1.
+/// Computed as ζ(s, 1+q) − ζ(s, dmax+1+q) when s > 1 (exact tail
+/// cancellation); by Euler–Maclaurin partial summation otherwise.
+double shifted_truncated_zeta(double s, double q, std::uint64_t dmax);
+
+/// Tail sum Σ_{n≥n0} n^{-s} = ζ(s, n0), convenience wrapper (s > 1, n0 ≥ 1).
+double zeta_tail(double s, std::uint64_t n0);
+
+}  // namespace palu::math

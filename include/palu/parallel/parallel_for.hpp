@@ -1,0 +1,99 @@
+// Blocked parallel loops and reductions on top of ThreadPool.
+//
+// These helpers split an index range [begin, end) into contiguous chunks and
+// run one task per chunk.  Chunking (rather than one task per index) keeps
+// queue traffic negligible for the fine-grained loops used in histogramming
+// and Monte-Carlo sweeps.  The first exception thrown by any chunk is
+// rethrown on the calling thread after all chunks finish.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/parallel/thread_pool.hpp"
+
+namespace palu {
+
+/// Partition of [begin, end) handed to one parallel task.
+struct IndexRange {
+  std::size_t begin;
+  std::size_t end;  // exclusive
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+namespace detail {
+/// Computes the chunk list for a range; at most 4 chunks per worker so the
+/// pool can load-balance uneven chunks, never chunks smaller than `grain`.
+std::vector<IndexRange> make_chunks(std::size_t begin, std::size_t end,
+                                    std::size_t grain, std::size_t workers);
+}  // namespace detail
+
+/// Runs `body(IndexRange)` over [begin, end) on `pool`.  Runs inline when
+/// the range fits in a single grain or the pool has one worker.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Body&& body) {
+  PALU_CHECK(begin <= end, "parallel_for: inverted range");
+  if (begin == end) return;
+  const auto chunks = detail::make_chunks(begin, end, grain, pool.size());
+  if (chunks.size() == 1) {
+    body(chunks.front());
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks.size());
+  for (const IndexRange& r : chunks) {
+    futs.push_back(pool.submit([r, &body]() { body(r); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Convenience overload using the global pool with a default grain.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
+  parallel_for(ThreadPool::global(), begin, end, /*grain=*/1024,
+               std::forward<Body>(body));
+}
+
+/// Parallel reduction: `chunk_fn(IndexRange) -> T` computes a partial value
+/// per chunk, `combine(T, T) -> T` folds partials in chunk order (so
+/// non-commutative but associative combines are fine).
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, T identity, ChunkFn&& chunk_fn,
+                  Combine&& combine) {
+  PALU_CHECK(begin <= end, "parallel_reduce: inverted range");
+  if (begin == end) return identity;
+  const auto chunks = detail::make_chunks(begin, end, grain, pool.size());
+  if (chunks.size() == 1) {
+    return combine(std::move(identity), chunk_fn(chunks.front()));
+  }
+  std::vector<std::future<T>> futs;
+  futs.reserve(chunks.size());
+  for (const IndexRange& r : chunks) {
+    futs.push_back(pool.submit([r, &chunk_fn]() { return chunk_fn(r); }));
+  }
+  T acc = std::move(identity);
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      acc = combine(std::move(acc), f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return acc;
+}
+
+}  // namespace palu

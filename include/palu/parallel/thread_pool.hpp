@@ -1,0 +1,63 @@
+// A fixed-size worker pool with a blocking task queue.
+//
+// The pool is intentionally simple: palu's parallel workloads (per-window
+// statistics, bootstrap replicates, Monte-Carlo sweeps) are embarrassingly
+// parallel with coarse tasks, so a mutex-guarded queue is plenty and keeps
+// the implementation auditable.  All parallelism in the library is explicit
+// and routed through this type.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace palu {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers.  `num_threads == 0` selects
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers; outstanding tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `task` and returns a future for its completion.  Exceptions
+  /// thrown by the task are delivered through the future.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& task) {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> fut = packaged->get_future();
+    enqueue([packaged]() { (*packaged)(); });
+    return fut;
+  }
+
+  /// A process-wide default pool, created on first use.  Library entry
+  /// points that accept an optional pool fall back to this one.
+  static ThreadPool& global();
+
+ private:
+  void enqueue(std::function<void()> fn);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace palu

@@ -1,0 +1,87 @@
+// Exact samplers for the discrete laws the PALU model is built from.
+//
+// - Poisson(λ): star leaf counts in the unattached component (Section V).
+// - Binomial(n, p): edge thinning when forming the observed network.
+// - Bounded Zipf (p(d) ∝ d^{-α}, 1 ≤ d ≤ dmax): core degree sequence.
+// - Geometric: the Section VI geometric replacement of the Poisson tail.
+// - Alias method: arbitrary finite pmfs (e.g. Zipf–Mandelbrot streams).
+//
+// All samplers are exact (rejection-based, not approximations) so that
+// Monte-Carlo checks of the paper's closed-form predictions are limited by
+// sampling noise only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "palu/rng/xoshiro.hpp"
+
+namespace palu::rng {
+
+/// Poisson(λ) sample; exact for all λ ≥ 0 (inversion below λ=10, Hörmann
+/// PTRS transformed rejection above).
+std::uint64_t sample_poisson(Rng& rng, double lambda);
+
+/// Binomial(n, p) sample; exact (inversion for small n·min(p,1−p),
+/// Hörmann BTRS transformed rejection for large).
+std::uint64_t sample_binomial(Rng& rng, std::uint64_t n, double p);
+
+/// Geometric on {1, 2, ...} with success probability q: P[X=k] = q(1−q)^{k−1}.
+std::uint64_t sample_geometric(Rng& rng, double q);
+
+/// Samples d ∈ [dmin, dmax] with P(d) ∝ d^{-alpha}, alpha > 0, by
+/// rejection-inversion (Hörmann & Derflinger); O(1) per draw for any range.
+class BoundedZipfSampler {
+ public:
+  /// Domain [1, dmax].
+  BoundedZipfSampler(double alpha, std::uint64_t dmax);
+
+  /// Domain [dmin, dmax]; used for power-law tails d >= xmin.
+  BoundedZipfSampler(double alpha, std::uint64_t dmin, std::uint64_t dmax);
+
+  std::uint64_t operator()(Rng& rng) const;
+
+  double alpha() const noexcept { return alpha_; }
+  std::uint64_t dmin() const noexcept { return dmin_; }
+  std::uint64_t dmax() const noexcept { return dmax_; }
+
+ private:
+  double h_integral(double x) const;
+  double h(double x) const;
+  double h_integral_inverse(double y) const;
+  std::uint64_t sample_steep(Rng& rng) const;
+
+  double alpha_;
+  std::uint64_t dmin_;
+  std::uint64_t dmax_;
+  double h_integral_lo_;  // H(dmin + 0.5) − h(dmin): lower end of u range
+  double h_integral_hi_;  // H(dmax + 0.5): upper end of u range
+  double s_;
+  // Steep-exponent mode: rejection-inversion loses H(dmin)↔H(dmax)
+  // resolution once α·ln is large, so for α >= 8 draws walk the cdf
+  // directly from dmin (expected O(1) steps — the law is concentrated).
+  bool steep_ = false;
+  double total_mass_ = 0.0;  // Σ_{d=dmin}^{dmax} d^{−α} for steep mode
+};
+
+/// Walker alias method over a finite pmf on {offset, offset+1, ...}.
+/// Construction is O(n); each draw is O(1).
+class AliasSampler {
+ public:
+  /// `weights` need not be normalized; they must be non-negative with a
+  /// positive sum.
+  explicit AliasSampler(const std::vector<double>& weights,
+                        std::uint64_t offset = 0);
+
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::uint64_t offset_;
+};
+
+}  // namespace palu::rng

@@ -1,0 +1,113 @@
+// xoshiro256++ pseudo-random engine with splitmix64 seeding.
+//
+// Chosen for speed (sub-ns per draw), 2^256−1 period, and cheap independent
+// stream derivation (`fork`/`jump`) so Monte-Carlo sweeps can hand each
+// worker thread its own deterministic stream.  Satisfies
+// std::uniform_random_bit_generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace palu {
+
+/// splitmix64 step; used for seeding and as a cheap hash of seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256PlusPlus {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Xoshiro256PlusPlus(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0 (safe to take log of).
+  double uniform_positive() noexcept {
+    return (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n); n must be > 0.  Uses Lemire's multiply-shift
+  /// with rejection, so the result is exactly uniform.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // 128-bit multiply; rejection bounds the modulo bias away entirely.
+    for (;;) {
+      const std::uint64_t x = (*this)();
+      const __uint128_t m = static_cast<__uint128_t>(x) * n;
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= n || lo >= (-n) % n) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Bernoulli(p) coin.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derives an independent deterministic child stream.  Children of
+  /// distinct indices (and the parent) do not overlap in practice: the seed
+  /// is re-mixed through splitmix64, giving each child a far-apart state.
+  Xoshiro256PlusPlus fork(std::uint64_t index) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    Xoshiro256PlusPlus child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  /// Advances 2^128 steps; the classic xoshiro jump polynomial.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^=
+              state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Default engine alias used across the library.
+using Rng = Xoshiro256PlusPlus;
+
+}  // namespace palu

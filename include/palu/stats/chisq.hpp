@@ -1,0 +1,33 @@
+// Chi-square goodness of fit on pooled (log-binned) distributions.
+//
+// The paper judges Zipf–Mandelbrot fits visually against ±1σ error bars
+// (Fig 3); this module provides the matching formal test: Pearson's
+// chi-square of observed pooled counts against model bin masses, with bins
+// of tiny expectation merged into their neighbor so the asymptotics hold.
+#pragma once
+
+#include <cstdint>
+
+#include "palu/common/types.hpp"
+#include "palu/stats/log_binning.hpp"
+
+namespace palu::stats {
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;       // merged bins − 1 − params_fitted
+  double p_value = 1.0;   // P[χ²_dof > statistic]
+  std::size_t bins_used = 0;  // after merging
+};
+
+/// Tests pooled observed masses (as counts: mass·n) against model masses.
+/// `sample_size` is the number of underlying observations n; bins with
+/// expected count below `min_expected` are merged rightward.
+/// `params_fitted` reduces the degrees of freedom (2 for a ZM fit).
+ChiSquareResult chi_square_pooled(const LogBinned& observed,
+                                  const LogBinned& model,
+                                  Count sample_size,
+                                  std::size_t params_fitted,
+                                  double min_expected = 5.0);
+
+}  // namespace palu::stats

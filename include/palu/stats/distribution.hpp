@@ -1,0 +1,69 @@
+// Empirical probability objects derived from a degree histogram:
+// p_t(d), the cumulative P_t(d), and summary statistics (Section II).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::stats {
+
+/// The empirical pmf/cdf of one histogram, on its sorted support.
+class EmpiricalDistribution {
+ public:
+  /// Normalizes a non-empty histogram: p(d) = n(d) / Σ n(d).
+  /// Throws palu::DataError if the histogram is empty.
+  static EmpiricalDistribution from_histogram(const DegreeHistogram& h);
+
+  const std::vector<Degree>& support() const noexcept { return support_; }
+  const std::vector<double>& pmf() const noexcept { return pmf_; }
+  const std::vector<double>& cdf() const noexcept { return cdf_; }
+
+  /// Total observations behind the distribution.
+  Count sample_size() const noexcept { return n_; }
+
+  /// p(d); 0 if d is not in the support.
+  double probability_at(Degree d) const;
+
+  /// P(d) = Σ_{d' <= d} p(d'); 0 below the support, 1 above it.
+  double cumulative_at(Degree d) const;
+
+  /// Complementary cdf P[X >= d] — the quantity power-law plots usually
+  /// show (1 at/below the support minimum, p(max) at the maximum).
+  double ccdf_at(Degree d) const;
+
+  /// Largest observed value: the paper's d_max = argmax(D(d) > 0) (Eq. 1).
+  Degree max_value() const { return support_.back(); }
+
+  /// Fraction of mass at d == 1 (the leaves + unattached signature).
+  double mass_at_one() const { return probability_at(1); }
+
+  /// Mean of the distribution Σ d·p(d).
+  double mean() const;
+
+ private:
+  std::vector<Degree> support_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+  Count n_ = 0;
+};
+
+/// Kolmogorov–Smirnov distance between an empirical cdf and a (discrete)
+/// model cdf: sup over observed d of |P_emp(d) − P_model(d)|, the statistic
+/// Clauset–Shalizi–Newman use for discrete power-law data.
+template <typename ModelCdf>
+double ks_distance(const EmpiricalDistribution& emp, ModelCdf&& model_cdf) {
+  double worst = 0.0;
+  const auto& sup = emp.support();
+  const auto& cdf = emp.cdf();
+  for (std::size_t i = 0; i < sup.size(); ++i) {
+    worst = std::max(worst, std::abs(cdf[i] - model_cdf(sup[i])));
+  }
+  return worst;
+}
+
+}  // namespace palu::stats

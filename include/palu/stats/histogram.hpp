@@ -1,0 +1,61 @@
+// Degree histograms: the n_t(d) of Section II-A.
+//
+// A histogram maps a degree (or any network count quantity d) to the number
+// of nodes/links exhibiting it.  Supernode degrees can be enormous while the
+// support stays sparse, so storage is a hash map with sorted snapshots on
+// demand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "palu/common/types.hpp"
+
+namespace palu::stats {
+
+class DegreeHistogram {
+ public:
+  DegreeHistogram() = default;
+
+  /// Counts one (or `c`) observation(s) of value `d`.  d == 0 entries are
+  /// accepted but excluded from distribution summaries (an unobserved node
+  /// is invisible to traffic capture, per Section V).
+  void add(Degree d, Count c = 1);
+
+  /// Builds a histogram from a list of per-node degrees, dropping zeros.
+  static DegreeHistogram from_degrees(std::span<const Degree> degrees);
+
+  /// Adds every entry of `other` into this histogram.
+  void merge(const DegreeHistogram& other);
+
+  /// Number of distinct degree values with positive count.
+  std::size_t support_size() const noexcept { return counts_.size(); }
+
+  /// Σ_d n(d): total observations.
+  Count total() const noexcept { return total_; }
+
+  /// Σ_d d·n(d): total degree mass (twice the edge count for a full
+  /// undirected degree histogram).
+  Count weighted_total() const noexcept { return weighted_total_; }
+
+  /// Count at a specific degree (0 if absent).
+  Count at(Degree d) const;
+
+  /// Largest degree with positive count; 0 for an empty histogram.
+  Degree max_degree() const;
+
+  bool empty() const noexcept { return counts_.empty(); }
+
+  /// Snapshot sorted by degree ascending.
+  std::vector<std::pair<Degree, Count>> sorted() const;
+
+ private:
+  std::unordered_map<Degree, Count> counts_;
+  Count total_ = 0;
+  Count weighted_total_ = 0;
+};
+
+}  // namespace palu::stats

@@ -1,0 +1,93 @@
+// Binary logarithmic pooling (binning), Section II-A.
+//
+// The paper pools the differential cumulative probability with logarithmic
+// bins d_i = 2^i:
+//
+//     D_t(d_i) = P_t(d_i) − P_t(d_{i−1})
+//
+// i.e. bin i carries the probability mass of degrees in (2^{i−1}, 2^i];
+// bin 0 is exactly {d = 1}.  All measured and model distributions in the
+// paper (Figs 3 and 4) are compared in this pooled form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::stats {
+
+/// A log-binned (pooled) probability distribution: mass[i] = D(d_i).
+class LogBinned {
+ public:
+  LogBinned() = default;
+  explicit LogBinned(std::vector<double> mass) : mass_(std::move(mass)) {}
+
+  /// Bin index of degree d >= 1: the smallest i with 2^i >= d.
+  static std::uint32_t bin_index(Degree d);
+
+  /// Upper edge d_i = 2^i of bin i.
+  static Degree bin_upper(std::uint32_t i);
+
+  /// Lower edge (exclusive) of bin i: 2^{i−1}, with bin 0 starting at 0.
+  static Degree bin_lower_exclusive(std::uint32_t i);
+
+  /// Pools an empirical histogram.  Throws palu::DataError when empty.
+  static LogBinned from_histogram(const DegreeHistogram& h);
+
+  /// Pools a model pmf given as a callable `pmf(Degree d) -> double`
+  /// evaluated on 1..dmax (inclusive).  The result is renormalized over
+  /// that range, mirroring the paper's truncated model normalization.
+  template <typename Pmf>
+  static LogBinned from_model_pmf(Pmf&& pmf, Degree dmax) {
+    const std::uint32_t nbins = bin_index(dmax) + 1;
+    std::vector<double> mass(nbins, 0.0);
+    double total = 0.0;
+    for (Degree d = 1; d <= dmax; ++d) {
+      const double w = pmf(d);
+      mass[bin_index(d)] += w;
+      total += w;
+    }
+    if (total > 0.0) {
+      for (double& m : mass) m /= total;
+    }
+    return LogBinned(std::move(mass));
+  }
+
+  const std::vector<double>& mass() const noexcept { return mass_; }
+  std::size_t num_bins() const noexcept { return mass_.size(); }
+  double operator[](std::size_t i) const { return mass_[i]; }
+
+  /// Σ_i D(d_i); 1 up to rounding for any full pooling.
+  double total_mass() const;
+
+ private:
+  std::vector<double> mass_;
+};
+
+/// Accumulates log-binned distributions across consecutive windows t and
+/// reports the per-bin mean D(d_i) and standard deviation σ(d_i)
+/// (Welford's algorithm; windows missing a bin contribute 0 to it).
+class BinnedEnsemble {
+ public:
+  void add(const LogBinned& window);
+
+  std::size_t num_windows() const noexcept { return count_; }
+  std::size_t num_bins() const noexcept { return mean_.size(); }
+
+  /// Per-bin mean across windows.
+  std::vector<double> mean() const;
+
+  /// Per-bin sample standard deviation (n−1 denominator; 0 for n < 2).
+  std::vector<double> stddev() const;
+
+ private:
+  void resize(std::size_t nbins);
+
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace palu::stats

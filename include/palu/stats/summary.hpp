@@ -1,0 +1,37 @@
+// Descriptive summaries of degree-style distributions.
+//
+// The paper's Section II motivates the field with "the importance of a few
+// supernodes": concentration measures quantify it.  This module adds
+// quantiles, the Gini coefficient of the degree mass (how much of the
+// total degree the largest players hold), and the top-share curve, plus
+// plain moments.
+#pragma once
+
+#include <cstdint>
+
+#include "palu/common/types.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::stats {
+
+struct DistributionSummary {
+  Count observations = 0;
+  Degree min = 0;
+  Degree max = 0;       // the paper's d_max (Eq. 1)
+  double mean = 0.0;
+  double variance = 0.0;  // population variance
+  double gini = 0.0;      // of the value mass; 0 = equal, →1 = one holds all
+};
+
+/// Computes all summary fields in one sorted pass.
+DistributionSummary summarize(const DegreeHistogram& h);
+
+/// Value at quantile q ∈ [0, 1] (lower interpolation on the step cdf).
+Degree quantile(const DegreeHistogram& h, double q);
+
+/// Fraction of the total value mass held by the top `top_fraction` of
+/// observations (e.g. 0.01 → "share of degree mass held by the top 1% of
+/// nodes": the supernode concentration of Section II).
+double top_share(const DegreeHistogram& h, double top_fraction);
+
+}  // namespace palu::stats

@@ -1,0 +1,32 @@
+// Table I: aggregate network properties of a traffic window.
+//
+// The paper gives each aggregate in two equivalent notations — summation
+// (entry-wise) and matrix (using the zero-norm | |₀ that maps nonzeros
+// to 1, with 1ᵀ·A·1 style contractions).  Both are implemented so the
+// Table-I bench can cross-check them; `summation` walks entries directly,
+// `matrix` materializes the |A|₀ masks and 1-vector contractions.
+#pragma once
+
+#include "palu/common/types.hpp"
+#include "palu/traffic/sparse_matrix.hpp"
+
+namespace palu::traffic {
+
+struct Aggregates {
+  Count valid_packets = 0;       // 1ᵀ A 1
+  Count unique_links = 0;        // 1ᵀ |A|₀ 1
+  Count unique_sources = 0;      // |1ᵀ Aᵀ|₀ 1  (rows with nonzero sum)
+  Count unique_destinations = 0; // |1ᵀ A|₀ 1   (cols with nonzero sum)
+  Count max_link_packets = 0;    // heaviest link (used for d_max checks)
+
+  friend bool operator==(const Aggregates&, const Aggregates&) = default;
+};
+
+/// Summation-notation evaluation (single pass over stored entries).
+Aggregates aggregates_summation(const SparseCountMatrix& a);
+
+/// Matrix-notation evaluation: forms |A|₀ and the 1-vector contractions
+/// explicitly, as in Table I's right column.
+Aggregates aggregates_matrix(const SparseCountMatrix& a);
+
+}  // namespace palu::traffic

@@ -1,0 +1,107 @@
+// D4M-flavored sparse associative arrays.
+//
+// The paper's measurement stack (refs [14], [16]) expresses traffic
+// analytics as associative-array algebra: windows are sparse matrices,
+// aggregates are contractions with the ones vector, and the zero-norm
+// | |₀ maps nonzeros to 1 (Table I).  This substrate provides exactly that
+// algebra over hash-backed sparse vectors/matrices so the Table-I matrix
+// column can be written as it appears in the paper:
+//
+//     valid packets        = ones · (A · ones)
+//     unique links         = ones · (zero_norm(A) · ones)
+//     unique sources       = ones · zero_norm(A · ones)
+//     unique destinations  = ones · zero_norm(Aᵀ · ones)
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/common/types.hpp"
+
+namespace palu::traffic {
+
+/// Sparse vector over NodeId keys; absent keys are zero.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  void set(NodeId key, double value);
+  void add(NodeId key, double value);
+  double at(NodeId key) const;
+  std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// Σ of all stored values (contraction with the ones vector).
+  double sum() const;
+
+  /// |v|₀ applied elementwise: every nonzero becomes exactly 1.
+  SparseVector zero_norm() const;
+
+  /// Elementwise sum.
+  SparseVector plus(const SparseVector& other) const;
+
+  /// Dot product (sparse-sparse).
+  double dot(const SparseVector& other) const;
+
+  /// Sorted (key, value) snapshot for deterministic iteration.
+  std::vector<std::pair<NodeId, double>> sorted() const;
+
+ private:
+  std::unordered_map<NodeId, double> values_;
+};
+
+/// Sparse matrix over (row, col) keys; the associative-array view of A_t.
+class AssocArray {
+ public:
+  AssocArray() = default;
+
+  void add(NodeId row, NodeId col, double value);
+  double at(NodeId row, NodeId col) const;
+  std::size_t nnz() const noexcept { return cells_.size(); }
+
+  /// Σ of all stored values: onesᵀ · A · ones.
+  double sum() const;
+
+  /// |A|₀ elementwise.
+  AssocArray zero_norm() const;
+
+  /// Aᵀ.
+  AssocArray transposed() const;
+
+  /// A · ones (row sums) as a sparse vector.
+  SparseVector row_sums() const;
+
+  /// onesᵀ · A (column sums) as a sparse vector.
+  SparseVector col_sums() const;
+
+  /// A · v.
+  SparseVector multiply(const SparseVector& v) const;
+
+  /// Elementwise (Hadamard) product — D4M's element-wise multiply.
+  AssocArray hadamard(const AssocArray& other) const;
+
+  /// Elementwise sum.
+  AssocArray plus(const AssocArray& other) const;
+
+  /// Sorted (row, col, value) snapshot.
+  struct Entry {
+    NodeId row;
+    NodeId col;
+    double value;
+  };
+  std::vector<Entry> sorted() const;
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      std::uint64_t h = p.first * 0x9e3779b97f4a7c15ULL;
+      h ^= p.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::pair<NodeId, NodeId>, double, PairHash> cells_;
+};
+
+}  // namespace palu::traffic

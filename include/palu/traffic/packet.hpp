@@ -1,0 +1,14 @@
+// A valid packet: one (source, destination) observation in the stream.
+#pragma once
+
+#include "palu/common/types.hpp"
+
+namespace palu::traffic {
+
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+}  // namespace palu::traffic

@@ -1,0 +1,60 @@
+// The five streaming network quantities of Figure 1.
+//
+// From each window matrix A_t the paper histograms:
+//   - source packets:       per-source total packets   (row sums)
+//   - source fan-out:       per-source distinct destinations (row nnz)
+//   - link packets:         per-link packet counts     (entry values)
+//   - destination fan-in:   per-destination distinct sources (col nnz)
+//   - destination packets:  per-destination total packets (col sums)
+// Each yields a degree-style histogram whose pooled distribution is what
+// Fig 3 fits with the modified Zipf–Mandelbrot model.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "palu/graph/graph.hpp"
+#include "palu/stats/histogram.hpp"
+#include "palu/traffic/sparse_matrix.hpp"
+
+namespace palu::traffic {
+
+enum class Quantity {
+  kSourcePackets,
+  kSourceFanOut,
+  kLinkPackets,
+  kDestinationFanIn,
+  kDestinationPackets,
+  /// Distinct counterparties in either direction — the quantity the PALU
+  /// model predicts directly (not one of the five Fig-1 panels).
+  kUndirectedDegree,
+};
+
+/// The five Fig-1 quantities (excludes kUndirectedDegree).
+inline constexpr std::array<Quantity, 5> kAllQuantities = {
+    Quantity::kSourcePackets, Quantity::kSourceFanOut,
+    Quantity::kLinkPackets, Quantity::kDestinationFanIn,
+    Quantity::kDestinationPackets};
+
+std::string_view quantity_name(Quantity q);
+
+/// Histogram of one quantity over a window.
+stats::DegreeHistogram quantity_histogram(const SparseCountMatrix& a,
+                                          Quantity q);
+
+/// The undirected degree histogram of the observed network induced by the
+/// window: node degree = distinct counterparties in either direction
+/// (source fan-out and destination fan-in merged per node).  This is the
+/// quantity the PALU model predicts directly.
+stats::DegreeHistogram undirected_degree_histogram(
+    const SparseCountMatrix& a);
+
+/// The observed network a window induces: one node per endpoint id seen
+/// (renumbered contiguously), one undirected simple edge per communicating
+/// pair (self-traffic dropped).  `id_map`, when non-null, receives the
+/// subgraph-id → original-id mapping.
+graph::Graph window_to_graph(const SparseCountMatrix& a,
+                             std::vector<NodeId>* id_map = nullptr);
+
+}  // namespace palu::traffic

@@ -1,0 +1,70 @@
+// The traffic window matrix A_t of Section II.
+//
+// At time t, N_V consecutive valid packets are aggregated into a sparse
+// matrix A_t(i, j) = number of packets from source i to destination j, with
+// Σ_ij A_t(i, j) = N_V.  Every Fig-1 network quantity and every Table-I
+// aggregate is computed from this object.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/traffic/packet.hpp"
+
+namespace palu::traffic {
+
+class SparseCountMatrix {
+ public:
+  SparseCountMatrix() = default;
+
+  /// Aggregates a window of packets.
+  static SparseCountMatrix from_packets(std::span<const Packet> window);
+
+  /// Adds `count` packets on the (src, dst) link.
+  void add(NodeId src, NodeId dst, Count count = 1);
+
+  /// Number of stored links (the nnz of A_t).
+  std::size_t nnz() const noexcept { return cells_.size(); }
+
+  /// Packet count of a specific link, 0 if absent.
+  Count at(NodeId src, NodeId dst) const;
+
+  /// Σ_ij A_t(i, j): total packets in the window.
+  Count total() const noexcept { return total_; }
+
+  struct Entry {
+    NodeId src;
+    NodeId dst;
+    Count packets;
+  };
+
+  /// Snapshot of all links, sorted by (src, dst) for deterministic output.
+  std::vector<Entry> entries() const;
+
+  /// Row marginals: per-source (total packets, distinct destinations).
+  struct Marginal {
+    Count packets = 0;
+    Count fan = 0;  // distinct counterparties
+  };
+  std::unordered_map<NodeId, Marginal> source_marginals() const;
+  std::unordered_map<NodeId, Marginal> destination_marginals() const;
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      // splitmix-style mix of the two ids.
+      std::uint64_t h = p.first * 0x9e3779b97f4a7c15ULL;
+      h ^= p.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::unordered_map<std::pair<NodeId, NodeId>, Count, PairHash> cells_;
+  Count total_ = 0;
+};
+
+}  // namespace palu::traffic

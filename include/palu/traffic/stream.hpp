@@ -1,0 +1,88 @@
+// Synthetic packet streams (the substitution for WIDE/CAIDA captures).
+//
+// The paper's pipeline consumes fixed-size windows of N_V valid packets cut
+// from a trunk capture.  We replay that collection process against a known
+// underlying network: each edge gets a long-term traffic rate, packets are
+// drawn rate-proportionally, and windows of exactly N_V packets are
+// aggregated into A_t.  Because a window sees an edge only if at least one
+// of its packets lands inside, growing N_V raises the PALU window
+// parameter p exactly as Section III describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/rng/distributions.hpp"
+#include "palu/rng/xoshiro.hpp"
+#include "palu/traffic/packet.hpp"
+#include "palu/traffic/sparse_matrix.hpp"
+
+namespace palu::traffic {
+
+/// How per-edge long-term traffic rates are assigned.
+struct RateModel {
+  enum class Kind {
+    kUniform,   // all edges equally chatty
+    kPareto,    // heavy-tailed rates: rate = (1/u)^{1/tail}
+    kDegreeProduct,  // rate ∝ (deg u · deg v): busy hosts chat more
+  };
+  Kind kind = Kind::kPareto;
+  double pareto_tail = 1.5;  // smaller = heavier tail
+};
+
+/// Draws one long-term rate per edge of `g` according to `model`
+/// (unnormalized; the generator normalizes).  Splitting rate assignment
+/// from packet drawing lets many windows share one traffic matrix while
+/// using independent packet RNG streams.
+std::vector<double> make_edge_rates(const graph::Graph& g,
+                                    const RateModel& model, Rng rng);
+
+class SyntheticTrafficGenerator {
+ public:
+  /// Builds a generator over `underlying`'s edges.  The graph must have at
+  /// least one edge.  Packets are emitted in the stored edge direction with
+  /// probability `forward_prob` (0.5 = symmetric conversations).
+  SyntheticTrafficGenerator(const graph::Graph& underlying,
+                            const RateModel& rates, Rng rng,
+                            double forward_prob = 0.5);
+
+  /// Same, with precomputed per-edge rates (one per edge, non-negative
+  /// with positive sum); `rng` drives packet draws only.
+  SyntheticTrafficGenerator(const graph::Graph& underlying,
+                            std::vector<double> rates, Rng rng,
+                            double forward_prob = 0.5);
+
+  /// Next valid packet in the stream.
+  Packet next();
+
+  /// Aggregates the next `n_valid` packets into a window matrix A_t.
+  SparseCountMatrix window(Count n_valid);
+
+  /// Aggregates `count` consecutive windows of `n_valid` packets each.
+  std::vector<SparseCountMatrix> windows(Count n_valid, std::size_t count);
+
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Probability that a specific edge receives >= 1 packet in a window of
+  /// n_valid packets: 1 − (1 − rate_e)^{n_valid}.  Averaged over edges this
+  /// is the effective PALU window parameter p for the window size.
+  double expected_edge_visibility(Count n_valid) const;
+
+  /// Expected unique *directed* links in a window of n_valid packets (the
+  /// Table-I count: an edge active both ways contributes two (src, dst)
+  /// cells):  Σ_e [(1 − (1 − f·r_e)^{N}) + (1 − (1 − (1−f)·r_e)^{N})]
+  /// with f = forward_prob.
+  double expected_unique_links(Count n_valid) const;
+
+ private:
+  std::vector<graph::Edge> edges_;
+  std::vector<double> rates_;       // normalized to sum 1
+  std::optional<rng::AliasSampler> sampler_;
+  Rng rng_;
+  double forward_prob_;
+};
+
+}  // namespace palu::traffic

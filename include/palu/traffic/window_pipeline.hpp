@@ -1,0 +1,39 @@
+// Parallel multi-window analysis.
+//
+// The Section II methodology aggregates many consecutive windows of N_V
+// valid packets and studies the per-bin mean and σ across them.  Windows
+// of the synthetic stream are exchangeable (the generator is stationary),
+// so they can be produced and histogrammed in parallel, one deterministic
+// RNG stream per window — the library's main multi-core path for the
+// Fig-3-style sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "palu/common/types.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/parallel/thread_pool.hpp"
+#include "palu/stats/histogram.hpp"
+#include "palu/stats/log_binning.hpp"
+#include "palu/traffic/quantities.hpp"
+#include "palu/traffic/stream.hpp"
+
+namespace palu::traffic {
+
+struct WindowSweepResult {
+  stats::BinnedEnsemble ensemble;   // pooled D(d_i) mean/σ across windows
+  stats::DegreeHistogram merged;    // all windows' quantity merged
+  Degree max_value = 0;             // d_max over all windows (Eq. 1)
+  std::size_t windows = 0;
+};
+
+/// Draws `num_windows` windows of `n_valid` packets each over
+/// `underlying`, histograms `quantity` per window, and reduces in window
+/// order (deterministic given `seed`).  Windows are processed in parallel
+/// on `pool`; window t uses the RNG stream fork(seed, t).
+WindowSweepResult sweep_windows(const graph::Graph& underlying,
+                                const RateModel& rates, Count n_valid,
+                                std::size_t num_windows, Quantity quantity,
+                                std::uint64_t seed, ThreadPool& pool);
+
+}  // namespace palu::traffic

@@ -1,0 +1,22 @@
+#include "palu/common/error.hpp"
+
+#include <sstream>
+
+namespace palu::detail {
+
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PALU_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] void throw_assert_failure(const char* expr, const char* file,
+                                       int line) {
+  std::ostringstream os;
+  os << "PALU_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace palu::detail

@@ -1,0 +1,47 @@
+#include "palu/core/components_analysis.hpp"
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/graph/components.hpp"
+#include "palu/math/gamma.hpp"
+
+namespace palu::core {
+
+double star_component_size_share(const PaluParams& params, NodeId size) {
+  params.validate();
+  PALU_CHECK(size >= 2, "star_component_size_share: requires size >= 2");
+  const double mu = params.lambda * params.window;
+  PALU_CHECK(mu > 0.0, "star_component_size_share: requires lambda·p > 0");
+  const double visible = -std::expm1(-mu);  // 1 − e^{−μ}
+  return math::poisson_pmf(size - 1, mu) / visible;
+}
+
+stats::DegreeHistogram small_component_size_histogram(
+    const graph::Graph& observed, NodeId max_size) {
+  PALU_CHECK(max_size >= 2,
+             "small_component_size_histogram: requires max_size >= 2");
+  stats::DegreeHistogram h;
+  for (const auto& comp : graph::connected_components(observed)) {
+    if (comp.nodes < 2 || comp.nodes > max_size) continue;
+    h.add(comp.nodes);
+  }
+  return h;
+}
+
+IsolatedEstimate estimate_isolated(const PaluFit& fit, double window) {
+  PALU_CHECK(window > 0.0 && window <= 1.0,
+             "estimate_isolated: window out of (0, 1]");
+  if (!fit.mu_identifiable || fit.mu <= 0.0 || fit.u <= 0.0) {
+    throw DataError(
+        "estimate_isolated: fit has no identifiable star bump");
+  }
+  IsolatedEstimate out;
+  out.invisible_hubs_per_visible = fit.u;
+  out.implied_lambda = fit.mu / window;
+  out.underlying_isolated_per_visible =
+      fit.u * std::exp(fit.mu - out.implied_lambda);
+  return out;
+}
+
+}  // namespace palu::core

@@ -1,0 +1,63 @@
+#include "palu/core/directed.hpp"
+
+#include "palu/common/error.hpp"
+
+namespace palu::core {
+
+stats::DegreeHistogram DirectedObserved::in_histogram() const {
+  return stats::DegreeHistogram::from_degrees(in_degree);
+}
+
+stats::DegreeHistogram DirectedObserved::out_histogram() const {
+  return stats::DegreeHistogram::from_degrees(out_degree);
+}
+
+stats::DegreeHistogram DirectedObserved::total_histogram() const {
+  std::vector<Degree> total(in_degree.size(), 0);
+  for (std::size_t v = 0; v < total.size(); ++v) {
+    // Links are unique node pairs, so a node's peers split cleanly into
+    // in-only, out-only, and reciprocal; reciprocal peers appear in both
+    // tallies and the undirected peer count is in + out − reciprocal.
+    // Reciprocal peers are tracked implicitly: the generator increments
+    // both tallies once per peer, so in + out here double-counts exactly
+    // the reciprocal ones.  total_ (below) corrects with the stored count.
+    total[v] = in_degree[v] + out_degree[v] - reciprocal_[v];
+  }
+  return stats::DegreeHistogram::from_degrees(total);
+}
+
+DirectedObserved observe_directed(const UnderlyingNetwork& underlying,
+                                  const PaluParams& params, Rng& rng,
+                                  const DirectedOptions& opts) {
+  params.validate();
+  PALU_CHECK(opts.reciprocity >= 0.0 && opts.reciprocity <= 1.0,
+             "observe_directed: reciprocity out of [0, 1]");
+  DirectedObserved out;
+  const NodeId n = underlying.graph.num_nodes();
+  out.in_degree.assign(n, 0);
+  out.out_degree.assign(n, 0);
+  out.reciprocal_.assign(n, 0);
+  for (const graph::Edge& e : underlying.graph.edges()) {
+    if (!rng.bernoulli(params.window)) continue;
+    if (rng.bernoulli(opts.reciprocity)) {
+      ++out.out_degree[e.u];
+      ++out.in_degree[e.v];
+      ++out.out_degree[e.v];
+      ++out.in_degree[e.u];
+      ++out.reciprocal_[e.u];
+      ++out.reciprocal_[e.v];
+      out.directed_edges += 2;
+    } else if (rng.bernoulli(0.5)) {
+      ++out.out_degree[e.u];
+      ++out.in_degree[e.v];
+      ++out.directed_edges;
+    } else {
+      ++out.out_degree[e.v];
+      ++out.in_degree[e.u];
+      ++out.directed_edges;
+    }
+  }
+  return out;
+}
+
+}  // namespace palu::core

@@ -1,0 +1,51 @@
+#include "palu/core/params.hpp"
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+
+namespace palu::core {
+
+double PaluParams::constraint_residual() const {
+  return core + leaves + hubs * (1.0 + lambda - std::exp(-lambda)) - 1.0;
+}
+
+void PaluParams::validate(double tolerance) const {
+  PALU_CHECK(lambda >= 0.0 && lambda <= 20.0,
+             "PaluParams: lambda must be in [0, 20]");
+  PALU_CHECK(core >= 0.0 && core <= 1.0, "PaluParams: C must be in [0, 1]");
+  PALU_CHECK(leaves >= 0.0 && leaves <= 1.0,
+             "PaluParams: L must be in [0, 1]");
+  PALU_CHECK(hubs >= 0.0 && hubs <= 1.0, "PaluParams: U must be in [0, 1]");
+  PALU_CHECK(alpha > 1.0 && alpha <= 3.5,
+             "PaluParams: alpha must be in (1, 3.5]");
+  PALU_CHECK(window > 0.0 && window <= 1.0,
+             "PaluParams: p must be in (0, 1]");
+  PALU_CHECK(std::abs(constraint_residual()) <= tolerance,
+             "PaluParams: C + L + U(1 + lambda - e^-lambda) != 1");
+}
+
+PaluParams PaluParams::solve_hubs(double lambda, double core, double leaves,
+                                  double alpha, double window) {
+  PALU_CHECK(core + leaves < 1.0,
+             "PaluParams::solve_hubs: requires C + L < 1");
+  PaluParams p;
+  p.lambda = lambda;
+  p.core = core;
+  p.leaves = leaves;
+  p.alpha = alpha;
+  p.window = window;
+  const double star_mass = 1.0 + lambda - std::exp(-lambda);
+  p.hubs = (1.0 - core - leaves) / star_mass;
+  p.validate();
+  return p;
+}
+
+PaluParams PaluParams::at_window(double new_window) const {
+  PaluParams p = *this;
+  p.window = new_window;
+  p.validate();
+  return p;
+}
+
+}  // namespace palu::core

@@ -1,0 +1,28 @@
+#include "palu/core/streaming.hpp"
+
+#include "palu/common/error.hpp"
+
+namespace palu::core {
+
+void StreamingPaluEstimator::add_window(
+    const stats::DegreeHistogram& window) {
+  merged_.merge(window);
+  ++windows_;
+  try {
+    latest_ = fit_palu(merged_, opts_);
+    history_.push_back(*latest_);
+  } catch (const DataError&) {
+    // Aggregate still too thin (e.g. tail shorter than tail_min); keep
+    // accumulating.
+  }
+}
+
+const PaluFit& StreamingPaluEstimator::current() const {
+  if (!latest_) {
+    throw DataError(
+        "StreamingPaluEstimator: no fittable aggregate yet");
+  }
+  return *latest_;
+}
+
+}  // namespace palu::core

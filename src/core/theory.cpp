@@ -1,0 +1,229 @@
+#include "palu/core/theory.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "palu/common/error.hpp"
+#include "palu/math/gamma.hpp"
+#include "palu/math/zeta.hpp"
+
+namespace palu::core {
+namespace {
+
+// Shared intermediate values for the Section IV formulas.
+struct Pieces {
+  double zeta_alpha;   // ζ(α)
+  double mu;           // λ·p
+  double exp_neg_mu;   // e^{−λp}
+  double core_vis;     // C·p^{α−1} / ((α−1)·ζ(α))
+  double core_amp;     // C·p^α / ζ(α)
+  double leaf_vis;     // L·p
+  double star_vis;     // U·(1 + λp − e^{−λp})
+  double v;            // total visible mass
+};
+
+Pieces make_pieces(const PaluParams& params) {
+  params.validate();
+  Pieces w{};
+  w.zeta_alpha = math::riemann_zeta(params.alpha);
+  w.mu = params.lambda * params.window;
+  w.exp_neg_mu = std::exp(-w.mu);
+  w.core_vis = params.core * std::pow(params.window, params.alpha - 1.0) /
+               ((params.alpha - 1.0) * w.zeta_alpha);
+  w.core_amp =
+      params.core * std::pow(params.window, params.alpha) / w.zeta_alpha;
+  w.leaf_vis = params.leaves * params.window;
+  w.star_vis = params.hubs * (1.0 + w.mu - w.exp_neg_mu);
+  w.v = w.core_vis + w.leaf_vis + w.star_vis;
+  return w;
+}
+
+}  // namespace
+
+ObservedComposition observed_composition(const PaluParams& params) {
+  const Pieces w = make_pieces(params);
+  ObservedComposition out;
+  out.visible_mass = w.v;
+  out.core_share = w.core_vis / w.v;
+  out.leaf_share = w.leaf_vis / w.v;
+  out.unattached_share = w.star_vis / w.v;
+  out.unattached_link_share = params.hubs * w.mu * w.exp_neg_mu / w.v;
+  return out;
+}
+
+SimplifiedConstants simplified_constants(const PaluParams& params) {
+  const Pieces w = make_pieces(params);
+  SimplifiedConstants out;
+  out.c = w.core_amp / w.v;
+  out.l = w.leaf_vis / w.v;
+  out.u = params.hubs * w.exp_neg_mu / w.v;
+  out.mu = w.mu;
+  out.lambda_cap = std::numbers::e * w.mu;
+  return out;
+}
+
+double degree_share(const PaluParams& params, Degree d) {
+  PALU_CHECK(d >= 1, "degree_share: requires d >= 1");
+  const Pieces w = make_pieces(params);
+  if (d == 1) {
+    // Core degree-1 + leaves + star leaves + hubs with exactly one leaf.
+    return (w.core_amp + w.leaf_vis +
+            params.hubs * w.mu * (1.0 + w.exp_neg_mu)) /
+           w.v;
+  }
+  const double core_term =
+      w.core_amp * std::pow(static_cast<double>(d), -params.alpha);
+  // Hubs with exactly d retained leaves: U·e^{−μ}·μ^d/d!.
+  const double star_term =
+      w.mu > 0.0 ? params.hubs * math::poisson_pmf(d, w.mu) : 0.0;
+  return (core_term + star_term) / w.v;
+}
+
+double degree_share_paper_approx(const PaluParams& params, Degree d) {
+  PALU_CHECK(d >= 2, "degree_share_paper_approx: requires d >= 2");
+  const SimplifiedConstants k = simplified_constants(params);
+  const double dd = static_cast<double>(d);
+  return k.c * std::pow(dd, -params.alpha) +
+         k.u * std::pow(k.lambda_cap / dd, dd);
+}
+
+namespace {
+
+// E_D[ P(Bin(D, p) = d) ] with D ~ D^{−α}/Z on [1, dmax]: the exact
+// binomial-thinned core degree mass.  O(width of the Bin(D, p) = d ridge).
+double core_thinned_degree_mass(double alpha, double p, Degree d,
+                                Degree dmax) {
+  if (p >= 1.0) {
+    if (d < 1 || d > dmax) return 0.0;
+    return std::pow(static_cast<double>(d), -alpha) /
+           math::truncated_zeta(alpha, dmax);
+  }
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  const double z = math::truncated_zeta(alpha, dmax);
+  double sum = 0.0;
+  const Degree d_start = std::max<Degree>(d, 1);
+  const double ridge = static_cast<double>(d) / p;
+  for (Degree big_d = d_start; big_d <= dmax; ++big_d) {
+    const double bd = static_cast<double>(big_d);
+    const double log_term =
+        -alpha * std::log(bd) +
+        math::log_binomial_coefficient(big_d, d) +
+        static_cast<double>(d) * log_p +
+        static_cast<double>(big_d - d) * log_q;
+    const double term = std::exp(log_term);
+    sum += term;
+    if (bd > ridge && term < sum * 1e-16) break;
+  }
+  return sum / z;
+}
+
+Degree effective_core_dmax(Degree core_dmax) {
+  return core_dmax > 0 ? core_dmax : (Degree{1} << 30);
+}
+
+}  // namespace
+
+double visible_mass_exact(const PaluParams& params, Degree core_dmax) {
+  const Pieces w = make_pieces(params);
+  const Degree dmax = effective_core_dmax(core_dmax);
+  // P[Bin(D, p) = 0] = E[q^D].
+  const double invisible = core_thinned_degree_mass(
+      params.alpha, params.window, 0, dmax);
+  return params.core * (1.0 - invisible) + w.leaf_vis + w.star_vis;
+}
+
+ObservedComposition observed_composition_exact(const PaluParams& params,
+                                               Degree core_dmax) {
+  const Pieces w = make_pieces(params);
+  const Degree dmax = effective_core_dmax(core_dmax);
+  const double invisible = core_thinned_degree_mass(
+      params.alpha, params.window, 0, dmax);
+  ObservedComposition out;
+  const double core_vis = params.core * (1.0 - invisible);
+  out.visible_mass = core_vis + w.leaf_vis + w.star_vis;
+  out.core_share = core_vis / out.visible_mass;
+  out.leaf_share = w.leaf_vis / out.visible_mass;
+  out.unattached_share = w.star_vis / out.visible_mass;
+  out.unattached_link_share =
+      params.hubs * w.mu * w.exp_neg_mu / out.visible_mass;
+  return out;
+}
+
+double degree_share_exact(const PaluParams& params, Degree d,
+                          Degree core_dmax) {
+  PALU_CHECK(d >= 1, "degree_share_exact: requires d >= 1");
+  const Pieces w = make_pieces(params);
+  const Degree dmax = effective_core_dmax(core_dmax);
+  const double v = visible_mass_exact(params, core_dmax);
+  double mass = params.core * core_thinned_degree_mass(
+                                  params.alpha, params.window, d, dmax);
+  if (d == 1) {
+    mass += w.leaf_vis +
+            params.hubs * w.mu * (1.0 + w.exp_neg_mu);
+  } else if (w.mu > 0.0) {
+    mass += params.hubs * math::poisson_pmf(d, w.mu);
+  }
+  return mass / v;
+}
+
+stats::LogBinned pooled_theory_exact(const PaluParams& params,
+                                     std::uint32_t nbins,
+                                     Degree core_dmax) {
+  PALU_CHECK(nbins >= 1 && nbins <= 14,
+             "pooled_theory_exact: nbins must be in [1, 14]");
+  const Pieces w = make_pieces(params);
+  const Degree dmax = effective_core_dmax(core_dmax);
+  const double v = visible_mass_exact(params, core_dmax);
+  std::vector<double> mass(nbins, 0.0);
+  for (std::uint32_t i = 0; i < nbins; ++i) {
+    const Degree lo = i == 0 ? 1 : (Degree{1} << (i - 1)) + 1;
+    const Degree hi = Degree{1} << i;
+    double bin = 0.0;
+    for (Degree d = lo; d <= hi; ++d) {
+      double m = params.core * core_thinned_degree_mass(
+                                   params.alpha, params.window, d, dmax);
+      if (d == 1) {
+        m += w.leaf_vis + params.hubs * w.mu * (1.0 + w.exp_neg_mu);
+      } else if (w.mu > 0.0) {
+        m += params.hubs * math::poisson_pmf(d, w.mu);
+      }
+      bin += m;
+    }
+    mass[i] = bin / v;
+  }
+  return stats::LogBinned(std::move(mass));
+}
+
+stats::LogBinned pooled_theory(const PaluParams& params,
+                               std::uint32_t nbins) {
+  PALU_CHECK(nbins >= 1 && nbins < 63, "pooled_theory: bad bin count");
+  const Pieces w = make_pieces(params);
+  std::vector<double> mass(nbins, 0.0);
+  // Bin 0 is exactly {d = 1}.
+  mass[0] = (w.core_amp + w.leaf_vis +
+             params.hubs * w.mu * (1.0 + w.exp_neg_mu)) /
+            w.v;
+  for (std::uint32_t i = 1; i < nbins; ++i) {
+    const Degree lo = (Degree{1} << (i - 1)) + 1;
+    const Degree hi = Degree{1} << i;
+    // Core: exact partial zeta sums Σ_{d=lo}^{hi} d^{−α}.
+    const double core_sum = w.core_amp *
+        (math::truncated_zeta(params.alpha, hi) -
+         math::truncated_zeta(params.alpha, lo - 1));
+    // Stars: Poisson partial sum, cut off once terms underflow.
+    double star_sum = 0.0;
+    if (w.mu > 0.0) {
+      for (Degree d = lo; d <= hi; ++d) {
+        const double term = math::poisson_pmf(d, w.mu);
+        star_sum += term;
+        if (static_cast<double>(d) > w.mu && term < 1e-18) break;
+      }
+      star_sum *= params.hubs;
+    }
+    mass[i] = (core_sum + star_sum) / w.v;
+  }
+  return stats::LogBinned(std::move(mass));
+}
+
+}  // namespace palu::core

@@ -1,0 +1,64 @@
+#include "palu/core/weighted.hpp"
+
+#include <algorithm>
+
+#include "palu/common/error.hpp"
+#include "palu/rng/distributions.hpp"
+
+namespace palu::core {
+
+std::vector<Count> assign_edge_weights(Rng& rng, const graph::Graph& g,
+                                       const WeightModel& model) {
+  std::vector<Count> weights;
+  weights.reserve(g.num_edges());
+  switch (model.law) {
+    case WeightModel::Law::kZeta: {
+      PALU_CHECK(model.param > 1.0,
+                 "assign_edge_weights: zeta weights need gamma > 1");
+      rng::BoundedZipfSampler zipf(model.param, model.wmax);
+      for (std::size_t i = 0; i < g.num_edges(); ++i) {
+        weights.push_back(zipf(rng));
+      }
+      break;
+    }
+    case WeightModel::Law::kGeometric: {
+      PALU_CHECK(model.param > 0.0 && model.param <= 1.0,
+                 "assign_edge_weights: geometric weights need 0 < q <= 1");
+      for (std::size_t i = 0; i < g.num_edges(); ++i) {
+        weights.push_back(rng::sample_geometric(rng, model.param));
+      }
+      break;
+    }
+  }
+  return weights;
+}
+
+stats::DegreeHistogram link_weight_histogram(
+    const std::vector<Count>& weights) {
+  stats::DegreeHistogram h;
+  for (const Count w : weights) h.add(w);
+  return h;
+}
+
+stats::DegreeHistogram node_strength_histogram(
+    const graph::Graph& g, const std::vector<Count>& weights) {
+  PALU_CHECK(weights.size() == g.num_edges(),
+             "node_strength_histogram: one weight per edge required");
+  std::vector<Count> strength(g.num_nodes(), 0);
+  const auto& edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    strength[edges[i].u] += weights[i];
+    strength[edges[i].v] += weights[i];
+  }
+  return stats::DegreeHistogram::from_degrees(strength);
+}
+
+double predicted_strength_tail_exponent(double degree_alpha,
+                                        const WeightModel& model) {
+  if (model.law == WeightModel::Law::kZeta) {
+    return std::min(degree_alpha, model.param);
+  }
+  return degree_alpha;  // light-tailed weights: degrees dominate
+}
+
+}  // namespace palu::core

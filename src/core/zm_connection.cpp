@@ -1,0 +1,124 @@
+#include "palu/core/zm_connection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/fit/brent.hpp"
+#include "palu/fit/zipf_mandelbrot.hpp"
+#include "palu/math/zeta.hpp"
+
+namespace palu::core {
+
+double u_over_c_from_delta(double alpha, double delta) {
+  PALU_CHECK(alpha > 0.0, "u_over_c_from_delta: requires alpha > 0");
+  PALU_CHECK(delta > -1.0, "u_over_c_from_delta: requires delta > -1");
+  return std::pow(1.0 + delta, -alpha) - 1.0;
+}
+
+double delta_from_u_over_c(double alpha, double u_over_c) {
+  PALU_CHECK(alpha > 0.0, "delta_from_u_over_c: requires alpha > 0");
+  PALU_CHECK(u_over_c > -1.0, "delta_from_u_over_c: requires u/c > -1");
+  return std::pow(u_over_c + 1.0, -1.0 / alpha) - 1.0;
+}
+
+double delta_from_params(const PaluParams& params) {
+  params.validate();
+  PALU_CHECK(params.core > 0.0, "delta_from_params: requires C > 0");
+  // (1+δ)^{−α} = (U/C)·e^{−λp}·ζ(α)·p^{−α} + 1  (Section VI).
+  const double mu = params.lambda * params.window;
+  const double rhs = (params.hubs / params.core) * std::exp(-mu) *
+                         math::riemann_zeta(params.alpha) *
+                         std::pow(params.window, -params.alpha) +
+                     1.0;
+  return std::pow(rhs, -1.0 / params.alpha) - 1.0;
+}
+
+PaluZmCurve::PaluZmCurve(double alpha, double delta, double r, Degree dmax)
+    : alpha_(alpha),
+      delta_(delta),
+      r_(r),
+      beta_(u_over_c_from_delta(alpha, delta)),
+      dmax_(dmax) {
+  PALU_CHECK(alpha > 0.0, "PaluZmCurve: requires alpha > 0");
+  PALU_CHECK(r > 1.0, "PaluZmCurve: requires r > 1");
+  PALU_CHECK(dmax >= 1, "PaluZmCurve: requires dmax >= 1");
+  // Negative β (δ > 0) subtracts near d = 1; verify the pmf stays
+  // non-negative on the early support where the correction is largest.
+  const Degree probe_end = std::min<Degree>(dmax, 64);
+  for (Degree d = 1; d <= probe_end; ++d) {
+    PALU_CHECK(unnormalized(d) >= -1e-15,
+               "PaluZmCurve: parameters yield a negative pmf");
+  }
+  normalizer_ = partial_sum(dmax);
+  PALU_CHECK(normalizer_ > 0.0, "PaluZmCurve: zero total mass");
+}
+
+double PaluZmCurve::unnormalized(Degree d) const {
+  const double dd = static_cast<double>(d);
+  return std::pow(dd, -alpha_) + beta_ * std::pow(r_, 1.0 - dd);
+}
+
+double PaluZmCurve::partial_sum(Degree x) const {
+  // Σ_{d=1}^{x} d^{−α} + β Σ_{d=1}^{x} r^{1−d};
+  // the geometric sum is (1 − q^x)/(1 − q) with q = 1/r < 1.
+  const double power_part = math::truncated_zeta(alpha_, x);
+  const double q = 1.0 / r_;
+  const double geo =
+      -std::expm1(static_cast<double>(x) * std::log(q)) / (1.0 - q);
+  return power_part + beta_ * geo;
+}
+
+double PaluZmCurve::pmf(Degree d) const {
+  PALU_CHECK(d >= 1 && d <= dmax_, "PaluZmCurve::pmf: d out of range");
+  return std::max(0.0, unnormalized(d)) / normalizer_;
+}
+
+double PaluZmCurve::cdf(Degree d) const {
+  if (d < 1) return 0.0;
+  d = std::min(d, dmax_);
+  return partial_sum(d) / normalizer_;
+}
+
+stats::LogBinned PaluZmCurve::pooled() const {
+  const std::uint32_t nbins = stats::LogBinned::bin_index(dmax_) + 1;
+  std::vector<double> mass(nbins, 0.0);
+  double prev = 0.0;
+  for (std::uint32_t i = 0; i < nbins; ++i) {
+    const Degree upper = std::min(stats::LogBinned::bin_upper(i), dmax_);
+    const double c = cdf(upper);
+    mass[i] = c - prev;
+    prev = c;
+  }
+  return stats::LogBinned(std::move(mass));
+}
+
+RFitResult fit_r_to_zipf_mandelbrot(double alpha, double delta,
+                                    Degree dmax) {
+  const fit::ZipfMandelbrot zm(alpha, delta, dmax);
+  const stats::LogBinned target = zm.pooled();
+  const auto objective = [&](double log_r_minus_1) {
+    const double r = 1.0 + std::exp(log_r_minus_1);
+    stats::LogBinned pooled;
+    try {
+      pooled = PaluZmCurve(alpha, delta, r, dmax).pooled();
+    } catch (const InvalidArgument&) {
+      return 1e12;  // negative-pmf region: reject
+    }
+    double sse = 0.0;
+    for (std::size_t i = 0; i < target.num_bins(); ++i) {
+      const double m = i < pooled.num_bins() ? pooled[i] : 0.0;
+      const double resid = target[i] - m;
+      sse += resid * resid;
+    }
+    return sse;
+  };
+  // Search r − 1 over ~[e^{−6}, e^{6}] in log space.
+  const double best_log = fit::brent_minimize(objective, -6.0, 6.0);
+  RFitResult out;
+  out.r = 1.0 + std::exp(best_log);
+  out.sse = objective(best_log);
+  return out;
+}
+
+}  // namespace palu::core

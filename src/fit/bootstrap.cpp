@@ -1,0 +1,122 @@
+#include "palu/fit/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/parallel/parallel_for.hpp"
+#include "palu/rng/distributions.hpp"
+
+namespace palu::fit {
+namespace {
+
+BootstrapResult summarize_replicates(double estimate,
+                                     std::vector<double> values,
+                                     double confidence) {
+  BootstrapResult out;
+  out.estimate = estimate;
+  out.replicates_used = static_cast<int>(values.size());
+  std::sort(values.begin(), values.end());
+  const double tail = 0.5 * (1.0 - confidence);
+  const auto value_at = [&](double q) {
+    const double pos = q * static_cast<double>(values.size() - 1);
+    return values[static_cast<std::size_t>(std::llround(pos))];
+  };
+  out.lower = value_at(tail);
+  out.upper = value_at(1.0 - tail);
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  out.std_error =
+      std::sqrt(var / static_cast<double>(values.size() - 1));
+  return out;
+}
+
+}  // namespace
+
+std::vector<BootstrapResult> bootstrap_ci_multi(
+    const stats::DegreeHistogram& h,
+    const std::function<std::vector<double>(const stats::DegreeHistogram&)>&
+        statistic,
+    Rng& rng, ThreadPool& pool, const BootstrapOptions& opts) {
+  PALU_CHECK(opts.replicates >= 10, "bootstrap_ci: need >= 10 replicates");
+  PALU_CHECK(opts.confidence > 0.0 && opts.confidence < 1.0,
+             "bootstrap_ci: confidence out of (0, 1)");
+  PALU_CHECK(!h.empty(), "bootstrap_ci: empty histogram");
+
+  const std::vector<double> point = statistic(h);
+  PALU_CHECK(!point.empty(), "bootstrap_ci: statistic returned nothing");
+  const std::size_t width = point.size();
+
+  // Alias sampler over the empirical support.
+  const auto entries = h.sorted();
+  std::vector<double> weights;
+  std::vector<Degree> values;
+  weights.reserve(entries.size());
+  values.reserve(entries.size());
+  for (const auto& [d, c] : entries) {
+    if (d == 0) continue;
+    values.push_back(d);
+    weights.push_back(static_cast<double>(c));
+  }
+  PALU_CHECK(!values.empty(), "bootstrap_ci: no positive-degree mass");
+  const rng::AliasSampler sampler(weights);
+  const Count n = h.total();
+
+  std::vector<std::vector<double>> replicate_values(width);
+  std::mutex lock;
+  const Rng base = rng;
+  parallel_for(
+      pool, 0, static_cast<std::size_t>(opts.replicates), /*grain=*/1,
+      [&](IndexRange range) {
+        for (std::size_t rep = range.begin; rep < range.end; ++rep) {
+          Rng local = base.fork(rep + 1);
+          stats::DegreeHistogram resampled;
+          for (Count i = 0; i < n; ++i) {
+            resampled.add(values[sampler(local)]);
+          }
+          std::vector<double> stat;
+          try {
+            stat = statistic(resampled);
+          } catch (const Error&) {
+            continue;  // degenerate resample
+          }
+          if (stat.size() != width) continue;
+          bool finite = true;
+          for (const double v : stat) finite = finite && std::isfinite(v);
+          if (!finite) continue;
+          std::lock_guard<std::mutex> guard(lock);
+          for (std::size_t k = 0; k < width; ++k) {
+            replicate_values[k].push_back(stat[k]);
+          }
+        }
+      });
+  rng.jump();
+
+  if (replicate_values.front().size() < 10) {
+    throw DataError("bootstrap_ci: too few replicates survived refitting");
+  }
+  std::vector<BootstrapResult> out;
+  out.reserve(width);
+  for (std::size_t k = 0; k < width; ++k) {
+    out.push_back(summarize_replicates(
+        point[k], replicate_values[k], opts.confidence));
+  }
+  return out;
+}
+
+BootstrapResult bootstrap_ci(
+    const stats::DegreeHistogram& h,
+    const std::function<double(const stats::DegreeHistogram&)>& statistic,
+    Rng& rng, ThreadPool& pool, const BootstrapOptions& opts) {
+  const auto wrapped = [&statistic](const stats::DegreeHistogram& sample) {
+    return std::vector<double>{statistic(sample)};
+  };
+  return bootstrap_ci_multi(h, wrapped, rng, pool, opts).front();
+}
+
+}  // namespace palu::fit

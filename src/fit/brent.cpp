@@ -1,0 +1,123 @@
+#include "palu/fit/brent.hpp"
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+
+namespace palu::fit {
+
+double brent_root(const std::function<double(double)>& f, double a, double b,
+                  const BrentOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  PALU_CHECK(fa * fb < 0.0, "brent_root: endpoints do not bracket a root");
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol =
+        2.0 * 1e-16 * std::abs(b) + 0.5 * opts.tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || fb == 0.0) return b;
+    if (std::abs(e) < tol || std::abs(fa) <= std::abs(fb)) {
+      d = m;  // bisection
+      e = m;
+    } else {
+      double p, q;
+      const double s = fb / fa;
+      if (a == c) {  // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {  // inverse quadratic
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q),
+                             std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += std::abs(d) > tol ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      e = b - a;
+      d = e;
+    }
+  }
+  throw ConvergenceError("brent_root: max iterations exceeded");
+}
+
+double brent_minimize(const std::function<double(double)>& f, double a,
+                      double b, const BrentOptions& opts) {
+  PALU_CHECK(a < b, "brent_minimize: requires a < b");
+  constexpr double kGolden = 0.3819660112501051;  // (3 − √5)/2
+  double x = a + kGolden * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double tol1 = 1e-12 * std::abs(x) + opts.tolerance;
+    const double tol2 = 2.0 * tol1;
+    if (std::abs(x - mid) <= tol2 - 0.5 * (b - a)) return x;
+    bool use_golden = true;
+    if (std::abs(e) > tol1) {
+      // Parabolic interpolation through (v, w, x).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::abs(q);
+      const double e_old = e;
+      e = d;
+      if (std::abs(p) < std::abs(0.5 * q * e_old) && p > q * (a - x) &&
+          p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = x < mid ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x < mid ? b : a) - x;
+      d = kGolden * e;
+    }
+    const double u = std::abs(d) >= tol1 ? x + d : x + (d > 0 ? tol1 : -tol1);
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u < x) b = x; else a = x;
+      v = w; fv = fw;
+      w = x; fw = fx;
+      x = u; fx = fu;
+    } else {
+      if (u < x) a = u; else b = u;
+      if (fu <= fw || w == x) {
+        v = w; fv = fw;
+        w = u; fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u; fv = fu;
+      }
+    }
+  }
+  return x;  // best point found within the iteration budget
+}
+
+}  // namespace palu::fit

@@ -1,0 +1,68 @@
+#include "palu/fit/ks_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "palu/common/error.hpp"
+
+namespace palu::fit {
+
+double kolmogorov_survival(double lambda) {
+  PALU_CHECK(lambda >= 0.0, "kolmogorov_survival: requires lambda >= 0");
+  if (lambda < 1e-6) return 1.0;
+  // The alternating series converges fast for λ >~ 0.5; for smaller λ the
+  // Jacobi-theta dual form converges fast instead.
+  if (lambda >= 0.5) {
+    double sum = 0.0;
+    for (int k = 1; k <= 100; ++k) {
+      const double term = std::exp(-2.0 * k * k * lambda * lambda);
+      sum += (k % 2 == 1 ? term : -term);
+      if (term < 1e-16) break;
+    }
+    return std::clamp(2.0 * sum, 0.0, 1.0);
+  }
+  // Q(λ) = 1 − (√(2π)/λ)·Σ_{k≥1} e^{−(2k−1)²π²/(8λ²)}.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double e = (2.0 * k - 1.0) * std::numbers::pi;
+    const double term = std::exp(-e * e / (8.0 * lambda * lambda));
+    sum += term;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(
+      1.0 - std::sqrt(2.0 * std::numbers::pi) / lambda * sum, 0.0, 1.0);
+}
+
+KsTestResult ks_test_two_sample(const stats::DegreeHistogram& a,
+                                const stats::DegreeHistogram& b) {
+  const auto da = stats::EmpiricalDistribution::from_histogram(a);
+  const auto db = stats::EmpiricalDistribution::from_histogram(b);
+  // Sup over the union of supports of |F_a − F_b|.
+  double worst = 0.0;
+  const auto& sa = da.support();
+  const auto& sb = db.support();
+  std::size_t ia = 0, ib = 0;
+  while (ia < sa.size() || ib < sb.size()) {
+    Degree d;
+    if (ib >= sb.size() || (ia < sa.size() && sa[ia] <= sb[ib])) {
+      d = sa[ia];
+    } else {
+      d = sb[ib];
+    }
+    while (ia < sa.size() && sa[ia] <= d) ++ia;
+    while (ib < sb.size() && sb[ib] <= d) ++ib;
+    worst = std::max(worst,
+                     std::abs(da.cumulative_at(d) - db.cumulative_at(d)));
+  }
+  KsTestResult out;
+  out.statistic = worst;
+  const double na = static_cast<double>(da.sample_size());
+  const double nb = static_cast<double>(db.sample_size());
+  out.effective_n = na * nb / (na + nb);
+  out.p_value =
+      kolmogorov_survival(std::sqrt(out.effective_n) * out.statistic);
+  return out;
+}
+
+}  // namespace palu::fit

@@ -1,0 +1,130 @@
+#include "palu/fit/levmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "palu/common/error.hpp"
+#include "palu/linalg/matrix.hpp"
+
+namespace palu::fit {
+namespace {
+
+double sum_squares(const std::vector<double>& r) {
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return acc;
+}
+
+}  // namespace
+
+LevMarResult levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>&
+        residuals,
+    std::vector<double> x0, const LevMarOptions& opts) {
+  PALU_CHECK(!x0.empty(), "levenberg_marquardt: empty start point");
+  const std::size_t n = x0.size();
+
+  LevMarResult result;
+  result.x = std::move(x0);
+  std::vector<double> r = residuals(result.x);
+  const std::size_t m = r.size();
+  PALU_CHECK(m >= n, "levenberg_marquardt: fewer residuals than parameters");
+  result.chi_squared = sum_squares(r);
+
+  double damping = opts.initial_damping;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Forward-difference Jacobian.
+    linalg::Matrix jac(m, n);
+    bool jacobian_ok = true;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double h =
+          opts.fd_step * std::max(1.0, std::abs(result.x[j]));
+      std::vector<double> xp = result.x;
+      xp[j] += h;
+      std::vector<double> rp;
+      try {
+        rp = residuals(xp);
+      } catch (const InvalidArgument&) {
+        // Step off-domain: difference backwards instead.
+        xp[j] = result.x[j] - h;
+        rp = residuals(xp);
+        for (std::size_t i = 0; i < m; ++i) {
+          jac(i, j) = (r[i] - rp[i]) / h;
+        }
+        continue;
+      }
+      if (rp.size() != m) {
+        jacobian_ok = false;
+        break;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        jac(i, j) = (rp[i] - r[i]) / h;
+      }
+    }
+    PALU_CHECK(jacobian_ok,
+               "levenberg_marquardt: residual length changed mid-fit");
+
+    const std::vector<double> grad = jac.transpose_multiply(r);
+    double gmax = 0.0;
+    for (double g : grad) gmax = std::max(gmax, std::abs(g));
+    if (gmax <= opts.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const linalg::Matrix jtj = jac.gram();
+    bool accepted = false;
+    for (int attempt = 0; attempt < 40 && !accepted; ++attempt) {
+      linalg::Matrix damped = jtj;
+      for (std::size_t k = 0; k < n; ++k) {
+        damped(k, k) += damping * std::max(jtj(k, k), 1e-12);
+      }
+      std::vector<double> step;
+      try {
+        step = linalg::Cholesky(damped).solve(grad);
+      } catch (const ConvergenceError&) {
+        damping *= opts.damping_up;
+        continue;
+      }
+      std::vector<double> x_new = result.x;
+      double step_norm = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        x_new[k] -= step[k];
+        step_norm += step[k] * step[k];
+      }
+      step_norm = std::sqrt(step_norm);
+      std::vector<double> r_new;
+      double chi_new = std::numeric_limits<double>::infinity();
+      try {
+        r_new = residuals(x_new);
+        if (r_new.size() == m) chi_new = sum_squares(r_new);
+      } catch (const InvalidArgument&) {
+        // off-domain: treat as rejected
+      }
+      if (chi_new < result.chi_squared) {
+        result.x = std::move(x_new);
+        r = std::move(r_new);
+        const double improvement = result.chi_squared - chi_new;
+        result.chi_squared = chi_new;
+        damping = std::max(damping / opts.damping_down, 1e-14);
+        accepted = true;
+        if (step_norm <= opts.step_tolerance ||
+            improvement <= opts.step_tolerance * (1.0 + chi_new)) {
+          result.converged = true;
+        }
+      } else {
+        damping *= opts.damping_up;
+      }
+    }
+    if (!accepted || result.converged) {
+      // No productive step available (or converged): stop.
+      result.converged = result.converged || !accepted;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace palu::fit

@@ -1,0 +1,63 @@
+#include "palu/fit/linreg.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "palu/common/error.hpp"
+
+namespace palu::fit {
+
+LinearFit weighted_linear_regression(std::span<const double> x,
+                                     std::span<const double> y,
+                                     std::span<const double> w) {
+  PALU_CHECK(x.size() == y.size() && x.size() == w.size(),
+             "weighted_linear_regression: size mismatch");
+  double sw = 0.0, swx = 0.0, swy = 0.0;
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    PALU_CHECK(w[i] >= 0.0, "weighted_linear_regression: negative weight");
+    if (w[i] > 0.0) ++positive;
+    sw += w[i];
+    swx += w[i] * x[i];
+    swy += w[i] * y[i];
+  }
+  PALU_CHECK(positive >= 2,
+             "weighted_linear_regression: need >= 2 weighted points");
+  const double xbar = swx / sw;
+  const double ybar = swy / sw;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - xbar;
+    const double dy = y[i] - ybar;
+    sxx += w[i] * dx * dx;
+    sxy += w[i] * dx * dy;
+    syy += w[i] * dy * dy;
+  }
+  PALU_CHECK(sxx > 0.0, "weighted_linear_regression: degenerate x values");
+  LinearFit fit;
+  fit.n = positive;
+  fit.slope = sxy / sxx;
+  fit.intercept = ybar - fit.slope * xbar;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  // Residual variance with n−2 dof (using the weighted residual sum).
+  if (positive > 2) {
+    double rss = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - fit.intercept - fit.slope * x[i];
+      rss += w[i] * r * r;
+    }
+    const double sigma2 = rss / static_cast<double>(positive - 2);
+    fit.slope_stderr = std::sqrt(sigma2 / sxx);
+    fit.intercept_stderr =
+        std::sqrt(sigma2 * (1.0 / sw + xbar * xbar / sxx));
+  }
+  return fit;
+}
+
+LinearFit linear_regression(std::span<const double> x,
+                            std::span<const double> y) {
+  const std::vector<double> w(x.size(), 1.0);
+  return weighted_linear_regression(x, y, w);
+}
+
+}  // namespace palu::fit

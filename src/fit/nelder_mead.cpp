@@ -1,0 +1,140 @@
+#include "palu/fit/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "palu/common/error.hpp"
+
+namespace palu::fit {
+namespace {
+
+using Point = std::vector<double>;
+
+double simplex_diameter(const std::vector<Point>& pts) {
+  double diam = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    double dist2 = 0.0;
+    for (std::size_t k = 0; k < pts[0].size(); ++k) {
+      const double d = pts[i][k] - pts[0][k];
+      dist2 += d * d;
+    }
+    diam = std::max(diam, std::sqrt(dist2));
+  }
+  return diam;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opts) {
+  PALU_CHECK(!x0.empty(), "nelder_mead: empty start point");
+  const std::size_t n = x0.size();
+  // Adaptive coefficients (Gao & Han 2012) improve behaviour for larger n.
+  const double nd = static_cast<double>(n);
+  const double reflect = 1.0;
+  const double expand = 1.0 + 2.0 / nd;
+  const double contract = 0.75 - 0.5 / nd;
+  const double shrink = 1.0 - 1.0 / nd;
+
+  NelderMeadResult result;
+  result.x = x0;
+  result.value = f(x0);
+  int total_iters = 0;
+
+  for (int restart = 0; restart <= opts.restarts; ++restart) {
+    // Build the simplex around the current best point.
+    std::vector<Point> pts(n + 1, result.x);
+    std::vector<double> vals(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double step = opts.initial_step *
+                          std::max(1.0, std::abs(result.x[i]));
+      pts[i + 1][i] += step;
+    }
+    for (std::size_t i = 0; i <= n; ++i) vals[i] = f(pts[i]);
+
+    std::vector<std::size_t> order(n + 1);
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+      ++total_iters;
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return vals[a] < vals[b];
+                });
+      const std::size_t best = order[0];
+      const std::size_t worst = order[n];
+      const std::size_t second_worst = order[n - 1];
+
+      if (std::isfinite(vals[best]) &&
+          ((std::isfinite(vals[worst]) &&
+            vals[worst] - vals[best] <= opts.f_tolerance) ||
+           simplex_diameter(pts) <= opts.x_tolerance)) {
+        result.converged = true;
+        break;
+      }
+
+      // Centroid of all but the worst.
+      Point centroid(n, 0.0);
+      for (std::size_t i = 0; i <= n; ++i) {
+        if (i == worst) continue;
+        for (std::size_t k = 0; k < n; ++k) centroid[k] += pts[i][k];
+      }
+      for (double& c : centroid) c /= nd;
+
+      auto blend = [&](double coef) {
+        Point p(n);
+        for (std::size_t k = 0; k < n; ++k) {
+          p[k] = centroid[k] + coef * (centroid[k] - pts[worst][k]);
+        }
+        return p;
+      };
+
+      const Point xr = blend(reflect);
+      const double fr = f(xr);
+      if (fr < vals[best]) {
+        const Point xe = blend(reflect * expand);
+        const double fe = f(xe);
+        if (fe < fr) {
+          pts[worst] = xe;
+          vals[worst] = fe;
+        } else {
+          pts[worst] = xr;
+          vals[worst] = fr;
+        }
+      } else if (fr < vals[second_worst]) {
+        pts[worst] = xr;
+        vals[worst] = fr;
+      } else {
+        const bool outside = fr < vals[worst];
+        const Point xc = blend(outside ? reflect * contract : -contract);
+        const double fc = f(xc);
+        if (fc < std::min(fr, vals[worst])) {
+          pts[worst] = xc;
+          vals[worst] = fc;
+        } else {
+          // Shrink toward the best vertex.
+          for (std::size_t i = 0; i <= n; ++i) {
+            if (i == best) continue;
+            for (std::size_t k = 0; k < n; ++k) {
+              pts[i][k] = pts[best][k] + shrink * (pts[i][k] - pts[best][k]);
+            }
+            vals[i] = f(pts[i]);
+          }
+        }
+      }
+    }
+
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(vals.begin(), vals.end()) - vals.begin());
+    if (vals[best] < result.value) {
+      result.value = vals[best];
+      result.x = pts[best];
+    }
+  }
+  result.iterations = total_iters;
+  return result;
+}
+
+}  // namespace palu::fit

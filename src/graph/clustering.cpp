@@ -1,0 +1,92 @@
+#include "palu/graph/clustering.hpp"
+
+#include <algorithm>
+
+namespace palu::graph {
+namespace {
+
+// Sorted, deduplicated neighbor lists of the simplified graph.
+std::vector<std::vector<NodeId>> sorted_neighbors(const Graph& g) {
+  const Graph s = g.simplified();
+  std::vector<std::vector<NodeId>> adj(s.num_nodes());
+  for (const Edge& e : s.edges()) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+  return adj;
+}
+
+Count sorted_intersection_size(const std::vector<NodeId>& a,
+                               const std::vector<NodeId>& b) {
+  Count shared = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++shared;
+      ++ia;
+      ++ib;
+    }
+  }
+  return shared;
+}
+
+}  // namespace
+
+std::vector<double> local_clustering(const Graph& g) {
+  const auto adj = sorted_neighbors(g);
+  std::vector<double> out(adj.size(), 0.0);
+  for (NodeId v = 0; v < adj.size(); ++v) {
+    const auto& nv = adj[v];
+    if (nv.size() < 2) continue;
+    Count triangles = 0;
+    for (const NodeId w : nv) {
+      triangles += sorted_intersection_size(nv, adj[w]);
+    }
+    // Each triangle at v is counted twice (once per incident neighbor).
+    const double possible =
+        static_cast<double>(nv.size()) *
+        static_cast<double>(nv.size() - 1);
+    out[v] = static_cast<double>(triangles) / possible;
+  }
+  return out;
+}
+
+ClusteringSummary clustering_summary(const Graph& g) {
+  const auto adj = sorted_neighbors(g);
+  ClusteringSummary s;
+  double local_sum = 0.0;
+  Count closed_wedges = 0;  // 2 × (triangles at each center), summed
+  for (NodeId v = 0; v < adj.size(); ++v) {
+    const auto& nv = adj[v];
+    if (nv.size() < 2) continue;
+    ++s.eligible_nodes;
+    Count tri_at_v = 0;
+    for (const NodeId w : nv) {
+      tri_at_v += sorted_intersection_size(nv, adj[w]);
+    }
+    // tri_at_v counts each triangle at center v twice.
+    closed_wedges += tri_at_v;
+    const Count deg = nv.size();
+    s.wedges += deg * (deg - 1) / 2;
+    local_sum += static_cast<double>(tri_at_v) /
+                 (static_cast<double>(deg) * static_cast<double>(deg - 1));
+  }
+  // Σ_v triangles-at-v (with each triangle seen at 3 centers, twice each).
+  s.triangles = closed_wedges / 6;
+  s.average_local =
+      s.eligible_nodes > 0
+          ? local_sum / static_cast<double>(s.eligible_nodes)
+          : 0.0;
+  s.global = s.wedges > 0 ? 3.0 * static_cast<double>(s.triangles) /
+                                static_cast<double>(s.wedges)
+                          : 0.0;
+  return s;
+}
+
+}  // namespace palu::graph

@@ -1,0 +1,201 @@
+#include "palu/graph/components.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "palu/common/error.hpp"
+
+namespace palu::graph {
+
+UnionFind::UnionFind(NodeId n)
+    : parent_(n), size_(n, 1), components_(n) {
+  for (NodeId i = 0; i < n; ++i) parent_[i] = i;
+}
+
+NodeId UnionFind::find(NodeId x) {
+  PALU_ASSERT(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) {
+  NodeId ra = find(a);
+  NodeId rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
+
+NodeId UnionFind::component_size(NodeId x) { return size_[find(x)]; }
+
+std::vector<ComponentInfo> connected_components(const Graph& g) {
+  UnionFind uf(g.num_nodes());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  const std::vector<Degree> deg = g.degrees();
+  std::unordered_map<NodeId, std::size_t> root_to_index;
+  std::vector<ComponentInfo> comps;
+  auto index_of = [&](NodeId root) {
+    const auto [it, inserted] = root_to_index.try_emplace(root, comps.size());
+    if (inserted) comps.emplace_back();
+    return it->second;
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ComponentInfo& c = comps[index_of(uf.find(v))];
+    ++c.nodes;
+    c.max_degree = std::max(c.max_degree, deg[v]);
+  }
+  for (const Edge& e : g.edges()) {
+    ++comps[index_of(uf.find(e.u))].edges;
+  }
+  return comps;
+}
+
+Graph largest_component(const Graph& g, std::vector<NodeId>* id_map) {
+  if (id_map) id_map->clear();
+  if (g.num_nodes() == 0) return g;
+  UnionFind uf(g.num_nodes());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  // Root with the most nodes.
+  std::unordered_map<NodeId, NodeId> sizes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++sizes[uf.find(v)];
+  NodeId best_root = uf.find(0);
+  for (const auto& [root, count] : sizes) {
+    if (count > sizes[best_root]) best_root = root;
+  }
+  std::unordered_map<NodeId, NodeId> remap;
+  Graph out(0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (uf.find(v) != best_root) continue;
+    remap.emplace(v, out.add_nodes(1));
+    if (id_map) id_map->push_back(v);
+  }
+  for (const Edge& e : g.edges()) {
+    const auto iu = remap.find(e.u);
+    if (iu == remap.end()) continue;
+    out.add_edge(iu->second, remap.at(e.v));
+  }
+  return out;
+}
+
+std::vector<Degree> k_core_numbers(const Graph& g) {
+  const Graph s = g.simplified();
+  const auto adj = s.adjacency();
+  const NodeId n = s.num_nodes();
+  std::vector<Degree> degree(n);
+  Degree max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = adj.degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket sort nodes by degree (Matula–Beck / Batagelj–Zaveršnik).
+  std::vector<NodeId> bin_start(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bin_start[degree[v] + 1];
+  for (std::size_t i = 1; i < bin_start.size(); ++i) {
+    bin_start[i] += bin_start[i - 1];
+  }
+  std::vector<NodeId> order(n);      // nodes sorted by current degree
+  std::vector<NodeId> position(n);   // node -> index in order
+  {
+    std::vector<NodeId> cursor(bin_start.begin(), bin_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      order[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+  std::vector<Degree> core(degree);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    core[v] = degree[v];
+    for (std::size_t e = adj.offsets[v]; e < adj.offsets[v + 1]; ++e) {
+      const NodeId u = adj.neighbors[e];
+      if (degree[u] <= degree[v]) continue;
+      // Move u one bucket down: swap it with the first node of its bin.
+      const NodeId du = degree[u];
+      const NodeId pu = position[u];
+      const NodeId pw = bin_start[du];
+      const NodeId w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        position[u] = pw;
+        position[w] = pu;
+      }
+      ++bin_start[du];
+      --degree[u];
+    }
+  }
+  return core;
+}
+
+double degree_assortativity(const Graph& g) {
+  const Graph s = g.simplified();
+  if (s.num_edges() < 2) return 0.0;
+  const auto deg = s.degrees();
+  // Pearson correlation over the 2m ordered endpoint pairs.
+  double sum_x = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  const double m2 = 2.0 * static_cast<double>(s.num_edges());
+  for (const Edge& e : s.edges()) {
+    const double a = static_cast<double>(deg[e.u]);
+    const double b = static_cast<double>(deg[e.v]);
+    sum_x += a + b;
+    sum_xx += a * a + b * b;
+    sum_xy += 2.0 * a * b;
+  }
+  const double mean = sum_x / m2;
+  const double var = sum_xx / m2 - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double cov = sum_xy / m2 - mean * mean;
+  return cov / var;
+}
+
+TopologyCensus classify_topology(const Graph& g) {
+  UnionFind uf(g.num_nodes());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  const std::vector<Degree> deg = g.degrees();
+
+  // Per-component tallies keyed by root.
+  struct Tally {
+    NodeId nodes = 0;
+    Count edges = 0;
+    Degree max_degree = 0;
+    Count degree_one = 0;
+  };
+  std::unordered_map<NodeId, Tally> tallies;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Tally& t = tallies[uf.find(v)];
+    ++t.nodes;
+    t.max_degree = std::max(t.max_degree, deg[v]);
+    if (deg[v] == 1) ++t.degree_one;
+  }
+  for (const Edge& e : g.edges()) ++tallies[uf.find(e.u)].edges;
+
+  TopologyCensus census;
+  for (const auto& [root, t] : tallies) {
+    census.largest_component =
+        std::max<Count>(census.largest_component, t.nodes);
+    if (t.nodes == 1) {
+      ++census.isolated_nodes;
+    } else if (t.nodes == 2 && t.edges == 1) {
+      ++census.unattached_links;
+    } else if (t.edges == t.nodes - 1 &&
+               t.max_degree == t.nodes - 1) {
+      // A tree whose hub touches every edge: a star (paper's "supernode
+      // leaves connected to a supernode" when large).
+      ++census.star_components;
+      census.star_leaves += t.degree_one;
+    } else {
+      ++census.core_components;
+      census.core_nodes += t.nodes;
+      census.core_leaves += t.degree_one;
+    }
+  }
+  return census;
+}
+
+}  // namespace palu::graph

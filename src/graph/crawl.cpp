@@ -1,0 +1,80 @@
+#include "palu/graph/crawl.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "palu/common/error.hpp"
+
+namespace palu::graph {
+
+CrawlResult bfs_crawl(Rng& rng, const Graph& g, NodeId budget) {
+  PALU_CHECK(budget >= 1, "bfs_crawl: requires a positive budget");
+  PALU_CHECK(g.num_nodes() >= 1, "bfs_crawl: empty graph");
+  const auto adj = g.adjacency();
+
+  CrawlResult out;
+  std::unordered_map<NodeId, NodeId> new_id;  // original -> subgraph id
+  std::deque<NodeId> frontier;
+  const NodeId target = std::min<NodeId>(budget, g.num_nodes());
+  out.visited.reserve(target);
+
+  const auto visit = [&](NodeId v) {
+    const auto [it, inserted] = new_id.try_emplace(
+        v, static_cast<NodeId>(out.visited.size()));
+    if (inserted) {
+      out.visited.push_back(v);
+      frontier.push_back(v);
+    }
+    return inserted;
+  };
+
+  while (out.visited.size() < target) {
+    if (frontier.empty()) {
+      // Fresh seed: uniformly random unvisited node (rejection; the
+      // visited fraction is small for crawl-style budgets).
+      ++out.seed_count;
+      bool seeded = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        if (visit(rng.uniform_index(g.num_nodes()))) {
+          seeded = true;
+          break;
+        }
+      }
+      if (!seeded) {
+        // Nearly everything is visited: take the first unvisited node.
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          if (visit(v)) break;
+        }
+      }
+      continue;
+    }
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (std::size_t i = adj.offsets[v];
+         i < adj.offsets[v + 1] && out.visited.size() < target; ++i) {
+      visit(adj.neighbors[i]);
+    }
+  }
+
+  out.subgraph = Graph(static_cast<NodeId>(out.visited.size()));
+  for (const Edge& e : g.edges()) {
+    const auto iu = new_id.find(e.u);
+    if (iu == new_id.end()) continue;
+    const auto iv = new_id.find(e.v);
+    if (iv == new_id.end()) continue;
+    out.subgraph.add_edge(iu->second, iv->second);
+  }
+  return out;
+}
+
+stats::DegreeHistogram crawl_view_degrees(const Graph& g,
+                                          const CrawlResult& crawl) {
+  const auto degrees = g.degrees();
+  stats::DegreeHistogram h;
+  for (const NodeId original : crawl.visited) {
+    if (degrees[original] > 0) h.add(degrees[original]);
+  }
+  return h;
+}
+
+}  // namespace palu::graph

@@ -1,0 +1,268 @@
+#include "palu/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/graph/components.hpp"
+#include "palu/rng/distributions.hpp"
+
+namespace palu::graph {
+
+Graph barabasi_albert(Rng& rng, NodeId num_nodes, NodeId edges_per_node) {
+  PALU_CHECK(edges_per_node >= 1, "barabasi_albert: requires m >= 1");
+  PALU_CHECK(num_nodes > edges_per_node,
+             "barabasi_albert: requires n > m");
+  Graph g(num_nodes);
+  // Repeated-endpoint list: each edge contributes both endpoints, so a
+  // uniform draw from the list is a degree-proportional draw.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(2 * num_nodes * edges_per_node);
+  // Seed: a (m+1)-clique so every early node has positive degree.
+  const NodeId seed = edges_per_node + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      g.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  targets.reserve(edges_per_node);
+  for (NodeId v = seed; v < num_nodes; ++v) {
+    targets.clear();
+    while (targets.size() < edges_per_node) {
+      const NodeId t =
+          endpoint_pool[rng.uniform_index(endpoint_pool.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph dms_attachment(Rng& rng, NodeId num_nodes, NodeId edges_per_node,
+                     double attractiveness) {
+  PALU_CHECK(edges_per_node >= 1, "dms_attachment: requires m >= 1");
+  PALU_CHECK(num_nodes > edges_per_node, "dms_attachment: requires n > m");
+  PALU_CHECK(attractiveness > -static_cast<double>(edges_per_node),
+             "dms_attachment: requires a > -m");
+  Graph g(num_nodes);
+  std::vector<NodeId> endpoint_pool;
+  std::vector<Degree> degree(num_nodes, 0);
+  const NodeId seed = edges_per_node + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      g.add_edge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+      ++degree[u];
+      ++degree[v];
+    }
+  }
+  std::vector<NodeId> targets;
+  for (NodeId v = seed; v < num_nodes; ++v) {
+    targets.clear();
+    while (targets.size() < edges_per_node) {
+      NodeId t;
+      if (attractiveness >= 0.0) {
+        // P ∝ k + a as a mixture of degree-proportional and uniform.
+        const double degree_mass =
+            static_cast<double>(endpoint_pool.size());
+        const double uniform_mass =
+            attractiveness * static_cast<double>(v);
+        if (rng.uniform() * (degree_mass + uniform_mass) < degree_mass) {
+          t = endpoint_pool[rng.uniform_index(endpoint_pool.size())];
+        } else {
+          t = rng.uniform_index(v);
+        }
+      } else {
+        // a < 0: rejection from the degree-proportional envelope with
+        // acceptance 1 + a/k (valid since k >= m > -a).
+        for (;;) {
+          t = endpoint_pool[rng.uniform_index(endpoint_pool.size())];
+          const double accept =
+              1.0 + attractiveness / static_cast<double>(degree[t]);
+          if (rng.uniform() < accept) break;
+        }
+      }
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      g.add_edge(v, t);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+      ++degree[v];
+      ++degree[t];
+    }
+  }
+  return g;
+}
+
+Graph zeta_degree_core(Rng& rng, NodeId num_nodes, double alpha,
+                       Degree dmax) {
+  PALU_CHECK(num_nodes >= 2, "zeta_degree_core: requires n >= 2");
+  PALU_CHECK(alpha > 1.0, "zeta_degree_core: requires alpha > 1");
+  rng::BoundedZipfSampler zipf(alpha, dmax);
+  // Draw the degree sequence, then build half-edge stubs.
+  std::vector<Degree> degree(num_nodes);
+  Count stub_count = 0;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    degree[v] = zipf(rng);
+    stub_count += degree[v];
+  }
+  if (stub_count % 2 == 1) {
+    // Parity fix: one extra stub on a uniformly random node.
+    ++degree[rng.uniform_index(num_nodes)];
+    ++stub_count;
+  }
+  std::vector<NodeId> stubs;
+  stubs.reserve(stub_count);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    for (Degree k = 0; k < degree[v]; ++k) stubs.push_back(v);
+  }
+  // Fisher–Yates pairing; erased configuration model (self-loops and
+  // duplicate edges are dropped, a vanishing fraction for alpha > 2 and a
+  // small, degree-preserving-in-distribution fraction otherwise).
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.uniform_index(i)]);
+  }
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(stubs.size() / 2);
+  Graph g(num_nodes);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    NodeId u = stubs[i];
+    NodeId v = stubs[i + 1];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (u << 32) | v;
+    if (num_nodes <= (NodeId{1} << 32)) {
+      if (!seen.insert(key).second) continue;
+    }
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph erdos_renyi(Rng& rng, NodeId num_nodes, double p) {
+  PALU_CHECK(p >= 0.0 && p <= 1.0, "erdos_renyi: requires 0 <= p <= 1");
+  Graph g(num_nodes);
+  if (p == 0.0 || num_nodes < 2) return g;
+  // Geometric skipping over the lexicographic pair stream (Batagelj–Brandes).
+  const double log_q = std::log1p(-p);
+  const double total_pairs =
+      0.5 * static_cast<double>(num_nodes) *
+      static_cast<double>(num_nodes - 1);
+  double index = -1.0;
+  for (;;) {
+    const double skip =
+        p < 1.0 ? std::floor(std::log(rng.uniform_positive()) / log_q) : 0.0;
+    index += skip + 1.0;
+    if (index >= total_pairs) break;
+    // Decode linear index into (u, v), u < v.
+    const auto idx = static_cast<std::uint64_t>(index);
+    const double uf =
+        std::floor((-1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(idx))) /
+                   2.0);
+    auto u = static_cast<NodeId>(uf);
+    // Guard rounding of the inverse triangular formula.
+    while ((u + 1) * (u + 2) / 2 <= idx) ++u;
+    while (u * (u + 1) / 2 > idx) --u;
+    const NodeId v = static_cast<NodeId>(idx - u * (u + 1) / 2);
+    g.add_edge(u + 1, v);  // pair (u+1, v) with v <= u
+  }
+  return g;
+}
+
+Graph star_forest(Rng& rng, Count num_stars, double lambda) {
+  PALU_CHECK(lambda >= 0.0, "star_forest: requires lambda >= 0");
+  Graph g(num_stars);
+  for (NodeId hub = 0; hub < num_stars; ++hub) {
+    const std::uint64_t leaves = rng::sample_poisson(rng, lambda);
+    if (leaves == 0) continue;
+    const NodeId first = g.add_nodes(leaves);
+    for (std::uint64_t k = 0; k < leaves; ++k) {
+      g.add_edge(hub, first + k);
+    }
+  }
+  return g;
+}
+
+Graph pa_er_hybrid(Rng& rng, NodeId num_nodes, NodeId edges_per_node,
+                   double p_er) {
+  Graph g = barabasi_albert(rng, num_nodes, edges_per_node);
+  const Graph overlay = erdos_renyi(rng, num_nodes, p_er);
+  for (const Edge& e : overlay.edges()) g.add_edge(e.u, e.v);
+  return g.simplified();
+}
+
+Graph rewire_degree_preserving(Rng& rng, const Graph& g, Count swaps) {
+  std::vector<Edge> edges = g.edges();
+  if (edges.size() < 2) return g;
+  for (Count s = 0; s < swaps; ++s) {
+    const std::size_t i = rng.uniform_index(edges.size());
+    std::size_t j = rng.uniform_index(edges.size());
+    if (i == j) continue;
+    Edge& a = edges[i];
+    Edge& b = edges[j];
+    // (u,v),(x,y) → (u,y),(x,v); skip if a self-loop would appear.
+    if (a.u == b.v || b.u == a.v) continue;
+    std::swap(a.v, b.v);
+  }
+  return Graph(g.num_nodes(), std::move(edges));
+}
+
+Graph connect_by_edge_swap(Rng& rng, const Graph& g) {
+  // A swap (u,v),(x,y) → (u,x),(v,y) preserves all degrees; it merges the
+  // two components fully when the giant-side edge lies on a cycle.  In a
+  // forest #components = V − E is invariant under swaps, so merging spends
+  // one giant cycle per fragment — heavy-tailed configuration-model giants
+  // carry far more cycles than fragments.  Random edge picks occasionally
+  // hit bridges and merely reshuffle; iterating a few rounds converges.
+  std::vector<Edge> edges = g.edges();
+  if (edges.size() < 2) return g;
+  for (int round = 0; round < 64; ++round) {
+    UnionFind uf(g.num_nodes());
+    for (const Edge& e : edges) uf.unite(e.u, e.v);
+    std::unordered_map<NodeId, std::vector<std::size_t>> comp_edges;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      comp_edges[uf.find(edges[i].u)].push_back(i);
+    }
+    if (comp_edges.size() <= 1) break;
+    NodeId giant_root = comp_edges.begin()->first;
+    for (const auto& [root, idxs] : comp_edges) {
+      if (idxs.size() > comp_edges[giant_root].size()) giant_root = root;
+    }
+    const auto& giant_idxs = comp_edges[giant_root];
+    for (const auto& [root, idxs] : comp_edges) {
+      if (root == giant_root) continue;
+      Edge& es = edges[idxs[rng.uniform_index(idxs.size())]];
+      Edge& eg = edges[giant_idxs[rng.uniform_index(giant_idxs.size())]];
+      std::swap(es.v, eg.u);
+    }
+  }
+  return Graph(g.num_nodes(), std::move(edges));
+}
+
+Graph bernoulli_edge_sample(Rng& rng, const Graph& g, double p) {
+  PALU_CHECK(p >= 0.0 && p <= 1.0,
+             "bernoulli_edge_sample: requires 0 <= p <= 1");
+  Graph out(g.num_nodes());
+  for (const Edge& e : g.edges()) {
+    if (rng.bernoulli(p)) out.add_edge(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace palu::graph

@@ -1,0 +1,82 @@
+#include "palu/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "palu/common/error.hpp"
+
+namespace palu::graph {
+
+Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    PALU_CHECK(e.u < num_nodes_ && e.v < num_nodes_,
+               "Graph: edge endpoint out of range");
+  }
+}
+
+void Graph::add_edge(NodeId u, NodeId v) {
+  PALU_CHECK(u < num_nodes_ && v < num_nodes_,
+             "Graph::add_edge: endpoint out of range");
+  edges_.push_back(Edge{u, v});
+}
+
+NodeId Graph::add_nodes(NodeId count) {
+  const NodeId first = num_nodes_;
+  num_nodes_ += count;
+  return first;
+}
+
+std::vector<Degree> Graph::degrees() const {
+  std::vector<Degree> deg(num_nodes_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+Graph Graph::simplified() const {
+  std::vector<Edge> canon;
+  canon.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.u == e.v) continue;  // drop self-loops
+    canon.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+  }
+  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
+    return a.u < b.u || (a.u == b.u && a.v < b.v);
+  });
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  return Graph(num_nodes_, std::move(canon));
+}
+
+Graph::Adjacency Graph::adjacency() const {
+  Adjacency adj;
+  adj.offsets.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++adj.offsets[e.u + 1];
+    ++adj.offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < adj.offsets.size(); ++i) {
+    adj.offsets[i] += adj.offsets[i - 1];
+  }
+  adj.neighbors.resize(adj.offsets.back());
+  std::vector<std::size_t> cursor(adj.offsets.begin(),
+                                  adj.offsets.end() - 1);
+  for (const Edge& e : edges_) {
+    adj.neighbors[cursor[e.u]++] = e.v;
+    adj.neighbors[cursor[e.v]++] = e.u;
+  }
+  return adj;
+}
+
+NodeId Graph::append_disjoint(const Graph& other) {
+  const NodeId offset = num_nodes_;
+  num_nodes_ += other.num_nodes_;
+  edges_.reserve(edges_.size() + other.edges_.size());
+  for (const Edge& e : other.edges_) {
+    edges_.push_back(Edge{e.u + offset, e.v + offset});
+  }
+  return offset;
+}
+
+}  // namespace palu::graph

@@ -1,0 +1,118 @@
+#include "palu/io/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <string>
+#include <string_view>
+
+#include "palu/common/error.hpp"
+
+namespace palu::io {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void malformed(std::size_t line_number,
+                            const std::string& line) {
+  throw DataError("read_trace: malformed line " +
+                  std::to_string(line_number) + ": '" + line + "'");
+}
+
+NodeId parse_id(std::string_view token, std::size_t line_number,
+                const std::string& line) {
+  NodeId value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    malformed(line_number, line);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<traffic::Packet> read_trace(std::istream& in) {
+  std::vector<traffic::Packet> packets;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#') continue;
+    const std::size_t split = body.find_first_of(" \t");
+    if (split == std::string_view::npos) malformed(line_number, line);
+    const std::string_view src_tok = trim(body.substr(0, split));
+    const std::string_view dst_tok = trim(body.substr(split));
+    if (src_tok.empty() || dst_tok.empty()) malformed(line_number, line);
+    packets.push_back(
+        traffic::Packet{parse_id(src_tok, line_number, line),
+                        parse_id(dst_tok, line_number, line)});
+  }
+  return packets;
+}
+
+void write_trace(std::ostream& out,
+                 std::span<const traffic::Packet> pkts) {
+  out << "# palu packet trace: one 'src dst' pair per line\n";
+  for (const traffic::Packet& p : pkts) {
+    out << p.src << ' ' << p.dst << '\n';
+  }
+}
+
+void write_edge_list(std::ostream& out, const graph::Graph& g) {
+  out << "# nodes=" << g.num_nodes() << '\n';
+  for (const graph::Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+graph::Graph read_edge_list(std::istream& in) {
+  std::vector<graph::Edge> edges;
+  NodeId declared_nodes = 0;
+  bool have_declaration = false;
+  NodeId max_endpoint = 0;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view body = trim(line);
+    if (body.empty()) continue;
+    if (body.front() == '#') {
+      const std::size_t pos = body.find("nodes=");
+      if (pos != std::string_view::npos) {
+        declared_nodes =
+            parse_id(trim(body.substr(pos + 6)), line_number, line);
+        have_declaration = true;
+      }
+      continue;
+    }
+    const std::size_t split = body.find_first_of(" \t");
+    if (split == std::string_view::npos) malformed(line_number, line);
+    const NodeId u = parse_id(trim(body.substr(0, split)), line_number,
+                              line);
+    const NodeId v = parse_id(trim(body.substr(split)), line_number,
+                              line);
+    max_endpoint = std::max({max_endpoint, u, v});
+    edges.push_back(graph::Edge{u, v});
+  }
+  const NodeId nodes =
+      have_declaration ? declared_nodes
+                       : (edges.empty() ? 0 : max_endpoint + 1);
+  if (have_declaration && !edges.empty() && max_endpoint >= nodes) {
+    throw DataError(
+        "read_edge_list: endpoint exceeds the declared node count");
+  }
+  return graph::Graph(nodes, std::move(edges));
+}
+
+}  // namespace palu::io

@@ -1,0 +1,192 @@
+#include "palu/linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace palu::linalg {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  PALU_CHECK(cols_ == other.rows_, "Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::multiply(const Vector& v) const {
+  PALU_CHECK(cols_ == v.size(), "Matrix::multiply: vector size mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = (*this)(r, i);
+      if (a == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) {
+        g(i, j) += a * (*this)(r, j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Vector Matrix::transpose_multiply(const Vector& v) const {
+  PALU_CHECK(rows_ == v.size(),
+             "Matrix::transpose_multiply: vector size mismatch");
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double x = v[r];
+    if (x == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += (*this)(r, c) * x;
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  PALU_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+             "Matrix::max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  PALU_CHECK(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0)) {
+      throw ConvergenceError("Cholesky: matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / ljj;
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  PALU_CHECK(b.size() == n, "Cholesky::solve: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {  // forward: L·y = b
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {  // back: Lᵀ·x = y
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+double Cholesky::log_determinant() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+HouseholderQr::HouseholderQr(const Matrix& a)
+    : qr_(a), m_(a.rows()), n_(a.cols()) {
+  PALU_CHECK(m_ >= n_, "HouseholderQr: requires rows >= cols");
+  tau_.assign(n_, 0.0);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Norm of the k-th column below (and including) the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m_; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;  // exactly zero column; flagged by min_abs_diag
+    // Match the sign of the pivot so the +1 below grows the reflector head.
+    if (qr_(k, k) < 0.0) norm = -norm;
+    for (std::size_t i = k; i < m_; ++i) qr_(i, k) /= norm;
+    qr_(k, k) += 1.0;
+    tau_[k] = -norm;  // R's diagonal entry
+    // Apply reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * qr_(i, j);
+      s = -s / qr_(k, k);
+      for (std::size_t i = k; i < m_; ++i) qr_(i, j) += s * qr_(i, k);
+    }
+  }
+}
+
+Vector HouseholderQr::solve(const Vector& b) const {
+  PALU_CHECK(b.size() == m_, "HouseholderQr::solve: size mismatch");
+  Vector y = b;
+  // y ← Qᵀ·b
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (tau_[k] == 0.0) continue;
+    double s = 0.0;
+    for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * y[i];
+    s = -s / qr_(k, k);
+    for (std::size_t i = k; i < m_; ++i) y[i] += s * qr_(i, k);
+  }
+  // Back-substitute R·x = y[0..n).
+  Vector x(n_);
+  for (std::size_t kk = n_; kk-- > 0;) {
+    PALU_CHECK(tau_[kk] != 0.0, "HouseholderQr::solve: rank-deficient");
+    double sum = y[kk];
+    for (std::size_t j = kk + 1; j < n_; ++j) sum -= qr_(kk, j) * x[j];
+    x[kk] = sum / tau_[kk];
+  }
+  return x;
+}
+
+double HouseholderQr::min_abs_diag() const {
+  double m = std::abs(tau_.empty() ? 0.0 : tau_[0]);
+  for (double t : tau_) m = std::min(m, std::abs(t));
+  return m;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  PALU_CHECK(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace palu::linalg

@@ -1,0 +1,67 @@
+#include "palu/math/lambda_ratio.hpp"
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/math/stable.hpp"
+
+namespace palu::math {
+
+double lambda_moment_ratio(double lambda_cap) {
+  PALU_CHECK(lambda_cap >= 0.0, "lambda_moment_ratio: requires Λ >= 0");
+  if (lambda_cap < 1e-8) {
+    // g(Λ) = 2 + Λ/3 + Λ²/18 + O(Λ³).
+    return 2.0 + lambda_cap / 3.0 + lambda_cap * lambda_cap / 18.0;
+  }
+  const double denom = expm1_minus_x(lambda_cap);
+  if (!std::isfinite(denom)) return lambda_cap;  // e^Λ overflowed: g → Λ
+  return lambda_cap + lambda_cap * lambda_cap / denom;
+}
+
+double lambda_moment_ratio_derivative(double lambda_cap) {
+  PALU_CHECK(lambda_cap >= 0.0,
+             "lambda_moment_ratio_derivative: requires Λ >= 0");
+  if (lambda_cap < 1e-6) {
+    // g'(Λ) = 1/3 + Λ/9 + O(Λ²).
+    return 1.0 / 3.0 + lambda_cap / 9.0;
+  }
+  if (lambda_cap > 40.0) {
+    // D ≈ e^Λ: g' = 1 + (2Λ − Λ²)e^{-Λ} + O(Λ³e^{-2Λ}).
+    return 1.0 + (2.0 - lambda_cap) * lambda_cap * std::exp(-lambda_cap);
+  }
+  const double d = expm1_minus_x(lambda_cap);
+  const double e1 = std::expm1(lambda_cap);
+  return 1.0 + 2.0 * lambda_cap / d -
+         lambda_cap * lambda_cap * e1 / (d * d);
+}
+
+double invert_lambda_moment_ratio(double r) {
+  PALU_CHECK(r >= 2.0, "invert_lambda_moment_ratio: requires r >= 2");
+  if (r == 2.0) return 0.0;
+  // g(Λ) ∈ [max(2, Λ), Λ + 2], so the root lies in [r − 2, r].
+  double lo = std::max(0.0, r - 2.0);
+  double hi = r;
+  double x = 3.0 * (r - 2.0);  // first-order inverse of g ≈ 2 + Λ/3
+  if (x < lo || x > hi) x = 0.5 * (lo + hi);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double g = lambda_moment_ratio(x);
+    const double err = g - r;
+    if (std::abs(err) <= 1e-13 * (1.0 + std::abs(r))) return x;
+    if (err > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    const double dg = lambda_moment_ratio_derivative(x);
+    double next = x - err / dg;
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);  // bisect fallback
+    if (next == x) return x;
+    x = next;
+  }
+  // Newton/bisection is monotone-convergent here; reaching this means the
+  // bracket collapsed to rounding noise, so the midpoint is the answer.
+  if (hi - lo < 1e-9 * (1.0 + hi)) return 0.5 * (lo + hi);
+  throw ConvergenceError("invert_lambda_moment_ratio: did not converge");
+}
+
+}  // namespace palu::math

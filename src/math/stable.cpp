@@ -1,0 +1,41 @@
+#include "palu/math/stable.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace palu::math {
+
+double expm1_minus_x(double x) {
+  if (std::abs(x) < 1e-4) {
+    // x²/2 · (1 + x/3 + x²/12 + x³/60); next term is O(x⁴/360) relative.
+    return 0.5 * x * x *
+           (1.0 + x / 3.0 + x * x / 12.0 + x * x * x / 60.0);
+  }
+  return std::expm1(x) - x;
+}
+
+double xlogy(double x, double y) {
+  if (x == 0.0) return 0.0;
+  return x * std::log(y);
+}
+
+double log1p_minus_x(double x) {
+  if (std::abs(x) < 1e-4) {
+    // −x²/2 + x³/3 − x⁴/4 …
+    return x * x * (-0.5 + x * (1.0 / 3.0 + x * (-0.25)));
+  }
+  return std::log1p(x) - x;
+}
+
+double log_add_exp(double a, double b) {
+  const double m = std::max(a, b);
+  if (!std::isfinite(m)) return m;  // both -inf (or a nan propagates)
+  return m + std::log1p(std::exp(std::min(a, b) - m));
+}
+
+double rel_diff(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) / scale;
+}
+
+}  // namespace palu::math

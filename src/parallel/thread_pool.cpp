@@ -1,0 +1,74 @@
+#include "palu/parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "palu/common/error.hpp"
+#include "palu/parallel/parallel_for.hpp"
+
+namespace palu {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PALU_CHECK(!stopping_, "ThreadPool: submit after shutdown");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+namespace detail {
+
+std::vector<IndexRange> make_chunks(std::size_t begin, std::size_t end,
+                                    std::size_t grain, std::size_t workers) {
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = 1;
+  std::size_t target_chunks = std::max<std::size_t>(1, workers * 4);
+  std::size_t chunk = std::max(grain, (n + target_chunks - 1) / target_chunks);
+  std::vector<IndexRange> out;
+  out.reserve(n / chunk + 1);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    out.push_back(IndexRange{lo, std::min(end, lo + chunk)});
+  }
+  return out;
+}
+
+}  // namespace detail
+}  // namespace palu

@@ -1,0 +1,239 @@
+#include "palu/rng/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "palu/common/error.hpp"
+#include "palu/math/gamma.hpp"
+
+namespace palu::rng {
+namespace {
+
+// Poisson by multiplicative inversion; expected iterations = λ.
+std::uint64_t poisson_inversion(Rng& rng, double lambda) {
+  const double limit = std::exp(-lambda);
+  double prod = 1.0;
+  std::uint64_t k = 0;
+  for (;;) {
+    prod *= rng.uniform_positive();
+    if (prod <= limit) return k;
+    ++k;
+  }
+}
+
+// Hörmann's PTRS transformed-rejection Poisson sampler; exact for λ >= 10.
+// W. Hörmann, "The transformed rejection method for generating Poisson
+// random variables", Insurance: Mathematics and Economics 12 (1993).
+std::uint64_t poisson_ptrs(Rng& rng, double lambda) {
+  const double b = 0.931 + 2.53 * std::sqrt(lambda);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  const double log_lambda = std::log(lambda);
+  for (;;) {
+    const double u = rng.uniform() - 0.5;
+    const double v = rng.uniform_positive();
+    const double us = 0.5 - std::abs(u);
+    const double kf = std::floor((2.0 * a / us + b) * u + lambda + 0.43);
+    if (kf < 0.0) continue;
+    const auto k = static_cast<std::uint64_t>(kf);
+    if (us >= 0.07 && v <= v_r) return k;
+    if (us < 0.013 && v > us) continue;
+    const double lhs = std::log(v * inv_alpha / (a / (us * us) + b));
+    const double rhs =
+        kf * log_lambda - lambda - math::log_factorial(k);
+    if (lhs <= rhs) return k;
+  }
+}
+
+// Binomial by waiting-time inversion; expected iterations = n·p + 1.
+std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
+  const double log_q = std::log1p(-p);
+  std::uint64_t count = 0;
+  double x = 0.0;
+  for (;;) {
+    // Skip a Geometric(p)-distributed run of failures.
+    x += std::floor(std::log(rng.uniform_positive()) / log_q) + 1.0;
+    if (x > static_cast<double>(n)) return count;
+    ++count;
+  }
+}
+
+// Hörmann's BTRS transformed-rejection binomial sampler; exact for
+// n·p ≥ 10, p ≤ 0.5.
+std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) {
+  const double nd = static_cast<double>(n);
+  const double spq = std::sqrt(nd * p * (1.0 - p));
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double lpq = std::log(p / (1.0 - p));
+  const double m = std::floor((nd + 1.0) * p);
+  const double h = math::log_factorial(static_cast<std::uint64_t>(m)) +
+                   math::log_factorial(n - static_cast<std::uint64_t>(m));
+  for (;;) {
+    const double u = rng.uniform() - 0.5;
+    const double v = rng.uniform_positive();
+    const double us = 0.5 - std::abs(u);
+    const double kf = std::floor((2.0 * a / us + b) * u + c);
+    if (kf < 0.0 || kf > nd) continue;
+    const auto k = static_cast<std::uint64_t>(kf);
+    if (us >= 0.07 && v <= v_r) return k;
+    const double lhs = std::log(v * alpha / (a / (us * us) + b));
+    const double rhs = h - math::log_factorial(k) -
+                       math::log_factorial(n - k) + (kf - m) * lpq;
+    if (lhs <= rhs) return k;
+  }
+}
+
+}  // namespace
+
+std::uint64_t sample_poisson(Rng& rng, double lambda) {
+  PALU_CHECK(lambda >= 0.0, "sample_poisson: requires lambda >= 0");
+  if (lambda == 0.0) return 0;
+  if (lambda < 10.0) return poisson_inversion(rng, lambda);
+  return poisson_ptrs(rng, lambda);
+}
+
+std::uint64_t sample_binomial(Rng& rng, std::uint64_t n, double p) {
+  PALU_CHECK(p >= 0.0 && p <= 1.0, "sample_binomial: requires 0 <= p <= 1");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  const bool flipped = p > 0.5;
+  const double q = flipped ? 1.0 - p : p;
+  const double nq = static_cast<double>(n) * q;
+  const std::uint64_t k =
+      nq < 10.0 ? binomial_inversion(rng, n, q) : binomial_btrs(rng, n, q);
+  return flipped ? n - k : k;
+}
+
+std::uint64_t sample_geometric(Rng& rng, double q) {
+  PALU_CHECK(q > 0.0 && q <= 1.0, "sample_geometric: requires 0 < q <= 1");
+  if (q == 1.0) return 1;
+  const double u = rng.uniform_positive();
+  return 1 + static_cast<std::uint64_t>(
+                 std::floor(std::log(u) / std::log1p(-q)));
+}
+
+BoundedZipfSampler::BoundedZipfSampler(double alpha, std::uint64_t dmax)
+    : BoundedZipfSampler(alpha, 1, dmax) {}
+
+BoundedZipfSampler::BoundedZipfSampler(double alpha, std::uint64_t dmin,
+                                       std::uint64_t dmax)
+    : alpha_(alpha), dmin_(dmin), dmax_(dmax) {
+  PALU_CHECK(alpha > 0.0, "BoundedZipfSampler: requires alpha > 0");
+  PALU_CHECK(dmin >= 1 && dmin <= dmax,
+             "BoundedZipfSampler: requires 1 <= dmin <= dmax");
+  const double lo = static_cast<double>(dmin);
+  steep_ = alpha >= 8.0;
+  if (steep_) {
+    double total = 0.0;
+    std::uint64_t d = dmin;
+    for (; d <= dmax && d < dmin + 4096; ++d) {
+      const double term = std::pow(static_cast<double>(d), -alpha);
+      total += term;
+      if (term < total * 1e-18) break;
+    }
+    total_mass_ = total;
+    return;
+  }
+  h_integral_lo_ = h_integral(lo + 0.5) - h(lo);
+  h_integral_hi_ = h_integral(static_cast<double>(dmax) + 0.5);
+  s_ = (lo + 1.0) -
+       h_integral_inverse(h_integral(lo + 1.5) - h(lo + 1.0));
+}
+
+std::uint64_t BoundedZipfSampler::sample_steep(Rng& rng) const {
+  if (total_mass_ <= 0.0) return dmin_;  // mass underflowed: δ at dmin
+  const double target = rng.uniform() * total_mass_;
+  double acc = 0.0;
+  for (std::uint64_t d = dmin_; d <= dmax_; ++d) {
+    acc += std::pow(static_cast<double>(d), -alpha_);
+    if (acc >= target) return d;
+  }
+  return dmax_;
+}
+
+double BoundedZipfSampler::h(double x) const { return std::pow(x, -alpha_); }
+
+double BoundedZipfSampler::h_integral(double x) const {
+  // ∫ x^{-α} dx; the α == 1 limit is log.
+  const double log_x = std::log(x);
+  if (std::abs(alpha_ - 1.0) < 1e-12) return log_x;
+  return std::expm1((1.0 - alpha_) * log_x) / (1.0 - alpha_);
+}
+
+double BoundedZipfSampler::h_integral_inverse(double y) const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) return std::exp(y);
+  double t = y * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // guard rounding below the pole
+  return std::exp(std::log1p(t) / (1.0 - alpha_));
+}
+
+std::uint64_t BoundedZipfSampler::operator()(Rng& rng) const {
+  if (dmin_ == dmax_) return dmin_;
+  if (steep_) return sample_steep(rng);
+  for (;;) {
+    const double u =
+        h_integral_hi_ + rng.uniform() * (h_integral_lo_ - h_integral_hi_);
+    const double x = h_integral_inverse(u);
+    double kf = std::floor(x + 0.5);
+    kf = std::clamp(kf, static_cast<double>(dmin_),
+                    static_cast<double>(dmax_));
+    const auto k = static_cast<std::uint64_t>(kf);
+    if (kf - x <= s_ || u >= h_integral(kf + 0.5) - h(kf)) {
+      return k;
+    }
+  }
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights,
+                           std::uint64_t offset)
+    : offset_(offset) {
+  PALU_CHECK(!weights.empty(), "AliasSampler: empty weight vector");
+  PALU_CHECK(weights.size() < (std::uint64_t{1} << 32),
+             "AliasSampler: too many outcomes");
+  double total = 0.0;
+  for (double w : weights) {
+    PALU_CHECK(w >= 0.0 && std::isfinite(w),
+               "AliasSampler: weights must be finite and non-negative");
+    total += w;
+  }
+  PALU_CHECK(total > 0.0, "AliasSampler: weights sum to zero");
+  const std::size_t n = weights.size();
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  // Scaled probabilities; Vose's stable two-worklist construction.
+  std::vector<double> scaled(n);
+  std::deque<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.front();
+    small.pop_front();
+    const std::uint32_t l = large.front();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_front();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+}
+
+std::uint64_t AliasSampler::operator()(Rng& rng) const {
+  const std::uint64_t i = rng.uniform_index(prob_.size());
+  const bool keep = rng.uniform() < prob_[i];
+  return offset_ + (keep ? i : alias_[i]);
+}
+
+}  // namespace palu::rng

@@ -1,0 +1,67 @@
+#include "palu/stats/chisq.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/math/incomplete_gamma.hpp"
+
+namespace palu::stats {
+
+ChiSquareResult chi_square_pooled(const LogBinned& observed,
+                                  const LogBinned& model,
+                                  Count sample_size,
+                                  std::size_t params_fitted,
+                                  double min_expected) {
+  PALU_CHECK(sample_size > 0, "chi_square_pooled: empty sample");
+  PALU_CHECK(min_expected > 0.0,
+             "chi_square_pooled: min_expected must be positive");
+  const std::size_t nbins =
+      std::max(observed.num_bins(), model.num_bins());
+  PALU_CHECK(nbins >= 2, "chi_square_pooled: need at least 2 bins");
+  const double n = static_cast<double>(sample_size);
+
+  // Merge low-expectation bins rightward (tail bins are the sparse ones).
+  std::vector<double> obs_counts, exp_counts;
+  double obs_acc = 0.0, exp_acc = 0.0;
+  for (std::size_t i = 0; i < nbins; ++i) {
+    obs_acc += (i < observed.num_bins() ? observed[i] : 0.0) * n;
+    exp_acc += (i < model.num_bins() ? model[i] : 0.0) * n;
+    if (exp_acc >= min_expected) {
+      obs_counts.push_back(obs_acc);
+      exp_counts.push_back(exp_acc);
+      obs_acc = exp_acc = 0.0;
+    }
+  }
+  if (exp_acc > 0.0 || obs_acc > 0.0) {
+    if (!exp_counts.empty()) {
+      obs_counts.back() += obs_acc;
+      exp_counts.back() += exp_acc;
+    } else {
+      obs_counts.push_back(obs_acc);
+      exp_counts.push_back(exp_acc);
+    }
+  }
+  PALU_CHECK(obs_counts.size() >= 2,
+             "chi_square_pooled: fewer than 2 usable bins after merging");
+
+  ChiSquareResult out;
+  out.bins_used = obs_counts.size();
+  for (std::size_t i = 0; i < obs_counts.size(); ++i) {
+    PALU_CHECK(exp_counts[i] > 0.0,
+               "chi_square_pooled: model assigns zero mass to a bin with "
+               "observations");
+    const double diff = obs_counts[i] - exp_counts[i];
+    out.statistic += diff * diff / exp_counts[i];
+  }
+  const double dof = static_cast<double>(obs_counts.size()) - 1.0 -
+                     static_cast<double>(params_fitted);
+  PALU_CHECK(dof >= 1.0,
+             "chi_square_pooled: not enough bins for the fitted "
+             "parameter count");
+  out.dof = dof;
+  out.p_value = math::chi_squared_survival(out.statistic, dof);
+  return out;
+}
+
+}  // namespace palu::stats

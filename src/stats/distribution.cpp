@@ -1,0 +1,63 @@
+#include "palu/stats/distribution.hpp"
+
+#include <algorithm>
+
+#include "palu/common/error.hpp"
+
+namespace palu::stats {
+
+EmpiricalDistribution EmpiricalDistribution::from_histogram(
+    const DegreeHistogram& h) {
+  // Nodes of degree 0 are invisible to traffic capture (Section V), so the
+  // distribution is over the positive support only.
+  std::vector<std::pair<Degree, Count>> entries = h.sorted();
+  std::erase_if(entries, [](const auto& e) { return e.first == 0; });
+  if (entries.empty()) {
+    throw DataError("EmpiricalDistribution: histogram has no positive mass");
+  }
+  EmpiricalDistribution out;
+  Count n = 0;
+  for (const auto& [d, c] : entries) n += c;
+  out.n_ = n;
+  out.support_.reserve(entries.size());
+  out.pmf_.reserve(entries.size());
+  out.cdf_.reserve(entries.size());
+  double running = 0.0;
+  for (const auto& [d, c] : entries) {
+    const double p = static_cast<double>(c) / static_cast<double>(n);
+    running += p;
+    out.support_.push_back(d);
+    out.pmf_.push_back(p);
+    out.cdf_.push_back(running);
+  }
+  out.cdf_.back() = 1.0;  // absorb rounding
+  return out;
+}
+
+double EmpiricalDistribution::probability_at(Degree d) const {
+  const auto it = std::lower_bound(support_.begin(), support_.end(), d);
+  if (it == support_.end() || *it != d) return 0.0;
+  return pmf_[static_cast<std::size_t>(it - support_.begin())];
+}
+
+double EmpiricalDistribution::cumulative_at(Degree d) const {
+  // Largest support point <= d.
+  const auto it = std::upper_bound(support_.begin(), support_.end(), d);
+  if (it == support_.begin()) return 0.0;
+  return cdf_[static_cast<std::size_t>(it - support_.begin()) - 1];
+}
+
+double EmpiricalDistribution::ccdf_at(Degree d) const {
+  if (d == 0) return 1.0;
+  return 1.0 - cumulative_at(d - 1);
+}
+
+double EmpiricalDistribution::mean() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < support_.size(); ++i) {
+    acc += static_cast<double>(support_[i]) * pmf_[i];
+  }
+  return acc;
+}
+
+}  // namespace palu::stats

@@ -1,0 +1,44 @@
+#include "palu/stats/histogram.hpp"
+
+#include <algorithm>
+
+namespace palu::stats {
+
+void DegreeHistogram::add(Degree d, Count c) {
+  if (c == 0) return;
+  counts_[d] += c;
+  total_ += c;
+  weighted_total_ += d * c;
+}
+
+DegreeHistogram DegreeHistogram::from_degrees(
+    std::span<const Degree> degrees) {
+  DegreeHistogram h;
+  for (Degree d : degrees) {
+    if (d > 0) h.add(d);
+  }
+  return h;
+}
+
+void DegreeHistogram::merge(const DegreeHistogram& other) {
+  for (const auto& [d, c] : other.counts_) add(d, c);
+}
+
+Count DegreeHistogram::at(Degree d) const {
+  const auto it = counts_.find(d);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+Degree DegreeHistogram::max_degree() const {
+  Degree m = 0;
+  for (const auto& [d, c] : counts_) m = std::max(m, d);
+  return m;
+}
+
+std::vector<std::pair<Degree, Count>> DegreeHistogram::sorted() const {
+  std::vector<std::pair<Degree, Count>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace palu::stats

@@ -1,0 +1,87 @@
+#include "palu/stats/log_binning.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "palu/common/error.hpp"
+
+namespace palu::stats {
+
+std::uint32_t LogBinned::bin_index(Degree d) {
+  PALU_CHECK(d >= 1, "LogBinned::bin_index: requires d >= 1");
+  // Smallest i with 2^i >= d, i.e. ceil(log2(d)):
+  // bit_width(d−1) is exact for integers (d=1 → 0, d=2 → 1, d=3,4 → 2, …).
+  return static_cast<std::uint32_t>(std::bit_width(d - 1));
+}
+
+Degree LogBinned::bin_upper(std::uint32_t i) {
+  PALU_CHECK(i < 64, "LogBinned::bin_upper: bin index overflows 64-bit");
+  return Degree{1} << i;
+}
+
+Degree LogBinned::bin_lower_exclusive(std::uint32_t i) {
+  if (i == 0) return 0;
+  return Degree{1} << (i - 1);
+}
+
+LogBinned LogBinned::from_histogram(const DegreeHistogram& h) {
+  const auto entries = h.sorted();
+  Count total = 0;
+  std::uint32_t nbins = 0;
+  for (const auto& [d, c] : entries) {
+    if (d == 0) continue;
+    total += c;
+    nbins = std::max(nbins, bin_index(d) + 1);
+  }
+  if (total == 0) {
+    throw DataError("LogBinned::from_histogram: no positive-degree mass");
+  }
+  std::vector<double> mass(nbins, 0.0);
+  for (const auto& [d, c] : entries) {
+    if (d == 0) continue;
+    mass[bin_index(d)] +=
+        static_cast<double>(c) / static_cast<double>(total);
+  }
+  return LogBinned(std::move(mass));
+}
+
+double LogBinned::total_mass() const {
+  double acc = 0.0;
+  for (double m : mass_) acc += m;
+  return acc;
+}
+
+void BinnedEnsemble::resize(std::size_t nbins) {
+  if (nbins > mean_.size()) {
+    // Bins absent from all earlier windows held exactly 0 in each of them,
+    // so extending mean/m2 with zeros keeps the Welford state consistent.
+    mean_.resize(nbins, 0.0);
+    m2_.resize(nbins, 0.0);
+  }
+}
+
+void BinnedEnsemble::add(const LogBinned& window) {
+  resize(window.num_bins());
+  ++count_;
+  const double n = static_cast<double>(count_);
+  for (std::size_t i = 0; i < mean_.size(); ++i) {
+    const double x = i < window.num_bins() ? window[i] : 0.0;
+    const double delta = x - mean_[i];
+    mean_[i] += delta / n;
+    m2_[i] += delta * (x - mean_[i]);
+  }
+}
+
+std::vector<double> BinnedEnsemble::mean() const { return mean_; }
+
+std::vector<double> BinnedEnsemble::stddev() const {
+  std::vector<double> out(mean_.size(), 0.0);
+  if (count_ >= 2) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = std::sqrt(m2_[i] / static_cast<double>(count_ - 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace palu::stats

@@ -1,0 +1,76 @@
+#include "palu/stats/summary.hpp"
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+
+namespace palu::stats {
+
+DistributionSummary summarize(const DegreeHistogram& h) {
+  PALU_CHECK(!h.empty(), "summarize: empty histogram");
+  const auto entries = h.sorted();
+  DistributionSummary out;
+  out.observations = h.total();
+  out.min = entries.front().first;
+  out.max = entries.back().first;
+  const double n = static_cast<double>(out.observations);
+  out.mean = static_cast<double>(h.weighted_total()) / n;
+  double m2 = 0.0;
+  for (const auto& [d, c] : entries) {
+    const double dev = static_cast<double>(d) - out.mean;
+    m2 += static_cast<double>(c) * dev * dev;
+  }
+  out.variance = m2 / n;
+  // Gini over sorted values: G = (2·Σ_i i·x_(i) / (n·Σx)) − (n+1)/n with
+  // 1-based ranks; runs over grouped counts without expanding.
+  const double total_mass = static_cast<double>(h.weighted_total());
+  if (total_mass > 0.0) {
+    double rank_weighted = 0.0;  // Σ over observations of rank·value
+    double rank_before = 0.0;    // observations strictly below this group
+    for (const auto& [d, c] : entries) {
+      const double cd = static_cast<double>(c);
+      // Ranks occupied by this group: rank_before+1 .. rank_before+c;
+      // their sum is c·rank_before + c(c+1)/2.
+      rank_weighted += static_cast<double>(d) *
+                       (cd * rank_before + 0.5 * cd * (cd + 1.0));
+      rank_before += cd;
+    }
+    out.gini =
+        2.0 * rank_weighted / (n * total_mass) - (n + 1.0) / n;
+  }
+  return out;
+}
+
+Degree quantile(const DegreeHistogram& h, double q) {
+  PALU_CHECK(!h.empty(), "quantile: empty histogram");
+  PALU_CHECK(q >= 0.0 && q <= 1.0, "quantile: q out of [0, 1]");
+  const auto entries = h.sorted();
+  const double target = q * static_cast<double>(h.total());
+  double seen = 0.0;
+  for (const auto& [d, c] : entries) {
+    seen += static_cast<double>(c);
+    if (seen >= target) return d;
+  }
+  return entries.back().first;
+}
+
+double top_share(const DegreeHistogram& h, double top_fraction) {
+  PALU_CHECK(!h.empty(), "top_share: empty histogram");
+  PALU_CHECK(top_fraction > 0.0 && top_fraction <= 1.0,
+             "top_share: fraction out of (0, 1]");
+  const auto entries = h.sorted();
+  const double total_mass = static_cast<double>(h.weighted_total());
+  PALU_CHECK(total_mass > 0.0, "top_share: zero total mass");
+  double budget =
+      top_fraction * static_cast<double>(h.total());  // observations
+  double mass = 0.0;
+  for (auto it = entries.rbegin(); it != entries.rend() && budget > 0.0;
+       ++it) {
+    const double take = std::min(budget, static_cast<double>(it->second));
+    mass += take * static_cast<double>(it->first);
+    budget -= take;
+  }
+  return mass / total_mass;
+}
+
+}  // namespace palu::stats

@@ -1,0 +1,50 @@
+#include "palu/traffic/aggregates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "palu/traffic/assoc.hpp"
+
+namespace palu::traffic {
+
+Aggregates aggregates_summation(const SparseCountMatrix& a) {
+  Aggregates out;
+  std::unordered_map<NodeId, Count> row_sum;
+  std::unordered_map<NodeId, Count> col_sum;
+  for (const auto& e : a.entries()) {
+    out.valid_packets += e.packets;
+    ++out.unique_links;  // Σ |A(i,j)|₀
+    row_sum[e.src] += e.packets;
+    col_sum[e.dst] += e.packets;
+    out.max_link_packets = std::max(out.max_link_packets, e.packets);
+  }
+  out.unique_sources = row_sum.size();       // Σ_i |Σ_j A(i,j)|₀
+  out.unique_destinations = col_sum.size();  // Σ_j |Σ_i A(i,j)|₀
+  return out;
+}
+
+Aggregates aggregates_matrix(const SparseCountMatrix& a) {
+  // The Table-I matrix column, written in associative-array algebra
+  // exactly as the paper states it.
+  AssocArray mat;
+  Count max_link = 0;
+  for (const auto& e : a.entries()) {
+    mat.add(e.src, e.dst, static_cast<double>(e.packets));
+    max_link = std::max(max_link, e.packets);
+  }
+  const auto as_count = [](double x) {
+    return static_cast<Count>(std::llround(x));
+  };
+  Aggregates out;
+  out.valid_packets = as_count(mat.row_sums().sum());       // 1ᵀ A 1
+  out.unique_links = as_count(mat.zero_norm().sum());       // 1ᵀ|A|₀1
+  out.unique_sources =
+      as_count(mat.row_sums().zero_norm().sum());           // |A·1|₀
+  out.unique_destinations =
+      as_count(mat.col_sums().zero_norm().sum());           // |1ᵀA|₀
+  out.max_link_packets = max_link;
+  return out;
+}
+
+}  // namespace palu::traffic

@@ -1,0 +1,147 @@
+#include "palu/traffic/assoc.hpp"
+
+#include <algorithm>
+
+namespace palu::traffic {
+
+void SparseVector::set(NodeId key, double value) {
+  if (value == 0.0) {
+    values_.erase(key);
+  } else {
+    values_[key] = value;
+  }
+}
+
+void SparseVector::add(NodeId key, double value) {
+  if (value == 0.0) return;
+  const double updated = (values_[key] += value);
+  if (updated == 0.0) values_.erase(key);
+}
+
+double SparseVector::at(NodeId key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+double SparseVector::sum() const {
+  double acc = 0.0;
+  for (const auto& [key, value] : values_) acc += value;
+  return acc;
+}
+
+SparseVector SparseVector::zero_norm() const {
+  SparseVector out;
+  for (const auto& [key, value] : values_) out.set(key, 1.0);
+  return out;
+}
+
+SparseVector SparseVector::plus(const SparseVector& other) const {
+  SparseVector out = *this;
+  for (const auto& [key, value] : other.values_) out.add(key, value);
+  return out;
+}
+
+double SparseVector::dot(const SparseVector& other) const {
+  const SparseVector& small =
+      nnz() <= other.nnz() ? *this : other;
+  const SparseVector& big = nnz() <= other.nnz() ? other : *this;
+  double acc = 0.0;
+  for (const auto& [key, value] : small.values_) {
+    acc += value * big.at(key);
+  }
+  return acc;
+}
+
+std::vector<std::pair<NodeId, double>> SparseVector::sorted() const {
+  std::vector<std::pair<NodeId, double>> out(values_.begin(),
+                                             values_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void AssocArray::add(NodeId row, NodeId col, double value) {
+  if (value == 0.0) return;
+  const double updated = (cells_[{row, col}] += value);
+  if (updated == 0.0) cells_.erase({row, col});
+}
+
+double AssocArray::at(NodeId row, NodeId col) const {
+  const auto it = cells_.find({row, col});
+  return it == cells_.end() ? 0.0 : it->second;
+}
+
+double AssocArray::sum() const {
+  double acc = 0.0;
+  for (const auto& [key, value] : cells_) acc += value;
+  return acc;
+}
+
+AssocArray AssocArray::zero_norm() const {
+  AssocArray out;
+  for (const auto& [key, value] : cells_) {
+    out.cells_[key] = 1.0;
+  }
+  return out;
+}
+
+AssocArray AssocArray::transposed() const {
+  AssocArray out;
+  for (const auto& [key, value] : cells_) {
+    out.cells_[{key.second, key.first}] = value;
+  }
+  return out;
+}
+
+SparseVector AssocArray::row_sums() const {
+  SparseVector out;
+  for (const auto& [key, value] : cells_) out.add(key.first, value);
+  return out;
+}
+
+SparseVector AssocArray::col_sums() const {
+  SparseVector out;
+  for (const auto& [key, value] : cells_) out.add(key.second, value);
+  return out;
+}
+
+SparseVector AssocArray::multiply(const SparseVector& v) const {
+  SparseVector out;
+  for (const auto& [key, value] : cells_) {
+    const double x = v.at(key.second);
+    if (x != 0.0) out.add(key.first, value * x);
+  }
+  return out;
+}
+
+AssocArray AssocArray::hadamard(const AssocArray& other) const {
+  const AssocArray& small = nnz() <= other.nnz() ? *this : other;
+  const AssocArray& big = nnz() <= other.nnz() ? other : *this;
+  AssocArray out;
+  for (const auto& [key, value] : small.cells_) {
+    const double x = big.at(key.first, key.second);
+    if (x != 0.0) out.cells_[key] = value * x;
+  }
+  return out;
+}
+
+AssocArray AssocArray::plus(const AssocArray& other) const {
+  AssocArray out = *this;
+  for (const auto& [key, value] : other.cells_) {
+    out.add(key.first, key.second, value);
+  }
+  return out;
+}
+
+std::vector<AssocArray::Entry> AssocArray::sorted() const {
+  std::vector<Entry> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, value] : cells_) {
+    out.push_back(Entry{key.first, key.second, value});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.row < b.row || (a.row == b.row && a.col < b.col);
+  });
+  return out;
+}
+
+}  // namespace palu::traffic

@@ -1,0 +1,82 @@
+#include "palu/traffic/quantities.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "palu/common/error.hpp"
+
+namespace palu::traffic {
+
+std::string_view quantity_name(Quantity q) {
+  switch (q) {
+    case Quantity::kSourcePackets: return "source_packets";
+    case Quantity::kSourceFanOut: return "source_fanout";
+    case Quantity::kLinkPackets: return "link_packets";
+    case Quantity::kDestinationFanIn: return "destination_fanin";
+    case Quantity::kDestinationPackets: return "destination_packets";
+    case Quantity::kUndirectedDegree: return "undirected_degree";
+  }
+  return "unknown";
+}
+
+stats::DegreeHistogram quantity_histogram(const SparseCountMatrix& a,
+                                          Quantity q) {
+  stats::DegreeHistogram h;
+  switch (q) {
+    case Quantity::kSourcePackets:
+      for (const auto& [id, m] : a.source_marginals()) h.add(m.packets);
+      break;
+    case Quantity::kSourceFanOut:
+      for (const auto& [id, m] : a.source_marginals()) h.add(m.fan);
+      break;
+    case Quantity::kLinkPackets:
+      for (const auto& e : a.entries()) h.add(e.packets);
+      break;
+    case Quantity::kDestinationFanIn:
+      for (const auto& [id, m] : a.destination_marginals()) h.add(m.fan);
+      break;
+    case Quantity::kDestinationPackets:
+      for (const auto& [id, m] : a.destination_marginals()) h.add(m.packets);
+      break;
+    case Quantity::kUndirectedDegree:
+      return undirected_degree_histogram(a);
+  }
+  return h;
+}
+
+graph::Graph window_to_graph(const SparseCountMatrix& a,
+                             std::vector<NodeId>* id_map) {
+  std::unordered_map<NodeId, NodeId> remap;
+  graph::Graph g(0);
+  if (id_map) id_map->clear();
+  const auto id_of = [&](NodeId raw) {
+    const auto [it, inserted] = remap.try_emplace(raw, g.num_nodes());
+    if (inserted) {
+      g.add_nodes(1);
+      if (id_map) id_map->push_back(raw);
+    }
+    return it->second;
+  };
+  for (const auto& e : a.entries()) {
+    if (e.src == e.dst) continue;
+    g.add_edge(id_of(e.src), id_of(e.dst));
+  }
+  return g.simplified();
+}
+
+stats::DegreeHistogram undirected_degree_histogram(
+    const SparseCountMatrix& a) {
+  // Distinct counterparties per node, both directions merged; a node that
+  // both sends to and receives from the same peer counts that peer once.
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> peers;
+  for (const auto& e : a.entries()) {
+    if (e.src == e.dst) continue;  // self-traffic adds no network edge
+    peers[e.src].insert(e.dst);
+    peers[e.dst].insert(e.src);
+  }
+  stats::DegreeHistogram h;
+  for (const auto& [node, set] : peers) h.add(set.size());
+  return h;
+}
+
+}  // namespace palu::traffic

@@ -1,0 +1,62 @@
+#include "palu/traffic/sparse_matrix.hpp"
+
+#include <algorithm>
+
+namespace palu::traffic {
+
+SparseCountMatrix SparseCountMatrix::from_packets(
+    std::span<const Packet> window) {
+  SparseCountMatrix a;
+  a.cells_.reserve(window.size());
+  for (const Packet& p : window) a.add(p.src, p.dst);
+  return a;
+}
+
+void SparseCountMatrix::add(NodeId src, NodeId dst, Count count) {
+  if (count == 0) return;
+  cells_[{src, dst}] += count;
+  total_ += count;
+}
+
+Count SparseCountMatrix::at(NodeId src, NodeId dst) const {
+  const auto it = cells_.find({src, dst});
+  return it == cells_.end() ? 0 : it->second;
+}
+
+std::vector<SparseCountMatrix::Entry> SparseCountMatrix::entries() const {
+  std::vector<Entry> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, count] : cells_) {
+    out.push_back(Entry{key.first, key.second, count});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.src < b.src || (a.src == b.src && a.dst < b.dst);
+  });
+  return out;
+}
+
+std::unordered_map<NodeId, SparseCountMatrix::Marginal>
+SparseCountMatrix::source_marginals() const {
+  std::unordered_map<NodeId, Marginal> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, count] : cells_) {
+    Marginal& m = out[key.first];
+    m.packets += count;
+    ++m.fan;
+  }
+  return out;
+}
+
+std::unordered_map<NodeId, SparseCountMatrix::Marginal>
+SparseCountMatrix::destination_marginals() const {
+  std::unordered_map<NodeId, Marginal> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, count] : cells_) {
+    Marginal& m = out[key.second];
+    m.packets += count;
+    ++m.fan;
+  }
+  return out;
+}
+
+}  // namespace palu::traffic

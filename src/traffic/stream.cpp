@@ -1,0 +1,113 @@
+#include "palu/traffic/stream.hpp"
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+
+namespace palu::traffic {
+
+std::vector<double> make_edge_rates(const graph::Graph& g,
+                                    const RateModel& model, Rng rng) {
+  std::vector<double> rates(g.num_edges());
+  switch (model.kind) {
+    case RateModel::Kind::kUniform:
+      for (double& r : rates) r = 1.0;
+      break;
+    case RateModel::Kind::kPareto: {
+      PALU_CHECK(model.pareto_tail > 0.0,
+                 "make_edge_rates: pareto_tail must be > 0");
+      for (double& r : rates) {
+        r = std::pow(rng.uniform_positive(), -1.0 / model.pareto_tail);
+      }
+      break;
+    }
+    case RateModel::Kind::kDegreeProduct: {
+      const auto deg = g.degrees();
+      const auto& edges = g.edges();
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        rates[i] = static_cast<double>(deg[edges[i].u]) *
+                   static_cast<double>(deg[edges[i].v]);
+      }
+      break;
+    }
+  }
+  return rates;
+}
+
+SyntheticTrafficGenerator::SyntheticTrafficGenerator(
+    const graph::Graph& underlying, const RateModel& rates, Rng rng,
+    double forward_prob)
+    : SyntheticTrafficGenerator(underlying,
+                                make_edge_rates(underlying, rates, rng),
+                                rng.fork(0x7a11), forward_prob) {}
+
+SyntheticTrafficGenerator::SyntheticTrafficGenerator(
+    const graph::Graph& underlying, std::vector<double> rates, Rng rng,
+    double forward_prob)
+    : edges_(underlying.edges()), rng_(rng), forward_prob_(forward_prob) {
+  PALU_CHECK(!edges_.empty(),
+             "SyntheticTrafficGenerator: underlying graph has no edges");
+  PALU_CHECK(forward_prob >= 0.0 && forward_prob <= 1.0,
+             "SyntheticTrafficGenerator: forward_prob out of [0, 1]");
+  PALU_CHECK(rates.size() == edges_.size(),
+             "SyntheticTrafficGenerator: one rate per edge required");
+  rates_ = std::move(rates);
+  double total = 0.0;
+  for (double r : rates_) {
+    PALU_CHECK(r >= 0.0, "SyntheticTrafficGenerator: negative rate");
+    total += r;
+  }
+  PALU_CHECK(total > 0.0, "SyntheticTrafficGenerator: all rates zero");
+  for (double& r : rates_) r /= total;
+  sampler_.emplace(rates_);
+}
+
+Packet SyntheticTrafficGenerator::next() {
+  const std::uint64_t e = (*sampler_)(rng_);
+  const graph::Edge& edge = edges_[e];
+  if (rng_.uniform() < forward_prob_) return Packet{edge.u, edge.v};
+  return Packet{edge.v, edge.u};
+}
+
+SparseCountMatrix SyntheticTrafficGenerator::window(Count n_valid) {
+  SparseCountMatrix a;
+  for (Count i = 0; i < n_valid; ++i) {
+    const Packet p = next();
+    a.add(p.src, p.dst);
+  }
+  return a;
+}
+
+std::vector<SparseCountMatrix> SyntheticTrafficGenerator::windows(
+    Count n_valid, std::size_t count) {
+  std::vector<SparseCountMatrix> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(window(n_valid));
+  return out;
+}
+
+double SyntheticTrafficGenerator::expected_edge_visibility(
+    Count n_valid) const {
+  double acc = 0.0;
+  const double n = static_cast<double>(n_valid);
+  for (double r : rates_) {
+    // P[edge seen] = 1 − (1 − r)^{N_V}.
+    acc += -std::expm1(n * std::log1p(-r));
+  }
+  return acc / static_cast<double>(rates_.size());
+}
+
+double SyntheticTrafficGenerator::expected_unique_links(
+    Count n_valid) const {
+  const double n = static_cast<double>(n_valid);
+  double acc = 0.0;
+  for (const double r : rates_) {
+    const double forward = forward_prob_ * r;
+    const double backward = (1.0 - forward_prob_) * r;
+    if (forward > 0.0) acc += -std::expm1(n * std::log1p(-forward));
+    if (backward > 0.0) acc += -std::expm1(n * std::log1p(-backward));
+  }
+  return acc;
+}
+
+}  // namespace palu::traffic

@@ -1,0 +1,42 @@
+#include "palu/traffic/window_pipeline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/parallel/parallel_for.hpp"
+
+namespace palu::traffic {
+
+WindowSweepResult sweep_windows(const graph::Graph& underlying,
+                                const RateModel& rates, Count n_valid,
+                                std::size_t num_windows, Quantity quantity,
+                                std::uint64_t seed, ThreadPool& pool) {
+  PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
+  PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
+
+  std::vector<stats::DegreeHistogram> histograms(num_windows);
+  const Rng base(seed);
+  // One shared traffic matrix: every window sees the same long-term
+  // per-edge rates; only the packet draws differ between windows.
+  const std::vector<double> shared_rates =
+      make_edge_rates(underlying, rates, base.fork(0));
+  parallel_for(pool, 0, num_windows, /*grain=*/1, [&](IndexRange range) {
+    for (std::size_t t = range.begin; t < range.end; ++t) {
+      SyntheticTrafficGenerator stream(underlying, shared_rates,
+                                       base.fork(t + 1));
+      histograms[t] = quantity_histogram(stream.window(n_valid), quantity);
+    }
+  });
+
+  WindowSweepResult out;
+  out.windows = num_windows;
+  for (const auto& h : histograms) {
+    out.max_value = std::max(out.max_value, h.max_degree());
+    out.ensemble.add(stats::LogBinned::from_histogram(h));
+    out.merged.merge(h);
+  }
+  return out;
+}
+
+}  // namespace palu::traffic

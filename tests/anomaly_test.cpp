@@ -1,0 +1,110 @@
+// Unit tests for the window anomaly detector and window_to_graph.
+#include <gtest/gtest.h>
+
+#include "palu/common/error.hpp"
+#include "palu/core/anomaly.hpp"
+#include "palu/core/generator.hpp"
+#include "palu/core/scenarios.hpp"
+#include "palu/graph/components.hpp"
+#include "palu/traffic/quantities.hpp"
+#include "palu/traffic/sparse_matrix.hpp"
+
+namespace palu {
+namespace {
+
+stats::DegreeHistogram sample_window(const core::PaluParams& params,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  return core::sample_observed_degrees(params, 80000, rng);
+}
+
+TEST(AnomalyDetector, CalmWindowsAreNotFlagged) {
+  const auto calm = core::scenarios::backbone().at_window(0.9);
+  core::WindowAnomalyDetector detector;
+  for (int w = 0; w < 3; ++w) {
+    detector.add_baseline(sample_window(calm, 100 + w));
+  }
+  ASSERT_TRUE(detector.has_baseline());
+  const auto score = detector.score(sample_window(calm, 200));
+  EXPECT_FALSE(score.flagged);
+  EXPECT_GT(score.ks_p_value, 1e-4);
+  EXPECT_GT(score.d1_baseline, 0.0);
+}
+
+TEST(AnomalyDetector, BotWindowsAreFlaggedWithRisingMu) {
+  const auto calm = core::scenarios::backbone().at_window(0.9);
+  const auto botty = core::scenarios::bot_heavy().at_window(0.9);
+  core::WindowAnomalyDetector detector;
+  for (int w = 0; w < 3; ++w) {
+    detector.add_baseline(sample_window(calm, 300 + w));
+  }
+  const auto score = detector.score(sample_window(botty, 400));
+  EXPECT_TRUE(score.flagged);
+  EXPECT_LT(score.ks_p_value, 1e-6);
+  EXPECT_GT(score.mu_window, score.mu_baseline);
+  EXPECT_GT(score.d1_window, score.d1_baseline);
+}
+
+TEST(AnomalyDetector, ThresholdIsConfigurable) {
+  const auto calm = core::scenarios::backbone().at_window(0.9);
+  core::AnomalyOptions opts;
+  opts.p_threshold = 1.1;  // flag everything
+  core::WindowAnomalyDetector detector(opts);
+  detector.add_baseline(sample_window(calm, 500));
+  EXPECT_TRUE(detector.score(sample_window(calm, 501)).flagged);
+}
+
+TEST(AnomalyDetector, RequiresBaseline) {
+  core::WindowAnomalyDetector detector;
+  stats::DegreeHistogram h;
+  h.add(1, 10);
+  EXPECT_THROW(detector.score(h), DataError);
+}
+
+TEST(AnomalyDetector, SurvivesUnfittableWindows) {
+  const auto calm = core::scenarios::backbone().at_window(0.9);
+  core::WindowAnomalyDetector detector;
+  detector.add_baseline(sample_window(calm, 600));
+  stats::DegreeHistogram thin;
+  thin.add(1, 50);
+  thin.add(2, 10);
+  const auto score = detector.score(thin);
+  EXPECT_DOUBLE_EQ(score.mu_window, 0.0);  // not identifiable — not fatal
+  EXPECT_GE(score.ks_statistic, 0.0);
+}
+
+TEST(WindowToGraph, BuildsSimplifiedObservedNetwork) {
+  traffic::SparseCountMatrix a;
+  a.add(10, 20, 3);
+  a.add(20, 10, 1);  // reciprocal: one undirected edge
+  a.add(10, 30, 2);
+  a.add(7, 7, 5);    // self-traffic: dropped
+  std::vector<NodeId> ids;
+  const auto g = traffic::window_to_graph(a, &ids);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  ASSERT_EQ(ids.size(), 3u);
+  // The census of the window graph matches the pair structure.
+  const auto census = graph::classify_topology(g);
+  EXPECT_EQ(census.star_components, 1u);  // 10 -{20,30}
+  EXPECT_EQ(census.star_leaves, 2u);
+}
+
+TEST(WindowToGraph, DegreesMatchUndirectedHistogram) {
+  traffic::SparseCountMatrix a;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(rng.uniform_index(300), rng.uniform_index(300));
+  }
+  const auto g = traffic::window_to_graph(a);
+  const auto from_graph =
+      stats::DegreeHistogram::from_degrees(g.degrees());
+  const auto direct = traffic::undirected_degree_histogram(a);
+  EXPECT_EQ(from_graph.total(), direct.total());
+  for (const auto& [d, c] : direct.sorted()) {
+    EXPECT_EQ(from_graph.at(d), c) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace palu

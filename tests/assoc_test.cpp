@@ -1,0 +1,158 @@
+// Unit tests for the D4M-style associative-array substrate.
+#include <gtest/gtest.h>
+
+#include "palu/traffic/assoc.hpp"
+
+namespace palu::traffic {
+namespace {
+
+TEST(SparseVector, SetAddAt) {
+  SparseVector v;
+  v.set(3, 2.0);
+  v.add(3, 1.5);
+  v.add(7, 4.0);
+  EXPECT_DOUBLE_EQ(v.at(3), 3.5);
+  EXPECT_DOUBLE_EQ(v.at(7), 4.0);
+  EXPECT_DOUBLE_EQ(v.at(100), 0.0);
+  EXPECT_EQ(v.nnz(), 2u);
+}
+
+TEST(SparseVector, ZeroValuesAreNotStored) {
+  SparseVector v;
+  v.set(1, 0.0);
+  EXPECT_EQ(v.nnz(), 0u);
+  v.add(2, 5.0);
+  v.add(2, -5.0);  // exact cancellation removes the key
+  EXPECT_EQ(v.nnz(), 0u);
+  v.set(3, 1.0);
+  v.set(3, 0.0);
+  EXPECT_EQ(v.nnz(), 0u);
+}
+
+TEST(SparseVector, SumAndZeroNorm) {
+  SparseVector v;
+  v.set(1, 2.5);
+  v.set(9, -1.0);
+  EXPECT_DOUBLE_EQ(v.sum(), 1.5);
+  const SparseVector z = v.zero_norm();
+  EXPECT_DOUBLE_EQ(z.at(1), 1.0);
+  EXPECT_DOUBLE_EQ(z.at(9), 1.0);
+  EXPECT_DOUBLE_EQ(z.sum(), 2.0);
+}
+
+TEST(SparseVector, PlusAndDot) {
+  SparseVector a, b;
+  a.set(1, 2.0);
+  a.set(2, 3.0);
+  b.set(2, 4.0);
+  b.set(3, 5.0);
+  const SparseVector s = a.plus(b);
+  EXPECT_DOUBLE_EQ(s.at(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(2), 7.0);
+  EXPECT_DOUBLE_EQ(s.at(3), 5.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 12.0);
+  EXPECT_DOUBLE_EQ(b.dot(a), 12.0);
+}
+
+TEST(SparseVector, SortedSnapshot) {
+  SparseVector v;
+  v.set(9, 1.0);
+  v.set(2, 2.0);
+  const auto s = v.sorted();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].first, 2u);
+  EXPECT_EQ(s[1].first, 9u);
+}
+
+AssocArray small_matrix() {
+  // [[., 3, .], [1, ., 2]] with rows {0, 5}, cols {10, 11, 12}.
+  AssocArray a;
+  a.add(0, 11, 3.0);
+  a.add(5, 10, 1.0);
+  a.add(5, 12, 2.0);
+  return a;
+}
+
+TEST(AssocArray, AddAtSum) {
+  AssocArray a = small_matrix();
+  EXPECT_DOUBLE_EQ(a.at(0, 11), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+  EXPECT_EQ(a.nnz(), 3u);
+  a.add(0, 11, -3.0);  // cancel to zero removes the cell
+  EXPECT_EQ(a.nnz(), 2u);
+}
+
+TEST(AssocArray, ZeroNormAndTranspose) {
+  const AssocArray a = small_matrix();
+  EXPECT_DOUBLE_EQ(a.zero_norm().sum(), 3.0);
+  const AssocArray t = a.transposed();
+  EXPECT_DOUBLE_EQ(t.at(11, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t.at(10, 5), 1.0);
+  EXPECT_EQ(t.nnz(), a.nnz());
+}
+
+TEST(AssocArray, RowAndColSums) {
+  const AssocArray a = small_matrix();
+  const SparseVector rows = a.row_sums();
+  EXPECT_DOUBLE_EQ(rows.at(0), 3.0);
+  EXPECT_DOUBLE_EQ(rows.at(5), 3.0);
+  const SparseVector cols = a.col_sums();
+  EXPECT_DOUBLE_EQ(cols.at(10), 1.0);
+  EXPECT_DOUBLE_EQ(cols.at(11), 3.0);
+  EXPECT_DOUBLE_EQ(cols.at(12), 2.0);
+}
+
+TEST(AssocArray, MatrixVectorMultiply) {
+  const AssocArray a = small_matrix();
+  SparseVector v;
+  v.set(10, 1.0);
+  v.set(11, 10.0);
+  v.set(12, 100.0);
+  const SparseVector out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out.at(0), 30.0);
+  EXPECT_DOUBLE_EQ(out.at(5), 201.0);
+}
+
+TEST(AssocArray, HadamardAndPlus) {
+  AssocArray a = small_matrix();
+  AssocArray b;
+  b.add(5, 10, 4.0);
+  b.add(0, 10, 9.0);  // not present in a
+  const AssocArray h = a.hadamard(b);
+  EXPECT_EQ(h.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(h.at(5, 10), 4.0);
+  const AssocArray s = a.plus(b);
+  EXPECT_DOUBLE_EQ(s.at(5, 10), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 10), 9.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 11), 3.0);
+}
+
+TEST(AssocArray, SortedSnapshotDeterministic) {
+  const auto s = small_matrix().sorted();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].row, 0u);
+  EXPECT_EQ(s[0].col, 11u);
+  EXPECT_EQ(s[1].row, 5u);
+  EXPECT_EQ(s[1].col, 10u);
+  EXPECT_EQ(s[2].row, 5u);
+  EXPECT_EQ(s[2].col, 12u);
+}
+
+TEST(AssocArray, TableOneIdentities) {
+  // The Table-I contractions, written in the algebra, on a known window.
+  AssocArray a;
+  a.add(1, 5, 3.0);
+  a.add(1, 6, 2.0);
+  a.add(2, 5, 1.0);
+  a.add(2, 7, 4.0);
+  EXPECT_DOUBLE_EQ(a.row_sums().sum(), 10.0);            // valid packets
+  EXPECT_DOUBLE_EQ(a.zero_norm().sum(), 4.0);            // unique links
+  EXPECT_DOUBLE_EQ(a.row_sums().zero_norm().sum(), 2.0); // unique sources
+  EXPECT_DOUBLE_EQ(a.col_sums().zero_norm().sum(), 3.0); // unique dests
+  // Transpose duality: unique sources of Aᵀ are the destinations of A.
+  EXPECT_DOUBLE_EQ(a.transposed().row_sums().zero_norm().sum(), 3.0);
+}
+
+}  // namespace
+}  // namespace palu::traffic

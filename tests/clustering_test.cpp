@@ -1,0 +1,143 @@
+// Unit tests for palu/graph clustering coefficients.
+#include <gtest/gtest.h>
+
+#include "palu/graph/clustering.hpp"
+#include "palu/graph/components.hpp"
+#include "palu/graph/generators.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/rng/xoshiro.hpp"
+
+namespace palu::graph {
+namespace {
+
+Graph triangle_with_tail() {
+  // 0-1-2 triangle, 2-3 tail.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(LocalClustering, TriangleWithTail) {
+  const auto c = local_clustering(triangle_with_tail());
+  EXPECT_DOUBLE_EQ(c[0], 1.0);  // neighbors {1,2} fully connected
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_NEAR(c[2], 1.0 / 3.0, 1e-12);  // pairs {01, 03, 13}: one closed
+  EXPECT_DOUBLE_EQ(c[3], 0.0);  // degree 1
+}
+
+TEST(LocalClustering, CompleteGraphIsAllOnes) {
+  Graph g(5);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) g.add_edge(u, v);
+  }
+  for (const double c : local_clustering(g)) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(LocalClustering, TreesAndStarsAreZero) {
+  Graph star(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) star.add_edge(0, leaf);
+  for (const double c : local_clustering(star)) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(LocalClustering, IgnoresMultiEdgesAndLoops) {
+  Graph g = triangle_with_tail();
+  g.add_edge(0, 1);  // duplicate
+  g.add_edge(3, 3);  // self-loop
+  const auto c = local_clustering(g);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);
+}
+
+TEST(ClusteringSummary, CountsTrianglesAndWedges) {
+  const auto s = clustering_summary(triangle_with_tail());
+  EXPECT_EQ(s.triangles, 1u);
+  // Wedges: node0 C(2,2)=1, node1 1, node2 C(3,2)=3, node3 0 → 5.
+  EXPECT_EQ(s.wedges, 5u);
+  EXPECT_NEAR(s.global, 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(s.average_local, (1.0 + 1.0 + 1.0 / 3.0) / 3.0, 1e-12);
+  EXPECT_EQ(s.eligible_nodes, 3u);
+}
+
+TEST(ClusteringSummary, EmptyAndEdgelessGraphs) {
+  const auto s = clustering_summary(Graph(10));
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_DOUBLE_EQ(s.global, 0.0);
+  EXPECT_DOUBLE_EQ(s.average_local, 0.0);
+}
+
+TEST(ClusteringSummary, ErdosRenyiMatchesP) {
+  // G(n, p): expected global clustering ≈ p.
+  Rng rng(3);
+  const double p = 0.03;
+  const Graph g = erdos_renyi(rng, 800, p);
+  const auto s = clustering_summary(g);
+  EXPECT_NEAR(s.global, p, 0.012);
+}
+
+TEST(ClusteringSummary, StarForestHasNoTriangles) {
+  Rng rng(5);
+  const Graph g = star_forest(rng, 2000, 3.0);
+  const auto s = clustering_summary(g);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_DOUBLE_EQ(s.average_local, 0.0);
+}
+
+TEST(ClusteringSummary, BaBeatsSparserRandomGraph) {
+  // PA graphs carry more triangles than an ER graph of equal density —
+  // one reason clustering is future work for the PALU core.
+  Rng rng(7);
+  const Graph ba = barabasi_albert(rng, 3000, 3);
+  const double density =
+      2.0 * static_cast<double>(ba.num_edges()) / (3000.0 * 2999.0);
+  const Graph er = erdos_renyi(rng, 3000, density);
+  EXPECT_GT(clustering_summary(ba).global,
+            2.0 * clustering_summary(er).global);
+}
+
+TEST(RewireDegreePreserving, KeepsDegreesKillsClustering) {
+  Rng rng(11);
+  const Graph ba = barabasi_albert(rng, 4000, 3);
+  const Graph rewired =
+      rewire_degree_preserving(rng, ba, 20 * ba.num_edges());
+  EXPECT_EQ(rewired.degrees(), ba.degrees());
+  EXPECT_EQ(rewired.num_edges(), ba.num_edges());
+  // Randomization should strip most of the BA clustering surplus (the
+  // degree-sequence null retains only what degrees force).
+  const double before = clustering_summary(ba).global;
+  const double after = clustering_summary(rewired).global;
+  EXPECT_LT(after, 0.75 * before);
+}
+
+TEST(RewireDegreePreserving, NoSelfLoopsIntroduced) {
+  Rng rng(13);
+  const Graph g = barabasi_albert(rng, 1000, 2);
+  const Graph rewired = rewire_degree_preserving(rng, g, 10000);
+  for (const Edge& e : rewired.edges()) {
+    ASSERT_NE(e.u, e.v);
+  }
+}
+
+TEST(RewireDegreePreserving, TinyGraphsPassThrough) {
+  Rng rng(17);
+  Graph single(2);
+  single.add_edge(0, 1);
+  const Graph out = rewire_degree_preserving(rng, single, 100);
+  EXPECT_EQ(out.num_edges(), 1u);
+}
+
+TEST(PaErHybrid, MixesBothStructures) {
+  Rng rng(9);
+  const Graph g = pa_er_hybrid(rng, 2000, 2, 0.002);
+  // At least the PA edges plus most of the ER overlay survive dedup.
+  EXPECT_GT(g.num_edges(), 2u * 1996u);
+  // Single component (PA backbone is connected).
+  const auto census = classify_topology(g);
+  EXPECT_EQ(census.core_components, 1u);
+  EXPECT_EQ(census.isolated_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace palu::graph

@@ -1,0 +1,279 @@
+// Unit tests for the core extensions: directed observation, weighted
+// edges, and small-component / isolated-node analysis (Section VII future
+// work implemented as library features).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/core/components_analysis.hpp"
+#include "palu/core/directed.hpp"
+#include "palu/core/estimate.hpp"
+#include "palu/core/generator.hpp"
+#include "palu/core/weighted.hpp"
+#include "palu/fit/linreg.hpp"
+#include "palu/fit/powerlaw_mle.hpp"
+#include "palu/graph/generators.hpp"
+#include "palu/stats/distribution.hpp"
+
+namespace palu::core {
+namespace {
+
+PaluParams typical_params() {
+  return PaluParams::solve_hubs(3.0, 0.4, 0.2, 2.2, 0.7);
+}
+
+// ------------------------------------------------------------- directed
+
+TEST(Directed, ArcCountMatchesRetentionAndReciprocity) {
+  const PaluParams p = typical_params();
+  Rng rng(1);
+  const auto net = generate_underlying(p, 100000, rng);
+  DirectedOptions opts;
+  opts.reciprocity = 0.3;
+  const auto obs = observe_directed(net, p, rng, opts);
+  // E[arcs] = |E|·p·(1 + reciprocity).
+  const double expected = static_cast<double>(net.graph.num_edges()) *
+                          p.window * (1.0 + opts.reciprocity);
+  EXPECT_NEAR(static_cast<double>(obs.directed_edges), expected,
+              6.0 * std::sqrt(expected));
+}
+
+TEST(Directed, InAndOutDegreesBalanceInAggregate) {
+  const PaluParams p = typical_params();
+  Rng rng(2);
+  const auto net = generate_underlying(p, 60000, rng);
+  const auto obs = observe_directed(net, p, rng);
+  Count in_total = 0, out_total = 0;
+  for (const Degree d : obs.in_degree) in_total += d;
+  for (const Degree d : obs.out_degree) out_total += d;
+  EXPECT_EQ(in_total, out_total);
+  EXPECT_EQ(in_total, obs.directed_edges);
+}
+
+TEST(Directed, FullReciprocityMakesInEqualOut) {
+  const PaluParams p = typical_params();
+  Rng rng(3);
+  const auto net = generate_underlying(p, 30000, rng);
+  DirectedOptions opts;
+  opts.reciprocity = 1.0;
+  const auto obs = observe_directed(net, p, rng, opts);
+  EXPECT_EQ(obs.in_degree, obs.out_degree);
+}
+
+TEST(Directed, TotalHistogramMatchesUndirectedObservation) {
+  // With the same rng stream for retention, the undirected peer counts of
+  // the directed observation must follow the same law as the undirected
+  // pipeline; compare summary statistics across seeds.
+  const PaluParams p = typical_params();
+  Rng rng_a(4);
+  const auto net = generate_underlying(p, 80000, rng_a);
+  Rng rng_dir(5);
+  const auto directed = observe_directed(net, p, rng_dir);
+  const auto dist_dir = stats::EmpiricalDistribution::from_histogram(
+      directed.total_histogram());
+  Rng rng_und(6);
+  const auto undirected = generate_observed(net, p, rng_und);
+  const auto dist_und = stats::EmpiricalDistribution::from_histogram(
+      stats::DegreeHistogram::from_degrees(undirected.degrees()));
+  EXPECT_NEAR(dist_dir.mass_at_one(), dist_und.mass_at_one(), 0.01);
+  EXPECT_NEAR(dist_dir.mean(), dist_und.mean(), 0.05 * dist_und.mean());
+}
+
+TEST(Directed, SmallImpactOnDegreeExponent) {
+  // The paper's claim: directed analysis barely moves the exponent.  Fit
+  // the tail exponent on in-, out-, and undirected histograms.
+  const PaluParams p = typical_params();
+  Rng rng(7);
+  const auto net = generate_underlying(p, 200000, rng);
+  const auto obs = observe_directed(net, p, rng);
+  const auto alpha_of = [](const stats::DegreeHistogram& h) {
+    return fit::fit_power_law_fixed_xmin(h, 8).alpha;
+  };
+  const double a_in = alpha_of(obs.in_histogram());
+  const double a_out = alpha_of(obs.out_histogram());
+  const double a_total = alpha_of(obs.total_histogram());
+  EXPECT_NEAR(a_in, a_out, 0.1);
+  // In/out degrees are ~half the undirected degree, which shifts the
+  // bounded-tail MLE a little; "small impact" = within ~0.3.
+  EXPECT_NEAR(a_in, a_total, 0.3);
+}
+
+TEST(Directed, RejectsBadReciprocity) {
+  const PaluParams p = typical_params();
+  Rng rng(8);
+  const auto net = generate_underlying(p, 5000, rng);
+  DirectedOptions opts;
+  opts.reciprocity = 1.5;
+  EXPECT_THROW(observe_directed(net, p, rng, opts), InvalidArgument);
+}
+
+// ------------------------------------------------------------- weighted
+
+TEST(Weighted, OneWeightPerEdge) {
+  Rng rng(9);
+  const auto g = graph::erdos_renyi(rng, 500, 0.02);
+  const auto w = assign_edge_weights(rng, g, WeightModel{});
+  EXPECT_EQ(w.size(), g.num_edges());
+  for (const Count x : w) EXPECT_GE(x, 1u);
+}
+
+TEST(Weighted, GeometricWeightsHaveRightMean) {
+  Rng rng(10);
+  graph::Graph g(2);
+  for (int i = 0; i < 20000; ++i) g.add_edge(0, 1);
+  WeightModel model;
+  model.law = WeightModel::Law::kGeometric;
+  model.param = 0.25;
+  const auto w = assign_edge_weights(rng, g, model);
+  double mean = 0.0;
+  for (const Count x : w) mean += static_cast<double>(x);
+  mean /= static_cast<double>(w.size());
+  EXPECT_NEAR(mean, 4.0, 0.15);
+}
+
+TEST(Weighted, LinkWeightHistogramFollowsLaw) {
+  Rng rng(11);
+  graph::Graph g(2);
+  for (int i = 0; i < 50000; ++i) g.add_edge(0, 1);
+  WeightModel model;
+  model.law = WeightModel::Law::kZeta;
+  model.param = 2.5;
+  const auto w = assign_edge_weights(rng, g, model);
+  const auto h = link_weight_histogram(w);
+  const auto fitted = fit::fit_power_law_fixed_xmin(h, 1);
+  EXPECT_NEAR(fitted.alpha, 2.5, 0.08);
+}
+
+TEST(Weighted, StrengthReducesToDegreeForUnitWeights) {
+  Rng rng(12);
+  const auto g = graph::erdos_renyi(rng, 300, 0.03);
+  const std::vector<Count> unit(g.num_edges(), 1);
+  const auto strengths = node_strength_histogram(g, unit);
+  const auto degrees =
+      stats::DegreeHistogram::from_degrees(g.degrees());
+  EXPECT_EQ(strengths.total(), degrees.total());
+  for (const auto& [d, c] : degrees.sorted()) {
+    EXPECT_EQ(strengths.at(d), c) << "d=" << d;
+  }
+}
+
+TEST(Weighted, StrengthTailExponentPrediction) {
+  WeightModel heavy;
+  heavy.law = WeightModel::Law::kZeta;
+  heavy.param = 1.6;
+  EXPECT_DOUBLE_EQ(predicted_strength_tail_exponent(2.4, heavy), 1.6);
+  heavy.param = 3.0;
+  EXPECT_DOUBLE_EQ(predicted_strength_tail_exponent(2.4, heavy), 2.4);
+  WeightModel light;
+  light.law = WeightModel::Law::kGeometric;
+  light.param = 0.5;
+  EXPECT_DOUBLE_EQ(predicted_strength_tail_exponent(2.4, light), 2.4);
+}
+
+TEST(Weighted, HeavyWeightsFlattenStrengthTail) {
+  // Degree law α≈2.6 with γ=1.7 weights: strength tail should follow the
+  // weights (≈1.7), visibly flatter than the degree tail.
+  Rng rng(13);
+  const auto g = graph::zeta_degree_core(rng, 150000, 2.6, 2000);
+  WeightModel model;
+  model.law = WeightModel::Law::kZeta;
+  model.param = 1.7;
+  const auto w = assign_edge_weights(rng, g, model);
+  const auto strengths = node_strength_histogram(g, w);
+  const auto fitted = fit::fit_power_law_fixed_xmin(strengths, 32);
+  EXPECT_NEAR(fitted.alpha,
+              predicted_strength_tail_exponent(2.6, model), 0.25);
+}
+
+TEST(Weighted, SizeMismatchThrows) {
+  Rng rng(14);
+  const auto g = graph::erdos_renyi(rng, 100, 0.05);
+  const std::vector<Count> wrong(g.num_edges() + 1, 1);
+  EXPECT_THROW(node_strength_histogram(g, wrong), InvalidArgument);
+  WeightModel bad;
+  bad.law = WeightModel::Law::kZeta;
+  bad.param = 0.9;
+  EXPECT_THROW(assign_edge_weights(rng, g, bad), InvalidArgument);
+}
+
+// ----------------------------------------------------------- components
+
+TEST(Components, StarSizeShareIsNormalizedConditionalPoisson) {
+  const PaluParams p = typical_params();
+  double total = 0.0;
+  for (NodeId s = 2; s <= 100; ++s) {
+    total += star_component_size_share(p, s);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Size 2 share = P(Po(μ) = 1)/(1 − e^{−μ}).
+  const double mu = p.lambda * p.window;
+  EXPECT_NEAR(star_component_size_share(p, 2),
+              mu * std::exp(-mu) / (-std::expm1(-mu)), 1e-12);
+}
+
+TEST(Components, MeasuredSizesTrackTheoryInStarOnlyModel) {
+  // Pure star model (no core, no leaves... keep a tiny core since the
+  // generator requires one, then ignore sizes above the star range).
+  const PaluParams p = PaluParams::solve_hubs(4.0, 0.02, 0.0, 2.0, 0.9);
+  Rng rng(15);
+  const auto net = generate_underlying(p, 300000, rng);
+  const auto observed = generate_observed(net, p, rng);
+  const auto sizes = small_component_size_histogram(observed, 30);
+  const auto dist = stats::EmpiricalDistribution::from_histogram(sizes);
+  for (NodeId s = 2; s <= 10; ++s) {
+    const double predicted = star_component_size_share(p, s);
+    const double measured = dist.probability_at(s);
+    const double se =
+        std::sqrt(predicted / static_cast<double>(dist.sample_size()));
+    EXPECT_NEAR(measured, predicted, 6.0 * se + 0.02 * predicted)
+        << "size " << s;
+  }
+}
+
+TEST(Components, IsolatedEstimateFromGroundTruthConstants) {
+  const PaluParams p = typical_params();
+  const auto k = simplified_constants(p);
+  PaluFit fit;
+  fit.alpha = p.alpha;
+  fit.c = k.c;
+  fit.mu = k.mu;
+  fit.u = k.u;
+  fit.mu_identifiable = true;
+  const auto est = estimate_isolated(fit, p.window);
+  EXPECT_DOUBLE_EQ(est.invisible_hubs_per_visible, k.u);
+  EXPECT_NEAR(est.implied_lambda, p.lambda, 1e-12);
+  // U·e^{−λ}/V exactly.
+  const double v = observed_composition(p).visible_mass;
+  EXPECT_NEAR(est.underlying_isolated_per_visible,
+              p.hubs * std::exp(-p.lambda) / v, 1e-12);
+}
+
+TEST(Components, IsolatedEstimateEndToEnd) {
+  const PaluParams p = PaluParams::solve_hubs(5.0, 0.35, 0.15, 2.3, 0.8);
+  Rng rng(16);
+  const auto h = sample_observed_degrees(p, 400000, rng);
+  const auto fit = fit_palu(h);
+  const auto est = estimate_isolated(fit, p.window);
+  const double v = observed_composition(p).visible_mass;
+  const double truth = p.hubs * std::exp(-p.lambda) / v;
+  EXPECT_NEAR(est.underlying_isolated_per_visible, truth, 0.5 * truth);
+  EXPECT_NEAR(est.implied_lambda, p.lambda, 0.2 * p.lambda);
+}
+
+TEST(Components, DegenerateInputsThrow) {
+  const PaluParams p = typical_params();
+  EXPECT_THROW(star_component_size_share(p, 1), InvalidArgument);
+  EXPECT_THROW(small_component_size_histogram(graph::Graph(5), 1),
+               InvalidArgument);
+  PaluFit unident;
+  unident.mu_identifiable = false;
+  EXPECT_THROW(estimate_isolated(unident, 0.5), DataError);
+  PaluFit ok;
+  ok.mu = 1.0;
+  ok.u = 0.1;
+  EXPECT_THROW(estimate_isolated(ok, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palu::core

@@ -1,0 +1,119 @@
+// Unit tests for palu/core params: the Section III-A constraint and domains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/core/params.hpp"
+#include "palu/core/scenarios.hpp"
+
+namespace palu::core {
+namespace {
+
+TEST(PaluParams, SolveHubsSatisfiesConstraint) {
+  const PaluParams p = PaluParams::solve_hubs(
+      /*lambda=*/2.0, /*core=*/0.4, /*leaves=*/0.3, /*alpha=*/2.2,
+      /*window=*/0.5);
+  EXPECT_NEAR(p.constraint_residual(), 0.0, 1e-12);
+  EXPECT_NO_THROW(p.validate());
+  // U·(1 + λ − e^{−λ}) must absorb exactly the remaining 0.3.
+  EXPECT_NEAR(p.hubs * (1.0 + 2.0 - std::exp(-2.0)), 0.3, 1e-12);
+}
+
+TEST(PaluParams, ConstraintResidualDetectsDrift) {
+  PaluParams p = PaluParams::solve_hubs(1.0, 0.5, 0.2, 2.0, 1.0);
+  p.core += 0.05;
+  EXPECT_NEAR(p.constraint_residual(), 0.05, 1e-12);
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(PaluParams, ValidateRejectsOutOfDomain) {
+  const PaluParams base = PaluParams::solve_hubs(1.0, 0.5, 0.2, 2.0, 0.8);
+  {
+    PaluParams p = base;
+    p.lambda = -0.1;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    PaluParams p = base;
+    p.lambda = 25.0;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    PaluParams p = base;
+    p.alpha = 0.9;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    PaluParams p = base;
+    p.window = 0.0;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+  {
+    PaluParams p = base;
+    p.window = 1.5;
+    EXPECT_THROW(p.validate(), InvalidArgument);
+  }
+}
+
+TEST(PaluParams, SolveHubsRejectsOverfullCoreAndLeaves) {
+  EXPECT_THROW(PaluParams::solve_hubs(1.0, 0.7, 0.3, 2.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(PaluParams, ZeroLambdaIsRejectedBySolveHubs) {
+  // At λ = 0 the star mass 1 + λ − e^{−λ} vanishes (hubs are invisible
+  // isolates), so no finite U can absorb the remaining node mass.
+  EXPECT_THROW(PaluParams::solve_hubs(0.0, 0.5, 0.2, 2.0, 1.0), Error);
+}
+
+TEST(PaluParams, AtWindowChangesOnlyP) {
+  const PaluParams p = PaluParams::solve_hubs(2.0, 0.4, 0.3, 2.5, 0.25);
+  const PaluParams q = p.at_window(0.75);
+  EXPECT_DOUBLE_EQ(q.window, 0.75);
+  EXPECT_DOUBLE_EQ(q.lambda, p.lambda);
+  EXPECT_DOUBLE_EQ(q.core, p.core);
+  EXPECT_DOUBLE_EQ(q.leaves, p.leaves);
+  EXPECT_DOUBLE_EQ(q.hubs, p.hubs);
+  EXPECT_DOUBLE_EQ(q.alpha, p.alpha);
+  EXPECT_THROW(p.at_window(0.0), InvalidArgument);
+}
+
+TEST(Scenarios, AllPresetsAreNormalized) {
+  for (const auto& params :
+       {scenarios::backbone(), scenarios::leafy_site(),
+        scenarios::bot_heavy(), scenarios::mixed()}) {
+    EXPECT_NO_THROW(params.validate());
+    EXPECT_NEAR(params.constraint_residual(), 0.0, 1e-12);
+  }
+}
+
+TEST(Scenarios, ArchetypesAreOrderedByStarLeafMass) {
+  // Expected star-leaf node mass U·λ ranks backbone < leafy < bot-heavy.
+  const auto star_leaves = [](const PaluParams& p) {
+    return p.hubs * p.lambda;
+  };
+  EXPECT_LT(star_leaves(scenarios::backbone()),
+            star_leaves(scenarios::leafy_site()));
+  EXPECT_LT(star_leaves(scenarios::leafy_site()),
+            star_leaves(scenarios::bot_heavy()));
+}
+
+class ConstraintSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ConstraintSweep, SolveHubsAlwaysNormalizes) {
+  const auto [lambda, core, leaves] = GetParam();
+  const PaluParams p = PaluParams::solve_hubs(lambda, core, leaves, 2.0, 0.5);
+  EXPECT_NEAR(p.constraint_residual(), 0.0, 1e-12);
+  EXPECT_GT(p.hubs, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConstraintSweep,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 5.0, 19.0),
+                       ::testing::Values(0.1, 0.45, 0.8),
+                       ::testing::Values(0.05, 0.15)));
+
+}  // namespace
+}  // namespace palu::core

@@ -1,0 +1,267 @@
+// Unit tests for palu/core theory: the Section IV closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "palu/common/error.hpp"
+#include "palu/core/theory.hpp"
+#include "palu/fit/linreg.hpp"
+#include "palu/math/zeta.hpp"
+
+namespace palu::core {
+namespace {
+
+PaluParams typical_params() {
+  return PaluParams::solve_hubs(/*lambda=*/2.0, /*core=*/0.4,
+                                /*leaves=*/0.25, /*alpha=*/2.2,
+                                /*window=*/0.6);
+}
+
+TEST(ObservedComposition, MatchesHandComputedV) {
+  const PaluParams p = typical_params();
+  const auto comp = observed_composition(p);
+  const double mu = p.lambda * p.window;
+  const double expected_v =
+      p.core * std::pow(p.window, p.alpha - 1.0) /
+          ((p.alpha - 1.0) * math::riemann_zeta(p.alpha)) +
+      p.leaves * p.window + p.hubs * (1.0 + mu - std::exp(-mu));
+  EXPECT_NEAR(comp.visible_mass, expected_v, 1e-14);
+}
+
+TEST(ObservedComposition, SharesSumToOne) {
+  // core + leaf + unattached shares partition the visible nodes.
+  for (double window : {0.1, 0.5, 1.0}) {
+    const PaluParams p = typical_params().at_window(window);
+    const auto comp = observed_composition(p);
+    EXPECT_NEAR(
+        comp.core_share + comp.leaf_share + comp.unattached_share, 1.0,
+        1e-12)
+        << "p=" << window;
+  }
+}
+
+TEST(ObservedComposition, UnattachedLinksAreSubsetOfUnattached) {
+  const auto comp = observed_composition(typical_params());
+  EXPECT_GT(comp.unattached_link_share, 0.0);
+  EXPECT_LT(comp.unattached_link_share, comp.unattached_share);
+}
+
+TEST(ObservedComposition, SmallWindowFavorsUnattached) {
+  // As p → 0 the core visibility scales as p^{α−1} (faster than linear for
+  // α > 2), so leaves/unattached dominate small windows — the paper's
+  // motivation for why trunk windows see structures webcrawls miss.
+  const PaluParams p = typical_params();
+  const auto tiny = observed_composition(p.at_window(0.01));
+  const auto full = observed_composition(p.at_window(1.0));
+  EXPECT_LT(tiny.core_share, full.core_share);
+  EXPECT_GT(tiny.unattached_share, full.unattached_share);
+}
+
+TEST(SimplifiedConstants, DefinitionsHold) {
+  const PaluParams p = typical_params();
+  const auto k = simplified_constants(p);
+  const auto comp = observed_composition(p);
+  const double v = comp.visible_mass;
+  const double mu = p.lambda * p.window;
+  EXPECT_NEAR(k.c,
+              p.core * std::pow(p.window, p.alpha) /
+                  (math::riemann_zeta(p.alpha) * v),
+              1e-14);
+  EXPECT_NEAR(k.l, p.leaves * p.window / v, 1e-14);
+  EXPECT_NEAR(k.u, p.hubs * std::exp(-mu) / v, 1e-14);
+  EXPECT_NEAR(k.mu, mu, 1e-14);
+  EXPECT_NEAR(k.lambda_cap, std::numbers::e * mu, 1e-14);
+}
+
+TEST(DegreeShare, MatchesSimplifiedConstantsForLargeD) {
+  // Eq. (4): share(d) ≈ c·d^{−α} for d >= 10 (star bump long dead).
+  const PaluParams p = typical_params();
+  const auto k = simplified_constants(p);
+  for (Degree d : {16u, 64u, 256u, 4096u}) {
+    const double expected =
+        k.c * std::pow(static_cast<double>(d), -p.alpha);
+    EXPECT_NEAR(degree_share(p, d), expected, 1e-6 * expected)
+        << "d=" << d;
+  }
+}
+
+TEST(DegreeShare, DegreeOneDecomposition) {
+  const PaluParams p = typical_params();
+  const auto k = simplified_constants(p);
+  const double mu = k.mu;
+  // share(1) = c + l + (U/V)·μ·(1 + e^{−μ}); (U/V) = u·e^{μ}.
+  const double star_part = k.u * std::exp(mu) * mu * (1.0 + std::exp(-mu));
+  EXPECT_NEAR(degree_share(p, 1), k.c + k.l + star_part, 1e-13);
+}
+
+TEST(DegreeShare, PositiveAndDecreasingTail) {
+  const PaluParams p = typical_params();
+  double prev = degree_share(p, 10);
+  for (Degree d = 11; d < 200; ++d) {
+    const double s = degree_share(p, d);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, prev) << "d=" << d;
+    prev = s;
+  }
+}
+
+TEST(DegreeShare, StarBumpVisibleAtModerateD) {
+  // With a large λ·p, the Poisson bump must push share(d) above the pure
+  // core power law around d ≈ λp.
+  const PaluParams p =
+      PaluParams::solve_hubs(12.0, 0.2, 0.05, 2.5, 1.0);
+  const auto k = simplified_constants(p);
+  const Degree bump_center = 12;
+  const double core_only =
+      k.c * std::pow(static_cast<double>(bump_center), -p.alpha);
+  EXPECT_GT(degree_share(p, bump_center), 2.0 * core_only);
+}
+
+TEST(DegreeShare, RequiresPositiveDegree) {
+  EXPECT_THROW(degree_share(typical_params(), 0), InvalidArgument);
+}
+
+TEST(DegreeSharePaperApprox, CloseToExactWhenLogDLarge) {
+  // Section IV: the (Λ/d)^d form is "very good when log(d) > 1" — by then
+  // both star terms are negligible and the core term dominates.
+  const PaluParams p = typical_params();
+  for (Degree d : {8u, 16u, 64u}) {
+    const double exact = degree_share(p, d);
+    const double approx = degree_share_paper_approx(p, d);
+    EXPECT_NEAR(approx, exact, 0.05 * exact) << "d=" << d;
+  }
+}
+
+TEST(DegreeSharePaperApprox, OverestimatesPoissonBump) {
+  // (Λ/d)^d = (eμ/d)^d exceeds μ^d/d! by the Stirling factor √(2πd); the
+  // approximation is an upper bound on the star term.
+  const PaluParams p = PaluParams::solve_hubs(8.0, 0.3, 0.1, 2.0, 1.0);
+  for (Degree d : {4u, 8u, 12u}) {
+    EXPECT_GE(degree_share_paper_approx(p, d), degree_share(p, d))
+        << "d=" << d;
+  }
+}
+
+TEST(PooledTheory, MatchesDirectDegreeShareSums) {
+  const PaluParams p = typical_params();
+  const auto pooled = pooled_theory(p, 8);
+  // Bin 0 = share(1); bins 1..4 checked by brute force.
+  EXPECT_NEAR(pooled[0], degree_share(p, 1), 1e-12);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    double direct = 0.0;
+    for (Degree d = (Degree{1} << (i - 1)) + 1; d <= (Degree{1} << i);
+         ++d) {
+      direct += degree_share(p, d);
+    }
+    EXPECT_NEAR(pooled[i], direct, 1e-9) << "bin " << i;
+  }
+}
+
+TEST(PooledTheory, TotalMassMatchesPaperInconsistency) {
+  // Summing the paper's degree law gives (C·p^α + L·p + U(1+μ−e^{−μ}))/V,
+  // which differs from 1 because the Bin(D,p) ≈ D·p core approximations in
+  // Section IV are not mutually consistent.  The pooled theory must land
+  // exactly on that value — and stay within ~10% of 1 for typical params.
+  const PaluParams p = typical_params();
+  const auto pooled = pooled_theory(p, 40);
+  const double mu = p.lambda * p.window;
+  const double v = observed_composition(p).visible_mass;
+  const double expected =
+      (p.core * std::pow(p.window, p.alpha) + p.leaves * p.window +
+       p.hubs * (1.0 + mu - std::exp(-mu))) /
+      v;
+  EXPECT_NEAR(pooled.total_mass(), expected, 5e-3);
+  EXPECT_NEAR(pooled.total_mass(), 1.0, 0.1);
+}
+
+TEST(ExactTheory, DegreeSharesSumToOne) {
+  // The exact binomial-thinning forms ARE self-consistent: Σ_d share(d)=1.
+  const PaluParams p = typical_params();
+  const Degree core_dmax = 1u << 14;
+  double total = 0.0;
+  for (Degree d = 1; d <= core_dmax; ++d) {
+    const double s = degree_share_exact(p, d, core_dmax);
+    total += s;
+    if (d > 64 && s < 1e-12) {
+      // Close the power-law tail analytically: beyond here the share is
+      // essentially c_exact·d^{−α}; bound the remainder.
+      break;
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 2e-3);
+}
+
+TEST(ExactTheory, UnnormalizedMassesMatchPaperAtFullWindow) {
+  // At p = 1 thinning is the identity, so the exact and paper *masses*
+  // (share × V) agree term by term; the shares themselves differ because
+  // the paper's V replaces Σ_{d≥1} d^{−α} by ∫_1^∞ x^{−α} dx.
+  const PaluParams p = typical_params().at_window(1.0);
+  const Degree core_dmax = 1u << 20;
+  const double v_exact = visible_mass_exact(p, core_dmax);
+  const double v_paper = observed_composition(p).visible_mass;
+  for (Degree d : {1u, 2u, 5u, 17u, 100u}) {
+    const double exact_mass = degree_share_exact(p, d, core_dmax) * v_exact;
+    const double paper_mass = degree_share(p, d) * v_paper;
+    EXPECT_NEAR(exact_mass, paper_mass, 0.02 * paper_mass) << "d=" << d;
+  }
+}
+
+TEST(ExactTheory, PaperVisibleMassIsIntegralApproximation) {
+  // At p = 1 the exact core visible mass is C (every positive-degree node
+  // survives), while the paper's integral form gives C/((α−1)ζ(α)).
+  const PaluParams p = typical_params().at_window(1.0);
+  const double exact = visible_mass_exact(p, 1u << 20);
+  const double leaf_star = p.leaves * p.window +
+                           p.hubs * (1.0 + p.lambda -
+                                     std::exp(-p.lambda));
+  EXPECT_NEAR(exact, p.core + leaf_star, 1e-6);
+  const double paper = observed_composition(p).visible_mass;
+  EXPECT_NEAR(paper,
+              p.core / ((p.alpha - 1.0) * math::riemann_zeta(p.alpha)) +
+                  leaf_star,
+              1e-12);
+}
+
+TEST(PooledTheory, TailSlopeIsOneMinusAlpha) {
+  // Section IV-A: regression of log D(d_i) on log d_i over large bins has
+  // slope 1 − α, NOT −α.
+  const PaluParams p = typical_params();
+  const auto pooled = pooled_theory(p, 26);
+  std::vector<double> x, y;
+  for (std::uint32_t i = 10; i < 24; ++i) {
+    x.push_back(std::log(static_cast<double>(Degree{1} << i)));
+    y.push_back(std::log(pooled[i]));
+  }
+  const auto fit = fit::linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 1.0 - p.alpha, 0.02);
+  EXPECT_NEAR(fit.slope, pooled_tail_slope(p), 0.02);
+}
+
+TEST(ExactTheory, ExactCompositionSumsToOneAndBoundsPaper) {
+  const PaluParams p = typical_params();
+  const auto exact = observed_composition_exact(p, 1u << 14);
+  EXPECT_NEAR(exact.core_share + exact.leaf_share +
+                  exact.unattached_share,
+              1.0, 1e-12);
+  // Exact core visibility exceeds the paper's integral form (which
+  // undercounts the d^{-α} sum by replacing it with an integral).
+  const auto paper = observed_composition(p);
+  EXPECT_GT(exact.visible_mass, paper.visible_mass);
+  EXPECT_GT(exact.core_share, paper.core_share);
+}
+
+TEST(WindowInvariance, ConstantsScaleWithPAsDerived) {
+  // λ, C, L, U, α are window-invariant; check how the derived constants
+  // move with p: μ = λp is linear in p, and c·V = C·p^α/ζ(α).
+  const PaluParams base = typical_params();
+  const auto k1 = simplified_constants(base.at_window(0.3));
+  const auto k2 = simplified_constants(base.at_window(0.6));
+  EXPECT_NEAR(k2.mu / k1.mu, 2.0, 1e-12);
+  const double v1 = observed_composition(base.at_window(0.3)).visible_mass;
+  const double v2 = observed_composition(base.at_window(0.6)).visible_mass;
+  EXPECT_NEAR((k2.c * v2) / (k1.c * v1), std::pow(2.0, base.alpha), 1e-9);
+}
+
+}  // namespace
+}  // namespace palu::core

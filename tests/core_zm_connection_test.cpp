@@ -1,0 +1,181 @@
+// Unit tests for the Section VI Zipf–Mandelbrot connection (Eq. 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/core/zm_connection.hpp"
+#include "palu/fit/zipf_mandelbrot.hpp"
+#include "palu/math/zeta.hpp"
+
+namespace palu::core {
+namespace {
+
+TEST(UOverC, RoundTripsWithDelta) {
+  for (double alpha : {1.6, 2.0, 2.8}) {
+    for (double delta : {-0.5, 0.0, 0.3, 2.0, 10.0}) {
+      const double uc = u_over_c_from_delta(alpha, delta);
+      EXPECT_NEAR(delta_from_u_over_c(alpha, uc), delta,
+                  1e-10 * (1.0 + std::abs(delta)))
+          << "alpha=" << alpha << " delta=" << delta;
+    }
+  }
+}
+
+TEST(UOverC, SignConvention) {
+  // δ > 0 ⇒ β < 0 (curve bends below the power law at small d);
+  // δ < 0 ⇒ β > 0 (excess at small d, the leaves signature).
+  EXPECT_LT(u_over_c_from_delta(2.0, 1.0), 0.0);
+  EXPECT_GT(u_over_c_from_delta(2.0, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(u_over_c_from_delta(2.0, 0.0), 0.0);
+}
+
+TEST(DeltaFromParams, MatchesClosedForm) {
+  const PaluParams p =
+      PaluParams::solve_hubs(2.0, 0.4, 0.25, 2.2, 0.6);
+  const double delta = delta_from_params(p);
+  const double mu = p.lambda * p.window;
+  const double rhs = (p.hubs / p.core) * std::exp(-mu) *
+                         math::riemann_zeta(p.alpha) *
+                         std::pow(p.window, -p.alpha) +
+                     1.0;
+  EXPECT_NEAR(std::pow(1.0 + delta, -p.alpha), rhs, 1e-12);
+  // u/c > 0 in the generative model, so δ must be negative.
+  EXPECT_LT(delta, 0.0);
+  EXPECT_GT(delta, -1.0);
+}
+
+TEST(PaluZmCurve, NormalizesAndMatchesBruteForce) {
+  const PaluZmCurve curve(2.0, -0.3, 2.0, 2048);
+  double total = 0.0;
+  for (Degree d = 1; d <= 2048; ++d) total += curve.pmf(d);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+  // cdf consistency.
+  double running = 0.0;
+  for (Degree d = 1; d <= 64; ++d) {
+    running += curve.pmf(d);
+    EXPECT_NEAR(curve.cdf(d), running, 1e-10) << "d=" << d;
+  }
+}
+
+TEST(PaluZmCurve, ReducesToPurePowerLawAtDeltaZero) {
+  // δ = 0 ⇒ β = 0: the r term vanishes identically.
+  const PaluZmCurve curve(2.3, 0.0, 3.0, 1024);
+  const double z = math::truncated_zeta(2.3, 1024);
+  for (Degree d : {1u, 2u, 7u, 100u}) {
+    EXPECT_NEAR(curve.pmf(d),
+                std::pow(static_cast<double>(d), -2.3) / z, 1e-12);
+  }
+}
+
+TEST(PaluZmCurve, GeometricTermDiesOffForLargeD) {
+  const PaluZmCurve curve(2.0, -0.4, 1.5, 1u << 16);
+  const double z_ratio = curve.pmf(1 << 12) / curve.pmf(1 << 13);
+  EXPECT_NEAR(z_ratio, std::pow(2.0, 2.0), 0.01);
+}
+
+TEST(PaluZmCurve, HeadIsPinnedToDelta) {
+  // Unnormalized value at d = 1 is exactly (1+δ)^{−α}.  (r must be large
+  // enough that the negative-β correction keeps the pmf non-negative:
+  // r >= |β|·2^α at d = 2.)
+  for (double delta : {-0.6, -0.2, 0.5, 2.0}) {
+    const PaluZmCurve curve(2.0, delta, 6.0, 256);
+    EXPECT_NEAR(curve.unnormalized(1), std::pow(1.0 + delta, -2.0),
+                1e-12);
+  }
+}
+
+TEST(PaluZmCurve, PooledMatchesPerDegreeSums) {
+  const PaluZmCurve curve(2.2, -0.35, 1.8, 500);
+  const auto pooled = curve.pooled();
+  EXPECT_NEAR(pooled.total_mass(), 1.0, 1e-10);
+  double direct = 0.0;
+  for (Degree d = 5; d <= 8; ++d) direct += curve.pmf(d);  // bin 3
+  EXPECT_NEAR(pooled[3], direct, 1e-10);
+}
+
+TEST(PaluZmCurve, RejectsNegativePmfRegion) {
+  // δ > 0 with r barely above 1 makes d^{−α} + β·r^{1−d} negative at
+  // moderate d.
+  EXPECT_THROW(PaluZmCurve(3.0, 5.0, 1.01, 1024), InvalidArgument);
+}
+
+TEST(PaluZmCurve, RejectsBadParameters) {
+  EXPECT_THROW(PaluZmCurve(2.0, 0.0, 1.0, 10), InvalidArgument);
+  EXPECT_THROW(PaluZmCurve(2.0, 0.0, 0.5, 10), InvalidArgument);
+  EXPECT_THROW(PaluZmCurve(0.0, 0.0, 2.0, 10), InvalidArgument);
+}
+
+struct Fig4Case {
+  double alpha;
+  double delta;
+};
+
+class RFitSweep : public ::testing::TestWithParam<Fig4Case> {};
+
+TEST_P(RFitSweep, PaluApproachesZipfMandelbrot) {
+  // Fig 4: for any (α, δ) there is an r making PALU(d) track the ZM pooled
+  // distribution closely — and far closer than the pure power law (the
+  // r → ∞ limit of the family).
+  const auto [alpha, delta] = GetParam();
+  const Degree dmax = 1u << 12;
+  const auto fit = fit_r_to_zipf_mandelbrot(alpha, delta, dmax);
+  EXPECT_GT(fit.r, 1.0);
+  // The exponential r^{1−d} correction can cancel a modest-δ head exactly
+  // but cannot suppress several consecutive small-d bins the way a large
+  // offset does, so the absolute bound applies for δ <= 1 and the
+  // relative improvement bound below covers the rest.
+  if (delta <= 1.0) {
+    EXPECT_LT(fit.sse, 1e-2) << "alpha=" << alpha << " delta=" << delta;
+  }
+
+  // Pure-power-law baseline SSE against the same target.
+  const fit::ZipfMandelbrot zm(alpha, delta, dmax);
+  const auto target = zm.pooled();
+  const fit::ZipfMandelbrot pure(alpha, 0.0, dmax);
+  const auto pure_pooled = pure.pooled();
+  double pure_sse = 0.0;
+  for (std::size_t i = 0; i < target.num_bins(); ++i) {
+    const double m = i < pure_pooled.num_bins() ? pure_pooled[i] : 0.0;
+    pure_sse += (target[i] - m) * (target[i] - m);
+  }
+  if (delta != 0.0) {
+    EXPECT_LT(fit.sse, 0.5 * pure_sse)
+        << "alpha=" << alpha << " delta=" << delta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig4Grid, RFitSweep,
+                         ::testing::Values(Fig4Case{2.0, 0.5},
+                                           Fig4Case{2.0, 2.0},
+                                           Fig4Case{2.5, 1.0},
+                                           Fig4Case{3.0, 0.5},
+                                           Fig4Case{3.0, 3.0},
+                                           Fig4Case{2.2, -0.4}));
+
+TEST(RFit, BetterRBeatsArbitraryR) {
+  const double alpha = 2.0, delta = 1.0;
+  const Degree dmax = 1u << 12;
+  const auto best = fit_r_to_zipf_mandelbrot(alpha, delta, dmax);
+  const fit::ZipfMandelbrot zm(alpha, delta, dmax);
+  const auto target = zm.pooled();
+  const auto sse_at = [&](double r) {
+    stats::LogBinned pooled;
+    try {
+      pooled = PaluZmCurve(alpha, delta, r, dmax).pooled();
+    } catch (const palu::InvalidArgument&) {
+      return 1e12;  // negative-pmf region counts as arbitrarily bad
+    }
+    double sse = 0.0;
+    for (std::size_t i = 0; i < target.num_bins(); ++i) {
+      const double m = i < pooled.num_bins() ? pooled[i] : 0.0;
+      sse += (target[i] - m) * (target[i] - m);
+    }
+    return sse;
+  };
+  EXPECT_LE(best.sse, sse_at(best.r * 3.0));
+  EXPECT_LE(best.sse, sse_at(1.0 + (best.r - 1.0) / 3.0));
+}
+
+}  // namespace
+}  // namespace palu::core

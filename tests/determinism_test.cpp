@@ -1,0 +1,66 @@
+// Determinism and regression pins: fixed seeds must reproduce identical
+// structures across runs (and catch accidental RNG-consumption changes).
+#include <gtest/gtest.h>
+
+#include "palu/core/generator.hpp"
+#include "palu/graph/generators.hpp"
+#include "palu/rng/xoshiro.hpp"
+#include "palu/traffic/stream.hpp"
+
+namespace palu {
+namespace {
+
+TEST(Determinism, XoshiroGoldenOutputs) {
+  // Pin the first outputs for the default seeding path: any change to the
+  // engine or the seeding is a breaking change for reproducibility.
+  Rng rng(42);
+  const std::uint64_t first = rng();
+  const std::uint64_t second = rng();
+  Rng replay(42);
+  EXPECT_EQ(replay(), first);
+  EXPECT_EQ(replay(), second);
+  EXPECT_NE(first, second);
+  // splitmix64 is pinned by its published constants.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Determinism, GraphGeneratorsReproduce) {
+  Rng a(7), b(7);
+  const auto g1 = graph::zeta_degree_core(a, 5000, 2.2, 500);
+  const auto g2 = graph::zeta_degree_core(b, 5000, 2.2, 500);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(Determinism, UnderlyingNetworkReproduces) {
+  const auto params = core::PaluParams::solve_hubs(3.0, 0.4, 0.2, 2.2,
+                                                   0.7);
+  Rng a(11), b(11);
+  const auto n1 = core::generate_underlying(params, 30000, a);
+  const auto n2 = core::generate_underlying(params, 30000, b);
+  EXPECT_EQ(n1.graph.num_nodes(), n2.graph.num_nodes());
+  EXPECT_EQ(n1.graph.edges(), n2.graph.edges());
+  EXPECT_EQ(n1.hub_begin, n2.hub_begin);
+}
+
+TEST(Determinism, StreamsReproduce) {
+  Rng gen_rng(13);
+  const auto g = graph::erdos_renyi(gen_rng, 500, 0.02);
+  traffic::SyntheticTrafficGenerator s1(g, traffic::RateModel{}, Rng(17));
+  traffic::SyntheticTrafficGenerator s2(g, traffic::RateModel{}, Rng(17));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(s1.next(), s2.next()) << "packet " << i;
+  }
+}
+
+TEST(Determinism, ForkStreamsAreStable) {
+  // fork(i) of an identical parent state must match across instances.
+  Rng a(23), b(23);
+  Rng fa = a.fork(5);
+  Rng fb = b.fork(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(fa(), fb());
+}
+
+}  // namespace
+}  // namespace palu

@@ -1,0 +1,459 @@
+// Unit tests for palu/graph: graph kit, components/census, generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "palu/common/error.hpp"
+#include "palu/fit/linreg.hpp"
+#include "palu/graph/components.hpp"
+#include "palu/graph/generators.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/stats/histogram.hpp"
+
+namespace palu::graph {
+namespace {
+
+TEST(Graph, DegreesCountBothEndpoints) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 1);  // self-loop counts 2
+  const auto deg = g.degrees();
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[1], 4u);
+  EXPECT_EQ(deg[2], 1u);
+  EXPECT_EQ(deg[3], 0u);
+}
+
+TEST(Graph, AddEdgeValidatesEndpoints) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), palu::InvalidArgument);
+}
+
+TEST(Graph, SimplifiedRemovesLoopsAndDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // duplicate after canonicalization
+  g.add_edge(2, 2);  // self-loop
+  g.add_edge(1, 2);
+  const Graph s = g.simplified();
+  EXPECT_EQ(s.num_edges(), 2u);
+  EXPECT_EQ(s.num_nodes(), 3u);
+}
+
+TEST(Graph, AdjacencyMatchesEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const auto adj = g.adjacency();
+  EXPECT_EQ(adj.degree(0), 2u);
+  EXPECT_EQ(adj.degree(1), 1u);
+  EXPECT_EQ(adj.degree(3), 1u);
+  // Node 0's neighbors are {1, 2} in some order.
+  std::vector<NodeId> n0(adj.neighbors.begin() + adj.offsets[0],
+                         adj.neighbors.begin() + adj.offsets[1]);
+  std::sort(n0.begin(), n0.end());
+  EXPECT_EQ(n0, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Graph, AppendDisjointOffsetsIds) {
+  Graph a(2);
+  a.add_edge(0, 1);
+  Graph b(3);
+  b.add_edge(0, 2);
+  const NodeId offset = a.append_disjoint(b);
+  EXPECT_EQ(offset, 2u);
+  EXPECT_EQ(a.num_nodes(), 5u);
+  EXPECT_EQ(a.num_edges(), 2u);
+  EXPECT_EQ(a.edges()[1].u, 2u);
+  EXPECT_EQ(a.edges()[1].v, 4u);
+}
+
+TEST(UnionFind, MergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));  // already merged
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_EQ(uf.component_size(2), 3u);
+  EXPECT_EQ(uf.component_size(4), 1u);
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(3));
+}
+
+TEST(ConnectedComponents, FindsAllShapes) {
+  // 0-1-2 path, 3-4 pair, 5 isolated.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  auto comps = connected_components(g);
+  ASSERT_EQ(comps.size(), 3u);
+  std::sort(comps.begin(), comps.end(),
+            [](const ComponentInfo& a, const ComponentInfo& b) {
+              return a.nodes > b.nodes;
+            });
+  EXPECT_EQ(comps[0].nodes, 3u);
+  EXPECT_EQ(comps[0].edges, 2u);
+  EXPECT_EQ(comps[1].nodes, 2u);
+  EXPECT_EQ(comps[1].edges, 1u);
+  EXPECT_EQ(comps[2].nodes, 1u);
+  EXPECT_EQ(comps[2].edges, 0u);
+}
+
+TEST(TopologyCensus, ClassifiesFigureTwoShapes) {
+  // Build: 1 isolated node, 2 unattached links, 1 star (hub+3 leaves),
+  // 1 core (triangle with a hanging leaf).
+  Graph g(0);
+  g.add_nodes(1);            // node 0: isolated
+  NodeId n = g.add_nodes(4); // 1-2, 3-4: unattached links
+  g.add_edge(n, n + 1);
+  g.add_edge(n + 2, n + 3);
+  n = g.add_nodes(4);        // star: hub 5, leaves 6,7,8
+  g.add_edge(n, n + 1);
+  g.add_edge(n, n + 2);
+  g.add_edge(n, n + 3);
+  n = g.add_nodes(4);        // triangle 9,10,11 + leaf 12
+  g.add_edge(n, n + 1);
+  g.add_edge(n + 1, n + 2);
+  g.add_edge(n, n + 2);
+  g.add_edge(n + 2, n + 3);
+
+  const TopologyCensus census = classify_topology(g);
+  EXPECT_EQ(census.isolated_nodes, 1u);
+  EXPECT_EQ(census.unattached_links, 2u);
+  EXPECT_EQ(census.star_components, 1u);
+  EXPECT_EQ(census.star_leaves, 3u);
+  EXPECT_EQ(census.core_components, 1u);
+  EXPECT_EQ(census.core_nodes, 4u);
+  EXPECT_EQ(census.core_leaves, 1u);
+  EXPECT_EQ(census.largest_component, 4u);
+  EXPECT_EQ(census.total_components(), 4u);
+}
+
+TEST(TopologyCensus, PathIsNotAStar) {
+  // A 4-node path is a tree but has no hub covering all edges.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const TopologyCensus census = classify_topology(g);
+  EXPECT_EQ(census.star_components, 0u);
+  EXPECT_EQ(census.core_components, 1u);
+}
+
+TEST(TopologyCensus, ThreeNodePathIsAStar) {
+  // hub with two leaves == 3-node path; both views are the same graph.
+  Graph g(3);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  const TopologyCensus census = classify_topology(g);
+  EXPECT_EQ(census.star_components, 1u);
+  EXPECT_EQ(census.star_leaves, 2u);
+}
+
+TEST(KCore, KnownSmallGraphs) {
+  // K4: every node is in the 3-core.
+  Graph k4(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) k4.add_edge(u, v);
+  }
+  for (const Degree c : k_core_numbers(k4)) EXPECT_EQ(c, 3u);
+  // Star: everything peels at 1, including the hub.
+  Graph star(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) star.add_edge(0, leaf);
+  for (const Degree c : k_core_numbers(star)) EXPECT_EQ(c, 1u);
+  // Triangle with tail: triangle 2, tail 1.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const auto core = k_core_numbers(g);
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+}
+
+TEST(KCore, MonotoneUnderPeelingInvariant) {
+  // Every node's core number is at most its degree, and the k-core
+  // subgraph induced by {v : core(v) >= k} has min degree >= k inside.
+  Rng rng(61);
+  const Graph g = barabasi_albert(rng, 3000, 3).simplified();
+  const auto core = k_core_numbers(g);
+  const auto deg = g.degrees();
+  Degree kmax = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(core[v], deg[v]);
+    kmax = std::max(kmax, core[v]);
+  }
+  EXPECT_GE(kmax, 3u);  // BA m=3 has a 3-core
+  // Check the defining property at k = kmax.
+  std::vector<Degree> internal(g.num_nodes(), 0);
+  for (const Edge& e : g.edges()) {
+    if (core[e.u] >= kmax && core[e.v] >= kmax) {
+      ++internal[e.u];
+      ++internal[e.v];
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (core[v] >= kmax) {
+      EXPECT_GE(internal[v], kmax) << "node " << v;
+    }
+  }
+}
+
+TEST(KCore, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(k_core_numbers(Graph(0)).empty());
+  const auto core = k_core_numbers(Graph(7));
+  for (const Degree c : core) EXPECT_EQ(c, 0u);
+}
+
+TEST(LargestComponent, ExtractsGiantWithMapping) {
+  // 0-1-2 triangle + 3-4 pair + 5 isolated.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  std::vector<NodeId> ids;
+  const Graph giant = largest_component(g, &ids);
+  EXPECT_EQ(giant.num_nodes(), 3u);
+  EXPECT_EQ(giant.num_edges(), 3u);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[2], 2u);
+}
+
+TEST(LargestComponent, DegenerateInputs) {
+  EXPECT_EQ(largest_component(Graph(0)).num_nodes(), 0u);
+  // All-isolated graph: any single node qualifies.
+  const Graph lone = largest_component(Graph(4));
+  EXPECT_EQ(lone.num_nodes(), 1u);
+  EXPECT_EQ(lone.num_edges(), 0u);
+}
+
+TEST(LargestComponent, CoversMostOfAConnectedGraph) {
+  Rng rng(71);
+  const Graph g = barabasi_albert(rng, 2000, 2);
+  const Graph giant = largest_component(g);
+  EXPECT_EQ(giant.num_nodes(), g.num_nodes());
+  EXPECT_EQ(giant.num_edges(), g.num_edges());
+}
+
+TEST(Assortativity, StarIsPerfectlyDisassortative) {
+  Graph star(6);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) star.add_edge(0, leaf);
+  EXPECT_NEAR(degree_assortativity(star), -1.0, 1e-12);
+}
+
+TEST(Assortativity, RegularGraphIsDegenerate) {
+  // Cycle: all degrees equal → zero variance → defined as 0.
+  Graph cycle(6);
+  for (NodeId v = 0; v < 6; ++v) cycle.add_edge(v, (v + 1) % 6);
+  EXPECT_DOUBLE_EQ(degree_assortativity(cycle), 0.0);
+}
+
+TEST(Assortativity, PaStyleGraphsAreDisassortative) {
+  Rng rng(67);
+  const Graph g = barabasi_albert(rng, 10000, 2);
+  EXPECT_LT(degree_assortativity(g), -0.02);
+  // ER is neutral.
+  const Graph er = erdos_renyi(rng, 5000, 0.002);
+  EXPECT_NEAR(degree_assortativity(er), 0.0, 0.05);
+}
+
+TEST(BarabasiAlbert, DegreeSumAndConnectivity) {
+  Rng rng(42);
+  const NodeId n = 2000;
+  const Graph g = barabasi_albert(rng, n, 3);
+  // Seed clique of 4 contributes 6 edges, then 3 per node.
+  EXPECT_EQ(g.num_edges(), 6u + (n - 4) * 3u);
+  const auto census = classify_topology(g);
+  EXPECT_EQ(census.total_components() + census.isolated_nodes, 1u);
+  // Minimum degree is m (every newcomer brings 3 edges).
+  const auto deg = g.degrees();
+  EXPECT_EQ(*std::min_element(deg.begin(), deg.end()), 3u);
+}
+
+TEST(BarabasiAlbert, ProducesHeavyTail) {
+  Rng rng(7);
+  const Graph g = barabasi_albert(rng, 20000, 2);
+  const auto deg = g.degrees();
+  const Degree dmax = *std::max_element(deg.begin(), deg.end());
+  // BA supernodes grow ~ sqrt(n); far beyond any Poisson-like tail.
+  EXPECT_GT(dmax, 100u);
+}
+
+TEST(BarabasiAlbert, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(barabasi_albert(rng, 3, 0), palu::InvalidArgument);
+  EXPECT_THROW(barabasi_albert(rng, 3, 3), palu::InvalidArgument);
+}
+
+TEST(ZetaDegreeCore, DegreeLawMatchesBoundedZeta) {
+  Rng rng(11);
+  const double alpha = 2.5;
+  const NodeId n = 60000;
+  const Graph g = zeta_degree_core(rng, n, alpha, 1000);
+  const auto deg = g.degrees();
+  // Log-log regression on the realized degree pmf for d in [1, 32]:
+  // slope should be near −α.  (The erased configuration model perturbs
+  // high degrees only.)
+  std::vector<double> counts(40, 0.0);
+  for (const Degree d : deg) {
+    if (d >= 1 && d < counts.size()) counts[d] += 1.0;
+  }
+  std::vector<double> x, y;
+  for (Degree d = 1; d <= 32; ++d) {
+    if (counts[d] < 10) continue;
+    x.push_back(std::log(static_cast<double>(d)));
+    y.push_back(std::log(counts[d]));
+  }
+  ASSERT_GE(x.size(), 6u);
+  const auto fit = fit::linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, -alpha, 0.12);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(ZetaDegreeCore, RespectsDegreeCap) {
+  Rng rng(13);
+  const Graph g = zeta_degree_core(rng, 5000, 1.8, 50);
+  const auto deg = g.degrees();
+  // Erased configuration model can only reduce degrees; parity fix adds at
+  // most one.
+  EXPECT_LE(*std::max_element(deg.begin(), deg.end()), 51u);
+}
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation) {
+  Rng rng(17);
+  const NodeId n = 2000;
+  const double p = 0.002;
+  const Graph g = erdos_renyi(rng, n, p);
+  const double expected = p * 0.5 * n * (n - 1);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              6.0 * std::sqrt(expected));
+  // No self-loops or out-of-range nodes.
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, n);
+    EXPECT_LT(e.v, n);
+  }
+}
+
+TEST(ErdosRenyi, NoDuplicateEdges) {
+  Rng rng(19);
+  const Graph g = erdos_renyi(rng, 300, 0.05);
+  const Graph s = g.simplified();
+  EXPECT_EQ(g.num_edges(), s.num_edges());
+}
+
+TEST(ErdosRenyi, DegenerateProbabilities) {
+  Rng rng(1);
+  EXPECT_EQ(erdos_renyi(rng, 100, 0.0).num_edges(), 0u);
+  const Graph full = erdos_renyi(rng, 40, 1.0);
+  EXPECT_EQ(full.num_edges(), 40u * 39u / 2u);
+}
+
+TEST(StarForest, LeafCountsArePoisson) {
+  Rng rng(23);
+  const Count hubs = 50000;
+  const double lambda = 3.0;
+  const Graph g = star_forest(rng, hubs, lambda);
+  // Expected total leaves = hubs·λ.
+  const double expected_edges = static_cast<double>(hubs) * lambda;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected_edges,
+              6.0 * std::sqrt(expected_edges));
+  // Isolated-hub fraction ≈ e^{−λ} (Section V's invisible nodes).
+  const auto census = classify_topology(g);
+  EXPECT_NEAR(static_cast<double>(census.isolated_nodes),
+              std::exp(-lambda) * static_cast<double>(hubs),
+              6.0 * std::sqrt(std::exp(-lambda) * hubs));
+  // Every non-isolated component is a star (or a 2-node link).
+  EXPECT_EQ(census.core_components, 0u);
+}
+
+TEST(StarForest, ZeroLambdaIsAllIsolated) {
+  Rng rng(29);
+  const Graph g = star_forest(rng, 100, 0.0);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.num_nodes(), 100u);
+}
+
+TEST(BernoulliEdgeSample, ThinningIsBinomial) {
+  Rng rng(31);
+  Graph g(1000);
+  for (NodeId i = 0; i + 1 < 1000; ++i) g.add_edge(i, i + 1);
+  const double p = 0.3;
+  const Graph thinned = bernoulli_edge_sample(rng, g, p);
+  EXPECT_EQ(thinned.num_nodes(), g.num_nodes());
+  EXPECT_NEAR(static_cast<double>(thinned.num_edges()), 999 * p,
+              6.0 * std::sqrt(999 * p * (1 - p)));
+}
+
+TEST(ConnectByEdgeSwap, PreservesEveryDegree) {
+  Rng rng(41);
+  const Graph g = zeta_degree_core(rng, 20000, 2.2, 500);
+  const Graph connected = connect_by_edge_swap(rng, g);
+  EXPECT_EQ(connected.num_edges(), g.num_edges());
+  EXPECT_EQ(connected.degrees(), g.degrees());
+}
+
+TEST(ConnectByEdgeSwap, YieldsSingleEdgeBearingComponent) {
+  Rng rng(43);
+  const Graph g = zeta_degree_core(rng, 20000, 2.2, 500);
+  const Graph connected = connect_by_edge_swap(rng, g);
+  const auto comps = connected_components(connected);
+  std::size_t with_edges = 0;
+  for (const auto& c : comps) with_edges += (c.edges > 0);
+  EXPECT_EQ(with_edges, 1u);
+}
+
+TEST(ConnectByEdgeSwap, HandlesAlreadyConnectedAndTinyGraphs) {
+  Rng rng(47);
+  Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  const Graph same = connect_by_edge_swap(rng, path);
+  EXPECT_EQ(same.num_edges(), 2u);
+  EXPECT_EQ(same.degrees(), path.degrees());
+
+  Graph single(2);
+  single.add_edge(0, 1);
+  EXPECT_EQ(connect_by_edge_swap(rng, single).num_edges(), 1u);
+  EXPECT_EQ(connect_by_edge_swap(rng, Graph(5)).num_edges(), 0u);
+}
+
+TEST(ConnectByEdgeSwap, ForestsCannotMergeButStayValid) {
+  // #components = V − E is a swap invariant on forests, so two tree pairs
+  // can never merge degree-preservingly; the routine must terminate and
+  // leave a valid graph with untouched degrees (isolated nodes included).
+  Rng rng(53);
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  // nodes 4, 5 isolated
+  const Graph out = connect_by_edge_swap(rng, g);
+  EXPECT_EQ(out.num_edges(), 2u);
+  EXPECT_EQ(out.degrees(), g.degrees());
+  const auto census = classify_topology(out);
+  EXPECT_EQ(census.isolated_nodes, 2u);
+  EXPECT_EQ(census.unattached_links, 2u);
+}
+
+TEST(BernoulliEdgeSample, ExtremesKeepAllOrNone) {
+  Rng rng(37);
+  Graph g(10);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(bernoulli_edge_sample(rng, g, 1.0).num_edges(), 2u);
+  EXPECT_EQ(bernoulli_edge_sample(rng, g, 0.0).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace palu::graph

@@ -1,0 +1,158 @@
+// Integration tests: the full pipelines the paper runs end to end.
+//
+// 1. Traffic pipeline: underlying network → packet stream → N_V windows →
+//    pooled D(d_i) ± σ → modified-ZM fit (the Fig 3 flow).
+// 2. Generative pipeline: PALU params → observed networks → census +
+//    degree law → PALU estimation (Sections III–V).
+// 3. Window-size invariance: only p changes across window sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "palu/palu.hpp"
+
+namespace palu {
+namespace {
+
+TEST(TrafficPipeline, StreamWindowsFitZipfMandelbrot) {
+  // Underlying network with a heavy-tailed core so the fan-out
+  // distribution is ZM-like.
+  Rng gen_rng(100);
+  const auto g = graph::zeta_degree_core(gen_rng, 20000, 2.0, 2000);
+  traffic::RateModel rates;
+  rates.kind = traffic::RateModel::Kind::kUniform;
+  traffic::SyntheticTrafficGenerator stream(g, rates, Rng(101));
+
+  // Aggregate consecutive equal-size windows (Section II).
+  stats::BinnedEnsemble ensemble;
+  Degree dmax = 0;
+  for (int t = 0; t < 8; ++t) {
+    const auto window = stream.window(50000);
+    EXPECT_EQ(window.total(), 50000u);
+    const auto h =
+        traffic::quantity_histogram(window, traffic::Quantity::kSourceFanOut);
+    dmax = std::max(dmax, h.max_degree());
+    ensemble.add(stats::LogBinned::from_histogram(h));
+  }
+  ASSERT_GE(ensemble.num_bins(), 4u);
+
+  // Fit the mean pooled distribution, weighting by the window σ.
+  fit::ZmFitOptions opts;
+  opts.bin_sigma = ensemble.stddev();
+  const auto result = fit_zipf_mandelbrot(
+      stats::LogBinned(ensemble.mean()), dmax, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.alpha, 1.2);
+  EXPECT_LT(result.alpha, 4.0);
+  EXPECT_GT(result.delta, -1.0);
+
+  // The fitted model must reproduce the measured pooled masses closely.
+  const fit::ZipfMandelbrot zm(result.alpha, result.delta, dmax);
+  const auto model = zm.pooled();
+  const auto mean = ensemble.mean();
+  for (std::size_t i = 0; i < std::min<std::size_t>(mean.size(), 6); ++i) {
+    const double m = i < model.num_bins() ? model[i] : 0.0;
+    EXPECT_NEAR(mean[i], m, 0.05 + 0.25 * mean[i]) << "bin " << i;
+  }
+}
+
+TEST(TrafficPipeline, TableOneAggregatesConsistentAcrossWindows) {
+  Rng gen_rng(103);
+  const auto g = graph::erdos_renyi(gen_rng, 3000, 0.002);
+  traffic::SyntheticTrafficGenerator stream(g, traffic::RateModel{},
+                                            Rng(105));
+  for (const Count nv : {1000u, 10000u, 100000u}) {
+    const auto window = stream.window(nv);
+    const auto s = traffic::aggregates_summation(window);
+    const auto m = traffic::aggregates_matrix(window);
+    EXPECT_EQ(s, m) << "N_V=" << nv;
+    EXPECT_EQ(s.valid_packets, nv);
+    EXPECT_LE(s.unique_links, nv);
+    EXPECT_LE(s.unique_sources, s.unique_links);
+  }
+}
+
+TEST(GenerativePipeline, CensusAndEstimationEndToEnd) {
+  const core::PaluParams params = core::PaluParams::solve_hubs(
+      /*lambda=*/4.0, /*core=*/0.3, /*leaves=*/0.25, /*alpha=*/2.1,
+      /*window=*/0.7);
+  Rng rng(107);
+  const auto net = core::generate_underlying(params, 200000, rng);
+  const auto observed = core::generate_observed(net, params, rng);
+
+  // Census shows all Fig-2 topology classes at once.
+  const auto census = graph::classify_topology(observed);
+  EXPECT_GT(census.isolated_nodes, 0u);
+  EXPECT_GT(census.unattached_links, 0u);
+  EXPECT_GT(census.star_components, 0u);
+  EXPECT_GT(census.core_nodes, 0u);
+
+  // Degree histogram feeds the PALU estimator.
+  const auto h = stats::DegreeHistogram::from_degrees(observed.degrees());
+  const auto fit = core::fit_palu(h);
+  EXPECT_NEAR(fit.alpha, params.alpha, 0.3);
+  const auto k = core::simplified_constants(params);
+  EXPECT_NEAR(fit.mu, k.mu, 0.35 * k.mu);
+}
+
+TEST(GenerativePipeline, PowerLawMleSeesHeavierTailThanPoissonNull) {
+  // The observed degree law's tail must register as power-law-like to the
+  // CSN machinery with an exponent near the core α.
+  const core::PaluParams params = core::PaluParams::solve_hubs(
+      2.0, 0.5, 0.1, 2.4, 0.9);
+  Rng rng(109);
+  const auto h = core::sample_observed_degrees(params, 300000, rng);
+  const auto fit = fit::fit_power_law(h);
+  EXPECT_NEAR(fit.alpha, params.alpha, 0.35);
+}
+
+TEST(WindowInvariance, EstimatedMuScalesLinearlyWithP) {
+  // The same underlying parameters observed at two window sizes must yield
+  // μ̂ ratios ≈ p₂/p₁ while α stays put — the PALU invariance claim.
+  const double lambda = 8.0;
+  auto params_at = [&](double p) {
+    return core::PaluParams::solve_hubs(lambda, 0.35, 0.2, 2.2, p);
+  };
+  Rng rng1(111), rng2(112);
+  const auto h1 =
+      core::sample_observed_degrees(params_at(0.4), 500000, rng1);
+  const auto h2 =
+      core::sample_observed_degrees(params_at(0.8), 500000, rng2);
+  const auto f1 = core::fit_palu(h1);
+  const auto f2 = core::fit_palu(h2);
+  EXPECT_NEAR(f2.mu / f1.mu, 2.0, 0.45);
+  EXPECT_NEAR(f1.alpha, f2.alpha, 0.35);
+}
+
+TEST(ZmConnection, GenerativeParamsLandOnFittableCurve) {
+  // δ(params) from Section VI must define a valid PaluZmCurve for some r
+  // and the pooled curve must resemble the pooled simplified theory.
+  const core::PaluParams params = core::PaluParams::solve_hubs(
+      1.5, 0.45, 0.2, 2.0, 0.8);
+  const double delta = core::delta_from_params(params);
+  ASSERT_GT(delta, -1.0);
+  ASSERT_LT(delta, 0.0);
+  const core::PaluZmCurve curve(params.alpha, delta, 2.5, 1u << 12);
+  EXPECT_NEAR(curve.pooled().total_mass(), 1.0, 1e-9);
+}
+
+TEST(FailureInjection, PipelinesRejectDegenerateInputs) {
+  // Empty window → no distribution.
+  const traffic::SparseCountMatrix empty;
+  EXPECT_THROW(stats::EmpiricalDistribution::from_histogram(
+                   traffic::undirected_degree_histogram(empty)),
+               DataError);
+  // Single-bin pooled target → ZM fit refuses.
+  EXPECT_THROW(fit::fit_zipf_mandelbrot(stats::LogBinned({1.0}), 1024),
+               InvalidArgument);
+  // Unnormalized params refuse to generate.
+  core::PaluParams bad = core::PaluParams::solve_hubs(2.0, 0.4, 0.2, 2.0,
+                                                      0.5);
+  bad.core = 0.9;
+  Rng rng(1);
+  EXPECT_THROW(core::generate_underlying(bad, 1000, rng),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palu

@@ -1,0 +1,204 @@
+// Unit tests for palu/io: trace round-trips and CSV exports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "palu/common/error.hpp"
+#include "palu/fit/model_zoo.hpp"
+#include "palu/io/csv.hpp"
+#include "palu/io/trace.hpp"
+#include "palu/stats/distribution.hpp"
+#include "palu/stats/histogram.hpp"
+#include "palu/traffic/sparse_matrix.hpp"
+
+namespace palu::io {
+namespace {
+
+TEST(Trace, RoundTripsPackets) {
+  const std::vector<traffic::Packet> pkts = {
+      {1, 2}, {42, 7}, {18446744073709551615ull, 0}};
+  std::stringstream buf;
+  write_trace(buf, pkts);
+  const auto parsed = read_trace(buf);
+  EXPECT_EQ(parsed, pkts);
+}
+
+TEST(Trace, SkipsCommentsAndBlanks) {
+  std::stringstream buf(
+      "# header\n"
+      "\n"
+      "1 2\n"
+      "   # indented comment\n"
+      "3\t4\n"
+      "  5   6  \r\n");
+  const auto parsed = read_trace(buf);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0], (traffic::Packet{1, 2}));
+  EXPECT_EQ(parsed[1], (traffic::Packet{3, 4}));
+  EXPECT_EQ(parsed[2], (traffic::Packet{5, 6}));
+}
+
+TEST(Trace, RejectsMalformedLines) {
+  const auto expect_bad = [](const char* text) {
+    std::stringstream buf(text);
+    EXPECT_THROW(read_trace(buf), DataError) << text;
+  };
+  expect_bad("1\n");
+  expect_bad("a b\n");
+  expect_bad("1 2 3trailing\n");  // third token glued to second
+  expect_bad("-1 2\n");
+}
+
+TEST(Trace, AllowsThreeTokenRejection) {
+  // "1 2 3" has a stray third token: the dst parse must fail.
+  std::stringstream buf("1 2 3\n");
+  EXPECT_THROW(read_trace(buf), DataError);
+}
+
+TEST(Trace, EmptyInputYieldsEmptyVector) {
+  std::stringstream buf("");
+  EXPECT_TRUE(read_trace(buf).empty());
+}
+
+TEST(Csv, DistributionExport) {
+  stats::DegreeHistogram h;
+  h.add(1, 3);
+  h.add(4, 1);
+  const auto dist = stats::EmpiricalDistribution::from_histogram(h);
+  std::stringstream buf;
+  write_distribution_csv(buf, dist);
+  std::string line;
+  std::getline(buf, line);
+  EXPECT_EQ(line, "d,pmf,cdf");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "1,0.75,0.75");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "4,0.25,1");
+}
+
+TEST(Csv, PooledExportWithAndWithoutSigma) {
+  const stats::LogBinned pooled({0.5, 0.25, 0.25});
+  {
+    std::stringstream buf;
+    write_pooled_csv(buf, pooled);
+    std::string line;
+    std::getline(buf, line);
+    EXPECT_EQ(line, "bin,d_i,mass");
+    std::getline(buf, line);
+    EXPECT_EQ(line, "0,1,0.5");
+    std::getline(buf, line);
+    EXPECT_EQ(line, "1,2,0.25");
+  }
+  {
+    const std::vector<double> sigma = {0.1, 0.2, 0.3};
+    std::stringstream buf;
+    write_pooled_csv(buf, pooled, sigma);
+    std::string line;
+    std::getline(buf, line);
+    EXPECT_EQ(line, "bin,d_i,mass,sigma");
+    std::getline(buf, line);
+    EXPECT_EQ(line, "0,1,0.5,0.1");
+  }
+  const std::vector<double> wrong = {0.1};
+  std::stringstream buf;
+  EXPECT_THROW(write_pooled_csv(buf, pooled, wrong),
+               InvalidArgument);
+}
+
+TEST(Csv, ModelComparisonExport) {
+  std::vector<fit::ModelComparison> ranking(2);
+  ranking[0].family = "zeta";
+  ranking[0].parameters = {{"alpha", 2.0}};
+  ranking[0].log_likelihood = -100.0;
+  ranking[0].aic = 202.0;
+  ranking[0].delta_aic = 0.0;
+  ranking[0].bic = 205.0;
+  ranking[0].delta_bic = 0.0;
+  ranking[1].family = "lognormal";
+  ranking[1].parameters = {{"mu", 1.0}, {"sigma", 0.5}};
+  ranking[1].log_likelihood = -120.0;
+  ranking[1].aic = 244.0;
+  ranking[1].delta_aic = 42.0;
+  ranking[1].bic = 250.0;
+  ranking[1].delta_bic = 45.0;
+  std::stringstream buf;
+  write_model_comparison_csv(buf, ranking);
+  std::string line;
+  std::getline(buf, line);
+  EXPECT_EQ(line,
+            "family,log_likelihood,aic,delta_aic,bic,delta_bic,"
+            "parameters");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "zeta,-100,202,0,205,0,alpha=2");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "lognormal,-120,244,42,250,45,mu=1;sigma=0.5");
+}
+
+TEST(EdgeList, RoundTripsWithIsolatedNodes) {
+  graph::Graph g(6);
+  g.add_edge(0, 3);
+  g.add_edge(3, 5);
+  // nodes 1, 2, 4 isolated
+  std::stringstream buf;
+  write_edge_list(buf, g);
+  const auto parsed = read_edge_list(buf);
+  EXPECT_EQ(parsed.num_nodes(), 6u);
+  EXPECT_EQ(parsed.edges(), g.edges());
+}
+
+TEST(EdgeList, InfersNodeCountWithoutDirective) {
+  std::stringstream buf("0 2\n7 1\n");
+  const auto g = read_edge_list(buf);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeList, RejectsOutOfRangeEndpoints) {
+  std::stringstream buf("# nodes=3\n0 5\n");
+  EXPECT_THROW(read_edge_list(buf), DataError);
+  std::stringstream malformed("0\n");
+  EXPECT_THROW(read_edge_list(malformed), DataError);
+}
+
+TEST(EdgeList, EmptyInputIsEmptyGraph) {
+  std::stringstream buf("# just a comment\n");
+  const auto g = read_edge_list(buf);
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Csv, PanelExport) {
+  const std::vector<double> measured = {0.6, 0.3, 0.1};
+  const std::vector<double> sigma = {0.01, 0.02, 0.03};
+  const stats::LogBinned model({0.55, 0.35, 0.08, 0.02});
+  std::stringstream buf;
+  write_panel_csv(buf, measured, sigma, model);
+  std::string line;
+  std::getline(buf, line);
+  EXPECT_EQ(line, "bin,d_i,measured,sigma,model");
+  std::getline(buf, line);
+  EXPECT_EQ(line, "0,1,0.6,0.01,0.55");
+  // Model has one more bin than measured: row padded with zeros.
+  std::getline(buf, line);
+  std::getline(buf, line);
+  std::getline(buf, line);
+  EXPECT_EQ(line, "3,8,0,0,0.02");
+  const std::vector<double> bad_sigma = {0.1};
+  std::stringstream err;
+  EXPECT_THROW(write_panel_csv(err, measured, bad_sigma, model),
+               InvalidArgument);
+}
+
+TEST(TraceToPipeline, ParsedPacketsFeedWindows) {
+  // End-to-end: serialize a synthetic stream, parse it back, aggregate.
+  std::vector<traffic::Packet> pkts;
+  for (NodeId i = 0; i < 100; ++i) pkts.push_back({i % 7, i % 5});
+  std::stringstream buf;
+  write_trace(buf, pkts);
+  const auto parsed = read_trace(buf);
+  const auto window = traffic::SparseCountMatrix::from_packets(parsed);
+  EXPECT_EQ(window.total(), 100u);
+}
+
+}  // namespace
+}  // namespace palu::io

@@ -1,0 +1,107 @@
+// Unit tests for the Kolmogorov survival function and the KS tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/fit/ks_test.hpp"
+#include "palu/fit/powerlaw_mle.hpp"
+#include "palu/rng/distributions.hpp"
+#include "palu/rng/xoshiro.hpp"
+
+namespace palu::fit {
+namespace {
+
+TEST(KolmogorovSurvival, KnownQuantiles) {
+  // Classic table values of the Kolmogorov distribution.
+  EXPECT_NEAR(kolmogorov_survival(1.3581), 0.05, 5e-4);
+  EXPECT_NEAR(kolmogorov_survival(1.2238), 0.10, 5e-4);
+  EXPECT_NEAR(kolmogorov_survival(1.6276), 0.01, 2e-4);
+  EXPECT_DOUBLE_EQ(kolmogorov_survival(0.0), 1.0);
+}
+
+TEST(KolmogorovSurvival, MonotoneAndBranchesAgree) {
+  double prev = 1.0;
+  for (double lam = 0.05; lam < 3.0; lam += 0.05) {
+    const double q = kolmogorov_survival(lam);
+    EXPECT_LE(q, prev + 1e-12) << "lambda=" << lam;
+    prev = q;
+  }
+  // The series-dual crossover at λ = 0.5 must be seamless: the two
+  // evaluations differ only by the function's own slope (|Q'| < 1) over
+  // the 2e-6 gap, not by a branch discontinuity.
+  EXPECT_NEAR(kolmogorov_survival(0.499999),
+              kolmogorov_survival(0.500001), 5e-6);
+}
+
+TEST(KolmogorovSurvival, RejectsNegative) {
+  EXPECT_THROW(kolmogorov_survival(-0.1), palu::InvalidArgument);
+}
+
+TEST(KsOneSample, AcceptsTrueModelRejectsWrong) {
+  Rng rng(1);
+  rng::BoundedZipfSampler zipf(2.0, 1u << 18);
+  stats::DegreeHistogram h;
+  for (int i = 0; i < 30000; ++i) h.add(zipf(rng));
+  const auto ok = ks_test_one_sample(h, [](Degree d) {
+    return zeta_tail_cdf(2.0, 1, d);
+  });
+  // Discrete data make the asymptotic test conservative: the p-value
+  // should not signal rejection for the true model.
+  EXPECT_GT(ok.p_value, 0.05);
+  const auto bad = ks_test_one_sample(h, [](Degree d) {
+    return zeta_tail_cdf(3.0, 1, d);
+  });
+  EXPECT_LT(bad.p_value, 1e-10);
+  EXPECT_GT(bad.statistic, ok.statistic);
+}
+
+TEST(KsTwoSample, SameLawIsNotFlagged) {
+  Rng rng(2);
+  rng::BoundedZipfSampler zipf(2.2, 1u << 16);
+  stats::DegreeHistogram a, b;
+  for (int i = 0; i < 20000; ++i) a.add(zipf(rng));
+  for (int i = 0; i < 20000; ++i) b.add(zipf(rng));
+  const auto res = ks_test_two_sample(a, b);
+  EXPECT_GT(res.p_value, 0.01);
+  EXPECT_NEAR(res.effective_n, 10000.0, 1.0);
+}
+
+TEST(KsTwoSample, DetectsDistributionShift) {
+  Rng rng(3);
+  rng::BoundedZipfSampler flat(1.8, 1u << 16);
+  rng::BoundedZipfSampler steep(2.6, 1u << 16);
+  stats::DegreeHistogram a, b;
+  for (int i = 0; i < 20000; ++i) a.add(flat(rng));
+  for (int i = 0; i < 20000; ++i) b.add(steep(rng));
+  const auto res = ks_test_two_sample(a, b);
+  EXPECT_LT(res.p_value, 1e-12);
+  EXPECT_GT(res.statistic, 0.05);
+}
+
+TEST(KsTwoSample, SymmetricInArguments) {
+  Rng rng(4);
+  stats::DegreeHistogram a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.add(1 + rng.uniform_index(50));
+    b.add(1 + rng.uniform_index(70));
+  }
+  const auto ab = ks_test_two_sample(a, b);
+  const auto ba = ks_test_two_sample(b, a);
+  EXPECT_DOUBLE_EQ(ab.statistic, ba.statistic);
+  EXPECT_DOUBLE_EQ(ab.p_value, ba.p_value);
+}
+
+TEST(KsTwoSample, DisjointSupportsMaxOut) {
+  stats::DegreeHistogram a, b;
+  a.add(1, 100);
+  a.add(2, 100);
+  b.add(100, 100);
+  b.add(200, 100);
+  const auto res = ks_test_two_sample(a, b);
+  EXPECT_DOUBLE_EQ(res.statistic, 1.0);
+  EXPECT_LT(res.p_value, 1e-12);
+}
+
+}  // namespace
+}  // namespace palu::fit

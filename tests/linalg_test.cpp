@@ -1,0 +1,172 @@
+// Unit tests for palu/linalg: dense kit, Cholesky, Householder QR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/linalg/matrix.hpp"
+#include "palu/rng/xoshiro.hpp"
+
+namespace palu::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = 2.0 * rng.uniform() - 1.0;
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix eye = Matrix::identity(3);
+  Matrix a(3, 3);
+  double v = 1.0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  }
+  EXPECT_NEAR(Matrix::max_abs_diff(a.multiply(eye), a), 0.0, 1e-15);
+  EXPECT_NEAR(Matrix::max_abs_diff(eye.multiply(a), a), 0.0, 1e-15);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Vector x = {1.0, 0.5, -1.0};
+  const Vector y = a.multiply(x);
+  EXPECT_NEAR(y[0], 1.0 + 1.0 - 3.0, 1e-15);
+  EXPECT_NEAR(y[1], 4.0 + 2.5 - 6.0, 1e-15);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(1);
+  const Matrix a = random_matrix(4, 6, rng);
+  EXPECT_NEAR(Matrix::max_abs_diff(a.transposed().transposed(), a), 0.0,
+              0.0);
+}
+
+TEST(Matrix, GramEqualsExplicitProduct) {
+  Rng rng(2);
+  const Matrix a = random_matrix(7, 3, rng);
+  const Matrix g = a.gram();
+  const Matrix explicit_g = a.transposed().multiply(a);
+  EXPECT_NEAR(Matrix::max_abs_diff(g, explicit_g), 0.0, 1e-13);
+}
+
+TEST(Matrix, TransposeMultiplyMatchesExplicit) {
+  Rng rng(3);
+  const Matrix a = random_matrix(5, 4, rng);
+  Vector v(5);
+  for (auto& x : v) x = rng.uniform();
+  const Vector got = a.transpose_multiply(v);
+  const Vector expected = a.transposed().multiply(v);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-13);
+  }
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), palu::InvalidArgument);
+  EXPECT_THROW(a.multiply(Vector{1.0, 2.0}), palu::InvalidArgument);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  // A = Bᵀ·B + I is SPD for any B.
+  Rng rng(4);
+  const Matrix b = random_matrix(6, 4, rng);
+  Matrix a = b.gram();
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 1.0;
+  const Vector x_true = {1.0, -2.0, 0.5, 3.0};
+  const Vector rhs = a.multiply(x_true);
+  const Vector x = Cholesky(a).solve(rhs);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  Rng rng(5);
+  const Matrix b = random_matrix(5, 3, rng);
+  Matrix a = b.gram();
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) += 0.5;
+  const Cholesky chol(a);
+  const Matrix l = chol.lower();
+  const Matrix reconstructed = l.multiply(l.transposed());
+  EXPECT_NEAR(Matrix::max_abs_diff(reconstructed, a), 0.0, 1e-12);
+}
+
+TEST(Cholesky, LogDeterminant) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(1, 1) = 9.0;  // det = 36
+  EXPECT_NEAR(Cholesky(a).log_determinant(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3, −1
+  EXPECT_THROW(Cholesky{a}, palu::ConvergenceError);
+}
+
+TEST(HouseholderQr, SolvesSquareSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 1;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 2;
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 0;
+  const Vector x_true = {1.0, 2.0, 3.0};
+  const Vector x = HouseholderQr(a).solve(a.multiply(x_true));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-11);
+}
+
+TEST(HouseholderQr, LeastSquaresMatchesNormalEquations) {
+  Rng rng(6);
+  const Matrix a = random_matrix(20, 4, rng);
+  Vector b(20);
+  for (double& v : b) v = rng.uniform();
+  const Vector x_qr = HouseholderQr(a).solve(b);
+  // Normal equations via Cholesky.
+  const Vector x_ne = Cholesky(a.gram()).solve(a.transpose_multiply(b));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x_qr[i], x_ne[i], 1e-9);
+}
+
+TEST(HouseholderQr, ExactFitResidualIsZero) {
+  // Fit y = 3 − 2x through colinear data: residual must vanish.
+  Matrix a(5, 2);
+  Vector b(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double x = static_cast<double>(i);
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    b[i] = 3.0 - 2.0 * x;
+  }
+  const Vector coef = HouseholderQr(a).solve(b);
+  EXPECT_NEAR(coef[0], 3.0, 1e-12);
+  EXPECT_NEAR(coef[1], -2.0, 1e-12);
+}
+
+TEST(HouseholderQr, DetectsRankDeficiency) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // second column is a multiple of the first
+  }
+  const HouseholderQr qr(a);
+  EXPECT_LT(qr.min_abs_diag(), 1e-12);
+  EXPECT_THROW(qr.solve(Vector(4, 1.0)), palu::InvalidArgument);
+}
+
+TEST(HouseholderQr, RequiresTallMatrix) {
+  EXPECT_THROW(HouseholderQr(Matrix(2, 3)), palu::InvalidArgument);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, -1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), palu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palu::linalg

@@ -1,0 +1,216 @@
+// Deep accuracy tests for the math substrate: identity-based checks that
+// need no memorized constants, plus a standard optimizer battery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "palu/common/error.hpp"
+#include "palu/fit/brent.hpp"
+#include "palu/fit/levmar.hpp"
+#include "palu/fit/nelder_mead.hpp"
+#include "palu/math/gamma.hpp"
+#include "palu/math/incomplete_gamma.hpp"
+#include "palu/math/zeta.hpp"
+#include "palu/rng/xoshiro.hpp"
+
+namespace palu {
+namespace {
+
+// ------------------------------------------------------ gamma identities
+
+TEST(GammaIdentities, RecurrenceAcrossRandomArguments) {
+  // ln Γ(x+1) = ln Γ(x) + ln x.
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = 0.05 + 30.0 * rng.uniform();
+    EXPECT_NEAR(math::log_gamma(x + 1.0),
+                math::log_gamma(x) + std::log(x),
+                1e-11 * (1.0 + std::abs(math::log_gamma(x))))
+        << "x=" << x;
+  }
+}
+
+TEST(GammaIdentities, LegendreDuplication) {
+  // Γ(2x) = Γ(x)·Γ(x+1/2)·2^{2x−1}/√π, in log form.
+  for (double x : {0.3, 0.75, 1.0, 2.5, 7.0, 19.5}) {
+    const double lhs = math::log_gamma(2.0 * x);
+    const double rhs = math::log_gamma(x) + math::log_gamma(x + 0.5) +
+                       (2.0 * x - 1.0) * std::log(2.0) -
+                       0.5 * std::log(std::numbers::pi);
+    EXPECT_NEAR(lhs, rhs, 1e-10 * (1.0 + std::abs(lhs))) << "x=" << x;
+  }
+}
+
+TEST(GammaIdentities, ReflectionAcrossSmallArguments) {
+  // Γ(x)Γ(1−x) = π / sin(πx) for x ∈ (0, 1).
+  for (double x : {0.05, 0.2, 0.35, 0.45}) {
+    const double lhs = math::log_gamma(x) + math::log_gamma(1.0 - x);
+    const double rhs =
+        std::log(std::numbers::pi / std::sin(std::numbers::pi * x));
+    EXPECT_NEAR(lhs, rhs, 1e-11) << "x=" << x;
+  }
+}
+
+TEST(IncompleteGammaIdentities, RecurrenceInA) {
+  // P(a+1, x) = P(a, x) − x^a e^{−x}/Γ(a+1).
+  for (double a : {0.5, 1.0, 3.0, 8.0}) {
+    for (double x : {0.2, 1.0, 4.0, 20.0}) {
+      const double correction =
+          std::exp(a * std::log(x) - x - math::log_gamma(a + 1.0));
+      EXPECT_NEAR(math::regularized_gamma_p(a + 1.0, x),
+                  math::regularized_gamma_p(a, x) - correction, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(IncompleteGammaIdentities, ChiSquareAdditivityViaConvolution) {
+  // χ²₂ survival is exactly e^{−x/2}; χ²₄(x) relates by the Erlang form
+  // Q(2, x/2) = e^{−x/2}(1 + x/2).
+  for (double x : {0.5, 2.0, 7.0, 18.0}) {
+    EXPECT_NEAR(math::chi_squared_survival(x, 2.0), std::exp(-0.5 * x),
+                1e-12);
+    EXPECT_NEAR(math::chi_squared_survival(x, 4.0),
+                std::exp(-0.5 * x) * (1.0 + 0.5 * x), 1e-12);
+  }
+}
+
+// ------------------------------------------------------ zeta identities
+
+TEST(ZetaIdentities, EulerProductSpotCheck) {
+  // ζ(s)·Π_{p ≤ 97} (1 − p^{−s}) ≈ 1 for s where the tail primes are
+  // negligible (large s).
+  const double s = 8.0;
+  double prod = math::riemann_zeta(s);
+  for (const int p :
+       {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+        61, 67, 71, 73, 79, 83, 89, 97}) {
+    prod *= 1.0 - std::pow(static_cast<double>(p), -s);
+  }
+  EXPECT_NEAR(prod, 1.0, 1e-10);
+}
+
+TEST(ZetaIdentities, DirichletEtaRelation) {
+  // η(s) = Σ (−1)^{n−1} n^{−s} = (1 − 2^{1−s})·ζ(s).
+  for (double s : {1.5, 2.0, 3.0, 5.0}) {
+    double eta = 0.0;
+    for (int n = 1; n < 500000; ++n) {
+      eta += (n % 2 == 1 ? 1.0 : -1.0) * std::pow(n, -s);
+    }
+    EXPECT_NEAR(eta, (1.0 - std::pow(2.0, 1.0 - s)) *
+                         math::riemann_zeta(s),
+                1e-6)
+        << "s=" << s;
+  }
+}
+
+TEST(ZetaIdentities, HurwitzRationalSplitting) {
+  // ζ(s, 1/2) + ζ(s, 1) = 2^s ζ(s)  (split over even/odd integers).
+  for (double s : {1.4, 2.0, 3.3}) {
+    EXPECT_NEAR(math::hurwitz_zeta(s, 0.5) + math::hurwitz_zeta(s, 1.0),
+                std::pow(2.0, s) * math::riemann_zeta(s),
+                1e-10 * std::pow(2.0, s) * math::riemann_zeta(s))
+        << "s=" << s;
+  }
+}
+
+// --------------------------------------------------- optimizer battery
+
+TEST(OptimizerBattery, BrentRootsOfTranscendentals) {
+  // x = cos(x): Dottie number ≈ 0.7390851332151607.
+  const double dottie = fit::brent_root(
+      [](double x) { return x - std::cos(x); }, 0.0, 1.0);
+  EXPECT_NEAR(dottie, 0.7390851332151607, 1e-10);
+  // Lambert W(1): x·e^x = 1 at x ≈ 0.5671432904097838.
+  const double omega = fit::brent_root(
+      [](double x) { return x * std::exp(x) - 1.0; }, 0.0, 1.0);
+  EXPECT_NEAR(omega, 0.5671432904097838, 1e-10);
+}
+
+TEST(OptimizerBattery, NelderMeadBooth) {
+  const auto booth = [](const std::vector<double>& v) {
+    const double a = v[0] + 2.0 * v[1] - 7.0;
+    const double b = 2.0 * v[0] + v[1] - 5.0;
+    return a * a + b * b;
+  };
+  const auto res = fit::nelder_mead(booth, {0.0, 0.0});
+  EXPECT_NEAR(res.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(res.x[1], 3.0, 1e-5);
+}
+
+TEST(OptimizerBattery, NelderMeadBeale) {
+  const auto beale = [](const std::vector<double>& v) {
+    const double x = v[0], y = v[1];
+    const double a = 1.5 - x + x * y;
+    const double b = 2.25 - x + x * y * y;
+    const double c = 2.625 - x + x * y * y * y;
+    return a * a + b * b + c * c;
+  };
+  const auto res = fit::nelder_mead(beale, {1.0, 1.0});
+  EXPECT_NEAR(res.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(res.x[1], 0.5, 1e-3);
+}
+
+TEST(OptimizerBattery, NelderMeadHimmelblauReachesAZero) {
+  const auto himmelblau = [](const std::vector<double>& v) {
+    const double x = v[0], y = v[1];
+    const double a = x * x + y - 11.0;
+    const double b = x + y * y - 7.0;
+    return a * a + b * b;
+  };
+  // Four global minima, all with value 0; any is acceptable.
+  const auto res = fit::nelder_mead(himmelblau, {0.0, 0.0});
+  EXPECT_LT(res.value, 1e-8);
+}
+
+TEST(OptimizerBattery, LevMarFitsSinusoid) {
+  // y = A·sin(ω t + φ) with A=1.5, ω=2, φ=0.5.
+  std::vector<double> t, y;
+  for (int i = 0; i < 60; ++i) {
+    t.push_back(0.1 * i);
+    y.push_back(1.5 * std::sin(2.0 * 0.1 * i + 0.5));
+  }
+  const auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      r[i] = p[0] * std::sin(p[1] * t[i] + p[2]) - y[i];
+    }
+    return r;
+  };
+  const auto res = fit::levenberg_marquardt(residuals, {1.0, 1.8, 0.0});
+  EXPECT_NEAR(res.x[0], 1.5, 1e-5);
+  EXPECT_NEAR(res.x[1], 2.0, 1e-5);
+  EXPECT_NEAR(res.x[2], 0.5, 1e-5);
+}
+
+TEST(OptimizerBattery, LevMarPowellSingular) {
+  // Powell's singular function: minimum 0 at the origin with a singular
+  // Hessian — a classic stress test for damping.
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{
+        p[0] + 10.0 * p[1], std::sqrt(5.0) * (p[2] - p[3]),
+        (p[1] - 2.0 * p[2]) * (p[1] - 2.0 * p[2]),
+        std::sqrt(10.0) * (p[0] - p[3]) * (p[0] - p[3])};
+  };
+  const auto res =
+      fit::levenberg_marquardt(residuals, {3.0, -1.0, 0.0, 1.0});
+  EXPECT_LT(res.chi_squared, 1e-8);
+}
+
+TEST(OptimizerBattery, BrentMinimizeZetaLikelihoodShape) {
+  // The 1-D negative log-likelihood used by the power-law MLE is convex
+  // in α; Brent must land on the stationary point where the derivative
+  // flips sign.
+  const double sum_log_d = 0.9;  // per-observation Σ ln d
+  const auto nll = [&](double alpha) {
+    return std::log(math::riemann_zeta(alpha)) + alpha * sum_log_d;
+  };
+  const double alpha_star = fit::brent_minimize(nll, 1.05, 20.0);
+  const double h = 1e-5;
+  EXPECT_LT(nll(alpha_star), nll(alpha_star + 10.0 * h));
+  EXPECT_LT(nll(alpha_star), nll(alpha_star - 10.0 * h));
+}
+
+}  // namespace
+}  // namespace palu

@@ -1,0 +1,191 @@
+// The paper's qualitative claims, each asserted end to end.
+//
+// One test per claim, named after where the paper makes it.  These are
+// the statements EXPERIMENTS.md reports on; a regression in any of them
+// means the library no longer reproduces the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "palu/palu.hpp"
+
+namespace palu {
+namespace {
+
+// Section II: "webcrawls naturally sample the supernodes ... accurately
+// fit at large d by single-parameter power-law models", while streaming
+// windows reveal leaves and unattached links that deviate at small d.
+TEST(PaperClaims, SectionII_CrawlsSeePowerLawsWindowsSeeDeviations) {
+  const auto params = core::scenarios::mixed();
+  Rng rng(1);
+  const auto net = core::generate_underlying(params, 200000, rng);
+  const auto trunk =
+      stats::DegreeHistogram::from_degrees(net.graph.degrees());
+  const auto crawl = graph::bfs_crawl(rng, net.graph, 50000);
+  const auto crawl_view = graph::crawl_view_degrees(net.graph, crawl);
+
+  // Trunk view: ZM beats zeta decisively (the δ offset earns its keep).
+  const auto zm_trunk = fit::fit_zipf_mandelbrot_model(trunk);
+  const auto zeta_trunk = fit::fit_zeta_model(trunk);
+  const auto v_trunk = fit::vuong_test(*zm_trunk, *zeta_trunk, trunk);
+  EXPECT_GT(v_trunk.statistic, 3.0);
+
+  // Crawl view: the improvement shrinks by an order of magnitude.
+  const auto zm_crawl = fit::fit_zipf_mandelbrot_model(crawl_view);
+  const auto zeta_crawl = fit::fit_zeta_model(crawl_view);
+  const auto v_crawl = fit::vuong_test(*zm_crawl, *zeta_crawl, crawl_view);
+  EXPECT_LT(v_crawl.statistic, 0.5 * v_trunk.statistic);
+}
+
+// Section II-B: "The model exponent α has a larger impact on the model at
+// large values of d while the model offset δ has a larger impact at small
+// values of d and in particular at d = 1."
+TEST(PaperClaims, SectionIIB_AlphaControlsTailDeltaControlsHead) {
+  // Normalization couples all pmf values, so the claim is about *shape*:
+  // the tail log-slope belongs to α (δ cannot move it) and the head
+  // ratio p(1)/p(2) moves far more with δ than the tail slope does.
+  const Degree dmax = 1u << 14;
+  const auto tail_slope = [](const fit::ZipfMandelbrot& zm) {
+    return std::log2(zm.pmf(2048) / zm.pmf(4096));
+  };
+  const auto head_ratio = [](const fit::ZipfMandelbrot& zm) {
+    return zm.pmf(1) / zm.pmf(2);
+  };
+  const fit::ZipfMandelbrot base(2.0, 1.0, dmax);
+  const fit::ZipfMandelbrot alpha_up(2.4, 1.0, dmax);
+  const fit::ZipfMandelbrot delta_up(2.0, 4.0, dmax);
+  // α moves the tail slope by ~0.4; δ leaves it essentially untouched.
+  EXPECT_NEAR(tail_slope(alpha_up) - tail_slope(base), 0.4, 0.01);
+  EXPECT_NEAR(tail_slope(delta_up) - tail_slope(base), 0.0, 0.01);
+  // δ reshapes the head ratio far more than α does.
+  const double head_shift_delta =
+      std::abs(head_ratio(delta_up) - head_ratio(base));
+  const double head_shift_alpha =
+      std::abs(head_ratio(alpha_up) - head_ratio(base));
+  EXPECT_GT(head_shift_delta, 2.0 * head_shift_alpha);
+}
+
+// Section III: "the parameters λ, C, L, U, and α should be the same
+// regardless of the window size ... the only parameter that will change
+// is p."
+TEST(PaperClaims, SectionIII_OnlyPChangesWithWindowSize) {
+  const double lambda = 6.0;
+  Rng rng_a(2), rng_b(3);
+  const auto small = core::PaluParams::solve_hubs(lambda, 0.35, 0.2, 2.2,
+                                                  0.35);
+  const auto large = small.at_window(0.85);
+  const auto fit_small = core::fit_palu(
+      core::sample_observed_degrees(small, 400000, rng_a));
+  const auto fit_large = core::fit_palu(
+      core::sample_observed_degrees(large, 400000, rng_b));
+  EXPECT_NEAR(fit_small.alpha, fit_large.alpha, 0.3);
+  EXPECT_NEAR(fit_large.mu / fit_small.mu, 0.85 / 0.35, 0.6);
+}
+
+// Section III: "Using a directed model has a small impact on the overall
+// degree distribution analysis."
+TEST(PaperClaims, SectionIII_DirectedModelSmallImpact) {
+  const auto params = core::scenarios::mixed().at_window(0.8);
+  Rng rng(4);
+  const auto net = core::generate_underlying(params, 200000, rng);
+  const auto obs = core::observe_directed(net, params, rng);
+  const double a_in =
+      fit::fit_power_law_fixed_xmin(obs.in_histogram(), 8).alpha;
+  const double a_und =
+      fit::fit_power_law_fixed_xmin(obs.total_histogram(), 8).alpha;
+  EXPECT_NEAR(a_in, a_und, 0.3);
+}
+
+// Section IV-A: "a log plot will have the slope of the regression line as
+// 1 − α, and not −α as it would be in the non-interval case."
+TEST(PaperClaims, SectionIVA_PooledSlopeIsOneMinusAlpha) {
+  const auto params = core::PaluParams::solve_hubs(2.0, 0.5, 0.2, 2.6,
+                                                   0.9);
+  const auto pooled = core::pooled_theory(params, 26);
+  std::vector<double> x, y;
+  for (std::uint32_t i = 12; i < 24; ++i) {
+    x.push_back(std::log(static_cast<double>(Degree{1} << i)));
+    y.push_back(std::log(pooled[i]));
+  }
+  const auto slope = fit::linear_regression(x, y).slope;
+  EXPECT_NEAR(slope, 1.0 - params.alpha, 0.03);
+  EXPECT_GT(std::abs(slope - (-params.alpha)), 0.9);
+}
+
+// Section IV-B: the moment-ratio estimate of the bump parameter "reduces
+// the estimate to one with substantially less variance" than point-wise
+// estimates.
+TEST(PaperClaims, SectionIVB_MomentRatioHasLessVariance) {
+  const auto params = core::PaluParams::solve_hubs(5.0, 0.35, 0.2, 2.2,
+                                                   0.8);
+  std::vector<double> moment, pointwise;
+  for (int rep = 0; rep < 12; ++rep) {
+    Rng rng(100 + rep * 1013);
+    const auto h = core::sample_observed_degrees(params, 100000, rng);
+    const auto dist = stats::EmpiricalDistribution::from_histogram(h);
+    const auto fit = core::fit_palu(h);
+    moment.push_back(fit.mu);
+    pointwise.push_back(
+        core::estimate_mu_pointwise(dist, fit.c, fit.alpha));
+  }
+  const auto var_of = [](const std::vector<double>& xs) {
+    double mean = 0.0;
+    for (const double v : xs) mean += v;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (const double v : xs) var += (v - mean) * (v - mean);
+    return var / static_cast<double>(xs.size() - 1);
+  };
+  EXPECT_LT(var_of(moment), var_of(pointwise));
+}
+
+// Section VI / Fig 4: "For any given power law exponent α and offset
+// parameter δ, the Zipf–Mandelbrot distribution can be well-approximated
+// by Equation (5) by varying r."
+TEST(PaperClaims, SectionVI_PaluFamilyApproachesZm) {
+  const Degree dmax = 1u << 12;
+  for (const double alpha : {2.0, 2.5, 3.0}) {
+    const auto fit = core::fit_r_to_zipf_mandelbrot(alpha, 0.5, dmax);
+    EXPECT_LT(fit.sse, 1e-2) << "alpha=" << alpha;
+  }
+}
+
+// Figure 3 upper-right: a leaf/unattached-heavy site deviates from any
+// single modified-ZM law far more than ordinary sites do.
+TEST(PaperClaims, Fig3_BotHeavyBreaksZipfMandelbrot) {
+  const auto fit_quality = [](const core::PaluParams& params,
+                              std::uint64_t seed) {
+    Rng rng(seed);
+    const auto h = core::sample_observed_degrees(params, 200000, rng);
+    const auto pooled = stats::LogBinned::from_histogram(h);
+    const auto zm = fit::fit_zipf_mandelbrot(pooled, h.max_degree());
+    const auto model =
+        fit::ZipfMandelbrot(zm.alpha, zm.delta, h.max_degree()).pooled();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < pooled.num_bins(); ++i) {
+      const double m = i < model.num_bins() ? model[i] : 0.0;
+      worst = std::max(worst, std::abs(pooled[i] - m));
+    }
+    return worst;
+  };
+  const double ordinary =
+      fit_quality(core::scenarios::backbone().at_window(0.8), 5);
+  const double botty =
+      fit_quality(core::scenarios::bot_heavy().at_window(0.8), 6);
+  EXPECT_GT(botty, 3.0 * ordinary);
+}
+
+// Section V: isolated hubs "cannot be seen by examining traffic between
+// nodes", yet their density is recoverable from the visible fit.
+TEST(PaperClaims, SectionV_InvisibleHubsAreRecoverable) {
+  const auto params = core::PaluParams::solve_hubs(5.0, 0.35, 0.15, 2.3,
+                                                   0.8);
+  Rng rng(7);
+  const auto h = core::sample_observed_degrees(params, 400000, rng);
+  const auto est = core::estimate_isolated(core::fit_palu(h),
+                                           params.window);
+  EXPECT_NEAR(est.implied_lambda, params.lambda, 0.25 * params.lambda);
+}
+
+}  // namespace
+}  // namespace palu

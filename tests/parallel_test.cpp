@@ -1,0 +1,154 @@
+// Unit tests for palu/parallel: thread pool semantics, parallel_for
+// coverage, reductions, and exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/parallel/parallel_for.hpp"
+#include "palu/parallel/thread_pool.hpp"
+
+namespace palu {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  auto fut = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter]() { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(1);
+  auto fut = pool.submit(
+      []() -> int { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN, /*grain=*/64, [&](IndexRange r) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, 1, [&](IndexRange) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, InvertedRangeThrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(pool, 5, 4, 1, [](IndexRange) {}),
+               InvalidArgument);
+}
+
+TEST(ParallelFor, SingleChunkRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  parallel_for(pool, 0, 10, /*grain=*/1000, [&](IndexRange) {
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 1000, 10,
+                   [&](IndexRange r) {
+                     if (r.begin >= 500) {
+                       throw DataError("chunk failure");
+                     }
+                   }),
+      DataError);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  const auto total = parallel_reduce<std::uint64_t>(
+      pool, 0, kN, 128, 0,
+      [](IndexRange r) {
+        std::uint64_t acc = 0;
+        for (std::size_t i = r.begin; i < r.end; ++i) acc += i;
+        return acc;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  const int v = parallel_reduce<int>(
+      pool, 3, 3, 1, 17, [](IndexRange) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 17);
+}
+
+TEST(ParallelReduce, CombineRespectsChunkOrder) {
+  // Concatenation is associative but not commutative: the result must be
+  // in ascending chunk order regardless of completion order.
+  ThreadPool pool(4);
+  const auto concat = parallel_reduce<std::vector<std::size_t>>(
+      pool, 0, 64, 4, {},
+      [](IndexRange r) {
+        std::vector<std::size_t> v;
+        for (std::size_t i = r.begin; i < r.end; ++i) v.push_back(i);
+        return v;
+      },
+      [](std::vector<std::size_t> a, std::vector<std::size_t> b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      });
+  ASSERT_EQ(concat.size(), 64u);
+  for (std::size_t i = 0; i < concat.size(); ++i) EXPECT_EQ(concat[i], i);
+}
+
+TEST(MakeChunks, RespectsGrain) {
+  const auto chunks = detail::make_chunks(0, 100, 30, 8);
+  for (const auto& c : chunks) {
+    EXPECT_GE(c.size(), 1u);
+  }
+  // Full coverage, no overlap.
+  std::size_t expected_begin = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.begin, expected_begin);
+    expected_begin = c.end;
+  }
+  EXPECT_EQ(expected_begin, 100u);
+  // grain=30 over 100 indices: at most 4 chunks.
+  EXPECT_LE(chunks.size(), 4u);
+}
+
+}  // namespace
+}  // namespace palu

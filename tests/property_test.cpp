@@ -1,0 +1,284 @@
+// Property-based tests: invariants that must hold across randomized
+// parameter grids, not just hand-picked cases.
+//
+// Includes the key distributional lemma of Section V — thinning a Poisson
+// by a Bernoulli coin is Poisson: Bin(Po(λ), p) ~ Po(λp) — verified by
+// simulation, plus normalization/monotonicity/consistency sweeps for the
+// zeta functions, the ZM model, the pooled theory, and the estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "palu/core/estimate.hpp"
+#include "palu/core/generator.hpp"
+#include "palu/core/theory.hpp"
+#include "palu/core/zm_connection.hpp"
+#include "palu/fit/zipf_mandelbrot.hpp"
+#include "palu/graph/components.hpp"
+#include "palu/math/gamma.hpp"
+#include "palu/math/lambda_ratio.hpp"
+#include "palu/math/zeta.hpp"
+#include "palu/rng/distributions.hpp"
+#include "palu/stats/log_binning.hpp"
+
+namespace palu {
+namespace {
+
+// ------------------------------------------------- Section V thinning
+
+class PoissonThinning
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PoissonThinning, BinomialOfPoissonIsPoisson) {
+  const auto [lambda, p] = GetParam();
+  Rng rng(1234);
+  constexpr int kN = 200000;
+  stats::DegreeHistogram thinned;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t y = rng::sample_poisson(rng, lambda);
+    thinned.add(rng::sample_binomial(rng, y, p) + 1);  // +1: keep zeros
+  }
+  // Compare frequencies with Po(λp) pmf.
+  const double mu = lambda * p;
+  for (std::uint64_t k = 0; k <= 8; ++k) {
+    const double expected = math::poisson_pmf(k, mu) * kN;
+    if (expected < 50.0) continue;
+    EXPECT_NEAR(static_cast<double>(thinned.at(k + 1)), expected,
+                6.0 * std::sqrt(expected))
+        << "lambda=" << lambda << " p=" << p << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PoissonThinning,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 6.0, 15.0),
+                       ::testing::Values(0.2, 0.5, 0.9)));
+
+// ---------------------------------------------------- zeta identities
+
+class ZetaIdentity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZetaIdentity, HeadPlusTailEqualsWhole) {
+  const double s = GetParam();
+  for (const std::uint64_t cut : {1ull, 7ull, 100ull, 12345ull}) {
+    EXPECT_NEAR(math::truncated_zeta(s, cut) +
+                    math::zeta_tail(s, cut + 1),
+                math::riemann_zeta(s), 1e-11)
+        << "s=" << s << " cut=" << cut;
+  }
+}
+
+TEST_P(ZetaIdentity, ShiftedSumIsMonotoneInOffset) {
+  const double s = GetParam();
+  double prev = math::shifted_truncated_zeta(s, 0.0, 1000);
+  for (double q = 0.5; q < 8.0; q += 0.5) {
+    const double cur = math::shifted_truncated_zeta(s, q, 1000);
+    EXPECT_LT(cur, prev) << "s=" << s << " q=" << q;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZetaIdentity,
+                         ::testing::Values(1.2, 1.5, 2.0, 2.7, 3.0, 4.5));
+
+// ---------------------------------------------------------- ZM model
+
+class ZmProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ZmProperty, NormalizedMonotonePooledConsistent) {
+  const auto [alpha, delta] = GetParam();
+  const Degree dmax = 3000;
+  const fit::ZipfMandelbrot zm(alpha, delta, dmax);
+  // pmf monotone decreasing in d and positive.
+  double prev = zm.pmf(1);
+  double total = prev;
+  for (Degree d = 2; d <= dmax; ++d) {
+    const double p = zm.pmf(d);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, prev);
+    total += p;
+    prev = p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Pooling is a partition of the pmf: masses sum to 1.
+  EXPECT_NEAR(zm.pooled().total_mass(), 1.0, 1e-9);
+  // cdf hits 1 at dmax.
+  EXPECT_NEAR(zm.cdf(dmax), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ZmProperty,
+    ::testing::Combine(::testing::Values(1.3, 2.0, 2.9),
+                       ::testing::Values(-0.5, 0.0, 1.0, 6.0)));
+
+// -------------------------------------------------------- PALU theory
+
+class PaluTheoryProperty
+    : public ::testing::TestWithParam<
+          std::tuple<double, double, double, double>> {};
+
+TEST_P(PaluTheoryProperty, SharesAndConstantsBehave) {
+  const auto [lambda, core_frac, alpha, window] = GetParam();
+  const auto params = core::PaluParams::solve_hubs(lambda, core_frac, 0.15,
+                                                   alpha, window);
+  // Class shares partition the visible nodes.
+  const auto comp = core::observed_composition(params);
+  EXPECT_NEAR(comp.core_share + comp.leaf_share + comp.unattached_share,
+              1.0, 1e-12);
+  EXPECT_GT(comp.visible_mass, 0.0);
+  EXPECT_LE(comp.unattached_link_share, comp.unattached_share + 1e-15);
+  // Simplified constants positive; Λ = e·μ.
+  const auto k = core::simplified_constants(params);
+  EXPECT_GT(k.c, 0.0);
+  EXPECT_GT(k.u, 0.0);
+  EXPECT_GE(k.l, 0.0);
+  EXPECT_NEAR(k.lambda_cap, std::exp(1.0) * k.mu, 1e-12);
+  // Degree shares positive and eventually power-law decaying.
+  for (Degree d = 1; d <= 64; ++d) {
+    EXPECT_GT(core::degree_share(params, d), 0.0) << "d=" << d;
+  }
+  const double ratio = core::degree_share(params, 512) /
+                       core::degree_share(params, 1024);
+  EXPECT_NEAR(ratio, std::pow(2.0, alpha), 0.05 * std::pow(2.0, alpha));
+  // Pooled theory masses are non-negative and bounded by the paper-form
+  // total mass (which can exceed 1 by the documented integral-for-sum gap
+  // in V; see core/theory.hpp).
+  const double mu = params.lambda * params.window;
+  const double paper_total =
+      (params.core * std::pow(params.window, params.alpha) +
+       params.leaves * params.window +
+       params.hubs * (1.0 + mu - std::exp(-mu))) /
+      comp.visible_mass;
+  const auto pooled = core::pooled_theory(params, 16);
+  for (std::size_t i = 0; i < pooled.num_bins(); ++i) {
+    EXPECT_GE(pooled[i], 0.0);
+    EXPECT_LE(pooled[i], paper_total + 1e-12);
+  }
+  EXPECT_LT(paper_total, 1.5);  // the gap stays O(1), never runaway
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PaluTheoryProperty,
+    ::testing::Combine(::testing::Values(0.5, 3.0, 12.0),
+                       ::testing::Values(0.2, 0.5),
+                       ::testing::Values(1.8, 2.5),
+                       ::testing::Values(0.25, 1.0)));
+
+// ----------------------------------------------- window invariance law
+
+class WindowScaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(WindowScaling, ConstantsScaleExactly) {
+  // μ scales linearly in p and c·V scales as p^α — the exact functional
+  // form behind "only p changes with window size".
+  const double p = GetParam();
+  const auto base = core::PaluParams::solve_hubs(4.0, 0.4, 0.2, 2.3, 1.0);
+  const auto k_full = core::simplified_constants(base);
+  const auto params = base.at_window(p);
+  const auto k = core::simplified_constants(params);
+  EXPECT_NEAR(k.mu, k_full.mu * p, 1e-12);
+  const double v = core::observed_composition(params).visible_mass;
+  const double v_full = core::observed_composition(base).visible_mass;
+  EXPECT_NEAR(k.c * v, k_full.c * v_full * std::pow(p, base.alpha),
+              1e-12);
+  EXPECT_NEAR(k.l * v, k_full.l * v_full * p, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WindowScaling,
+                         ::testing::Values(0.05, 0.2, 0.45, 0.7, 0.95));
+
+// ---------------------------------------------- estimator consistency
+
+class EstimatorConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorConsistency, AlphaAndMuWithinBandsAcrossSeeds) {
+  const int seed = GetParam();
+  const auto params = core::PaluParams::solve_hubs(5.0, 0.35, 0.2, 2.2,
+                                                   0.8);
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const auto h = core::sample_observed_degrees(params, 250000, rng);
+  const auto fit = core::fit_palu(h);
+  const auto k = core::simplified_constants(params);
+  EXPECT_NEAR(fit.alpha, params.alpha, 0.35) << "seed=" << seed;
+  EXPECT_NEAR(fit.mu, k.mu, 0.25 * k.mu) << "seed=" << seed;
+  EXPECT_TRUE(fit.mu_identifiable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorConsistency,
+                         ::testing::Range(1, 9));
+
+// ------------------------------------------------- ZM connection maps
+
+class ZmConnectionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZmConnectionProperty, DeltaMapsAreMutuallyInverse) {
+  const double alpha = GetParam();
+  for (double uc : {-0.9, -0.3, 0.0, 0.5, 4.0, 50.0}) {
+    const double delta = core::delta_from_u_over_c(alpha, uc);
+    EXPECT_GT(delta, -1.0);
+    EXPECT_NEAR(core::u_over_c_from_delta(alpha, delta), uc,
+                1e-9 * (1.0 + std::abs(uc)))
+        << "alpha=" << alpha << " u/c=" << uc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZmConnectionProperty,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
+// ------------------------------------------- moment ratio global shape
+
+TEST(MomentRatioProperty, InverseIsMonotoneToo) {
+  double prev = 0.0;
+  for (double r = 2.001; r < 40.0; r += 0.25) {
+    const double x = math::invert_lambda_moment_ratio(r);
+    EXPECT_GT(x, prev) << "r=" << r;
+    EXPECT_NEAR(math::lambda_moment_ratio(x), r, 1e-9 * r);
+    prev = x;
+  }
+}
+
+// --------------------------------------------- census node partition
+
+class CensusPartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(CensusPartition, ClassesPartitionTheNodeSet) {
+  // isolated + 2·unattached_links + star nodes + core nodes == N for any
+  // observed graph.
+  const int seed = GetParam();
+  const auto params = core::PaluParams::solve_hubs(
+      2.0 + seed % 3, 0.3, 0.2, 2.2, 0.4 + 0.1 * (seed % 5));
+  Rng rng(static_cast<std::uint64_t>(seed) * 7901 + 3);
+  const auto net = core::generate_underlying(params, 50000, rng);
+  const auto observed = core::generate_observed(net, params, rng);
+  const auto census = graph::classify_topology(observed);
+  const Count accounted =
+      census.isolated_nodes + 2 * census.unattached_links +
+      census.star_components + census.star_leaves + census.core_nodes;
+  EXPECT_EQ(accounted, observed.num_nodes()) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CensusPartition, ::testing::Range(1, 7));
+
+// ---------------------------------------------- pooling partition law
+
+TEST(PoolingProperty, EveryHistogramPoolsToUnitMass) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    stats::DegreeHistogram h;
+    const int support = 1 + static_cast<int>(rng.uniform_index(200));
+    for (int i = 0; i < support; ++i) {
+      h.add(1 + rng.uniform_index(1 << 16),
+            1 + rng.uniform_index(1000));
+    }
+    const auto pooled = stats::LogBinned::from_histogram(h);
+    EXPECT_NEAR(pooled.total_mass(), 1.0, 1e-9) << "trial " << trial;
+    // Bin count consistent with the max degree.
+    EXPECT_EQ(pooled.num_bins(),
+              stats::LogBinned::bin_index(h.max_degree()) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace palu

@@ -1,0 +1,345 @@
+// Unit tests for palu/rng: engine determinism and exactness of the discrete
+// samplers (moment checks and chi-square-style pmf comparisons).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/math/gamma.hpp"
+#include "palu/math/zeta.hpp"
+#include "palu/rng/distributions.hpp"
+#include "palu/rng/xoshiro.hpp"
+
+namespace palu::rng {
+namespace {
+
+TEST(Xoshiro, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Rng rng(7);
+  double mean = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mean += u;
+  }
+  mean /= kN;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+}
+
+TEST(Xoshiro, UniformPositiveNeverZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.uniform_positive(), 0.0);
+    ASSERT_LE(rng.uniform_positive(), 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformIndexIsUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 7;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kN = 700000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(kBuckets)];
+  const double expected = static_cast<double>(kN) / kBuckets;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5.0 * std::sqrt(expected))
+        << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng c0 = parent.fork(0);
+  Rng c1 = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (c0() == c1());
+  EXPECT_EQ(equal, 0);
+  // fork is const: the parent state is untouched.
+  Rng parent2(5);
+  (void)parent2.fork(0);
+  Rng parent3(5);
+  EXPECT_EQ(parent2(), parent3());
+}
+
+TEST(Xoshiro, JumpChangesState) {
+  Rng a(3), b(3);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+class PoissonMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMoments, MeanAndVarianceMatch) {
+  const double lambda = GetParam();
+  Rng rng(101);
+  constexpr int kN = 400000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const auto k = static_cast<double>(sample_poisson(rng, lambda));
+    sum += k;
+    sum2 += k * k;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  const double se = std::sqrt(lambda / kN);
+  EXPECT_NEAR(mean, lambda, 6.0 * se) << "lambda=" << lambda;
+  EXPECT_NEAR(var, lambda, 0.03 * lambda + 6.0 * se) << "lambda=" << lambda;
+}
+
+// Spans both the inversion (λ < 10) and PTRS (λ >= 10) paths.
+INSTANTIATE_TEST_SUITE_P(Sweep, PoissonMoments,
+                         ::testing::Values(0.1, 0.9, 3.0, 9.5, 10.5, 20.0,
+                                           54.4, 200.0));
+
+TEST(Poisson, PmfAgreement) {
+  // Frequency vs analytic pmf at a PTRS-path λ.
+  const double lambda = 14.0;
+  Rng rng(303);
+  constexpr int kN = 500000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kN; ++i) ++counts[sample_poisson(rng, lambda)];
+  for (std::uint64_t k = 6; k <= 24; ++k) {
+    const double expected = math::poisson_pmf(k, lambda) * kN;
+    ASSERT_GT(expected, 100.0);
+    EXPECT_NEAR(counts[k], expected, 6.0 * std::sqrt(expected))
+        << "k=" << k;
+  }
+}
+
+TEST(Poisson, ZeroLambda) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+TEST(Poisson, RejectsNegative) {
+  Rng rng(1);
+  EXPECT_THROW(sample_poisson(rng, -1.0), palu::InvalidArgument);
+}
+
+struct BinomialCase {
+  std::uint64_t n;
+  double p;
+};
+
+class BinomialMoments : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialMoments, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(505);
+  constexpr int kN = 300000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const auto k = static_cast<double>(sample_binomial(rng, n, p));
+    sum += k;
+    sum2 += k * k;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  const double m = static_cast<double>(n) * p;
+  const double v = m * (1.0 - p);
+  EXPECT_NEAR(mean, m, 6.0 * std::sqrt(v / kN) + 1e-9);
+  EXPECT_NEAR(var, v, 0.03 * v + 1e-9);
+}
+
+// Covers inversion (n·p < 10), BTRS (n·p >= 10), and the p > 0.5 mirror.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialMoments,
+    ::testing::Values(BinomialCase{10, 0.05}, BinomialCase{10, 0.5},
+                      BinomialCase{100, 0.02}, BinomialCase{100, 0.3},
+                      BinomialCase{100, 0.92}, BinomialCase{5000, 0.004},
+                      BinomialCase{5000, 0.4}, BinomialCase{1000000, 0.001}));
+
+TEST(Binomial, DegenerateEdges) {
+  Rng rng(1);
+  EXPECT_EQ(sample_binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(sample_binomial(rng, 50, 0.0), 0u);
+  EXPECT_EQ(sample_binomial(rng, 50, 1.0), 50u);
+  EXPECT_THROW(sample_binomial(rng, 10, 1.5), palu::InvalidArgument);
+}
+
+TEST(Binomial, NeverExceedsN) {
+  Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_LE(sample_binomial(rng, 37, 0.9), 37u);
+  }
+}
+
+TEST(Poisson, AlgorithmBoundaryIsSeamless) {
+  // λ just below and above the inversion/PTRS switch must produce the
+  // same law; compare mean and a head pmf between the two.
+  constexpr int kN = 400000;
+  const auto sample_mean_and_p8 = [](double lambda, std::uint64_t seed) {
+    Rng rng(seed);
+    double sum = 0.0;
+    int at8 = 0;
+    for (int i = 0; i < kN; ++i) {
+      const auto k = sample_poisson(rng, lambda);
+      sum += static_cast<double>(k);
+      at8 += (k == 8);
+    }
+    return std::pair<double, double>(sum / kN,
+                                     static_cast<double>(at8) / kN);
+  };
+  const auto below = sample_mean_and_p8(9.99, 1);
+  const auto above = sample_mean_and_p8(10.01, 2);
+  EXPECT_NEAR(below.first, 9.99, 0.05);
+  EXPECT_NEAR(above.first, 10.01, 0.05);
+  EXPECT_NEAR(below.second, math::poisson_pmf(8, 9.99), 0.005);
+  EXPECT_NEAR(above.second, math::poisson_pmf(8, 10.01), 0.005);
+}
+
+TEST(Zipf, SteepModeBoundaryIsSeamless) {
+  // α just below / above the sequential-inversion switch (8.0).
+  constexpr int kN = 200000;
+  const auto head_mass = [](double alpha, std::uint64_t seed) {
+    BoundedZipfSampler zipf(alpha, 2, 1000);
+    Rng rng(seed);
+    int at2 = 0;
+    for (int i = 0; i < kN; ++i) at2 += (zipf(rng) == 2);
+    return static_cast<double>(at2) / kN;
+  };
+  const double below = head_mass(7.95, 3);
+  const double above = head_mass(8.05, 4);
+  // Analytic P(2) over [2, 1000] ≈ 1/(1 + (2/3)^α + ...).
+  const auto p2 = [](double alpha) {
+    double z = 0.0;
+    for (int d = 2; d <= 1000; ++d) z += std::pow(d, -alpha);
+    return std::pow(2.0, -alpha) / z;
+  };
+  EXPECT_NEAR(below, p2(7.95), 0.005);
+  EXPECT_NEAR(above, p2(8.05), 0.005);
+}
+
+TEST(Geometric, MeanMatches) {
+  Rng rng(909);
+  for (double q : {0.1, 0.45, 0.9}) {
+    constexpr int kN = 300000;
+    double sum = 0.0;
+    std::uint64_t minv = ~0ull;
+    for (int i = 0; i < kN; ++i) {
+      const auto k = sample_geometric(rng, q);
+      sum += static_cast<double>(k);
+      minv = std::min(minv, k);
+    }
+    EXPECT_EQ(minv, 1u) << "support starts at 1";
+    EXPECT_NEAR(sum / kN, 1.0 / q, 0.02 / q);
+  }
+}
+
+TEST(Geometric, DegenerateOne) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_geometric(rng, 1.0), 1u);
+}
+
+struct ZipfCase {
+  double alpha;
+  std::uint64_t dmin;
+  std::uint64_t dmax;
+};
+
+class ZipfExactness : public ::testing::TestWithParam<ZipfCase> {};
+
+TEST_P(ZipfExactness, FrequenciesMatchPmf) {
+  const auto [alpha, dmin, dmax] = GetParam();
+  BoundedZipfSampler zipf(alpha, dmin, dmax);
+  Rng rng(606);
+  constexpr int kN = 400000;
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t d = zipf(rng);
+    ASSERT_GE(d, dmin);
+    ASSERT_LE(d, dmax);
+    ++counts[d];
+  }
+  // Normalizer over [dmin, dmax].
+  double z = 0.0;
+  for (std::uint64_t d = dmin; d <= std::min(dmax, dmin + 2000); ++d) {
+    z += std::pow(static_cast<double>(d), -alpha);
+  }
+  if (dmax > dmin + 2000) {
+    z += math::hurwitz_zeta(alpha, static_cast<double>(dmin + 2001)) -
+         math::hurwitz_zeta(alpha, static_cast<double>(dmax) + 1.0);
+  }
+  for (std::uint64_t d = dmin; d < dmin + 12 && d <= dmax; ++d) {
+    const double expected =
+        kN * std::pow(static_cast<double>(d), -alpha) / z;
+    if (expected < 50.0) continue;
+    EXPECT_NEAR(counts[d], expected, 6.0 * std::sqrt(expected))
+        << "d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfExactness,
+    ::testing::Values(ZipfCase{1.5, 1, 1000000}, ZipfCase{2.0, 1, 1000},
+                      ZipfCase{3.0, 1, 100000}, ZipfCase{2.5, 7, 5000},
+                      ZipfCase{1.1, 1, 50}, ZipfCase{2.0, 100, 100000},
+                      // steep-exponent sequential-inversion path
+                      ZipfCase{9.5, 1, 1000}, ZipfCase{12.0, 3, 500}));
+
+TEST(Zipf, SingletonDomain) {
+  BoundedZipfSampler zipf(2.0, 5, 5);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 5u);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(BoundedZipfSampler(0.0, 10), palu::InvalidArgument);
+  EXPECT_THROW(BoundedZipfSampler(2.0, 0), palu::InvalidArgument);
+  EXPECT_THROW(BoundedZipfSampler(2.0, 10, 5), palu::InvalidArgument);
+}
+
+TEST(Alias, MatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler alias(weights);
+  Rng rng(808);
+  constexpr int kN = 400000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kN; ++i) ++counts[alias(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected = kN * weights[i] / 10.0;
+    EXPECT_NEAR(counts[i], expected, 6.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Alias, OffsetShiftsSupport) {
+  AliasSampler alias({1.0, 1.0}, /*offset=*/100);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = alias(rng);
+    EXPECT_TRUE(v == 100 || v == 101);
+  }
+}
+
+TEST(Alias, HandlesZeroWeightEntries) {
+  AliasSampler alias({0.0, 5.0, 0.0});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(alias(rng), 1u);
+}
+
+TEST(Alias, RejectsDegenerateInputs) {
+  EXPECT_THROW(AliasSampler({}), palu::InvalidArgument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), palu::InvalidArgument);
+  EXPECT_THROW(AliasSampler({-1.0, 2.0}), palu::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palu::rng

@@ -1,0 +1,274 @@
+// Unit tests for palu/stats: histograms, empirical distributions, binary
+// logarithmic pooling (Section II-A semantics), window ensembles, KS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "palu/common/error.hpp"
+#include "palu/stats/distribution.hpp"
+#include "palu/stats/histogram.hpp"
+#include "palu/stats/log_binning.hpp"
+
+namespace palu::stats {
+namespace {
+
+TEST(DegreeHistogram, BasicAccumulation) {
+  DegreeHistogram h;
+  h.add(1, 5);
+  h.add(2, 3);
+  h.add(1);
+  EXPECT_EQ(h.at(1), 6u);
+  EXPECT_EQ(h.at(2), 3u);
+  EXPECT_EQ(h.at(7), 0u);
+  EXPECT_EQ(h.total(), 9u);
+  EXPECT_EQ(h.weighted_total(), 6u + 6u);
+  EXPECT_EQ(h.support_size(), 2u);
+  EXPECT_EQ(h.max_degree(), 2u);
+}
+
+TEST(DegreeHistogram, ZeroCountIsIgnored) {
+  DegreeHistogram h;
+  h.add(3, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(DegreeHistogram, FromDegreesDropsZeros) {
+  const std::vector<Degree> degrees = {0, 1, 1, 2, 0, 5};
+  const auto h = DegreeHistogram::from_degrees(degrees);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.at(0), 0u);
+  EXPECT_EQ(h.at(1), 2u);
+}
+
+TEST(DegreeHistogram, MergeAddsCounts) {
+  DegreeHistogram a, b;
+  a.add(1, 2);
+  a.add(3, 1);
+  b.add(1, 4);
+  b.add(5, 2);
+  a.merge(b);
+  EXPECT_EQ(a.at(1), 6u);
+  EXPECT_EQ(a.at(3), 1u);
+  EXPECT_EQ(a.at(5), 2u);
+  EXPECT_EQ(a.total(), 9u);
+}
+
+TEST(DegreeHistogram, SortedSnapshot) {
+  DegreeHistogram h;
+  h.add(9);
+  h.add(2);
+  h.add(5);
+  const auto s = h.sorted();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].first, 2u);
+  EXPECT_EQ(s[1].first, 5u);
+  EXPECT_EQ(s[2].first, 9u);
+}
+
+TEST(EmpiricalDistribution, NormalizesPmf) {
+  DegreeHistogram h;
+  h.add(1, 6);
+  h.add(2, 3);
+  h.add(8, 1);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  EXPECT_EQ(dist.sample_size(), 10u);
+  EXPECT_DOUBLE_EQ(dist.probability_at(1), 0.6);
+  EXPECT_DOUBLE_EQ(dist.probability_at(2), 0.3);
+  EXPECT_DOUBLE_EQ(dist.probability_at(8), 0.1);
+  EXPECT_DOUBLE_EQ(dist.probability_at(5), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cdf().back(), 1.0);
+}
+
+TEST(EmpiricalDistribution, CumulativeSteps) {
+  DegreeHistogram h;
+  h.add(2, 1);
+  h.add(4, 1);
+  h.add(8, 2);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  EXPECT_DOUBLE_EQ(dist.cumulative_at(1), 0.0);
+  EXPECT_DOUBLE_EQ(dist.cumulative_at(2), 0.25);
+  EXPECT_DOUBLE_EQ(dist.cumulative_at(3), 0.25);
+  EXPECT_DOUBLE_EQ(dist.cumulative_at(4), 0.5);
+  EXPECT_DOUBLE_EQ(dist.cumulative_at(100), 1.0);
+}
+
+TEST(EmpiricalDistribution, SummaryAccessors) {
+  DegreeHistogram h;
+  h.add(1, 7);
+  h.add(3, 2);
+  h.add(64, 1);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  EXPECT_EQ(dist.max_value(), 64u);  // Eq. (1): d_max
+  EXPECT_DOUBLE_EQ(dist.mass_at_one(), 0.7);
+  EXPECT_NEAR(dist.mean(), (7.0 * 1 + 2.0 * 3 + 64.0) / 10.0, 1e-12);
+}
+
+TEST(EmpiricalDistribution, DropsDegreeZero) {
+  DegreeHistogram h;
+  h.add(0, 100);
+  h.add(2, 1);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  EXPECT_EQ(dist.sample_size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.probability_at(2), 1.0);
+}
+
+TEST(EmpiricalDistribution, EmptyThrows) {
+  DegreeHistogram h;
+  EXPECT_THROW(EmpiricalDistribution::from_histogram(h), DataError);
+  h.add(0, 5);  // only invisible nodes
+  EXPECT_THROW(EmpiricalDistribution::from_histogram(h), DataError);
+}
+
+TEST(LogBinned, BinIndexIsCeilLog2) {
+  EXPECT_EQ(LogBinned::bin_index(1), 0u);
+  EXPECT_EQ(LogBinned::bin_index(2), 1u);
+  EXPECT_EQ(LogBinned::bin_index(3), 2u);
+  EXPECT_EQ(LogBinned::bin_index(4), 2u);
+  EXPECT_EQ(LogBinned::bin_index(5), 3u);
+  EXPECT_EQ(LogBinned::bin_index(8), 3u);
+  EXPECT_EQ(LogBinned::bin_index(9), 4u);
+  EXPECT_EQ(LogBinned::bin_index(1024), 10u);
+  EXPECT_EQ(LogBinned::bin_index(1025), 11u);
+}
+
+TEST(LogBinned, BinEdges) {
+  EXPECT_EQ(LogBinned::bin_upper(0), 1u);
+  EXPECT_EQ(LogBinned::bin_upper(5), 32u);
+  EXPECT_EQ(LogBinned::bin_lower_exclusive(0), 0u);
+  EXPECT_EQ(LogBinned::bin_lower_exclusive(5), 16u);
+}
+
+TEST(LogBinned, EveryDegreeFallsInItsBin) {
+  for (Degree d = 1; d <= 4096; ++d) {
+    const auto i = LogBinned::bin_index(d);
+    EXPECT_GT(d, LogBinned::bin_lower_exclusive(i));
+    EXPECT_LE(d, LogBinned::bin_upper(i));
+  }
+}
+
+TEST(LogBinned, PoolsHistogramMass) {
+  DegreeHistogram h;
+  h.add(1, 4);   // bin 0
+  h.add(2, 2);   // bin 1
+  h.add(3, 1);   // bin 2
+  h.add(4, 1);   // bin 2
+  h.add(7, 2);   // bin 3
+  const auto pooled = LogBinned::from_histogram(h);
+  ASSERT_EQ(pooled.num_bins(), 4u);
+  EXPECT_DOUBLE_EQ(pooled[0], 0.4);
+  EXPECT_DOUBLE_EQ(pooled[1], 0.2);
+  EXPECT_DOUBLE_EQ(pooled[2], 0.2);
+  EXPECT_DOUBLE_EQ(pooled[3], 0.2);
+  EXPECT_NEAR(pooled.total_mass(), 1.0, 1e-12);
+}
+
+TEST(LogBinned, DifferentialCumulativeIdentity) {
+  // D(d_i) must equal P(d_i) − P(d_{i−1}) computed from the empirical cdf.
+  DegreeHistogram h;
+  for (Degree d = 1; d <= 100; ++d) h.add(d, 101 - d);
+  const auto pooled = LogBinned::from_histogram(h);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  for (std::uint32_t i = 0; i < pooled.num_bins(); ++i) {
+    const double hi = dist.cumulative_at(LogBinned::bin_upper(i));
+    const double lo =
+        i == 0 ? 0.0
+               : dist.cumulative_at(LogBinned::bin_upper(i - 1));
+    EXPECT_NEAR(pooled[i], hi - lo, 1e-12) << "bin " << i;
+  }
+}
+
+TEST(LogBinned, FromModelPmfNormalizes) {
+  const auto pooled = LogBinned::from_model_pmf(
+      [](Degree d) { return 1.0 / static_cast<double>(d * d); }, 64);
+  EXPECT_NEAR(pooled.total_mass(), 1.0, 1e-12);
+  EXPECT_EQ(pooled.num_bins(), 7u);
+  // Bin 0 must be p(1) of the truncated-normalized model.
+  double z = 0.0;
+  for (int d = 1; d <= 64; ++d) z += 1.0 / (d * d);
+  EXPECT_NEAR(pooled[0], 1.0 / z, 1e-12);
+}
+
+TEST(LogBinned, EmptyHistogramThrows) {
+  DegreeHistogram h;
+  EXPECT_THROW(LogBinned::from_histogram(h), DataError);
+}
+
+TEST(BinnedEnsemble, MeanAndStddevAcrossWindows) {
+  BinnedEnsemble ens;
+  ens.add(LogBinned({0.5, 0.5}));
+  ens.add(LogBinned({0.7, 0.3}));
+  ens.add(LogBinned({0.6, 0.4}));
+  EXPECT_EQ(ens.num_windows(), 3u);
+  const auto mean = ens.mean();
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_NEAR(mean[0], 0.6, 1e-12);
+  EXPECT_NEAR(mean[1], 0.4, 1e-12);
+  const auto sd = ens.stddev();
+  EXPECT_NEAR(sd[0], 0.1, 1e-12);  // sample stddev of {.5,.7,.6}
+  EXPECT_NEAR(sd[1], 0.1, 1e-12);
+}
+
+TEST(BinnedEnsemble, RaggedWindowsTreatMissingBinsAsZero) {
+  BinnedEnsemble ens;
+  ens.add(LogBinned({1.0}));            // window with 1 bin
+  ens.add(LogBinned({0.5, 0.5}));       // window with 2 bins
+  const auto mean = ens.mean();
+  ASSERT_EQ(mean.size(), 2u);
+  EXPECT_NEAR(mean[0], 0.75, 1e-12);
+  EXPECT_NEAR(mean[1], 0.25, 1e-12);
+  const auto sd = ens.stddev();
+  // Values in bin 1 were {0, 0.5}: sample stddev = 0.5/√2.
+  EXPECT_NEAR(sd[1], 0.5 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(BinnedEnsemble, SingleWindowHasZeroStddev) {
+  BinnedEnsemble ens;
+  ens.add(LogBinned({0.3, 0.7}));
+  const auto sd = ens.stddev();
+  EXPECT_DOUBLE_EQ(sd[0], 0.0);
+  EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(EmpiricalDistribution, CcdfComplementsCdf) {
+  DegreeHistogram h;
+  h.add(2, 1);
+  h.add(4, 1);
+  h.add(8, 2);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  EXPECT_DOUBLE_EQ(dist.ccdf_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(dist.ccdf_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(dist.ccdf_at(2), 1.0);   // P[X >= 2]
+  EXPECT_DOUBLE_EQ(dist.ccdf_at(3), 0.75);  // above the first atom
+  EXPECT_DOUBLE_EQ(dist.ccdf_at(8), 0.5);
+  EXPECT_DOUBLE_EQ(dist.ccdf_at(9), 0.0);
+  // Identity: ccdf(d) + cdf(d−1) == 1 everywhere.
+  for (Degree d = 1; d <= 10; ++d) {
+    EXPECT_NEAR(dist.ccdf_at(d) + dist.cumulative_at(d - 1), 1.0, 1e-12);
+  }
+}
+
+TEST(KsDistance, ZeroAgainstItself) {
+  DegreeHistogram h;
+  h.add(1, 3);
+  h.add(2, 2);
+  h.add(5, 5);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  const double d = ks_distance(
+      dist, [&](Degree x) { return dist.cumulative_at(x); });
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(KsDistance, DetectsShift) {
+  DegreeHistogram h;
+  h.add(1, 1);
+  h.add(2, 1);
+  const auto dist = EmpiricalDistribution::from_histogram(h);
+  // Model putting all mass at 1: |0.5 − 1| = 0.5 at d=1.
+  const double d =
+      ks_distance(dist, [](Degree x) { return x >= 1 ? 1.0 : 0.0; });
+  EXPECT_DOUBLE_EQ(d, 0.5);
+}
+
+}  // namespace
+}  // namespace palu::stats

@@ -1,0 +1,233 @@
+// Unit tests for distribution summaries (incl. Gini / top-share supernode
+// concentration), the ZM maximum-likelihood fitter with standard errors,
+// the histogram CSV round trip, and the exact pooled theory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "palu/common/error.hpp"
+#include "palu/core/generator.hpp"
+#include "palu/core/theory.hpp"
+#include "palu/fit/zipf_mandelbrot.hpp"
+#include "palu/io/csv.hpp"
+#include "palu/rng/distributions.hpp"
+#include "palu/stats/summary.hpp"
+
+namespace palu {
+namespace {
+
+// ------------------------------------------------------------- summary
+
+TEST(Summary, HandComputedMoments) {
+  stats::DegreeHistogram h;
+  h.add(1, 2);
+  h.add(4, 1);
+  h.add(10, 1);
+  const auto s = stats::summarize(h);
+  EXPECT_EQ(s.observations, 4u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 10u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  // variance: ((1-4)^2·2 + 0 + 36)/4 = (18+36)/4 = 13.5
+  EXPECT_DOUBLE_EQ(s.variance, 13.5);
+}
+
+TEST(Summary, GiniExtremes) {
+  // Perfect equality: everyone has the same degree → Gini ~ 0.
+  stats::DegreeHistogram equal;
+  equal.add(5, 1000);
+  EXPECT_NEAR(stats::summarize(equal).gini, 0.0, 1e-3);
+  // One supernode holds almost everything.
+  stats::DegreeHistogram concentrated;
+  concentrated.add(1, 999);
+  concentrated.add(1000000, 1);
+  EXPECT_GT(stats::summarize(concentrated).gini, 0.99);
+}
+
+TEST(Summary, GiniMatchesExpandedDefinition) {
+  // Small case checked against the mean-absolute-difference definition:
+  // G = Σ_i Σ_j |x_i − x_j| / (2 n² mean).
+  stats::DegreeHistogram h;
+  h.add(1, 2);
+  h.add(3, 1);
+  h.add(8, 1);
+  const std::vector<double> xs = {1, 1, 3, 8};
+  double mad = 0.0;
+  for (const double a : xs) {
+    for (const double b : xs) mad += std::abs(a - b);
+  }
+  const double mean = 13.0 / 4.0;
+  const double expected = mad / (2.0 * 16.0 * mean);
+  EXPECT_NEAR(stats::summarize(h).gini, expected, 1e-12);
+}
+
+TEST(Summary, QuantilesOnStepCdf) {
+  stats::DegreeHistogram h;
+  h.add(1, 50);
+  h.add(2, 30);
+  h.add(100, 20);
+  EXPECT_EQ(stats::quantile(h, 0.0), 1u);
+  EXPECT_EQ(stats::quantile(h, 0.5), 1u);
+  EXPECT_EQ(stats::quantile(h, 0.6), 2u);
+  EXPECT_EQ(stats::quantile(h, 0.8), 2u);
+  EXPECT_EQ(stats::quantile(h, 0.81), 100u);
+  EXPECT_EQ(stats::quantile(h, 1.0), 100u);
+}
+
+TEST(Summary, TopShareCapturesSupernodes) {
+  // 1 supernode with degree 1000 among 999 degree-1 nodes: the top 0.1%
+  // holds 1000/1999 of the mass.
+  stats::DegreeHistogram h;
+  h.add(1, 999);
+  h.add(1000, 1);
+  EXPECT_NEAR(stats::top_share(h, 0.001), 1000.0 / 1999.0, 1e-9);
+  EXPECT_NEAR(stats::top_share(h, 1.0), 1.0, 1e-12);
+  // Monotone in the fraction.
+  EXPECT_LT(stats::top_share(h, 0.0005), stats::top_share(h, 0.5));
+}
+
+TEST(Summary, PaluNetworksAreMoreConcentratedThanPoisson) {
+  const auto params = core::PaluParams::solve_hubs(2.0, 0.5, 0.2, 2.0,
+                                                   1.0);
+  Rng rng(1);
+  const auto palu_h = core::sample_observed_degrees(params, 100000, rng);
+  stats::DegreeHistogram poisson_h;
+  for (int i = 0; i < 100000; ++i) {
+    poisson_h.add(1 + rng::sample_poisson(rng, 3.0));
+  }
+  EXPECT_GT(stats::summarize(palu_h).gini,
+            stats::summarize(poisson_h).gini + 0.15);
+}
+
+TEST(Summary, DegenerateInputsThrow) {
+  stats::DegreeHistogram empty;
+  EXPECT_THROW(stats::summarize(empty), InvalidArgument);
+  EXPECT_THROW(stats::quantile(empty, 0.5), InvalidArgument);
+  stats::DegreeHistogram h;
+  h.add(1);
+  EXPECT_THROW(stats::quantile(h, 1.5), InvalidArgument);
+  EXPECT_THROW(stats::top_share(h, 0.0), InvalidArgument);
+}
+
+// -------------------------------------------------------------- ZM MLE
+
+TEST(ZmMle, RecoversParametersWithCalibratedErrors) {
+  Rng rng(2);
+  const Degree dmax = 1u << 14;
+  const fit::ZipfMandelbrot truth(2.0, 2.0, dmax);
+  std::vector<double> weights(dmax);
+  for (Degree d = 1; d <= dmax; ++d) weights[d - 1] = truth.pmf(d);
+  rng::AliasSampler sampler(weights, 1);
+  stats::DegreeHistogram h;
+  for (int i = 0; i < 60000; ++i) h.add(sampler(rng));
+  const auto mle = fit::fit_zipf_mandelbrot_mle(h, dmax);
+  EXPECT_GT(mle.alpha_stderr, 0.0);
+  EXPECT_GT(mle.delta_stderr, 0.0);
+  EXPECT_NEAR(mle.alpha, 2.0, 5.0 * mle.alpha_stderr + 0.02);
+  EXPECT_NEAR(mle.delta, 2.0, 5.0 * mle.delta_stderr + 0.05);
+}
+
+TEST(ZmMle, AgreesWithPooledLeastSquaresOnCleanData) {
+  Rng rng(3);
+  const Degree dmax = 1u << 12;
+  const fit::ZipfMandelbrot truth(2.4, 0.8, dmax);
+  std::vector<double> weights(dmax);
+  for (Degree d = 1; d <= dmax; ++d) weights[d - 1] = truth.pmf(d);
+  rng::AliasSampler sampler(weights, 1);
+  stats::DegreeHistogram h;
+  for (int i = 0; i < 80000; ++i) h.add(sampler(rng));
+  const auto mle = fit::fit_zipf_mandelbrot_mle(h, dmax);
+  const auto ls = fit::fit_zipf_mandelbrot(
+      stats::LogBinned::from_histogram(h), dmax);
+  EXPECT_NEAR(mle.alpha, ls.alpha, 0.15);
+  EXPECT_NEAR(mle.delta, ls.delta, 0.4);
+}
+
+TEST(ZmMle, LikelihoodBeatsWrongParameters) {
+  Rng rng(4);
+  rng::BoundedZipfSampler zipf(2.0, 1u << 12);
+  stats::DegreeHistogram h;
+  for (int i = 0; i < 20000; ++i) h.add(zipf(rng));
+  const auto mle = fit::fit_zipf_mandelbrot_mle(h);
+  // Compare against a deliberately wrong (α, δ).
+  const fit::ZipfMandelbrot wrong(3.0, 4.0, mle.dmax);
+  double wrong_ll = 0.0;
+  for (const auto& [d, c] : h.sorted()) {
+    wrong_ll += static_cast<double>(c) * std::log(wrong.pmf(d));
+  }
+  EXPECT_GT(mle.log_likelihood, wrong_ll);
+}
+
+TEST(ZmMle, RejectsDegenerateInputs) {
+  stats::DegreeHistogram empty;
+  EXPECT_THROW(fit::fit_zipf_mandelbrot_mle(empty), Error);
+  stats::DegreeHistogram h;
+  h.add(100, 5);
+  EXPECT_THROW(fit::fit_zipf_mandelbrot_mle(h, 50), InvalidArgument);
+}
+
+// ------------------------------------------------------- histogram CSV
+
+TEST(HistogramCsv, RoundTrips) {
+  stats::DegreeHistogram h;
+  h.add(1, 10);
+  h.add(7, 3);
+  h.add(1u << 30, 1);
+  std::stringstream buf;
+  io::write_histogram_csv(buf, h);
+  const auto parsed = io::read_histogram_csv(buf);
+  EXPECT_EQ(parsed.total(), h.total());
+  EXPECT_EQ(parsed.at(1), 10u);
+  EXPECT_EQ(parsed.at(7), 3u);
+  EXPECT_EQ(parsed.at(1u << 30), 1u);
+}
+
+TEST(HistogramCsv, AcceptsCommentsAndNoHeader) {
+  std::stringstream buf("# comment\n5,2\n\n6,1\n");
+  const auto h = io::read_histogram_csv(buf);
+  EXPECT_EQ(h.at(5), 2u);
+  EXPECT_EQ(h.at(6), 1u);
+}
+
+TEST(HistogramCsv, RejectsMalformedRows) {
+  const auto bad = [](const char* text) {
+    std::stringstream buf(text);
+    EXPECT_THROW(io::read_histogram_csv(buf), DataError) << text;
+  };
+  bad("5\n");
+  bad("a,b\n");
+  bad("5,\n");
+  bad(",5\n");
+  bad("5,2,3\n");
+}
+
+// ------------------------------------------------- exact pooled theory
+
+TEST(PooledTheoryExact, SelfConsistentAndTighterThanPaperForm) {
+  const auto params = core::PaluParams::solve_hubs(3.0, 0.4, 0.2, 2.2,
+                                                   0.6);
+  const Degree core_dmax = 1u << 12;
+  const auto exact = core::pooled_theory_exact(params, 10, core_dmax);
+  // Bin 0 equals the exact degree-1 share.
+  EXPECT_NEAR(exact[0], core::degree_share_exact(params, 1, core_dmax),
+              1e-12);
+  // Masses are a valid sub-distribution.
+  double total = 0.0;
+  for (std::size_t i = 0; i < exact.num_bins(); ++i) {
+    EXPECT_GE(exact[i], 0.0);
+    total += exact[i];
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.9);  // 10 bins cover almost all mass
+}
+
+TEST(PooledTheoryExact, ValidatesBinCount) {
+  const auto params = core::PaluParams::solve_hubs(3.0, 0.4, 0.2, 2.2,
+                                                   0.6);
+  EXPECT_THROW(core::pooled_theory_exact(params, 0), InvalidArgument);
+  EXPECT_THROW(core::pooled_theory_exact(params, 20), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palu

@@ -1,0 +1,120 @@
+// Theory-consistency grid: the exact binomial-thinning forms must be
+// internally consistent and bound the paper's approximations across the
+// whole parameter domain, not just the defaults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "palu/core/params.hpp"
+#include "palu/core/theory.hpp"
+#include "palu/math/zeta.hpp"
+
+namespace palu::core {
+namespace {
+
+using GridParam = std::tuple<double, double, double, double>;
+// (lambda, core fraction, alpha, window)
+
+class TheoryGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  PaluParams params() const {
+    const auto [lambda, core_frac, alpha, window] = GetParam();
+    return PaluParams::solve_hubs(lambda, core_frac, 0.15, alpha, window);
+  }
+  static constexpr Degree kCoreDmax = 1u << 10;
+};
+
+TEST_P(TheoryGrid, ExactCompositionIsADistribution) {
+  const auto comp = observed_composition_exact(params(), kCoreDmax);
+  EXPECT_GT(comp.visible_mass, 0.0);
+  EXPECT_GE(comp.core_share, 0.0);
+  EXPECT_GE(comp.leaf_share, 0.0);
+  EXPECT_GE(comp.unattached_share, 0.0);
+  EXPECT_NEAR(comp.core_share + comp.leaf_share + comp.unattached_share,
+              1.0, 1e-12);
+  EXPECT_LE(comp.unattached_link_share,
+            comp.unattached_share + 1e-15);
+}
+
+TEST_P(TheoryGrid, ExactDegreeSharesSumToOne) {
+  const auto p = params();
+  double total = 0.0;
+  double last = 1.0;
+  Degree d = 1;
+  for (; d <= kCoreDmax; ++d) {
+    last = degree_share_exact(p, d, kCoreDmax);
+    total += last;
+    if (d > 32 && last < 1e-10) break;
+  }
+  // Close the power-law remainder analytically: share ≈ A·d^{−α} with A
+  // recovered from the last evaluated point.
+  if (d < kCoreDmax) {
+    const double amp =
+        last * std::pow(static_cast<double>(d), p.alpha);
+    total += amp * (math::truncated_zeta(p.alpha, kCoreDmax) -
+                    math::truncated_zeta(p.alpha, d));
+  }
+  EXPECT_NEAR(total, 1.0, 5e-3);
+}
+
+TEST_P(TheoryGrid, ExactVisibleMassIsMonotoneInWindow) {
+  const auto base = params();
+  double prev = 0.0;
+  for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double v = visible_mass_exact(base.at_window(p), kCoreDmax);
+    EXPECT_GT(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST_P(TheoryGrid, PaperGapFollowsTheJacobianFactor) {
+  // The paper writes the thinned core amplitude as C·p^α/ζ(α); the
+  // Jacobian-correct amplitude of Bin(D, p) thinning is C·p^{α−1}/ζ(α)
+  // (count(d) ≈ pmf_D(d/p)/p).  So at power-law-dominated degrees the
+  // paper's *mass* under-counts by exactly a factor p — a systematic,
+  // window-dependent error the exact forms repair.
+  const auto p = params();
+  const double v_exact = visible_mass_exact(p, kCoreDmax);
+  const double v_paper = observed_composition(p).visible_mass;
+  EXPECT_GT(v_paper / v_exact, 0.4);
+  EXPECT_LT(v_paper / v_exact, 1.6);
+  // Pick a degree where the core term dominates the star bump but finite
+  // truncation has not kicked in.
+  const Degree probe = 16;
+  const double exact =
+      degree_share_exact(p, probe, kCoreDmax) * v_exact;
+  const double paper = degree_share(p, probe) * v_paper;
+  EXPECT_NEAR(paper / exact, p.window, 0.5 * p.window + 0.05)
+      << "the gap should track the window parameter";
+  // At d = 1 the leaf/star terms (which the paper states exactly)
+  // dominate, so the gap there stays O(1).
+  const double exact1 = degree_share_exact(p, 1, kCoreDmax) * v_exact;
+  const double paper1 = degree_share(p, 1) * v_paper;
+  EXPECT_GT(paper1 / exact1, 0.4);
+  EXPECT_LT(paper1 / exact1, 2.5);
+}
+
+TEST_P(TheoryGrid, PooledExactMatchesPointwiseSums) {
+  const auto p = params();
+  const auto pooled = pooled_theory_exact(p, 6, kCoreDmax);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    double direct = 0.0;
+    const Degree lo = i == 0 ? 1 : (Degree{1} << (i - 1)) + 1;
+    const Degree hi = Degree{1} << i;
+    for (Degree d = lo; d <= hi; ++d) {
+      direct += degree_share_exact(p, d, kCoreDmax);
+    }
+    EXPECT_NEAR(pooled[i], direct, 1e-10) << "bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TheoryGrid,
+    ::testing::Combine(::testing::Values(1.0, 8.0),
+                       ::testing::Values(0.2, 0.6),
+                       ::testing::Values(1.6, 2.4, 3.0),
+                       ::testing::Values(0.2, 0.8)));
+
+}  // namespace
+}  // namespace palu::core

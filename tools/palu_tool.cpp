@@ -1,0 +1,240 @@
+// palu_tool — the command-line front door to the library.
+//
+// Subcommands:
+//   generate  --nodes N --lambda L --core C --leaves F --alpha A
+//             --window P --packets K [--seed S]
+//       Realizes a PALU network, streams K packets over it, writes a
+//       trace to stdout.
+//   analyze   --trace FILE --nvalid N [--csv]
+//       Windows a trace, fits the modified Zipf–Mandelbrot model and the
+//       PALU constants, ranks the model zoo; --csv switches to CSV output.
+//   census    --trace FILE --nvalid N
+//       Prints the Fig-2 topology census of each window.
+//   help
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "palu/cli/args.hpp"
+#include "palu/palu.hpp"
+
+namespace {
+
+using namespace palu;
+
+int cmd_generate(const cli::Args& args) {
+  const auto params = core::PaluParams::solve_hubs(
+      args.get_double("lambda", 3.0), args.get_double("core", 0.4),
+      args.get_double("leaves", 0.25), args.get_double("alpha", 2.1),
+      args.get_double("window", 1.0));
+  const auto nodes =
+      static_cast<NodeId>(args.get_int("nodes", 50000));
+  const auto packets =
+      static_cast<Count>(args.get_int("packets", 200000));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto net = core::generate_underlying(params, nodes, rng);
+  traffic::RateModel rates;
+  rates.kind = traffic::RateModel::Kind::kPareto;
+  traffic::SyntheticTrafficGenerator stream(net.graph, rates, rng.fork(1));
+  std::vector<traffic::Packet> out;
+  out.reserve(packets);
+  for (Count i = 0; i < packets; ++i) out.push_back(stream.next());
+  io::write_trace(std::cout, out);
+  return 0;
+}
+
+std::vector<traffic::Packet> load_trace(const cli::Args& args) {
+  const std::string path = args.get_string("trace", "");
+  PALU_CHECK(!path.empty(), "missing --trace FILE");
+  if (path == "-") return io::read_trace(std::cin);
+  std::ifstream in(path);
+  PALU_CHECK(static_cast<bool>(in), "cannot open trace file: " + path);
+  return io::read_trace(in);
+}
+
+int cmd_analyze(const cli::Args& args) {
+  const auto packets = load_trace(args);
+  const auto n_valid =
+      static_cast<Count>(args.get_int("nvalid", 50000));
+  PALU_CHECK(packets.size() >= n_valid,
+             "trace smaller than one window");
+  stats::BinnedEnsemble ensemble;
+  stats::DegreeHistogram merged;
+  Degree dmax = 0;
+  const std::size_t windows = packets.size() / n_valid;
+  for (std::size_t t = 0; t < windows; ++t) {
+    const std::span<const traffic::Packet> slice(
+        packets.data() + t * n_valid, n_valid);
+    const auto h = traffic::undirected_degree_histogram(
+        traffic::SparseCountMatrix::from_packets(slice));
+    dmax = std::max(dmax, h.max_degree());
+    ensemble.add(stats::LogBinned::from_histogram(h));
+    merged.merge(h);
+  }
+  fit::ZmFitOptions opts;
+  opts.bin_sigma = ensemble.stddev();
+  const auto zm = fit::fit_zipf_mandelbrot(
+      stats::LogBinned(ensemble.mean()), dmax, opts);
+  const auto palu_fit = core::fit_palu(merged);
+  const auto ranking = fit::fit_all_models(merged);
+  if (args.get_flag("csv")) {
+    io::write_pooled_csv(std::cout, stats::LogBinned(ensemble.mean()),
+                         ensemble.stddev());
+    io::write_model_comparison_csv(std::cout, ranking);
+    return 0;
+  }
+  std::printf("windows=%zu n_valid=%llu d_max=%llu\n", windows,
+              static_cast<unsigned long long>(n_valid),
+              static_cast<unsigned long long>(dmax));
+  std::printf("zipf-mandelbrot: alpha=%.4f delta=%+.4f\n", zm.alpha,
+              zm.delta);
+  std::printf("palu constants:  alpha=%.4f c=%.5f mu=%.4f u=%.6f "
+              "l=%.5f\n",
+              palu_fit.alpha, palu_fit.c, palu_fit.mu, palu_fit.u,
+              palu_fit.l);
+  std::printf("model ranking:\n");
+  for (const auto& entry : ranking) {
+    std::printf("  %-18s dAIC=%10.1f\n", entry.family.c_str(),
+                entry.delta_aic);
+  }
+  return 0;
+}
+
+int cmd_census(const cli::Args& args) {
+  const auto packets = load_trace(args);
+  const auto n_valid =
+      static_cast<Count>(args.get_int("nvalid", 50000));
+  PALU_CHECK(packets.size() >= n_valid,
+             "trace smaller than one window");
+  const std::size_t windows = packets.size() / n_valid;
+  std::printf("window  links  un.links  stars  core.comps  largest\n");
+  for (std::size_t t = 0; t < windows; ++t) {
+    const std::span<const traffic::Packet> slice(
+        packets.data() + t * n_valid, n_valid);
+    const auto window = traffic::SparseCountMatrix::from_packets(slice);
+    const auto census =
+        graph::classify_topology(traffic::window_to_graph(window));
+    std::printf("%6zu %6zu %9llu %6llu %11llu %8llu\n", t,
+                window.nnz(),
+                static_cast<unsigned long long>(census.unattached_links),
+                static_cast<unsigned long long>(census.star_components),
+                static_cast<unsigned long long>(census.core_components),
+                static_cast<unsigned long long>(census.largest_component));
+  }
+  return 0;
+}
+
+int cmd_graph_census(const cli::Args& args) {
+  const std::string path = args.get_string("graph", "");
+  PALU_CHECK(!path.empty(), "missing --graph FILE");
+  graph::Graph g;
+  if (path == "-") {
+    g = io::read_edge_list(std::cin);
+  } else {
+    std::ifstream in(path);
+    PALU_CHECK(static_cast<bool>(in), "cannot open graph file: " + path);
+    g = io::read_edge_list(in);
+  }
+  const auto census = graph::classify_topology(g);
+  const auto clustering = graph::clustering_summary(g);
+  const auto core = graph::k_core_numbers(g);
+  Degree kmax = 0;
+  for (const Degree c : core) kmax = std::max(kmax, c);
+  std::printf("nodes=%llu edges=%zu\n",
+              static_cast<unsigned long long>(g.num_nodes()),
+              g.num_edges());
+  std::printf("isolated=%llu unattached_links=%llu stars=%llu "
+              "core_components=%llu largest=%llu\n",
+              static_cast<unsigned long long>(census.isolated_nodes),
+              static_cast<unsigned long long>(census.unattached_links),
+              static_cast<unsigned long long>(census.star_components),
+              static_cast<unsigned long long>(census.core_components),
+              static_cast<unsigned long long>(census.largest_component));
+  std::printf("clustering: avg_local=%.5f global=%.5f triangles=%llu\n",
+              clustering.average_local, clustering.global,
+              static_cast<unsigned long long>(clustering.triangles));
+  std::printf("assortativity=%+.4f max_core=%llu\n",
+              graph::degree_assortativity(g),
+              static_cast<unsigned long long>(kmax));
+  // Degree-law fit, when the graph is big enough to support one.
+  try {
+    const auto h = stats::DegreeHistogram::from_degrees(g.degrees());
+    const auto palu_fit = core::fit_palu(h);
+    std::printf("palu fit: alpha=%.4f c=%.5f mu=%.4f u=%.6f l=%.5f\n",
+                palu_fit.alpha, palu_fit.c, palu_fit.mu, palu_fit.u,
+                palu_fit.l);
+  } catch (const palu::DataError&) {
+    std::printf("palu fit: (degree support too thin to fit)\n");
+  }
+  return 0;
+}
+
+int cmd_zoo(const cli::Args& args) {
+  // Model ranking over a degree histogram in d,count CSV form — the entry
+  // point for public degree datasets.
+  const std::string path = args.get_string("histogram", "");
+  PALU_CHECK(!path.empty(), "missing --histogram FILE");
+  stats::DegreeHistogram h;
+  if (path == "-") {
+    h = io::read_histogram_csv(std::cin);
+  } else {
+    std::ifstream in(path);
+    PALU_CHECK(static_cast<bool>(in),
+               "cannot open histogram file: " + path);
+    h = io::read_histogram_csv(in);
+  }
+  const auto ranking = fit::fit_all_models(h);
+  if (args.get_flag("csv")) {
+    io::write_model_comparison_csv(std::cout, ranking);
+    return 0;
+  }
+  std::printf("%-18s %14s %10s  params\n", "family", "AIC", "dAIC");
+  for (const auto& entry : ranking) {
+    std::printf("%-18s %14.1f %10.1f  ", entry.family.c_str(), entry.aic,
+                entry.delta_aic);
+    for (const auto& [name, value] : entry.parameters) {
+      std::printf("%s=%.4g ", name.c_str(), value);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int print_help() {
+  std::printf(
+      "palu_tool <command> [options]\n"
+      "  generate --nodes N --lambda L --core C --leaves F --alpha A\n"
+      "           --window P --packets K [--seed S]   write a trace\n"
+      "  analyze  --trace FILE|- --nvalid N [--csv]   fit models\n"
+      "  census   --trace FILE|- --nvalid N           topology census\n"
+      "  zoo      --histogram FILE|- [--csv]          rank model zoo on\n"
+      "                                               d,count CSV data\n"
+      "  graph-census --graph FILE|-                  census/clustering/\n"
+      "                                               core depth of an\n"
+      "                                               'u v' edge list\n"
+      "  help\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return print_help();
+  const std::string command = argv[1];
+  try {
+    const auto args = palu::cli::Args::parse(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "census") return cmd_census(args);
+    if (command == "zoo") return cmd_zoo(args);
+    if (command == "graph-census") return cmd_graph_census(args);
+    if (command == "help") return print_help();
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    print_help();
+    return 2;
+  } catch (const palu::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,129 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "palu::palu_common" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_common )
+list(APPEND _cmake_import_check_files_for_palu::palu_common "${_IMPORT_PREFIX}/lib/libpalu_common.a" )
+
+# Import target "palu::palu_parallel" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_parallel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_parallel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_parallel.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_parallel )
+list(APPEND _cmake_import_check_files_for_palu::palu_parallel "${_IMPORT_PREFIX}/lib/libpalu_parallel.a" )
+
+# Import target "palu::palu_math" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_math APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_math PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_math.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_math )
+list(APPEND _cmake_import_check_files_for_palu::palu_math "${_IMPORT_PREFIX}/lib/libpalu_math.a" )
+
+# Import target "palu::palu_rng" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_rng APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_rng PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_rng.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_rng )
+list(APPEND _cmake_import_check_files_for_palu::palu_rng "${_IMPORT_PREFIX}/lib/libpalu_rng.a" )
+
+# Import target "palu::palu_linalg" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_linalg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_linalg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_linalg.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_linalg )
+list(APPEND _cmake_import_check_files_for_palu::palu_linalg "${_IMPORT_PREFIX}/lib/libpalu_linalg.a" )
+
+# Import target "palu::palu_stats" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_stats )
+list(APPEND _cmake_import_check_files_for_palu::palu_stats "${_IMPORT_PREFIX}/lib/libpalu_stats.a" )
+
+# Import target "palu::palu_graph" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_graph APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_graph PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_graph.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_graph )
+list(APPEND _cmake_import_check_files_for_palu::palu_graph "${_IMPORT_PREFIX}/lib/libpalu_graph.a" )
+
+# Import target "palu::palu_fit" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_fit APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_fit PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_fit.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_fit )
+list(APPEND _cmake_import_check_files_for_palu::palu_fit "${_IMPORT_PREFIX}/lib/libpalu_fit.a" )
+
+# Import target "palu::palu_traffic" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_traffic APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_traffic PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_traffic.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_traffic )
+list(APPEND _cmake_import_check_files_for_palu::palu_traffic "${_IMPORT_PREFIX}/lib/libpalu_traffic.a" )
+
+# Import target "palu::palu_io" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_io APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_io PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_io.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_io )
+list(APPEND _cmake_import_check_files_for_palu::palu_io "${_IMPORT_PREFIX}/lib/libpalu_io.a" )
+
+# Import target "palu::palu_cli" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_cli APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_cli PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_cli.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_cli )
+list(APPEND _cmake_import_check_files_for_palu::palu_cli "${_IMPORT_PREFIX}/lib/libpalu_cli.a" )
+
+# Import target "palu::palu_core" for configuration "RelWithDebInfo"
+set_property(TARGET palu::palu_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(palu::palu_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpalu_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets palu::palu_core )
+list(APPEND _cmake_import_check_files_for_palu::palu_core "${_IMPORT_PREFIX}/lib/libpalu_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

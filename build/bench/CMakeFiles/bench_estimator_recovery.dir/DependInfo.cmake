@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_estimator_recovery.cpp" "bench/CMakeFiles/bench_estimator_recovery.dir/bench_estimator_recovery.cpp.o" "gcc" "bench/CMakeFiles/bench_estimator_recovery.dir/bench_estimator_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/palu_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/palu_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/palu_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/palu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/palu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/palu_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/palu_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/palu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/palu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/palu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/palu_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/palu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimator_recovery.dir/bench_estimator_recovery.cpp.o"
+  "CMakeFiles/bench_estimator_recovery.dir/bench_estimator_recovery.cpp.o.d"
+  "bench_estimator_recovery"
+  "bench_estimator_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimator_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_quantities.dir/bench_fig1_quantities.cpp.o"
+  "CMakeFiles/bench_fig1_quantities.dir/bench_fig1_quantities.cpp.o.d"
+  "bench_fig1_quantities"
+  "bench_fig1_quantities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_quantities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_topologies.dir/bench_fig2_topologies.cpp.o"
+  "CMakeFiles/bench_fig2_topologies.dir/bench_fig2_topologies.cpp.o.d"
+  "bench_fig2_topologies"
+  "bench_fig2_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

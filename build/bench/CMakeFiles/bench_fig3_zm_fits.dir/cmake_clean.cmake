@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_zm_fits.dir/bench_fig3_zm_fits.cpp.o"
+  "CMakeFiles/bench_fig3_zm_fits.dir/bench_fig3_zm_fits.cpp.o.d"
+  "bench_fig3_zm_fits"
+  "bench_fig3_zm_fits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_zm_fits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_palu_families.dir/bench_fig4_palu_families.cpp.o"
+  "CMakeFiles/bench_fig4_palu_families.dir/bench_fig4_palu_families.cpp.o.d"
+  "bench_fig4_palu_families"
+  "bench_fig4_palu_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_palu_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_zoo.dir/bench_model_zoo.cpp.o"
+  "CMakeFiles/bench_model_zoo.dir/bench_model_zoo.cpp.o.d"
+  "bench_model_zoo"
+  "bench_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

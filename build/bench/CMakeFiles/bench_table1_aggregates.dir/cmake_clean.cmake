@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_aggregates.dir/bench_table1_aggregates.cpp.o"
+  "CMakeFiles/bench_table1_aggregates.dir/bench_table1_aggregates.cpp.o.d"
+  "bench_table1_aggregates"
+  "bench_table1_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

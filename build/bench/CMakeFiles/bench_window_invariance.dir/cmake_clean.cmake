@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_invariance.dir/bench_window_invariance.cpp.o"
+  "CMakeFiles/bench_window_invariance.dir/bench_window_invariance.cpp.o.d"
+  "bench_window_invariance"
+  "bench_window_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_census.dir/botnet_census.cpp.o"
+  "CMakeFiles/botnet_census.dir/botnet_census.cpp.o.d"
+  "botnet_census"
+  "botnet_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_explorer.dir/model_explorer.cpp.o"
+  "CMakeFiles/model_explorer.dir/model_explorer.cpp.o.d"
+  "model_explorer"
+  "model_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_pipeline.dir/traffic_pipeline.cpp.o"
+  "CMakeFiles/traffic_pipeline.dir/traffic_pipeline.cpp.o.d"
+  "traffic_pipeline"
+  "traffic_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

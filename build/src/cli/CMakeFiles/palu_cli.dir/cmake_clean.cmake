@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_cli.dir/args.cpp.o"
+  "CMakeFiles/palu_cli.dir/args.cpp.o.d"
+  "libpalu_cli.a"
+  "libpalu_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

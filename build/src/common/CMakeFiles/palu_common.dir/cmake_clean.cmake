@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_common.dir/error.cpp.o"
+  "CMakeFiles/palu_common.dir/error.cpp.o.d"
+  "libpalu_common.a"
+  "libpalu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

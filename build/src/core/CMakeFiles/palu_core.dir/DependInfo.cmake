@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/palu_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/components_analysis.cpp" "src/core/CMakeFiles/palu_core.dir/components_analysis.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/components_analysis.cpp.o.d"
+  "/root/repo/src/core/directed.cpp" "src/core/CMakeFiles/palu_core.dir/directed.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/directed.cpp.o.d"
+  "/root/repo/src/core/estimate.cpp" "src/core/CMakeFiles/palu_core.dir/estimate.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/estimate.cpp.o.d"
+  "/root/repo/src/core/generator.cpp" "src/core/CMakeFiles/palu_core.dir/generator.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/generator.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/palu_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/palu_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/palu_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/weighted.cpp" "src/core/CMakeFiles/palu_core.dir/weighted.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/weighted.cpp.o.d"
+  "/root/repo/src/core/zm_connection.cpp" "src/core/CMakeFiles/palu_core.dir/zm_connection.cpp.o" "gcc" "src/core/CMakeFiles/palu_core.dir/zm_connection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/palu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/palu_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/palu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/palu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/palu_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/palu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/palu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/palu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_core.dir/anomaly.cpp.o"
+  "CMakeFiles/palu_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/palu_core.dir/components_analysis.cpp.o"
+  "CMakeFiles/palu_core.dir/components_analysis.cpp.o.d"
+  "CMakeFiles/palu_core.dir/directed.cpp.o"
+  "CMakeFiles/palu_core.dir/directed.cpp.o.d"
+  "CMakeFiles/palu_core.dir/estimate.cpp.o"
+  "CMakeFiles/palu_core.dir/estimate.cpp.o.d"
+  "CMakeFiles/palu_core.dir/generator.cpp.o"
+  "CMakeFiles/palu_core.dir/generator.cpp.o.d"
+  "CMakeFiles/palu_core.dir/params.cpp.o"
+  "CMakeFiles/palu_core.dir/params.cpp.o.d"
+  "CMakeFiles/palu_core.dir/streaming.cpp.o"
+  "CMakeFiles/palu_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/palu_core.dir/theory.cpp.o"
+  "CMakeFiles/palu_core.dir/theory.cpp.o.d"
+  "CMakeFiles/palu_core.dir/weighted.cpp.o"
+  "CMakeFiles/palu_core.dir/weighted.cpp.o.d"
+  "CMakeFiles/palu_core.dir/zm_connection.cpp.o"
+  "CMakeFiles/palu_core.dir/zm_connection.cpp.o.d"
+  "libpalu_core.a"
+  "libpalu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

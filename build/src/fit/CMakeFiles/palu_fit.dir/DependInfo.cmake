@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fit/bootstrap.cpp" "src/fit/CMakeFiles/palu_fit.dir/bootstrap.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/fit/brent.cpp" "src/fit/CMakeFiles/palu_fit.dir/brent.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/brent.cpp.o.d"
+  "/root/repo/src/fit/ks_test.cpp" "src/fit/CMakeFiles/palu_fit.dir/ks_test.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/ks_test.cpp.o.d"
+  "/root/repo/src/fit/levmar.cpp" "src/fit/CMakeFiles/palu_fit.dir/levmar.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/levmar.cpp.o.d"
+  "/root/repo/src/fit/linreg.cpp" "src/fit/CMakeFiles/palu_fit.dir/linreg.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/linreg.cpp.o.d"
+  "/root/repo/src/fit/model_zoo.cpp" "src/fit/CMakeFiles/palu_fit.dir/model_zoo.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/fit/nelder_mead.cpp" "src/fit/CMakeFiles/palu_fit.dir/nelder_mead.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/fit/powerlaw_mle.cpp" "src/fit/CMakeFiles/palu_fit.dir/powerlaw_mle.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/powerlaw_mle.cpp.o.d"
+  "/root/repo/src/fit/zipf_mandelbrot.cpp" "src/fit/CMakeFiles/palu_fit.dir/zipf_mandelbrot.cpp.o" "gcc" "src/fit/CMakeFiles/palu_fit.dir/zipf_mandelbrot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/palu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/palu_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/palu_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/palu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/palu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/palu_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

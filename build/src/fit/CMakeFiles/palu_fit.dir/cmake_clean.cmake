@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_fit.dir/bootstrap.cpp.o"
+  "CMakeFiles/palu_fit.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/brent.cpp.o"
+  "CMakeFiles/palu_fit.dir/brent.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/ks_test.cpp.o"
+  "CMakeFiles/palu_fit.dir/ks_test.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/levmar.cpp.o"
+  "CMakeFiles/palu_fit.dir/levmar.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/linreg.cpp.o"
+  "CMakeFiles/palu_fit.dir/linreg.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/model_zoo.cpp.o"
+  "CMakeFiles/palu_fit.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/nelder_mead.cpp.o"
+  "CMakeFiles/palu_fit.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/powerlaw_mle.cpp.o"
+  "CMakeFiles/palu_fit.dir/powerlaw_mle.cpp.o.d"
+  "CMakeFiles/palu_fit.dir/zipf_mandelbrot.cpp.o"
+  "CMakeFiles/palu_fit.dir/zipf_mandelbrot.cpp.o.d"
+  "libpalu_fit.a"
+  "libpalu_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/clustering.cpp" "src/graph/CMakeFiles/palu_graph.dir/clustering.cpp.o" "gcc" "src/graph/CMakeFiles/palu_graph.dir/clustering.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/palu_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/palu_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/crawl.cpp" "src/graph/CMakeFiles/palu_graph.dir/crawl.cpp.o" "gcc" "src/graph/CMakeFiles/palu_graph.dir/crawl.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/palu_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/palu_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/palu_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/palu_graph.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/palu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/palu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/palu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/palu_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

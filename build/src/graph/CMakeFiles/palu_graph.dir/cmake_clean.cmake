@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_graph.dir/clustering.cpp.o"
+  "CMakeFiles/palu_graph.dir/clustering.cpp.o.d"
+  "CMakeFiles/palu_graph.dir/components.cpp.o"
+  "CMakeFiles/palu_graph.dir/components.cpp.o.d"
+  "CMakeFiles/palu_graph.dir/crawl.cpp.o"
+  "CMakeFiles/palu_graph.dir/crawl.cpp.o.d"
+  "CMakeFiles/palu_graph.dir/generators.cpp.o"
+  "CMakeFiles/palu_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/palu_graph.dir/graph.cpp.o"
+  "CMakeFiles/palu_graph.dir/graph.cpp.o.d"
+  "libpalu_graph.a"
+  "libpalu_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpalu_graph.a"
+)

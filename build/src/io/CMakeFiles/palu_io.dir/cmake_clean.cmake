@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_io.dir/csv.cpp.o"
+  "CMakeFiles/palu_io.dir/csv.cpp.o.d"
+  "CMakeFiles/palu_io.dir/trace.cpp.o"
+  "CMakeFiles/palu_io.dir/trace.cpp.o.d"
+  "libpalu_io.a"
+  "libpalu_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

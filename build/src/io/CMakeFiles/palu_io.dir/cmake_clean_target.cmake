@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpalu_io.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/palu_linalg.dir/matrix.cpp.o.d"
+  "libpalu_linalg.a"
+  "libpalu_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/gamma.cpp" "src/math/CMakeFiles/palu_math.dir/gamma.cpp.o" "gcc" "src/math/CMakeFiles/palu_math.dir/gamma.cpp.o.d"
+  "/root/repo/src/math/incomplete_gamma.cpp" "src/math/CMakeFiles/palu_math.dir/incomplete_gamma.cpp.o" "gcc" "src/math/CMakeFiles/palu_math.dir/incomplete_gamma.cpp.o.d"
+  "/root/repo/src/math/lambda_ratio.cpp" "src/math/CMakeFiles/palu_math.dir/lambda_ratio.cpp.o" "gcc" "src/math/CMakeFiles/palu_math.dir/lambda_ratio.cpp.o.d"
+  "/root/repo/src/math/stable.cpp" "src/math/CMakeFiles/palu_math.dir/stable.cpp.o" "gcc" "src/math/CMakeFiles/palu_math.dir/stable.cpp.o.d"
+  "/root/repo/src/math/zeta.cpp" "src/math/CMakeFiles/palu_math.dir/zeta.cpp.o" "gcc" "src/math/CMakeFiles/palu_math.dir/zeta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/palu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

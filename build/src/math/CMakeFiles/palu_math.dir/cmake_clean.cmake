@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_math.dir/gamma.cpp.o"
+  "CMakeFiles/palu_math.dir/gamma.cpp.o.d"
+  "CMakeFiles/palu_math.dir/incomplete_gamma.cpp.o"
+  "CMakeFiles/palu_math.dir/incomplete_gamma.cpp.o.d"
+  "CMakeFiles/palu_math.dir/lambda_ratio.cpp.o"
+  "CMakeFiles/palu_math.dir/lambda_ratio.cpp.o.d"
+  "CMakeFiles/palu_math.dir/stable.cpp.o"
+  "CMakeFiles/palu_math.dir/stable.cpp.o.d"
+  "CMakeFiles/palu_math.dir/zeta.cpp.o"
+  "CMakeFiles/palu_math.dir/zeta.cpp.o.d"
+  "libpalu_math.a"
+  "libpalu_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

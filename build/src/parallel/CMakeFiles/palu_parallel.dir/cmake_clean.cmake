@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/palu_parallel.dir/thread_pool.cpp.o.d"
+  "libpalu_parallel.a"
+  "libpalu_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

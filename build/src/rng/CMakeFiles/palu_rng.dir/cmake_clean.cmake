@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_rng.dir/distributions.cpp.o"
+  "CMakeFiles/palu_rng.dir/distributions.cpp.o.d"
+  "libpalu_rng.a"
+  "libpalu_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

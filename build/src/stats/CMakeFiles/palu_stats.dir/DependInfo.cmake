@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chisq.cpp" "src/stats/CMakeFiles/palu_stats.dir/chisq.cpp.o" "gcc" "src/stats/CMakeFiles/palu_stats.dir/chisq.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/palu_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/palu_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/palu_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/palu_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/log_binning.cpp" "src/stats/CMakeFiles/palu_stats.dir/log_binning.cpp.o" "gcc" "src/stats/CMakeFiles/palu_stats.dir/log_binning.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/palu_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/palu_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/palu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/palu_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_stats.dir/chisq.cpp.o"
+  "CMakeFiles/palu_stats.dir/chisq.cpp.o.d"
+  "CMakeFiles/palu_stats.dir/distribution.cpp.o"
+  "CMakeFiles/palu_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/palu_stats.dir/histogram.cpp.o"
+  "CMakeFiles/palu_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/palu_stats.dir/log_binning.cpp.o"
+  "CMakeFiles/palu_stats.dir/log_binning.cpp.o.d"
+  "CMakeFiles/palu_stats.dir/summary.cpp.o"
+  "CMakeFiles/palu_stats.dir/summary.cpp.o.d"
+  "libpalu_stats.a"
+  "libpalu_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/aggregates.cpp" "src/traffic/CMakeFiles/palu_traffic.dir/aggregates.cpp.o" "gcc" "src/traffic/CMakeFiles/palu_traffic.dir/aggregates.cpp.o.d"
+  "/root/repo/src/traffic/assoc.cpp" "src/traffic/CMakeFiles/palu_traffic.dir/assoc.cpp.o" "gcc" "src/traffic/CMakeFiles/palu_traffic.dir/assoc.cpp.o.d"
+  "/root/repo/src/traffic/quantities.cpp" "src/traffic/CMakeFiles/palu_traffic.dir/quantities.cpp.o" "gcc" "src/traffic/CMakeFiles/palu_traffic.dir/quantities.cpp.o.d"
+  "/root/repo/src/traffic/sparse_matrix.cpp" "src/traffic/CMakeFiles/palu_traffic.dir/sparse_matrix.cpp.o" "gcc" "src/traffic/CMakeFiles/palu_traffic.dir/sparse_matrix.cpp.o.d"
+  "/root/repo/src/traffic/stream.cpp" "src/traffic/CMakeFiles/palu_traffic.dir/stream.cpp.o" "gcc" "src/traffic/CMakeFiles/palu_traffic.dir/stream.cpp.o.d"
+  "/root/repo/src/traffic/window_pipeline.cpp" "src/traffic/CMakeFiles/palu_traffic.dir/window_pipeline.cpp.o" "gcc" "src/traffic/CMakeFiles/palu_traffic.dir/window_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/palu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/palu_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/palu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/palu_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/palu_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

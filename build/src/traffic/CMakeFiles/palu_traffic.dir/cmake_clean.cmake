@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_traffic.dir/aggregates.cpp.o"
+  "CMakeFiles/palu_traffic.dir/aggregates.cpp.o.d"
+  "CMakeFiles/palu_traffic.dir/assoc.cpp.o"
+  "CMakeFiles/palu_traffic.dir/assoc.cpp.o.d"
+  "CMakeFiles/palu_traffic.dir/quantities.cpp.o"
+  "CMakeFiles/palu_traffic.dir/quantities.cpp.o.d"
+  "CMakeFiles/palu_traffic.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/palu_traffic.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/palu_traffic.dir/stream.cpp.o"
+  "CMakeFiles/palu_traffic.dir/stream.cpp.o.d"
+  "CMakeFiles/palu_traffic.dir/window_pipeline.cpp.o"
+  "CMakeFiles/palu_traffic.dir/window_pipeline.cpp.o.d"
+  "libpalu_traffic.a"
+  "libpalu_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

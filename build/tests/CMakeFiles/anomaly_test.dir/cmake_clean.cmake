@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_test.dir/anomaly_test.cpp.o"
+  "CMakeFiles/anomaly_test.dir/anomaly_test.cpp.o.d"
+  "anomaly_test"
+  "anomaly_test.pdb"
+  "anomaly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

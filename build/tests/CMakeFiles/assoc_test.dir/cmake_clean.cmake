@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assoc_test.dir/assoc_test.cpp.o"
+  "CMakeFiles/assoc_test.dir/assoc_test.cpp.o.d"
+  "assoc_test"
+  "assoc_test.pdb"
+  "assoc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assoc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_test.dir/clustering_test.cpp.o"
+  "CMakeFiles/clustering_test.dir/clustering_test.cpp.o.d"
+  "clustering_test"
+  "clustering_test.pdb"
+  "clustering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_estimate_test.dir/core_estimate_test.cpp.o"
+  "CMakeFiles/core_estimate_test.dir/core_estimate_test.cpp.o.d"
+  "core_estimate_test"
+  "core_estimate_test.pdb"
+  "core_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

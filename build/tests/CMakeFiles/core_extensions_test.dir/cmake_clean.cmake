@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extensions_test.dir/core_extensions_test.cpp.o"
+  "CMakeFiles/core_extensions_test.dir/core_extensions_test.cpp.o.d"
+  "core_extensions_test"
+  "core_extensions_test.pdb"
+  "core_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

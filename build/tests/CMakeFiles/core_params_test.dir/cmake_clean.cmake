@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_params_test.dir/core_params_test.cpp.o"
+  "CMakeFiles/core_params_test.dir/core_params_test.cpp.o.d"
+  "core_params_test"
+  "core_params_test.pdb"
+  "core_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

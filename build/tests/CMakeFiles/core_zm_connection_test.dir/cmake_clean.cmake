@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_zm_connection_test.dir/core_zm_connection_test.cpp.o"
+  "CMakeFiles/core_zm_connection_test.dir/core_zm_connection_test.cpp.o.d"
+  "core_zm_connection_test"
+  "core_zm_connection_test.pdb"
+  "core_zm_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_zm_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gof_bootstrap_test.dir/gof_bootstrap_test.cpp.o"
+  "CMakeFiles/gof_bootstrap_test.dir/gof_bootstrap_test.cpp.o.d"
+  "gof_bootstrap_test"
+  "gof_bootstrap_test.pdb"
+  "gof_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gof_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_accuracy_test.dir/math_accuracy_test.cpp.o"
+  "CMakeFiles/math_accuracy_test.dir/math_accuracy_test.cpp.o.d"
+  "math_accuracy_test"
+  "math_accuracy_test.pdb"
+  "math_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

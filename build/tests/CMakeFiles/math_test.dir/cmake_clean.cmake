@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_test.dir/math_test.cpp.o"
+  "CMakeFiles/math_test.dir/math_test.cpp.o.d"
+  "math_test"
+  "math_test.pdb"
+  "math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

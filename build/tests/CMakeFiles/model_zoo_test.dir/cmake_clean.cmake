@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_zoo_test.dir/model_zoo_test.cpp.o"
+  "CMakeFiles/model_zoo_test.dir/model_zoo_test.cpp.o.d"
+  "model_zoo_test"
+  "model_zoo_test.pdb"
+  "model_zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_claims_test.dir/paper_claims_test.cpp.o"
+  "CMakeFiles/paper_claims_test.dir/paper_claims_test.cpp.o.d"
+  "paper_claims_test"
+  "paper_claims_test.pdb"
+  "paper_claims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_claims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_zm_mle_test.dir/summary_zm_mle_test.cpp.o"
+  "CMakeFiles/summary_zm_mle_test.dir/summary_zm_mle_test.cpp.o.d"
+  "summary_zm_mle_test"
+  "summary_zm_mle_test.pdb"
+  "summary_zm_mle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_zm_mle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_consistency_test.dir/theory_consistency_test.cpp.o"
+  "CMakeFiles/theory_consistency_test.dir/theory_consistency_test.cpp.o.d"
+  "theory_consistency_test"
+  "theory_consistency_test.pdb"
+  "theory_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_properties_test.dir/traffic_properties_test.cpp.o"
+  "CMakeFiles/traffic_properties_test.dir/traffic_properties_test.cpp.o.d"
+  "traffic_properties_test"
+  "traffic_properties_test.pdb"
+  "traffic_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

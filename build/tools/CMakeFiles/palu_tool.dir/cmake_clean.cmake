@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palu_tool.dir/palu_tool.cpp.o"
+  "CMakeFiles/palu_tool.dir/palu_tool.cpp.o.d"
+  "palu_tool"
+  "palu_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palu_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(palu_tool_help "/root/repo/build/tools/palu_tool" "help")
+set_tests_properties(palu_tool_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(palu_tool_unknown_command "/root/repo/build/tools/palu_tool" "frobnicate")
+set_tests_properties(palu_tool_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(palu_tool_missing_trace "/root/repo/build/tools/palu_tool" "analyze")
+set_tests_properties(palu_tool_missing_trace PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(palu_tool_generate "sh" "-c" "/root/repo/build/tools/palu_tool generate --nodes 5000 --packets 30000 --seed 5 > /root/repo/build/tools/smoke_trace.txt")
+set_tests_properties(palu_tool_generate PROPERTIES  FIXTURES_SETUP "trace_fixture" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(palu_tool_analyze "/root/repo/build/tools/palu_tool" "analyze" "--trace" "/root/repo/build/tools/smoke_trace.txt" "--nvalid" "10000")
+set_tests_properties(palu_tool_analyze PROPERTIES  FIXTURES_REQUIRED "trace_fixture" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(palu_tool_analyze_csv "/root/repo/build/tools/palu_tool" "analyze" "--trace" "/root/repo/build/tools/smoke_trace.txt" "--nvalid" "10000" "--csv")
+set_tests_properties(palu_tool_analyze_csv PROPERTIES  FIXTURES_REQUIRED "trace_fixture" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(palu_tool_census "/root/repo/build/tools/palu_tool" "census" "--trace" "/root/repo/build/tools/smoke_trace.txt" "--nvalid" "10000")
+set_tests_properties(palu_tool_census PROPERTIES  FIXTURES_REQUIRED "trace_fixture" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")

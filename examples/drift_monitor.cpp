@@ -32,16 +32,26 @@ int main(int argc, char** argv) {
     const auto& params = bot_phase ? botty : calm;
     Rng wrng = rng.fork(w + 1);
     const auto h = core::sample_observed_degrees(params, 80000, wrng);
-    monitor.add_window(h);
+    // A window the estimator or detector cannot digest is logged and
+    // dropped; the monitor keeps running on the remaining stream.
+    try {
+      monitor.add_window(h);
+    } catch (const Error& e) {
+      std::printf("%6d  estimator skipped window: %s\n", w, e.what());
+    }
 
     double ks = 0.0, p = 1.0, d1 = 0.0;
     bool flagged = false;
     if (detector.has_baseline()) {
-      const auto score = detector.score(h);
-      ks = score.ks_statistic;
-      p = score.ks_p_value;
-      d1 = score.d1_window;
-      flagged = score.flagged;
+      try {
+        const auto score = detector.score(h);
+        ks = score.ks_statistic;
+        p = score.ks_p_value;
+        d1 = score.d1_window;
+        flagged = score.flagged;
+      } catch (const Error& e) {
+        std::printf("%6d  detector skipped window: %s\n", w, e.what());
+      }
     }
     if (w < per_phase) detector.add_baseline(h);
 

@@ -32,25 +32,51 @@ int main(int argc, char** argv) {
   std::printf("effective PALU window parameter p ~ %.4f\n",
               stream.expected_edge_visibility(n_valid));
 
-  // One ensemble per Fig-1 quantity.
+  // One ensemble per Fig-1 quantity.  A quantity whose fit blows up is
+  // reported and skipped — a monitoring run keeps its other panels.
   for (const auto q : traffic::kAllQuantities) {
-    stats::BinnedEnsemble ensemble;
-    Degree dmax = 0;
-    traffic::SyntheticTrafficGenerator replay(net.graph, rates, Rng(11));
-    for (std::size_t t = 0; t < num_windows; ++t) {
-      const auto window = replay.window(n_valid);
-      const auto h = traffic::quantity_histogram(window, q);
-      dmax = std::max(dmax, h.max_degree());
-      ensemble.add(stats::LogBinned::from_histogram(h));
+    try {
+      stats::BinnedEnsemble ensemble;
+      Degree dmax = 0;
+      traffic::SyntheticTrafficGenerator replay(net.graph, rates,
+                                                Rng(11));
+      for (std::size_t t = 0; t < num_windows; ++t) {
+        const auto window = replay.window(n_valid);
+        const auto h = traffic::quantity_histogram(window, q);
+        dmax = std::max(dmax, h.max_degree());
+        ensemble.add(stats::LogBinned::from_histogram(h));
+      }
+      fit::ZmFitOptions opts;
+      opts.bin_sigma = ensemble.stddev();
+      const auto zm = fit::fit_zipf_mandelbrot(
+          stats::LogBinned(ensemble.mean()), dmax, opts);
+      std::printf("%-22s d_max=%-8llu alpha=%.3f delta=%.3f sse=%.2e%s\n",
+                  std::string(traffic::quantity_name(q)).c_str(),
+                  static_cast<unsigned long long>(dmax), zm.alpha,
+                  zm.delta, zm.objective,
+                  zm.converged ? "" : "  (not converged)");
+    } catch (const Error& e) {
+      std::printf("%-22s skipped: %s\n",
+                  std::string(traffic::quantity_name(q)).c_str(),
+                  e.what());
     }
-    fit::ZmFitOptions opts;
-    opts.bin_sigma = ensemble.stddev();
-    const auto zm = fit::fit_zipf_mandelbrot(
-        stats::LogBinned(ensemble.mean()), dmax, opts);
-    std::printf("%-22s d_max=%-8llu alpha=%.3f delta=%.3f sse=%.2e%s\n",
-                std::string(traffic::quantity_name(q)).c_str(),
-                static_cast<unsigned long long>(dmax), zm.alpha, zm.delta,
-                zm.objective, zm.converged ? "" : "  (not converged)");
+  }
+
+  // Degraded-mode PALU constants over a window's undirected degrees: the
+  // result is tagged with the optimizer stage that produced it.
+  traffic::SyntheticTrafficGenerator degree_stream(net.graph, rates,
+                                                   Rng(11));
+  const auto robust = core::robust_fit_palu(traffic::quantity_histogram(
+      degree_stream.window(n_valid), traffic::Quantity::kUndirectedDegree));
+  if (robust.ok()) {
+    std::printf("\npalu constants (stage=%s): alpha=%.3f c=%.4f mu=%.3f "
+                "u=%.5f l=%.4f\n",
+                std::string(fit::to_string(robust.stage)).c_str(),
+                robust.fit.alpha, robust.fit.c, robust.fit.mu,
+                robust.fit.u, robust.fit.l);
+  } else {
+    std::printf("\npalu constants: unavailable (%s)\n",
+                robust.error.c_str());
   }
 
   // Table-I aggregates of the last window, cross-checked in both notations.

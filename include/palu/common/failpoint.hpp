@@ -1,0 +1,51 @@
+// Deterministic failpoints for fault-injection testing.
+//
+// Iterative numerical routines and sweep workers are instrumented with
+// PALU_FAILPOINT("site.name").  In production nothing is armed and the
+// macro costs one relaxed atomic load.  Tests arm a site by name to make
+// it throw palu::ConvergenceError on chosen hits, which exercises the
+// degraded-mode paths (fit::robust fallback chain, sweep_windows failure
+// accounting) without having to construct pathological inputs.
+#pragma once
+
+#include <atomic>
+#include <string_view>
+
+namespace palu {
+namespace failpoints {
+
+/// Arms `name`: the first `skip` hits pass through, then the next `fires`
+/// hits throw (fires < 0 = every subsequent hit).  Re-arming a name resets
+/// its counters.  Thread-safe.
+void arm(std::string_view name, int fires = -1, int skip = 0);
+
+/// Disarms one site (no-op if not armed).
+void disarm(std::string_view name);
+
+/// Disarms every site; call from test teardown.
+void disarm_all();
+
+/// True when at least one site is armed (fast path for the macro).
+bool any_armed() noexcept;
+
+/// Hits observed at `name` since it was armed (0 if not armed).
+int hit_count(std::string_view name);
+
+}  // namespace failpoints
+
+namespace detail {
+/// Slow path: records a hit at `name` and throws palu::ConvergenceError
+/// when the site's fire window is open.
+void failpoint_hit(const char* name);
+}  // namespace detail
+
+}  // namespace palu
+
+/// Instrument a site.  Compiled in always: the disarmed cost is one atomic
+/// load, so release builds keep the same control flow the tests exercise.
+#define PALU_FAILPOINT(name)                                       \
+  do {                                                             \
+    if (::palu::failpoints::any_armed()) {                         \
+      ::palu::detail::failpoint_hit(name);                         \
+    }                                                              \
+  } while (false)

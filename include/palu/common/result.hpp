@@ -1,0 +1,126 @@
+// Error policies and non-throwing results for resilient pipelines.
+//
+// Real trunk captures are messy: a multi-hour WIDE/CAIDA-style sweep must
+// not die on one corrupt packet record.  Ingest entry points therefore take
+// an ErrorPolicy — Strict preserves the library's original throw-on-first-
+// fault behaviour, Skip drops malformed records under a configurable error
+// budget, Repair additionally salvages what it can — and return a
+// structured IngestReport alongside the parsed value.  Result<T> is the
+// value-or-error carrier used where a failure is an expected outcome rather
+// than a programmer error.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "palu/common/error.hpp"
+
+namespace palu {
+
+/// What an ingest routine does when it meets a malformed record.
+enum class ErrorPolicy {
+  kStrict,  ///< throw palu::DataError on the first malformed record
+  kSkip,    ///< drop malformed records, counting them against the budget
+  kRepair,  ///< salvage malformed records where possible, else drop them
+};
+
+/// "strict" | "skip" | "repair" (case-sensitive); throws
+/// palu::InvalidArgument on anything else.
+ErrorPolicy parse_error_policy(std::string_view text);
+
+/// Inverse of parse_error_policy.
+std::string_view to_string(ErrorPolicy policy) noexcept;
+
+/// Knobs shared by every policy-aware ingest routine.
+struct IngestOptions {
+  ErrorPolicy policy = ErrorPolicy::kStrict;
+  /// Error budget: once dropped + repaired records exceed this, even Skip
+  /// and Repair throw palu::DataError (a stream that is mostly garbage is
+  /// a different problem than a stream with a few bad lines).
+  std::size_t max_bad_lines = ~std::size_t{0};
+};
+
+/// Context of the first malformed record met during an ingest pass.
+struct IngestError {
+  std::size_t line_number = 0;
+  std::string message;  ///< what was wrong (includes the offending token)
+  std::string text;     ///< the raw line
+};
+
+/// Structured outcome of one ingest pass.  Invariant:
+///   lines_read == records_kept + lines_repaired + lines_dropped
+/// where lines_read counts substantive lines (blank lines and '#' comments
+/// are never counted) and the parsed output holds records_kept +
+/// lines_repaired records.
+struct IngestReport {
+  std::size_t lines_read = 0;
+  std::size_t records_kept = 0;
+  std::size_t lines_repaired = 0;
+  std::size_t lines_dropped = 0;
+  std::optional<IngestError> first_error;
+
+  /// True when every substantive line parsed cleanly.
+  bool clean() const noexcept {
+    return lines_repaired == 0 && lines_dropped == 0;
+  }
+  /// One-line human-readable summary ("read=... kept=... ...").
+  std::string summary() const;
+};
+
+/// Value-or-error carrier for expected failures (parse results, fallback
+/// chains).  Unlike exceptions, a Result in the error state costs nothing
+/// to produce in a hot ingest loop.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+
+  /// Failure with a diagnostic message.
+  static Result failure(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The held value; throws palu::Error if this is a failure.
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  T&& value() && {
+    require_ok();
+    return *std::move(value_);
+  }
+
+  /// The value, or `fallback` when this is a failure.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Diagnostic message; empty for a success.
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  Result() = default;
+  void require_ok() const {
+    if (!ok()) {
+      throw Error("Result::value called on a failure: " + error_);
+    }
+  }
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace palu

@@ -19,10 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "palu/common/types.hpp"
 #include "palu/core/theory.hpp"
 #include "palu/fit/bootstrap.hpp"
+#include "palu/fit/robust.hpp"
 #include "palu/stats/distribution.hpp"
 #include "palu/stats/histogram.hpp"
 
@@ -114,6 +117,37 @@ PaluFitCi bootstrap_palu_fit(const stats::DegreeHistogram& h, Rng& rng,
 /// input fit if LM cannot improve it.
 PaluFit refine_palu_fit(const stats::EmpiricalDistribution& dist,
                         const PaluFit& initial, Degree refine_max = 256);
+
+/// Degraded-mode estimation: a PaluFit tagged with the optimizer stage
+/// that produced it (see fit::RobustStage) plus per-stage diagnostics.
+struct RobustPaluFit {
+  PaluFit fit;
+  fit::RobustStage stage = fit::RobustStage::kFailed;
+  std::vector<fit::StageDiagnostic> diagnostics;
+  std::string error;  ///< why everything failed, when stage == kFailed
+
+  bool ok() const noexcept { return stage != fit::RobustStage::kFailed; }
+};
+
+/// Resilient driver around the IV-B pipeline: the staged moment pipeline
+/// supplies the closed-form base fit (retried with relaxed tail starts on
+/// thin data), then fit::robust chains the LM polish and a Nelder–Mead
+/// rescue on top with bounded jittered restarts.  Degradation order:
+/// kLevMar (polished) → kNelderMead → kMoments (staged pipeline as-is).
+/// Never throws for bad data — a window the pipeline cannot fit at all
+/// comes back with stage == kFailed and the reason in `error`, so a
+/// multi-window sweep keeps its remaining windows.
+RobustPaluFit robust_fit_palu(
+    const stats::EmpiricalDistribution& dist,
+    const PaluFitOptions& fit_opts = {},
+    const fit::RobustFitOptions& robust_opts = {},
+    Degree refine_max = 256);
+
+/// Convenience overload from a histogram.
+RobustPaluFit robust_fit_palu(
+    const stats::DegreeHistogram& h, const PaluFitOptions& fit_opts = {},
+    const fit::RobustFitOptions& robust_opts = {},
+    Degree refine_max = 256);
 
 /// Ablation twin of step (b): estimates μ by point-wise matching of
 /// consecutive excess ratios e(d+1)/e(d) = μ/(d+1) instead of the moment

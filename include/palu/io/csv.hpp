@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "palu/common/result.hpp"
 #include "palu/fit/model_zoo.hpp"
 #include "palu/stats/distribution.hpp"
 #include "palu/stats/log_binning.hpp"
@@ -39,5 +40,17 @@ void write_histogram_csv(std::ostream& out,
 /// header; blank lines and '#' comments are skipped.  Throws
 /// palu::DataError with the line number on malformed input.
 stats::DegreeHistogram read_histogram_csv(std::istream& in);
+
+/// Histogram plus the account of what was read/dropped/repaired.
+struct HistogramReadResult {
+  stats::DegreeHistogram histogram;
+  IngestReport report;
+};
+
+/// Policy-aware "d,count" reader.  Under kRepair the first two unsigned
+/// integer runs on a malformed row are salvaged as (d, count); under kSkip
+/// the row is dropped and counted against the error budget.
+HistogramReadResult read_histogram_csv(std::istream& in,
+                                       const IngestOptions& opts);
 
 }  // namespace palu::io

@@ -1,0 +1,44 @@
+// Hardened integer parsing shared by every text ingest path.
+//
+// std::strtoull-style parsing silently wraps negative input ("-1" becomes
+// 2^64−1) and its overflow signalling is easy to drop on the floor.  Every
+// id/count token in the io readers goes through parse_u64 instead, which
+// distinguishes the three failure modes so error messages can name the
+// offending token precisely.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "palu/common/result.hpp"
+
+namespace palu::io {
+
+/// Parses a full token as an unsigned 64-bit integer.  Failures carry a
+/// specific diagnostic: empty token, negative value, uint64 overflow, or
+/// not-an-unsigned-integer (trailing junk counts as the latter).
+inline Result<std::uint64_t> parse_u64(std::string_view token) {
+  if (token.empty()) {
+    return Result<std::uint64_t>::failure("empty token");
+  }
+  if (token.front() == '-') {
+    return Result<std::uint64_t>::failure("token '" + std::string(token) +
+                                          "' is negative");
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Result<std::uint64_t>::failure(
+        "token '" + std::string(token) + "' overflows uint64");
+  }
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    return Result<std::uint64_t>::failure(
+        "token '" + std::string(token) + "' is not an unsigned integer");
+  }
+  return value;
+}
+
+}  // namespace palu::io

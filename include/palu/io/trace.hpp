@@ -5,6 +5,14 @@
 // format of anonymized flow logs once IPs are mapped to integer ids; a
 // WIDE/CAIDA-style capture exported this way drops straight into the
 // Section II window pipeline.
+//
+// Real captures are noisy, so every reader has a policy-aware overload:
+// under ErrorPolicy::kSkip malformed lines are counted and dropped, under
+// kRepair the reader salvages the first two unsigned integer tokens it can
+// find on the line (bit-flipped separators, glued third columns) and only
+// drops lines with nothing salvageable.  Both enforce
+// IngestOptions::max_bad_lines as an error budget.  The legacy overloads
+// are exactly kStrict.
 #pragma once
 
 #include <istream>
@@ -12,14 +20,25 @@
 #include <span>
 #include <vector>
 
+#include "palu/common/result.hpp"
 #include "palu/graph/graph.hpp"
 #include "palu/traffic/packet.hpp"
 
 namespace palu::io {
 
 /// Parses a trace; throws palu::DataError with the line number on
-/// malformed input.
+/// malformed input (equivalent to the kStrict policy).
 std::vector<traffic::Packet> read_trace(std::istream& in);
+
+/// Packets plus the structured account of what was read/dropped/repaired.
+struct TraceReadResult {
+  std::vector<traffic::Packet> packets;
+  IngestReport report;
+};
+
+/// Policy-aware trace reader.  kStrict throws on the first malformed line;
+/// kSkip and kRepair throw only when the error budget is exhausted.
+TraceReadResult read_trace(std::istream& in, const IngestOptions& opts);
 
 /// Writes packets one per line, with a format header comment.
 void write_trace(std::ostream& out, std::span<const traffic::Packet> pkts);
@@ -32,5 +51,17 @@ void write_edge_list(std::ostream& out, const graph::Graph& g);
 /// count; otherwise it is max endpoint + 1.  Throws palu::DataError on
 /// malformed lines or endpoints out of the declared range.
 graph::Graph read_edge_list(std::istream& in);
+
+/// Graph plus the ingest account.  Under kSkip/kRepair, edges whose
+/// endpoints exceed a "# nodes=N" declaration are dropped (and counted)
+/// instead of aborting the parse.
+struct EdgeListReadResult {
+  graph::Graph graph;
+  IngestReport report;
+};
+
+/// Policy-aware edge-list reader.
+EdgeListReadResult read_edge_list(std::istream& in,
+                                  const IngestOptions& opts);
 
 }  // namespace palu::io

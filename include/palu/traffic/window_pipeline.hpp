@@ -6,10 +6,21 @@
 // so they can be produced and histogrammed in parallel, one deterministic
 // RNG stream per window — the library's main multi-core path for the
 // Fig-3-style sweeps.
+//
+// Sweeps are hardened for long production runs: a worker exception carries
+// its window index back to the caller (SweepWindowError), a failure budget
+// lets a sweep tolerate a bounded number of bad windows without losing the
+// rest, and a cancellation flag / wall-clock timeout stops a stuck sweep
+// cleanly between windows.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "palu/common/error.hpp"
 #include "palu/common/types.hpp"
 #include "palu/graph/graph.hpp"
 #include "palu/parallel/thread_pool.hpp"
@@ -20,17 +31,65 @@
 
 namespace palu::traffic {
 
+/// Thrown when a sweep worker fails and the failure budget is zero; names
+/// the window so operators can bisect a bad capture region.
+class SweepWindowError : public Error {
+ public:
+  SweepWindowError(std::size_t window, const std::string& what)
+      : Error("sweep_windows: window " + std::to_string(window) +
+              " failed: " + what),
+        window_(window) {}
+
+  std::size_t window() const noexcept { return window_; }
+
+ private:
+  std::size_t window_;
+};
+
+/// One failed window of a tolerant sweep.
+struct WindowFailure {
+  std::size_t window = 0;
+  std::string error;
+};
+
+/// Resilience knobs for sweep_windows.
+struct SweepOptions {
+  /// Windows allowed to fail before the sweep itself fails.  0 preserves
+  /// the strict behaviour: the first failure is rethrown as
+  /// SweepWindowError with the window index attached.
+  std::size_t max_failed_windows = 0;
+  /// Cooperative cancellation: checked between windows; a cancelled sweep
+  /// returns the windows finished so far with `cancelled` set.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Wall-clock budget for the whole sweep; zero means unlimited.  Checked
+  /// between windows (a worker stuck inside one window cannot be
+  /// preempted, but no new window starts past the deadline).
+  std::chrono::milliseconds timeout{0};
+};
+
 struct WindowSweepResult {
   stats::BinnedEnsemble ensemble;   // pooled D(d_i) mean/σ across windows
   stats::DegreeHistogram merged;    // all windows' quantity merged
   Degree max_value = 0;             // d_max over all windows (Eq. 1)
-  std::size_t windows = 0;
+  std::size_t windows = 0;          // windows merged into the result
+  std::vector<WindowFailure> failures;  // tolerated per-window failures
+  std::size_t windows_skipped = 0;  // not attempted (cancel / timeout)
+  bool cancelled = false;           // cancel flag or timeout fired
 };
 
 /// Draws `num_windows` windows of `n_valid` packets each over
 /// `underlying`, histograms `quantity` per window, and reduces in window
 /// order (deterministic given `seed`).  Windows are processed in parallel
-/// on `pool`; window t uses the RNG stream fork(seed, t).
+/// on `pool`; window t uses the RNG stream fork(seed, t).  Successful
+/// windows are merged in index order regardless of which windows failed,
+/// so the result for a given seed is reproducible under fault injection.
+WindowSweepResult sweep_windows(const graph::Graph& underlying,
+                                const RateModel& rates, Count n_valid,
+                                std::size_t num_windows, Quantity quantity,
+                                std::uint64_t seed, ThreadPool& pool,
+                                const SweepOptions& opts);
+
+/// Strict overload (empty SweepOptions): first window failure throws.
 WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 const RateModel& rates, Count n_valid,
                                 std::size_t num_windows, Quantity quantity,

@@ -1,0 +1,97 @@
+#include "palu/common/failpoint.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "palu/common/error.hpp"
+
+namespace palu {
+namespace {
+
+struct FailpointState {
+  int fires = -1;  // < 0: unbounded
+  int skip = 0;
+  int hits = 0;
+  int fired = 0;
+};
+
+std::mutex g_mutex;
+std::map<std::string, FailpointState, std::less<>>& registry() {
+  static std::map<std::string, FailpointState, std::less<>> map;
+  return map;
+}
+std::atomic<int> g_armed_count{0};
+
+}  // namespace
+
+namespace failpoints {
+
+void arm(std::string_view name, int fires, int skip) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& map = registry();
+  const auto it = map.find(name);
+  if (it == map.end()) {
+    map.emplace(std::string(name), FailpointState{fires, skip, 0, 0});
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = FailpointState{fires, skip, 0, 0};
+  }
+}
+
+void disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& map = registry();
+  const auto it = map.find(name);
+  if (it != map.end()) {
+    map.erase(it);
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed_count.fetch_sub(static_cast<int>(registry().size()),
+                          std::memory_order_relaxed);
+  registry().clear();
+}
+
+bool any_armed() noexcept {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+int hit_count(std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto& map = registry();
+  const auto it = map.find(name);
+  return it == map.end() ? 0 : it->second.hits;
+}
+
+}  // namespace failpoints
+
+namespace detail {
+
+void failpoint_hit(const char* name) {
+  bool fire = false;
+  int hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto& map = registry();
+    const auto it = map.find(std::string_view(name));
+    if (it == map.end()) return;
+    FailpointState& s = it->second;
+    hit = ++s.hits;
+    if (s.hits > s.skip && (s.fires < 0 || s.fired < s.fires)) {
+      ++s.fired;
+      fire = true;
+    }
+  }
+  // Throw outside the lock so the unwinder never holds the registry mutex.
+  if (fire) {
+    throw ConvergenceError("failpoint '" + std::string(name) +
+                           "' fired (hit " + std::to_string(hit) + ")");
+  }
+}
+
+}  // namespace detail
+}  // namespace palu

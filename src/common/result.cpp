@@ -1,0 +1,35 @@
+#include "palu/common/result.hpp"
+
+#include <sstream>
+
+namespace palu {
+
+ErrorPolicy parse_error_policy(std::string_view text) {
+  if (text == "strict") return ErrorPolicy::kStrict;
+  if (text == "skip") return ErrorPolicy::kSkip;
+  if (text == "repair") return ErrorPolicy::kRepair;
+  throw InvalidArgument("parse_error_policy: expected strict|skip|repair, "
+                        "got '" + std::string(text) + "'");
+}
+
+std::string_view to_string(ErrorPolicy policy) noexcept {
+  switch (policy) {
+    case ErrorPolicy::kStrict: return "strict";
+    case ErrorPolicy::kSkip: return "skip";
+    case ErrorPolicy::kRepair: return "repair";
+  }
+  return "unknown";
+}
+
+std::string IngestReport::summary() const {
+  std::ostringstream os;
+  os << "read=" << lines_read << " kept=" << records_kept
+     << " repaired=" << lines_repaired << " dropped=" << lines_dropped;
+  if (first_error) {
+    os << " first_error=line " << first_error->line_number << ": "
+       << first_error->message;
+  }
+  return os.str();
+}
+
+}  // namespace palu

@@ -189,42 +189,30 @@ PaluFitCi bootstrap_palu_fit(const stats::DegreeHistogram& h, Rng& rng,
   return out;
 }
 
-PaluFit refine_palu_fit(const stats::EmpiricalDistribution& dist,
-                        const PaluFit& initial, Degree refine_max) {
-  PALU_CHECK(refine_max >= 8, "refine_palu_fit: refine_max too small");
-  // Collect the fit points: observed (d, pmf, weight).
+namespace {
+
+// The joint-polish least-squares problem shared by refine_palu_fit and
+// robust_fit_palu.  Parameters: log α, log c, log μ, log u, log(l + ε) —
+// all constants are positive (l can be 0: the ε floor keeps the log
+// finite).
+struct RefineProblem {
   std::vector<Degree> ds;
   std::vector<double> ps, ws;
-  const auto& support = dist.support();
-  const auto& pmf = dist.pmf();
-  for (std::size_t i = 0; i < support.size(); ++i) {
-    if (support[i] > refine_max) break;
-    ds.push_back(support[i]);
-    ps.push_back(pmf[i]);
-    ws.push_back(std::sqrt(pmf[i] *
-                           static_cast<double>(dist.sample_size())));
-  }
-  if (ds.size() < 6) return initial;  // not enough points to polish
+  std::vector<double> x0;
+  PaluFit base;
+  bool viable = false;  // enough support points to polish
 
-  // Parameters: log α, log c, log μ, log u, log(l + ε).  All constants
-  // are positive (l can be 0: the ε floor keeps the log finite).
-  constexpr double kFloor = 1e-12;
-  const std::vector<double> x0 = {
-      std::log(std::max(initial.alpha, 1.05)),
-      std::log(std::max(initial.c, kFloor)),
-      std::log(std::max(initial.mu, 1e-3)),
-      std::log(std::max(initial.u, kFloor)),
-      std::log(std::max(initial.l, kFloor))};
-  const auto unpack = [&](const std::vector<double>& x) {
-    PaluFit f = initial;
+  PaluFit unpack(const std::vector<double>& x) const {
+    PaluFit f = base;
     f.alpha = std::exp(x[0]);
     f.c = std::exp(x[1]);
     f.mu = std::exp(x[2]);
     f.u = std::exp(x[3]);
     f.l = std::exp(x[4]);
     return f;
-  };
-  const auto residuals = [&](const std::vector<double>& x) {
+  }
+
+  std::vector<double> residuals(const std::vector<double>& x) const {
     const PaluFit f = unpack(x);
     if (f.alpha > 30.0 || f.mu > 40.0) {
       throw InvalidArgument("refine_palu_fit: off-domain step");
@@ -234,21 +222,139 @@ PaluFit refine_palu_fit(const stats::EmpiricalDistribution& dist,
       r[i] = ws[i] * (f.predicted_share(ds[i]) - ps[i]);
     }
     return r;
+  }
+
+  double objective(const PaluFit& f) const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const double r = ws[i] * (f.predicted_share(ds[i]) - ps[i]);
+      acc += r * r;
+    }
+    return acc;
+  }
+};
+
+RefineProblem make_refine_problem(const stats::EmpiricalDistribution& dist,
+                                  const PaluFit& initial,
+                                  Degree refine_max) {
+  RefineProblem p;
+  p.base = initial;
+  const auto& support = dist.support();
+  const auto& pmf = dist.pmf();
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    if (support[i] > refine_max) break;
+    p.ds.push_back(support[i]);
+    p.ps.push_back(pmf[i]);
+    p.ws.push_back(std::sqrt(pmf[i] *
+                             static_cast<double>(dist.sample_size())));
+  }
+  p.viable = p.ds.size() >= 6;
+  constexpr double kFloor = 1e-12;
+  p.x0 = {std::log(std::max(initial.alpha, 1.05)),
+          std::log(std::max(initial.c, kFloor)),
+          std::log(std::max(initial.mu, 1e-3)),
+          std::log(std::max(initial.u, kFloor)),
+          std::log(std::max(initial.l, kFloor))};
+  return p;
+}
+
+}  // namespace
+
+PaluFit refine_palu_fit(const stats::EmpiricalDistribution& dist,
+                        const PaluFit& initial, Degree refine_max) {
+  PALU_CHECK(refine_max >= 8, "refine_palu_fit: refine_max too small");
+  const RefineProblem problem =
+      make_refine_problem(dist, initial, refine_max);
+  if (!problem.viable) return initial;  // not enough points to polish
+
+  const auto residuals = [&problem](const std::vector<double>& x) {
+    return problem.residuals(x);
   };
   fit::LevMarOptions opts;
   opts.max_iterations = 120;
-  const auto solution = fit::levenberg_marquardt(residuals, x0, opts);
+  const auto solution = fit::levenberg_marquardt(residuals, problem.x0,
+                                                 opts);
   // Accept only if the polish actually reduced the residual.
-  double initial_chi = 0.0;
-  for (std::size_t i = 0; i < ds.size(); ++i) {
-    const double r =
-        ws[i] * (initial.predicted_share(ds[i]) - ps[i]);
-    initial_chi += r * r;
-  }
-  if (solution.chi_squared >= initial_chi) return initial;
-  PaluFit refined = unpack(solution.x);
+  if (solution.chi_squared >= problem.objective(initial)) return initial;
+  PaluFit refined = problem.unpack(solution.x);
   refined.mu_identifiable = initial.mu_identifiable;
   return refined;
+}
+
+RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
+                              const PaluFitOptions& fit_opts,
+                              const fit::RobustFitOptions& robust_opts,
+                              Degree refine_max) {
+  RobustPaluFit out;
+
+  // Base fit from the staged moment pipeline, retrying with relaxed tail
+  // starts when the tail is too thin to regress (degenerate windows).
+  PaluFit base;
+  bool have_base = false;
+  std::vector<Degree> tails = {fit_opts.tail_min};
+  for (const Degree relaxed : {Degree{6}, Degree{4}, Degree{2}}) {
+    if (relaxed < fit_opts.tail_min) tails.push_back(relaxed);
+  }
+  for (const Degree tail : tails) {
+    PaluFitOptions attempt = fit_opts;
+    attempt.tail_min = tail;
+    try {
+      base = fit_palu(dist, attempt);
+      have_base = true;
+      break;
+    } catch (const Error& e) {
+      out.error = e.what();
+    }
+  }
+  if (!have_base) return out;  // stage == kFailed, error set
+  out.error.clear();
+
+  const RefineProblem problem =
+      make_refine_problem(dist, base, std::max<Degree>(refine_max, 8));
+  if (!problem.viable) {
+    // Too little support to polish: the staged pipeline result stands.
+    out.fit = base;
+    out.stage = fit::RobustStage::kMoments;
+    return out;
+  }
+
+  const auto residuals = [&problem](const std::vector<double>& x) {
+    return problem.residuals(x);
+  };
+  const auto fallback = [&problem]() { return problem.x0; };
+  const fit::RobustFitResult rr =
+      fit::robust_least_squares(residuals, problem.x0, fallback,
+                                robust_opts);
+  out.diagnostics = rr.diagnostics;
+  // The optimizer result is only an upgrade if it actually beats the
+  // closed-form base fit; otherwise the moment estimators stand.
+  if (!rr.ok() || rr.stage == fit::RobustStage::kMoments ||
+      rr.objective >= problem.objective(base)) {
+    out.fit = base;
+    out.stage = fit::RobustStage::kMoments;
+    return out;
+  }
+  out.fit = problem.unpack(rr.x);
+  out.fit.mu_identifiable = base.mu_identifiable;
+  out.stage = rr.stage;
+  return out;
+}
+
+RobustPaluFit robust_fit_palu(const stats::DegreeHistogram& h,
+                              const PaluFitOptions& fit_opts,
+                              const fit::RobustFitOptions& robust_opts,
+                              Degree refine_max) {
+  // The conversion itself rejects empty/degenerate histograms; that is
+  // bad data, not a programmer error, so it degrades like everything else.
+  try {
+    return robust_fit_palu(
+        stats::EmpiricalDistribution::from_histogram(h), fit_opts,
+        robust_opts, refine_max);
+  } catch (const Error& e) {
+    RobustPaluFit out;
+    out.error = e.what();
+    return out;
+  }
 }
 
 double estimate_mu_pointwise(const stats::EmpiricalDistribution& dist,

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "palu/common/error.hpp"
+#include "palu/common/failpoint.hpp"
 #include "palu/linalg/matrix.hpp"
 
 namespace palu::fit {
@@ -23,6 +24,7 @@ LevMarResult levenberg_marquardt(
         residuals,
     std::vector<double> x0, const LevMarOptions& opts) {
   PALU_CHECK(!x0.empty(), "levenberg_marquardt: empty start point");
+  PALU_FAILPOINT("fit.levmar");
   const std::size_t n = x0.size();
 
   LevMarResult result;

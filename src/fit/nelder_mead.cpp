@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "palu/common/error.hpp"
+#include "palu/common/failpoint.hpp"
 
 namespace palu::fit {
 namespace {
@@ -31,6 +32,7 @@ NelderMeadResult nelder_mead(
     const std::function<double(const std::vector<double>&)>& f,
     std::vector<double> x0, const NelderMeadOptions& opts) {
   PALU_CHECK(!x0.empty(), "nelder_mead: empty start point");
+  PALU_FAILPOINT("fit.nelder_mead");
   const std::size_t n = x0.size();
   // Adaptive coefficients (Gao & Han 2012) improve behaviour for larger n.
   const double nd = static_cast<double>(n);

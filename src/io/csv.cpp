@@ -3,6 +3,8 @@
 #include <iomanip>
 
 #include "palu/common/error.hpp"
+#include "palu/io/parse.hpp"
+#include "ingest_gate.hpp"
 
 namespace palu::io {
 
@@ -84,8 +86,30 @@ void write_histogram_csv(std::ostream& out,
   }
 }
 
-stats::DegreeHistogram read_histogram_csv(std::istream& in) {
-  stats::DegreeHistogram h;
+namespace {
+
+/// Parses one "d,count" row; failures name the offending token.
+Result<std::pair<Degree, Count>> parse_histogram_row(
+    const std::string& body) {
+  using Row = std::pair<Degree, Count>;
+  const std::size_t comma = body.find(',');
+  if (comma == std::string::npos || comma == 0 ||
+      comma + 1 >= body.size()) {
+    return Result<Row>::failure("expected 'd,count'");
+  }
+  const auto d = parse_u64(body.substr(0, comma));
+  if (!d.ok()) return Result<Row>::failure(d.error());
+  const auto c = parse_u64(body.substr(comma + 1));
+  if (!c.ok()) return Result<Row>::failure(c.error());
+  return Row{d.value(), c.value()};
+}
+
+}  // namespace
+
+HistogramReadResult read_histogram_csv(std::istream& in,
+                                       const IngestOptions& opts) {
+  HistogramReadResult out;
+  detail::IngestGate gate("read_histogram_csv", opts, out.report);
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
@@ -100,29 +124,28 @@ stats::DegreeHistogram read_histogram_csv(std::istream& in) {
     const std::string body = line.substr(start);
     if (body.empty() || body.front() == '#') continue;
     if (line_number == 1 && body == "d,count") continue;
-    const std::size_t comma = body.find(',');
-    if (comma == std::string::npos || comma == 0 ||
-        comma + 1 >= body.size()) {
-      throw DataError("read_histogram_csv: malformed line " +
-                      std::to_string(line_number) + ": '" + line + "'");
+    ++out.report.lines_read;
+    const auto row = parse_histogram_row(body);
+    if (row.ok()) {
+      ++out.report.records_kept;
+      out.histogram.add(row.value().first, row.value().second);
+      continue;
     }
-    try {
-      std::size_t used = 0;
-      const unsigned long long d = std::stoull(body.substr(0, comma),
-                                               &used);
-      if (used != comma) throw std::invalid_argument("trailing");
-      const std::string count_text = body.substr(comma + 1);
-      const unsigned long long c = std::stoull(count_text, &used);
-      if (used != count_text.size()) {
-        throw std::invalid_argument("trailing");
+    if (opts.policy == ErrorPolicy::kRepair) {
+      const auto salvaged = detail::salvage_u64(body, 2);
+      if (salvaged.size() == 2) {
+        gate.repaired(line_number, row.error(), line);
+        out.histogram.add(salvaged[0], salvaged[1]);
+        continue;
       }
-      h.add(d, c);
-    } catch (const std::exception&) {
-      throw DataError("read_histogram_csv: malformed line " +
-                      std::to_string(line_number) + ": '" + line + "'");
     }
+    gate.drop(line_number, row.error(), line);
   }
-  return h;
+  return out;
+}
+
+stats::DegreeHistogram read_histogram_csv(std::istream& in) {
+  return read_histogram_csv(in, IngestOptions{}).histogram;
 }
 
 }  // namespace palu::io

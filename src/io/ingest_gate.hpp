@@ -1,0 +1,95 @@
+// Internal per-line bookkeeping shared by the policy-aware io readers.
+// Not installed: the public surface is IngestOptions/IngestReport.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "palu/common/result.hpp"
+#include "palu/io/parse.hpp"
+
+namespace palu::io::detail {
+
+/// Applies one ErrorPolicy to a stream of per-line verdicts: throws under
+/// kStrict, otherwise counts drops/repairs, pins the first error, and
+/// enforces the error budget.
+class IngestGate {
+ public:
+  IngestGate(const char* context, const IngestOptions& opts,
+             IngestReport& report)
+      : context_(context), opts_(opts), report_(report) {}
+
+  /// A malformed line with nothing salvageable.
+  void drop(std::size_t line_number, const std::string& message,
+            const std::string& line) {
+    if (opts_.policy == ErrorPolicy::kStrict) {
+      throw DataError(std::string(context_) + ": malformed line " +
+                      std::to_string(line_number) + ": " + message +
+                      " (line: '" + line + "')");
+    }
+    ++report_.lines_dropped;
+    note_error(line_number, message, line);
+    check_budget();
+  }
+
+  /// A malformed line salvaged under kRepair.
+  void repaired(std::size_t line_number, const std::string& message,
+                const std::string& line) {
+    ++report_.lines_repaired;
+    note_error(line_number, message, line);
+    check_budget();
+  }
+
+ private:
+  void note_error(std::size_t line_number, const std::string& message,
+                  const std::string& line) {
+    if (!report_.first_error) {
+      report_.first_error = IngestError{line_number, message, line};
+    }
+  }
+
+  void check_budget() {
+    const std::size_t bad = report_.lines_dropped + report_.lines_repaired;
+    if (bad > opts_.max_bad_lines) {
+      std::string what = std::string(context_) +
+                         ": error budget exhausted (" + std::to_string(bad) +
+                         " bad lines > max_bad_lines=" +
+                         std::to_string(opts_.max_bad_lines) + ")";
+      if (report_.first_error) {
+        what += "; first error at line " +
+                std::to_string(report_.first_error->line_number) + ": " +
+                report_.first_error->message;
+      }
+      throw DataError(what);
+    }
+  }
+
+  const char* context_;
+  const IngestOptions& opts_;
+  IngestReport& report_;
+};
+
+/// Salvage helper for kRepair: extracts the values of up to `want` digit
+/// runs in `body` that parse cleanly as uint64 (overlong runs that would
+/// overflow are passed over).
+inline std::vector<std::uint64_t> salvage_u64(std::string_view body,
+                                              std::size_t want) {
+  std::vector<std::uint64_t> out;
+  std::size_t i = 0;
+  while (i < body.size() && out.size() < want) {
+    if (body[i] < '0' || body[i] > '9') {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < body.size() && body[j] >= '0' && body[j] <= '9') ++j;
+    const auto parsed = parse_u64(body.substr(i, j - i));
+    if (parsed.ok()) out.push_back(parsed.value());
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace palu::io::detail

@@ -1,11 +1,12 @@
 #include "palu/io/trace.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <string>
 #include <string_view>
 
 #include "palu/common/error.hpp"
+#include "palu/io/parse.hpp"
+#include "ingest_gate.hpp"
 
 namespace palu::io {
 namespace {
@@ -22,43 +23,58 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-[[noreturn]] void malformed(std::size_t line_number,
-                            const std::string& line) {
-  throw DataError("read_trace: malformed line " +
-                  std::to_string(line_number) + ": '" + line + "'");
-}
-
-NodeId parse_id(std::string_view token, std::size_t line_number,
-                const std::string& line) {
-  NodeId value = 0;
-  const auto [ptr, ec] =
-      std::from_chars(token.data(), token.data() + token.size(), value);
-  if (ec != std::errc{} || ptr != token.data() + token.size()) {
-    malformed(line_number, line);
+/// Splits "src dst" and parses both ids; on failure returns the
+/// diagnostic for the first offending token.
+Result<traffic::Packet> parse_packet_line(std::string_view body) {
+  const std::size_t split = body.find_first_of(" \t");
+  if (split == std::string_view::npos) {
+    return Result<traffic::Packet>::failure("expected two tokens");
   }
-  return value;
+  const std::string_view src_tok = trim(body.substr(0, split));
+  const std::string_view dst_tok = trim(body.substr(split));
+  if (src_tok.empty() || dst_tok.empty()) {
+    return Result<traffic::Packet>::failure("expected two tokens");
+  }
+  const auto src = parse_u64(src_tok);
+  if (!src.ok()) return Result<traffic::Packet>::failure(src.error());
+  const auto dst = parse_u64(dst_tok);
+  if (!dst.ok()) return Result<traffic::Packet>::failure(dst.error());
+  return traffic::Packet{src.value(), dst.value()};
 }
 
 }  // namespace
 
-std::vector<traffic::Packet> read_trace(std::istream& in) {
-  std::vector<traffic::Packet> packets;
+TraceReadResult read_trace(std::istream& in, const IngestOptions& opts) {
+  TraceReadResult out;
+  detail::IngestGate gate("read_trace", opts, out.report);
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    std::string_view body = trim(line);
+    const std::string_view body = trim(line);
     if (body.empty() || body.front() == '#') continue;
-    const std::size_t split = body.find_first_of(" \t");
-    if (split == std::string_view::npos) malformed(line_number, line);
-    const std::string_view src_tok = trim(body.substr(0, split));
-    const std::string_view dst_tok = trim(body.substr(split));
-    if (src_tok.empty() || dst_tok.empty()) malformed(line_number, line);
-    packets.push_back(
-        traffic::Packet{parse_id(src_tok, line_number, line),
-                        parse_id(dst_tok, line_number, line)});
+    ++out.report.lines_read;
+    auto packet = parse_packet_line(body);
+    if (packet.ok()) {
+      ++out.report.records_kept;
+      out.packets.push_back(packet.value());
+      continue;
+    }
+    if (opts.policy == ErrorPolicy::kRepair) {
+      const auto salvaged = detail::salvage_u64(body, 2);
+      if (salvaged.size() == 2) {
+        gate.repaired(line_number, packet.error(), line);
+        out.packets.push_back(traffic::Packet{salvaged[0], salvaged[1]});
+        continue;
+      }
+    }
+    gate.drop(line_number, packet.error(), line);
   }
-  return packets;
+  return out;
+}
+
+std::vector<traffic::Packet> read_trace(std::istream& in) {
+  return read_trace(in, IngestOptions{}).packets;
 }
 
 void write_trace(std::ostream& out,
@@ -76,8 +92,13 @@ void write_edge_list(std::ostream& out, const graph::Graph& g) {
   }
 }
 
-graph::Graph read_edge_list(std::istream& in) {
+EdgeListReadResult read_edge_list(std::istream& in,
+                                  const IngestOptions& opts) {
+  EdgeListReadResult out;
+  detail::IngestGate gate("read_edge_list", opts, out.report);
   std::vector<graph::Edge> edges;
+  std::vector<std::size_t> edge_lines;     // for the declared-range check
+  std::vector<bool> edge_was_repaired;
   NodeId declared_nodes = 0;
   bool have_declaration = false;
   NodeId max_endpoint = 0;
@@ -85,34 +106,86 @@ graph::Graph read_edge_list(std::istream& in) {
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    std::string_view body = trim(line);
+    const std::string_view body = trim(line);
     if (body.empty()) continue;
     if (body.front() == '#') {
       const std::size_t pos = body.find("nodes=");
       if (pos != std::string_view::npos) {
-        declared_nodes =
-            parse_id(trim(body.substr(pos + 6)), line_number, line);
-        have_declaration = true;
+        const auto n = parse_u64(trim(body.substr(pos + 6)));
+        if (n.ok()) {
+          declared_nodes = n.value();
+          have_declaration = true;
+        } else if (opts.policy == ErrorPolicy::kStrict) {
+          throw DataError("read_edge_list: malformed line " +
+                          std::to_string(line_number) + ": " + n.error() +
+                          " (line: '" + line + "')");
+        }
+        // Under skip/repair a bad declaration is ignored; the node count
+        // falls back to max endpoint + 1.
       }
       continue;
     }
-    const std::size_t split = body.find_first_of(" \t");
-    if (split == std::string_view::npos) malformed(line_number, line);
-    const NodeId u = parse_id(trim(body.substr(0, split)), line_number,
-                              line);
-    const NodeId v = parse_id(trim(body.substr(split)), line_number,
-                              line);
-    max_endpoint = std::max({max_endpoint, u, v});
-    edges.push_back(graph::Edge{u, v});
+    ++out.report.lines_read;
+    const auto parsed = parse_packet_line(body);
+    bool repaired = false;
+    graph::Edge edge{};
+    if (parsed.ok()) {
+      edge = graph::Edge{parsed.value().src, parsed.value().dst};
+      ++out.report.records_kept;
+    } else {
+      if (opts.policy == ErrorPolicy::kRepair) {
+        const auto salvaged = detail::salvage_u64(body, 2);
+        if (salvaged.size() == 2) {
+          edge = graph::Edge{salvaged[0], salvaged[1]};
+          gate.repaired(line_number, parsed.error(), line);
+          repaired = true;
+        }
+      }
+      if (!repaired) {
+        gate.drop(line_number, parsed.error(), line);
+        continue;
+      }
+    }
+    max_endpoint = std::max({max_endpoint, edge.u, edge.v});
+    edges.push_back(edge);
+    edge_lines.push_back(line_number);
+    edge_was_repaired.push_back(repaired);
+  }
+  if (have_declaration) {
+    // Endpoints past the declaration are data errors discovered late; the
+    // per-line accounting is unwound for each offending edge.
+    std::vector<graph::Edge> in_range;
+    in_range.reserve(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].u < declared_nodes && edges[i].v < declared_nodes) {
+        in_range.push_back(edges[i]);
+        continue;
+      }
+      const std::string message =
+          "endpoint " +
+          std::to_string(std::max(edges[i].u, edges[i].v)) +
+          " exceeds the declared node count " +
+          std::to_string(declared_nodes);
+      if (edge_was_repaired[i]) {
+        --out.report.lines_repaired;
+      } else {
+        --out.report.records_kept;
+      }
+      gate.drop(edge_lines[i], message,
+                std::to_string(edges[i].u) + " " +
+                    std::to_string(edges[i].v));
+    }
+    edges = std::move(in_range);
   }
   const NodeId nodes =
       have_declaration ? declared_nodes
                        : (edges.empty() ? 0 : max_endpoint + 1);
-  if (have_declaration && !edges.empty() && max_endpoint >= nodes) {
-    throw DataError(
-        "read_edge_list: endpoint exceeds the declared node count");
-  }
-  return graph::Graph(nodes, std::move(edges));
+  out.graph = graph::Graph(nodes, std::move(edges));
+  return out;
+}
+
+graph::Graph read_edge_list(std::istream& in) {
+  return read_edge_list(in, IngestOptions{}).graph;
 }
 
 }  // namespace palu::io

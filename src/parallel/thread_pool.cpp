@@ -50,7 +50,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task captures exceptions into its future
+    // Tasks reach workers wrapped in packaged_task, so exceptions are
+    // captured into their futures.  The guard is belt-and-braces: an
+    // exception escaping a task must degrade to a lost result, never to
+    // std::terminate taking the whole pool (and process) down.
+    try {
+      task();
+    } catch (...) {
+    }
   }
 }
 

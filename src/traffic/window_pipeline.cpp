@@ -1,9 +1,10 @@
 #include "palu/traffic/window_pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
-#include "palu/common/error.hpp"
+#include "palu/common/failpoint.hpp"
 #include "palu/parallel/parallel_for.hpp"
 
 namespace palu::traffic {
@@ -11,11 +12,29 @@ namespace palu::traffic {
 WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 const RateModel& rates, Count n_valid,
                                 std::size_t num_windows, Quantity quantity,
-                                std::uint64_t seed, ThreadPool& pool) {
+                                std::uint64_t seed, ThreadPool& pool,
+                                const SweepOptions& opts) {
   PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
   PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
 
-  std::vector<stats::DegreeHistogram> histograms(num_windows);
+  // Per-window slots: exactly one of histogram / error is set afterwards;
+  // neither set means the window was skipped (cancellation or timeout).
+  std::vector<std::optional<stats::DegreeHistogram>> histograms(
+      num_windows);
+  std::vector<std::optional<std::string>> errors(num_windows);
+  std::atomic<bool> stop_new_windows{false};
+
+  const bool has_deadline = opts.timeout.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() + opts.timeout;
+  const auto should_stop = [&]() {
+    if (stop_new_windows.load(std::memory_order_relaxed)) return true;
+    if (opts.cancel != nullptr &&
+        opts.cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  };
+
   const Rng base(seed);
   // One shared traffic matrix: every window sees the same long-term
   // per-edge rates; only the packet draws differ between windows.
@@ -23,20 +42,61 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
       make_edge_rates(underlying, rates, base.fork(0));
   parallel_for(pool, 0, num_windows, /*grain=*/1, [&](IndexRange range) {
     for (std::size_t t = range.begin; t < range.end; ++t) {
-      SyntheticTrafficGenerator stream(underlying, shared_rates,
-                                       base.fork(t + 1));
-      histograms[t] = quantity_histogram(stream.window(n_valid), quantity);
+      if (should_stop()) return;  // leave the remaining slots unset
+      try {
+        PALU_FAILPOINT("traffic.sweep_window");
+        SyntheticTrafficGenerator stream(underlying, shared_rates,
+                                         base.fork(t + 1));
+        histograms[t] =
+            quantity_histogram(stream.window(n_valid), quantity);
+      } catch (const std::exception& e) {
+        errors[t] = e.what();
+        if (opts.max_failed_windows == 0) {
+          // Strict mode: no point producing more windows for a sweep
+          // that is already lost.
+          stop_new_windows.store(true, std::memory_order_relaxed);
+        }
+      }
     }
   });
 
   WindowSweepResult out;
-  out.windows = num_windows;
-  for (const auto& h : histograms) {
+  for (std::size_t t = 0; t < num_windows; ++t) {
+    if (errors[t]) {
+      if (opts.max_failed_windows == 0) {
+        throw SweepWindowError(t, *errors[t]);
+      }
+      out.failures.push_back(WindowFailure{t, std::move(*errors[t])});
+      continue;
+    }
+    if (!histograms[t]) {
+      ++out.windows_skipped;
+      continue;
+    }
+    const stats::DegreeHistogram& h = *histograms[t];
     out.max_value = std::max(out.max_value, h.max_degree());
     out.ensemble.add(stats::LogBinned::from_histogram(h));
     out.merged.merge(h);
+    ++out.windows;
+  }
+  out.cancelled = out.windows_skipped > 0;
+  if (out.failures.size() > opts.max_failed_windows) {
+    const WindowFailure& first = out.failures.front();
+    throw SweepWindowError(
+        first.window,
+        first.error + " (" + std::to_string(out.failures.size()) +
+            " windows failed, budget " +
+            std::to_string(opts.max_failed_windows) + ")");
   }
   return out;
+}
+
+WindowSweepResult sweep_windows(const graph::Graph& underlying,
+                                const RateModel& rates, Count n_valid,
+                                std::size_t num_windows, Quantity quantity,
+                                std::uint64_t seed, ThreadPool& pool) {
+  return sweep_windows(underlying, rates, n_valid, num_windows, quantity,
+                       seed, pool, SweepOptions{});
 }
 
 }  // namespace palu::traffic

@@ -60,6 +60,85 @@ TEST(Trace, EmptyInputYieldsEmptyVector) {
   EXPECT_TRUE(read_trace(buf).empty());
 }
 
+TEST(Trace, ErrorsNameLineAndOffendingToken) {
+  const auto message_for = [](const char* text) -> std::string {
+    std::stringstream buf(text);
+    try {
+      read_trace(buf);
+    } catch (const DataError& e) {
+      return e.what();
+    }
+    return {};
+  };
+  // Negative id: rejected explicitly, not wrapped around to 2^64-1 the
+  // way std::stoull would.
+  const std::string neg = message_for("# c\n1 2\n-3 4\n");
+  EXPECT_NE(neg.find("line 3"), std::string::npos) << neg;
+  EXPECT_NE(neg.find("'-3'"), std::string::npos) << neg;
+  EXPECT_NE(neg.find("negative"), std::string::npos) << neg;
+  // 2^64 overflows uint64 by one.
+  const std::string ovf = message_for("18446744073709551616 1\n");
+  EXPECT_NE(ovf.find("line 1"), std::string::npos) << ovf;
+  EXPECT_NE(ovf.find("overflow"), std::string::npos) << ovf;
+  // Junk token.
+  const std::string junk = message_for("1 x7\n");
+  EXPECT_NE(junk.find("'x7'"), std::string::npos) << junk;
+}
+
+TEST(Trace, MaxU64StillParses) {
+  std::stringstream buf("18446744073709551615 0\n");
+  const auto pkts = read_trace(buf);
+  ASSERT_EQ(pkts.size(), 1u);
+  EXPECT_EQ(pkts[0].src, 18446744073709551615ull);
+}
+
+TEST(Trace, SkipPolicyDropsAndAccounts) {
+  std::stringstream buf("1 2\nbad line\n3 4\n-5 6\n7 8\n");
+  IngestOptions opts;
+  opts.policy = ErrorPolicy::kSkip;
+  const auto result = read_trace(buf, opts);
+  EXPECT_EQ(result.packets,
+            (std::vector<traffic::Packet>{{1, 2}, {3, 4}, {7, 8}}));
+  EXPECT_EQ(result.report.lines_read, 5u);
+  EXPECT_EQ(result.report.records_kept, 3u);
+  EXPECT_EQ(result.report.lines_dropped, 2u);
+  ASSERT_TRUE(result.report.first_error.has_value());
+  EXPECT_EQ(result.report.first_error->line_number, 2u);
+}
+
+TEST(Trace, RepairPolicySalvagesGluedTokens) {
+  // "17 42 99" (stray third column) and "a 5 b 6" (noise around ids):
+  // repair salvages the first two clean u64 runs from each.
+  std::stringstream buf("1 2\n17 42 99\na 5 b 6\n???\n");
+  IngestOptions opts;
+  opts.policy = ErrorPolicy::kRepair;
+  const auto result = read_trace(buf, opts);
+  EXPECT_EQ(result.packets,
+            (std::vector<traffic::Packet>{{1, 2}, {17, 42}, {5, 6}}));
+  EXPECT_EQ(result.report.records_kept, 1u);
+  EXPECT_EQ(result.report.lines_repaired, 2u);
+  EXPECT_EQ(result.report.lines_dropped, 1u);
+}
+
+TEST(Csv, HistogramRejectsNegativeCountInsteadOfWrapping) {
+  // Regression: "-1" used to pass through std::stoull as 2^64-1.
+  std::stringstream buf("d,count\n1,10\n2,-1\n");
+  EXPECT_THROW(read_histogram_csv(buf), DataError);
+}
+
+TEST(EdgeList, SkipPolicyDropsOutOfRangeEndpoints) {
+  std::stringstream buf("# nodes=3\n0 1\n1 2\n2 9\n");
+  IngestOptions opts;
+  opts.policy = ErrorPolicy::kSkip;
+  const auto result = read_edge_list(buf, opts);
+  EXPECT_EQ(result.graph.num_nodes(), 3u);
+  EXPECT_EQ(result.graph.num_edges(), 2u);
+  EXPECT_EQ(result.report.lines_dropped, 1u);
+  EXPECT_EQ(result.report.records_kept, 2u);
+  ASSERT_TRUE(result.report.first_error.has_value());
+  EXPECT_EQ(result.report.first_error->line_number, 4u);
+}
+
 TEST(Csv, DistributionExport) {
   stats::DegreeHistogram h;
   h.add(1, 3);

@@ -93,6 +93,28 @@ TEST(ParallelFor, PropagatesFirstException) {
       DataError);
 }
 
+TEST(ParallelFor, PoolSurvivesWorkerExceptions) {
+  // Regression: an exception in a sweep worker must neither terminate the
+  // process nor deadlock the pool — the pool must stay fully usable.
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        parallel_for(pool, 0, 1000, 1,
+                     [&](IndexRange) {
+                       throw DataError("every chunk fails");
+                     }),
+        DataError);
+  }
+  // All workers still alive and draining the queue.
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([&counter]() { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
 TEST(ParallelReduce, SumsCorrectly) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 100000;

@@ -44,13 +44,37 @@ int cmd_generate(const cli::Args& args) {
   return 0;
 }
 
+// Shared ingest knobs: --on-error=strict|skip|repair, --max-bad-lines N.
+IngestOptions ingest_options(const cli::Args& args) {
+  IngestOptions opts;
+  opts.policy = parse_error_policy(args.get_string("on-error", "strict"));
+  const std::int64_t budget = args.get_int("max-bad-lines", -1);
+  if (budget >= 0) opts.max_bad_lines = static_cast<std::size_t>(budget);
+  return opts;
+}
+
+// Ingest accounting goes to stderr so piped CSV output stays clean.
+void report_ingest(const char* what, const IngestReport& report) {
+  if (!report.clean()) {
+    std::fprintf(stderr, "%s ingest: %s\n", what,
+                 report.summary().c_str());
+  }
+}
+
 std::vector<traffic::Packet> load_trace(const cli::Args& args) {
   const std::string path = args.get_string("trace", "");
   PALU_CHECK(!path.empty(), "missing --trace FILE");
-  if (path == "-") return io::read_trace(std::cin);
-  std::ifstream in(path);
-  PALU_CHECK(static_cast<bool>(in), "cannot open trace file: " + path);
-  return io::read_trace(in);
+  const IngestOptions opts = ingest_options(args);
+  io::TraceReadResult result;
+  if (path == "-") {
+    result = io::read_trace(std::cin, opts);
+  } else {
+    std::ifstream in(path);
+    PALU_CHECK(static_cast<bool>(in), "cannot open trace file: " + path);
+    result = io::read_trace(in, opts);
+  }
+  report_ingest("trace", result.report);
+  return std::move(result.packets);
 }
 
 int cmd_analyze(const cli::Args& args) {
@@ -76,7 +100,12 @@ int cmd_analyze(const cli::Args& args) {
   opts.bin_sigma = ensemble.stddev();
   const auto zm = fit::fit_zipf_mandelbrot(
       stats::LogBinned(ensemble.mean()), dmax, opts);
-  const auto palu_fit = core::fit_palu(merged);
+  const auto robust = core::robust_fit_palu(merged);
+  if (!robust.ok()) {
+    throw ConvergenceError("analyze: PALU fit failed on every stage: " +
+                           robust.error);
+  }
+  const auto& palu_fit = robust.fit;
   const auto ranking = fit::fit_all_models(merged);
   if (args.get_flag("csv")) {
     io::write_pooled_csv(std::cout, stats::LogBinned(ensemble.mean()),
@@ -90,9 +119,10 @@ int cmd_analyze(const cli::Args& args) {
   std::printf("zipf-mandelbrot: alpha=%.4f delta=%+.4f\n", zm.alpha,
               zm.delta);
   std::printf("palu constants:  alpha=%.4f c=%.5f mu=%.4f u=%.6f "
-              "l=%.5f\n",
+              "l=%.5f  [stage=%s]\n",
               palu_fit.alpha, palu_fit.c, palu_fit.mu, palu_fit.u,
-              palu_fit.l);
+              palu_fit.l,
+              std::string(fit::to_string(robust.stage)).c_str());
   std::printf("model ranking:\n");
   for (const auto& entry : ranking) {
     std::printf("  %-18s dAIC=%10.1f\n", entry.family.c_str(),
@@ -128,14 +158,17 @@ int cmd_census(const cli::Args& args) {
 int cmd_graph_census(const cli::Args& args) {
   const std::string path = args.get_string("graph", "");
   PALU_CHECK(!path.empty(), "missing --graph FILE");
-  graph::Graph g;
+  const IngestOptions opts = ingest_options(args);
+  io::EdgeListReadResult result;
   if (path == "-") {
-    g = io::read_edge_list(std::cin);
+    result = io::read_edge_list(std::cin, opts);
   } else {
     std::ifstream in(path);
     PALU_CHECK(static_cast<bool>(in), "cannot open graph file: " + path);
-    g = io::read_edge_list(in);
+    result = io::read_edge_list(in, opts);
   }
+  report_ingest("edge-list", result.report);
+  const graph::Graph& g = result.graph;
   const auto census = graph::classify_topology(g);
   const auto clustering = graph::clustering_summary(g);
   const auto core = graph::k_core_numbers(g);
@@ -175,15 +208,18 @@ int cmd_zoo(const cli::Args& args) {
   // point for public degree datasets.
   const std::string path = args.get_string("histogram", "");
   PALU_CHECK(!path.empty(), "missing --histogram FILE");
-  stats::DegreeHistogram h;
+  const IngestOptions opts = ingest_options(args);
+  io::HistogramReadResult result;
   if (path == "-") {
-    h = io::read_histogram_csv(std::cin);
+    result = io::read_histogram_csv(std::cin, opts);
   } else {
     std::ifstream in(path);
     PALU_CHECK(static_cast<bool>(in),
                "cannot open histogram file: " + path);
-    h = io::read_histogram_csv(in);
+    result = io::read_histogram_csv(in, opts);
   }
+  report_ingest("histogram", result.report);
+  const stats::DegreeHistogram& h = result.histogram;
   const auto ranking = fit::fit_all_models(h);
   if (args.get_flag("csv")) {
     io::write_model_comparison_csv(std::cout, ranking);
@@ -213,7 +249,17 @@ int print_help() {
       "  graph-census --graph FILE|-                  census/clustering/\n"
       "                                               core depth of an\n"
       "                                               'u v' edge list\n"
-      "  help\n");
+      "  help\n"
+      "ingest options (analyze, census, zoo, graph-census):\n"
+      "  --on-error strict|skip|repair   malformed-line policy; strict\n"
+      "                                  (default) aborts on the first bad\n"
+      "                                  line, skip drops bad lines, repair\n"
+      "                                  salvages what it can\n"
+      "  --max-bad-lines N               error budget for skip/repair; the\n"
+      "                                  ingest aborts once N bad lines are\n"
+      "                                  exceeded (default: unlimited)\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage error, 3 data/ingest\n"
+      "error, 4 estimation failed to converge\n");
   return 0;
 }
 
@@ -232,6 +278,17 @@ int main(int argc, char** argv) {
     if (command == "help") return print_help();
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     print_help();
+    return 2;
+  } catch (const palu::DataError& e) {
+    // Malformed input or an exhausted error budget: documented exit 3 so
+    // batch drivers can separate bad captures from tool bugs.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  } catch (const palu::ConvergenceError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const palu::InvalidArgument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   } catch (const palu::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,136 @@
+// Sweep-throughput benchmark: fast path vs. legacy path, with a JSON
+// artifact so the perf trajectory is tracked from PR 2 onward.
+//
+// Runs the same Monte-Carlo window sweep twice — once through the legacy
+// per-window SparseCountMatrix path and once through the WindowAccumulator
+// fast path — verifies the merged histograms are identical, and writes
+// BENCH_sweep.json:
+//
+//   {
+//     "bench": "sweep",
+//     "config": {"windows", "nvalid", "nodes", "edges", "quantity",
+//                "seed", "pool_threads"},
+//     "legacy": {"seconds", "packets_per_sec",
+//                "timings_ns": {"sampling", "accumulation", "binning"}},
+//     "fast":   {... same shape ...},
+//     "speedup": fast.packets_per_sec / legacy.packets_per_sec,
+//     "identical": true|false
+//   }
+//
+// Default config is the acceptance workload (64 windows × 1e6 packets);
+// `--smoke` shrinks it to seconds so ctest can keep the binary honest.
+// Exit code is non-zero when the two paths disagree.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "palu/cli/args.hpp"
+#include "palu/palu.hpp"
+
+namespace {
+
+using namespace palu;
+
+struct RunResult {
+  double seconds = 0.0;
+  double packets_per_sec = 0.0;
+  traffic::SweepStageTimings timings;
+  stats::DegreeHistogram merged;
+};
+
+RunResult run_sweep(const graph::Graph& g, Count n_valid,
+                    std::size_t windows, traffic::Quantity quantity,
+                    std::uint64_t seed, ThreadPool& pool, bool fast_path) {
+  traffic::SweepOptions opts;
+  opts.fast_path = fast_path;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweep = traffic::sweep_windows(g, traffic::RateModel{}, n_valid,
+                                      windows, quantity, seed, pool, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.packets_per_sec =
+      static_cast<double>(n_valid) * static_cast<double>(windows) /
+      out.seconds;
+  out.timings = sweep.timings;
+  out.merged = std::move(sweep.merged);
+  return out;
+}
+
+void write_run_json(std::ostream& out, const char* name,
+                    const RunResult& r) {
+  out << "  \"" << name << "\": {\"seconds\": " << r.seconds
+      << ", \"packets_per_sec\": " << r.packets_per_sec
+      << ", \"timings_ns\": {\"sampling\": " << r.timings.sampling_ns
+      << ", \"accumulation\": " << r.timings.accumulation_ns
+      << ", \"binning\": " << r.timings.binning_ns << "}},\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = cli::Args::parse(argc, argv, 1);
+  const bool smoke = args.get_flag("smoke");
+  const auto windows = static_cast<std::size_t>(
+      args.get_int("windows", smoke ? 4 : 64));
+  const auto n_valid =
+      static_cast<Count>(args.get_int("nvalid", smoke ? 20000 : 1000000));
+  const auto nodes = static_cast<NodeId>(
+      args.get_int("nodes", smoke ? 20000 : 150000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 29));
+  const std::string out_path =
+      args.get_string("out", "BENCH_sweep.json");
+
+  const auto params = core::PaluParams::solve_hubs(6.0, 0.35, 0.2, 2.3,
+                                                   1.0);
+  Rng rng(17);
+  const auto net = core::generate_underlying(params, nodes, rng);
+  const auto quantity = traffic::Quantity::kUndirectedDegree;
+  ThreadPool pool;  // default: one worker per hardware thread
+
+  std::printf("bench_sweep: %zu windows x %llu packets, %llu nodes, "
+              "%zu edges, %zu pool threads\n",
+              windows, static_cast<unsigned long long>(n_valid),
+              static_cast<unsigned long long>(net.graph.num_nodes()),
+              net.graph.num_edges(), pool.size());
+
+  const RunResult legacy = run_sweep(net.graph, n_valid, windows, quantity,
+                                     seed, pool, /*fast_path=*/false);
+  const RunResult fast = run_sweep(net.graph, n_valid, windows, quantity,
+                                   seed, pool, /*fast_path=*/true);
+  const bool identical = legacy.merged.sorted() == fast.merged.sorted() &&
+                         legacy.merged.total() == fast.merged.total();
+  const double speedup = fast.packets_per_sec / legacy.packets_per_sec;
+
+  std::printf("legacy: %.3fs (%.2fM packets/s)\n", legacy.seconds,
+              legacy.packets_per_sec / 1e6);
+  std::printf("fast:   %.3fs (%.2fM packets/s)\n", fast.seconds,
+              fast.packets_per_sec / 1e6);
+  std::printf("speedup: %.2fx, identical: %s\n", speedup,
+              identical ? "true" : "false");
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"sweep\",\n";
+  out << "  \"config\": {\"windows\": " << windows
+      << ", \"nvalid\": " << n_valid << ", \"nodes\": " << nodes
+      << ", \"edges\": " << net.graph.num_edges() << ", \"quantity\": \""
+      << traffic::quantity_name(quantity) << "\", \"seed\": " << seed
+      << ", \"pool_threads\": " << pool.size() << "},\n";
+  write_run_json(out, "legacy", legacy);
+  write_run_json(out, "fast", fast);
+  out << "  \"speedup\": " << speedup << ",\n";
+  out << "  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: fast path diverged from the legacy path\n");
+    return 1;
+  }
+  return 0;
+}

@@ -25,7 +25,10 @@ struct IndexRange {
 
 namespace detail {
 /// Computes the chunk list for a range; at most 4 chunks per worker so the
-/// pool can load-balance uneven chunks, never chunks smaller than `grain`.
+/// pool can load-balance uneven chunks, never chunks smaller than `grain`
+/// (a trailing remainder shorter than one grain is folded into the final
+/// chunk; the single chunk covering a range shorter than `grain` is the
+/// one exception).
 std::vector<IndexRange> make_chunks(std::size_t begin, std::size_t end,
                                     std::size_t grain, std::size_t workers);
 }  // namespace detail

@@ -1,0 +1,92 @@
+// Reusable per-worker scratch slots for parallel loops.
+//
+// parallel_for bodies run on whichever pool worker grabs the chunk, so
+// expensive per-worker state (arena-style accumulators, cached samplers)
+// cannot live in function locals without being rebuilt every chunk, and
+// thread_locals would leak state across unrelated loops sharing the pool.
+// A ScratchPool hands each concurrent body invocation an exclusive slot
+// and reclaims it when the lease is dropped; slots are constructed lazily,
+// so at most max-concurrency slots ever exist regardless of chunk count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace palu {
+
+template <typename T>
+class ScratchPool {
+ public:
+  using Factory = std::function<std::unique_ptr<T>()>;
+
+  /// `factory` builds one slot; called at most once per concurrently
+  /// running lease (not per acquire — released slots are reused).
+  explicit ScratchPool(Factory factory) : factory_(std::move(factory)) {}
+
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// Exclusive handle on one slot; returns the slot on destruction.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          slot_(std::move(other.slot_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr && slot_ != nullptr) {
+        pool_->release(std::move(slot_));
+      }
+    }
+
+    T& operator*() noexcept { return *slot_; }
+    T* operator->() noexcept { return slot_.get(); }
+
+   private:
+    friend class ScratchPool;
+    Lease(ScratchPool* pool, std::unique_ptr<T> slot)
+        : pool_(pool), slot_(std::move(slot)) {}
+
+    ScratchPool* pool_;
+    std::unique_ptr<T> slot_;
+  };
+
+  /// Grabs an idle slot, constructing a fresh one only when none is free.
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> slot = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(slot));
+      }
+    }
+    created_.fetch_add(1, std::memory_order_relaxed);
+    return Lease(this, factory_());  // factory runs outside the lock
+  }
+
+  /// Slots constructed so far (free + leased); mainly for tests.
+  std::size_t slots_created() const noexcept {
+    return created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void release(std::unique_ptr<T> slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(slot));
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+  Factory factory_;
+  std::atomic<std::size_t> created_{0};
+};
+
+}  // namespace palu

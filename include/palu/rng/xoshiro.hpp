@@ -71,11 +71,35 @@ class Xoshiro256PlusPlus {
   /// Bernoulli(p) coin.
   bool bernoulli(double p) noexcept { return uniform() < p; }
 
+  /// Snapshot of the full 256-bit engine state (for checkpointing and
+  /// stream-derivation tests).
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+
+  /// Rebuilds an engine from a `state()` snapshot.  An all-zero state is a
+  /// fixed point of xoshiro, so it falls back to the default-seeded engine
+  /// instead of producing a stream of zeros.
+  static Xoshiro256PlusPlus from_state(
+      const std::array<std::uint64_t, 4>& state) noexcept {
+    if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+      return Xoshiro256PlusPlus{};
+    }
+    Xoshiro256PlusPlus out(0);
+    out.state_ = state;
+    return out;
+  }
+
   /// Derives an independent deterministic child stream.  Children of
   /// distinct indices (and the parent) do not overlap in practice: the seed
   /// is re-mixed through splitmix64, giving each child a far-apart state.
+  /// All four parent state words feed the child seed, so parents that agree
+  /// on a single word (e.g. post-`jump` siblings) still fork distinct
+  /// streams.
   Xoshiro256PlusPlus fork(std::uint64_t index) const noexcept {
-    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    std::uint64_t sm = 0x9e3779b97f4a7c15ULL * (index + 1);
+    for (const std::uint64_t word : state_) {
+      std::uint64_t mix = sm ^ word;
+      sm = splitmix64(mix);
+    }
     Xoshiro256PlusPlus child(0);
     for (auto& word : child.state_) word = splitmix64(sm);
     return child;

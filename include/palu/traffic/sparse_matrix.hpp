@@ -45,6 +45,17 @@ class SparseCountMatrix {
   /// Snapshot of all links, sorted by (src, dst) for deterministic output.
   std::vector<Entry> entries() const;
 
+  /// Visits every stored link once, in unspecified order:
+  /// `visit(NodeId src, NodeId dst, Count packets)`.  The allocation- and
+  /// sort-free path for order-insensitive reductions (histogramming);
+  /// callers needing deterministic order use entries().
+  template <typename Visitor>
+  void for_each_cell(Visitor&& visit) const {
+    for (const auto& [key, count] : cells_) {
+      visit(key.first, key.second, count);
+    }
+  }
+
   /// Row marginals: per-source (total packets, distinct destinations).
   struct Marginal {
     Count packets = 0;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "palu/common/types.hpp"
@@ -57,6 +58,18 @@ class SyntheticTrafficGenerator {
 
   /// Next valid packet in the stream.
   Packet next();
+
+  /// Fills `out` with the next out.size() valid packets.  Identical RNG
+  /// consumption order to calling next() repeatedly — streams stay
+  /// byte-for-byte reproducible — but batched so the sweep fast path
+  /// amortizes call overhead and keeps the alias tables hot.
+  void next_batch(std::span<Packet> out);
+
+  /// Replaces the packet RNG without rebuilding edges, rates, or the alias
+  /// sampler.  The stream then matches a freshly constructed generator
+  /// handed the same rng — the sweep fast path's way of reusing one
+  /// generator across windows with independent per-window streams.
+  void reseed(Rng rng) noexcept { rng_ = rng; }
 
   /// Aggregates the next `n_valid` packets into a window matrix A_t.
   SparseCountMatrix window(Count n_valid);

@@ -1,0 +1,98 @@
+// Flat per-window accumulator: the sweep fast path's replacement for
+// building a fresh SparseCountMatrix (and its unordered_map marginals)
+// every window.
+//
+// Two arena-reused open-addressing tables back the accumulator: a cell
+// table over (src, dst) packet counts and a node table for per-endpoint
+// marginals.  begin_window() retires the previous window by bumping an
+// epoch stamp instead of clearing, so the Monte-Carlo sweep's thousands of
+// windows reuse one allocation instead of churning the heap.  All six
+// Quantity histograms come from a single unsorted pass over the live
+// cells — no entries() copy+sort and no per-node peer sets — and produce
+// histograms identical in content to quantity_histogram() on the
+// equivalent SparseCountMatrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "palu/common/types.hpp"
+#include "palu/stats/histogram.hpp"
+#include "palu/traffic/packet.hpp"
+#include "palu/traffic/quantities.hpp"
+
+namespace palu::traffic {
+
+class WindowAccumulator {
+ public:
+  WindowAccumulator();
+
+  /// Starts a new window: drops all cells in O(1) (epoch bump) while
+  /// keeping both tables' capacity for reuse.
+  void begin_window();
+
+  /// Adds `count` packets on the (src, dst) link of the current window.
+  void add(NodeId src, NodeId dst, Count count = 1);
+
+  /// Accumulates a batch of packets.
+  void add_packets(std::span<const Packet> packets);
+
+  /// Σ_ij A_t(i, j): total packets in the current window.
+  Count total() const noexcept { return total_; }
+
+  /// Number of live (src, dst) cells (the nnz of A_t).
+  std::size_t nnz() const noexcept { return live_cells_.size(); }
+
+  /// Packet count of a specific link, 0 if absent.
+  Count at(NodeId src, NodeId dst) const;
+
+  /// Histogram of one quantity over the current window, computed in a
+  /// single unsorted pass; content-identical to quantity_histogram() on a
+  /// SparseCountMatrix holding the same cells.  Non-const: reuses the node
+  /// scratch table.
+  stats::DegreeHistogram histogram(Quantity q);
+
+ private:
+  struct Cell {
+    NodeId src;
+    NodeId dst;
+    Count count;
+  };
+  struct NodeSlot {
+    NodeId id;
+    Count packets;
+    Count fan;
+  };
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+
+  static std::uint64_t mix_cell(NodeId src, NodeId dst) noexcept;
+  static std::uint64_t mix_node(NodeId id) noexcept;
+
+  std::size_t find_cell(NodeId src, NodeId dst) const noexcept;
+  std::size_t find_or_insert_cell(NodeId src, NodeId dst);
+  void grow_cells();
+
+  void begin_node_pass();
+  NodeSlot& node_slot(NodeId id);
+  void grow_nodes();
+
+  // ---- cell table (open addressing, linear probing, epoch-stamped) ----
+  std::vector<Cell> cells_;
+  std::vector<std::uint32_t> cell_epoch_;
+  std::vector<std::uint32_t> live_cells_;  // slot indices, insertion order
+  std::uint32_t epoch_ = 1;
+  std::size_t cell_mask_ = 0;  // capacity − 1 (capacity is a power of 2)
+  std::size_t cell_grow_at_ = 0;
+  Count total_ = 0;
+
+  // ---- node scratch table (one histogram pass at a time) ----
+  std::vector<NodeSlot> nodes_;
+  std::vector<std::uint32_t> node_epoch_;
+  std::vector<std::uint32_t> live_nodes_;
+  std::uint32_t node_pass_ = 1;
+  std::size_t node_mask_ = 0;
+  std::size_t node_grow_at_ = 0;
+};
+
+}  // namespace palu::traffic

@@ -12,6 +12,13 @@
 // lets a sweep tolerate a bounded number of bad windows without losing the
 // rest, and a cancellation flag / wall-clock timeout stops a stuck sweep
 // cleanly between windows.
+//
+// Windows run by default through the WindowAccumulator fast path: flat
+// arena-reused hash tables per worker (leased via ScratchPool), one cached
+// generator per worker reseeded per window, batched packet draws, and
+// single-pass histogramming.  Results are byte-identical to the legacy
+// SparseCountMatrix path (SweepOptions::fast_path = false) for the same
+// seed; stage timings land in WindowSweepResult::timings either way.
 #pragma once
 
 #include <atomic>
@@ -52,12 +59,17 @@ struct WindowFailure {
   std::string error;
 };
 
-/// Resilience knobs for sweep_windows.
+/// Resilience and performance knobs for sweep_windows.
 struct SweepOptions {
   /// Windows allowed to fail before the sweep itself fails.  0 preserves
   /// the strict behaviour: the first failure is rethrown as
   /// SweepWindowError with the window index attached.
   std::size_t max_failed_windows = 0;
+  /// Route windows through the flat WindowAccumulator fast path (arena
+  /// reuse, cached per-worker generators, batched draws).  Produces
+  /// byte-identical results to the legacy SparseCountMatrix path for the
+  /// same seed; off is the escape hatch for A/B comparison and debugging.
+  bool fast_path = true;
   /// Cooperative cancellation: checked between windows; a cancelled sweep
   /// returns the windows finished so far with `cancelled` set.
   const std::atomic<bool>* cancel = nullptr;
@@ -65,6 +77,24 @@ struct SweepOptions {
   /// between windows (a worker stuck inside one window cannot be
   /// preempted, but no new window starts past the deadline).
   std::chrono::milliseconds timeout{0};
+};
+
+/// Wall-clock nanoseconds per sweep stage, summed across windows and
+/// workers (so totals can exceed elapsed time on a multi-core pool).  On
+/// the legacy path packet draws and cell counting are interleaved inside
+/// window(), so their combined time lands in `sampling_ns` and
+/// `accumulation_ns` stays 0.
+struct SweepStageTimings {
+  std::uint64_t sampling_ns = 0;      // RNG + alias-sampler packet draws
+  std::uint64_t accumulation_ns = 0;  // packet → (src, dst) cell counts
+  std::uint64_t binning_ns = 0;       // histogramming + log-binned reduce
+
+  SweepStageTimings& operator+=(const SweepStageTimings& other) noexcept {
+    sampling_ns += other.sampling_ns;
+    accumulation_ns += other.accumulation_ns;
+    binning_ns += other.binning_ns;
+    return *this;
+  }
 };
 
 struct WindowSweepResult {
@@ -75,6 +105,7 @@ struct WindowSweepResult {
   std::vector<WindowFailure> failures;  // tolerated per-window failures
   std::size_t windows_skipped = 0;  // not attempted (cancel / timeout)
   bool cancelled = false;           // cancel flag or timeout fired
+  SweepStageTimings timings;        // per-stage wall-clock accounting
 };
 
 /// Draws `num_windows` windows of `n_valid` packets each over

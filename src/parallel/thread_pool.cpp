@@ -71,8 +71,14 @@ std::vector<IndexRange> make_chunks(std::size_t begin, std::size_t end,
   std::size_t chunk = std::max(grain, (n + target_chunks - 1) / target_chunks);
   std::vector<IndexRange> out;
   out.reserve(n / chunk + 1);
-  for (std::size_t lo = begin; lo < end; lo += chunk) {
-    out.push_back(IndexRange{lo, std::min(end, lo + chunk)});
+  std::size_t lo = begin;
+  while (lo < end) {
+    std::size_t hi = lo + chunk;
+    // A remainder shorter than one grain is folded into this chunk instead
+    // of becoming its own undersized tail range.
+    if (hi >= end || end - hi < grain) hi = end;
+    out.push_back(IndexRange{lo, hi});
+    lo = hi;
   }
   return out;
 }

@@ -1,14 +1,30 @@
 #include "palu/stats/histogram.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "palu/common/error.hpp"
 
 namespace palu::stats {
 
 void DegreeHistogram::add(Degree d, Count c) {
   if (c == 0) return;
-  counts_[d] += c;
-  total_ += c;
-  weighted_total_ += d * c;
+  // Check every running total before committing anything: a hostile
+  // histogram (e.g. a repaired CSV with d ≈ c ≈ 2^40) must throw rather
+  // than wrap weighted_total_ silently, and a failed add must leave the
+  // histogram untouched.
+  Count mass = 0;
+  Count new_total = 0;
+  Count new_weighted = 0;
+  if (__builtin_mul_overflow(d, c, &mass) ||
+      __builtin_add_overflow(total_, c, &new_total) ||
+      __builtin_add_overflow(weighted_total_, mass, &new_weighted)) {
+    throw DataError("DegreeHistogram::add: totals overflow 64 bits at d=" +
+                    std::to_string(d) + ", count=" + std::to_string(c));
+  }
+  counts_[d] += c;  // bounded by total_, which was just proven to fit
+  total_ = new_total;
+  weighted_total_ = new_weighted;
 }
 
 DegreeHistogram DegreeHistogram::from_degrees(

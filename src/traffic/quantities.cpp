@@ -1,7 +1,6 @@
 #include "palu/traffic/quantities.hpp"
 
 #include <unordered_map>
-#include <unordered_set>
 
 #include "palu/common/error.hpp"
 
@@ -30,7 +29,8 @@ stats::DegreeHistogram quantity_histogram(const SparseCountMatrix& a,
       for (const auto& [id, m] : a.source_marginals()) h.add(m.fan);
       break;
     case Quantity::kLinkPackets:
-      for (const auto& e : a.entries()) h.add(e.packets);
+      a.for_each_cell(
+          [&h](NodeId, NodeId, Count packets) { h.add(packets); });
       break;
     case Quantity::kDestinationFanIn:
       for (const auto& [id, m] : a.destination_marginals()) h.add(m.fan);
@@ -68,14 +68,20 @@ stats::DegreeHistogram undirected_degree_histogram(
     const SparseCountMatrix& a) {
   // Distinct counterparties per node, both directions merged; a node that
   // both sends to and receives from the same peer counts that peer once.
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> peers;
-  for (const auto& e : a.entries()) {
-    if (e.src == e.dst) continue;  // self-traffic adds no network edge
-    peers[e.src].insert(e.dst);
-    peers[e.dst].insert(e.src);
-  }
+  // Each unordered pair {s, d} is credited exactly once via a reverse-cell
+  // lookup — no per-node peer sets and no sorted entries() snapshot.
+  std::unordered_map<NodeId, Count> degree;
+  degree.reserve(a.nnz());
+  a.for_each_cell([&](NodeId src, NodeId dst, Count) {
+    if (src == dst) return;  // self-traffic adds no network edge
+    // The (min, max) orientation owns the pair; the mirror cell, when it
+    // exists, only counts if its partner is absent.
+    if (src > dst && a.at(dst, src) != 0) return;
+    ++degree[src];
+    ++degree[dst];
+  });
   stats::DegreeHistogram h;
-  for (const auto& [node, set] : peers) h.add(set.size());
+  for (const auto& [node, d] : degree) h.add(d);
   return h;
 }
 

@@ -69,6 +69,16 @@ Packet SyntheticTrafficGenerator::next() {
   return Packet{edge.v, edge.u};
 }
 
+void SyntheticTrafficGenerator::next_batch(std::span<Packet> out) {
+  const rng::AliasSampler& sampler = *sampler_;
+  for (Packet& p : out) {
+    const std::uint64_t e = sampler(rng_);
+    const graph::Edge& edge = edges_[e];
+    p = rng_.uniform() < forward_prob_ ? Packet{edge.u, edge.v}
+                                       : Packet{edge.v, edge.u};
+  }
+}
+
 SparseCountMatrix SyntheticTrafficGenerator::window(Count n_valid) {
   SparseCountMatrix a;
   for (Count i = 0; i < n_valid; ++i) {

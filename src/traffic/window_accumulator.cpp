@@ -1,0 +1,216 @@
+#include "palu/traffic/window_accumulator.hpp"
+
+#include <algorithm>
+
+#include "palu/common/error.hpp"
+
+namespace palu::traffic {
+
+namespace {
+constexpr std::size_t kInitialCapacity = std::size_t{1} << 10;
+// The live-slot lists hold 32-bit indices, so tables cap at 2^32 slots.
+constexpr std::size_t kMaxCapacity = std::size_t{1} << 32;
+}  // namespace
+
+WindowAccumulator::WindowAccumulator() {
+  cells_.resize(kInitialCapacity);
+  cell_epoch_.assign(kInitialCapacity, 0);
+  cell_mask_ = kInitialCapacity - 1;
+  cell_grow_at_ = kInitialCapacity - kInitialCapacity / 4;
+  nodes_.resize(kInitialCapacity);
+  node_epoch_.assign(kInitialCapacity, 0);
+  node_mask_ = kInitialCapacity - 1;
+  node_grow_at_ = kInitialCapacity - kInitialCapacity / 4;
+}
+
+std::uint64_t WindowAccumulator::mix_cell(NodeId src, NodeId dst) noexcept {
+  std::uint64_t h = src * 0x9e3779b97f4a7c15ULL;
+  h ^= dst + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  // murmur3 finalizer: linear probing needs well-mixed low bits.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t WindowAccumulator::mix_node(NodeId id) noexcept {
+  std::uint64_t h = id + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+void WindowAccumulator::begin_window() {
+  live_cells_.clear();
+  total_ = 0;
+  if (++epoch_ == 0) {
+    // The 32-bit stamp wrapped: stamps from 2^32 windows ago could alias
+    // the new epoch, so take the rare O(capacity) clear.
+    std::fill(cell_epoch_.begin(), cell_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+void WindowAccumulator::add(NodeId src, NodeId dst, Count count) {
+  if (count == 0) return;
+  if (live_cells_.size() >= cell_grow_at_) grow_cells();
+  const std::size_t slot = find_or_insert_cell(src, dst);
+  cells_[slot].count += count;
+  total_ += count;
+}
+
+void WindowAccumulator::add_packets(std::span<const Packet> packets) {
+  for (const Packet& p : packets) add(p.src, p.dst);
+}
+
+Count WindowAccumulator::at(NodeId src, NodeId dst) const {
+  const std::size_t slot = find_cell(src, dst);
+  return slot == kNpos ? 0 : cells_[slot].count;
+}
+
+std::size_t WindowAccumulator::find_cell(NodeId src,
+                                         NodeId dst) const noexcept {
+  std::size_t i = mix_cell(src, dst) & cell_mask_;
+  for (;;) {
+    if (cell_epoch_[i] != epoch_) return kNpos;
+    const Cell& c = cells_[i];
+    if (c.src == src && c.dst == dst) return i;
+    i = (i + 1) & cell_mask_;
+  }
+}
+
+std::size_t WindowAccumulator::find_or_insert_cell(NodeId src, NodeId dst) {
+  std::size_t i = mix_cell(src, dst) & cell_mask_;
+  for (;;) {
+    if (cell_epoch_[i] != epoch_) {
+      cell_epoch_[i] = epoch_;
+      cells_[i] = Cell{src, dst, 0};
+      live_cells_.push_back(static_cast<std::uint32_t>(i));
+      return i;
+    }
+    const Cell& c = cells_[i];
+    if (c.src == src && c.dst == dst) return i;
+    i = (i + 1) & cell_mask_;
+  }
+}
+
+void WindowAccumulator::grow_cells() {
+  const std::size_t new_capacity = (cell_mask_ + 1) * 2;
+  PALU_CHECK(new_capacity <= kMaxCapacity,
+             "WindowAccumulator: cell table exceeds 2^32 slots");
+  std::vector<Cell> live;
+  live.reserve(live_cells_.size());
+  for (const std::uint32_t slot : live_cells_) live.push_back(cells_[slot]);
+  cells_.assign(new_capacity, Cell{});
+  cell_epoch_.assign(new_capacity, 0u);
+  cell_mask_ = new_capacity - 1;
+  cell_grow_at_ = new_capacity - new_capacity / 4;
+  epoch_ = 1;
+  live_cells_.clear();
+  for (const Cell& c : live) {
+    const std::size_t slot = find_or_insert_cell(c.src, c.dst);
+    cells_[slot].count = c.count;
+  }
+}
+
+void WindowAccumulator::begin_node_pass() {
+  live_nodes_.clear();
+  if (++node_pass_ == 0) {
+    std::fill(node_epoch_.begin(), node_epoch_.end(), 0u);
+    node_pass_ = 1;
+  }
+}
+
+WindowAccumulator::NodeSlot& WindowAccumulator::node_slot(NodeId id) {
+  if (live_nodes_.size() >= node_grow_at_) grow_nodes();
+  std::size_t i = mix_node(id) & node_mask_;
+  for (;;) {
+    if (node_epoch_[i] != node_pass_) {
+      node_epoch_[i] = node_pass_;
+      nodes_[i] = NodeSlot{id, 0, 0};
+      live_nodes_.push_back(static_cast<std::uint32_t>(i));
+      return nodes_[i];
+    }
+    if (nodes_[i].id == id) return nodes_[i];
+    i = (i + 1) & node_mask_;
+  }
+}
+
+void WindowAccumulator::grow_nodes() {
+  const std::size_t new_capacity = (node_mask_ + 1) * 2;
+  PALU_CHECK(new_capacity <= kMaxCapacity,
+             "WindowAccumulator: node table exceeds 2^32 slots");
+  std::vector<NodeSlot> live;
+  live.reserve(live_nodes_.size());
+  for (const std::uint32_t slot : live_nodes_) live.push_back(nodes_[slot]);
+  nodes_.assign(new_capacity, NodeSlot{});
+  node_epoch_.assign(new_capacity, 0u);
+  node_mask_ = new_capacity - 1;
+  node_grow_at_ = new_capacity - new_capacity / 4;
+  node_pass_ = 1;
+  live_nodes_.clear();
+  for (const NodeSlot& n : live) node_slot(n.id) = n;
+}
+
+stats::DegreeHistogram WindowAccumulator::histogram(Quantity q) {
+  stats::DegreeHistogram h;
+  switch (q) {
+    case Quantity::kLinkPackets:
+      for (const std::uint32_t slot : live_cells_) {
+        h.add(cells_[slot].count);
+      }
+      return h;
+    case Quantity::kSourcePackets:
+    case Quantity::kSourceFanOut: {
+      begin_node_pass();
+      for (const std::uint32_t slot : live_cells_) {
+        const Cell& c = cells_[slot];
+        NodeSlot& n = node_slot(c.src);
+        n.packets += c.count;
+        ++n.fan;
+      }
+      const bool want_packets = q == Quantity::kSourcePackets;
+      for (const std::uint32_t slot : live_nodes_) {
+        h.add(want_packets ? nodes_[slot].packets : nodes_[slot].fan);
+      }
+      return h;
+    }
+    case Quantity::kDestinationPackets:
+    case Quantity::kDestinationFanIn: {
+      begin_node_pass();
+      for (const std::uint32_t slot : live_cells_) {
+        const Cell& c = cells_[slot];
+        NodeSlot& n = node_slot(c.dst);
+        n.packets += c.count;
+        ++n.fan;
+      }
+      const bool want_packets = q == Quantity::kDestinationPackets;
+      for (const std::uint32_t slot : live_nodes_) {
+        h.add(want_packets ? nodes_[slot].packets : nodes_[slot].fan);
+      }
+      return h;
+    }
+    case Quantity::kUndirectedDegree: {
+      // Same pair-owned-once rule as undirected_degree_histogram: the
+      // (min, max) orientation credits both endpoints; the mirror cell
+      // counts only when its partner is absent.
+      begin_node_pass();
+      for (const std::uint32_t slot : live_cells_) {
+        const Cell& c = cells_[slot];
+        if (c.src == c.dst) continue;
+        if (c.src > c.dst && find_cell(c.dst, c.src) != kNpos) continue;
+        ++node_slot(c.src).fan;
+        ++node_slot(c.dst).fan;
+      }
+      for (const std::uint32_t slot : live_nodes_) {
+        h.add(nodes_[slot].fan);
+      }
+      return h;
+    }
+  }
+  return h;
+}
+
+}  // namespace palu::traffic

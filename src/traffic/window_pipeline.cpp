@@ -1,13 +1,66 @@
 #include "palu/traffic/window_pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <vector>
 
 #include "palu/common/failpoint.hpp"
 #include "palu/parallel/parallel_for.hpp"
+#include "palu/parallel/scratch_pool.hpp"
+#include "palu/traffic/window_accumulator.hpp"
 
 namespace palu::traffic {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+/// Per-worker sweep scratch: one generator (edges + alias tables built
+/// once, reseeded per window), one arena-reused accumulator, one packet
+/// batch buffer.  Leased from a ScratchPool so whatever worker picks up a
+/// chunk reuses an existing arena instead of rebuilding per window.
+struct SweepScratch {
+  SyntheticTrafficGenerator gen;
+  WindowAccumulator acc;
+  std::vector<Packet> buf;
+};
+
+constexpr std::size_t kPacketBatch = 8192;
+
+stats::DegreeHistogram run_window_fast(SweepScratch& scratch, Count n_valid,
+                                       Quantity quantity,
+                                       SweepStageTimings& timings) {
+  scratch.acc.begin_window();
+  if (scratch.buf.size() < kPacketBatch) scratch.buf.resize(kPacketBatch);
+  Count left = n_valid;
+  while (left > 0) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<Count>(left, kPacketBatch));
+    const auto t0 = Clock::now();
+    scratch.gen.next_batch(std::span<Packet>(scratch.buf.data(), n));
+    const auto t1 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch.acc.add(scratch.buf[i].src, scratch.buf[i].dst);
+    }
+    const auto t2 = Clock::now();
+    timings.sampling_ns += ns_between(t0, t1);
+    timings.accumulation_ns += ns_between(t1, t2);
+    left -= n;
+  }
+  const auto t0 = Clock::now();
+  stats::DegreeHistogram h = scratch.acc.histogram(quantity);
+  timings.binning_ns += ns_between(t0, Clock::now());
+  return h;
+}
+
+}  // namespace
 
 WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 const RateModel& rates, Count n_valid,
@@ -40,15 +93,46 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   // per-edge rates; only the packet draws differ between windows.
   const std::vector<double> shared_rates =
       make_edge_rates(underlying, rates, base.fork(0));
+
+  // Fast path: per-worker scratch slots; each slot pays the edge copy and
+  // alias-table build once and is reseeded per window, versus the legacy
+  // path's per-window generator construction.
+  std::optional<ScratchPool<SweepScratch>> scratch;
+  if (opts.fast_path) {
+    scratch.emplace([&underlying, &shared_rates]() {
+      return std::make_unique<SweepScratch>(SweepScratch{
+          SyntheticTrafficGenerator(underlying, shared_rates, Rng(0)),
+          WindowAccumulator{},
+          {}});
+    });
+  }
+
+  std::atomic<std::uint64_t> sampling_ns{0};
+  std::atomic<std::uint64_t> accumulation_ns{0};
+  std::atomic<std::uint64_t> binning_ns{0};
+
   parallel_for(pool, 0, num_windows, /*grain=*/1, [&](IndexRange range) {
+    SweepStageTimings local;
+    std::optional<ScratchPool<SweepScratch>::Lease> lease;
+    if (opts.fast_path) lease.emplace(scratch->acquire());
     for (std::size_t t = range.begin; t < range.end; ++t) {
-      if (should_stop()) return;  // leave the remaining slots unset
+      if (should_stop()) break;  // leave the remaining slots unset
       try {
         PALU_FAILPOINT("traffic.sweep_window");
-        SyntheticTrafficGenerator stream(underlying, shared_rates,
-                                         base.fork(t + 1));
-        histograms[t] =
-            quantity_histogram(stream.window(n_valid), quantity);
+        if (opts.fast_path) {
+          (*lease)->gen.reseed(base.fork(t + 1));
+          histograms[t] =
+              run_window_fast(**lease, n_valid, quantity, local);
+        } else {
+          SyntheticTrafficGenerator stream(underlying, shared_rates,
+                                           base.fork(t + 1));
+          const auto t0 = Clock::now();
+          const SparseCountMatrix window = stream.window(n_valid);
+          const auto t1 = Clock::now();
+          histograms[t] = quantity_histogram(window, quantity);
+          local.sampling_ns += ns_between(t0, t1);
+          local.binning_ns += ns_between(t1, Clock::now());
+        }
       } catch (const std::exception& e) {
         errors[t] = e.what();
         if (opts.max_failed_windows == 0) {
@@ -58,9 +142,14 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
         }
       }
     }
+    sampling_ns.fetch_add(local.sampling_ns, std::memory_order_relaxed);
+    accumulation_ns.fetch_add(local.accumulation_ns,
+                              std::memory_order_relaxed);
+    binning_ns.fetch_add(local.binning_ns, std::memory_order_relaxed);
   });
 
   WindowSweepResult out;
+  const auto reduce_start = Clock::now();
   for (std::size_t t = 0; t < num_windows; ++t) {
     if (errors[t]) {
       if (opts.max_failed_windows == 0) {
@@ -88,6 +177,11 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
             " windows failed, budget " +
             std::to_string(opts.max_failed_windows) + ")");
   }
+  out.timings.sampling_ns = sampling_ns.load(std::memory_order_relaxed);
+  out.timings.accumulation_ns =
+      accumulation_ns.load(std::memory_order_relaxed);
+  out.timings.binning_ns = binning_ns.load(std::memory_order_relaxed) +
+                           ns_between(reduce_start, Clock::now());
   return out;
 }
 

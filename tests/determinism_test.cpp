@@ -62,5 +62,19 @@ TEST(Determinism, ForkStreamsAreStable) {
   for (int i = 0; i < 100; ++i) ASSERT_EQ(fa(), fb());
 }
 
+TEST(Determinism, ForkGoldenOutputs) {
+  // Pins the fork derivation itself.  PR 2 intentionally changed fork()
+  // to mix all four parent state words (the old derivation read word 0
+  // only, so parents agreeing on that word forked identical streams);
+  // these constants pin the NEW derivation — any further change to forked
+  // streams is a deliberate reproducibility break and must update them.
+  Rng rng(42);
+  Rng child = rng.fork(3);
+  EXPECT_EQ(child(), 0xb2dcca158061247cULL);
+  EXPECT_EQ(child(), 0xe0f15497573cf1a8ULL);
+  Rng other = Rng(7).fork(1);
+  EXPECT_EQ(other(), 0x917604a071031bc2ULL);
+}
+
 }  // namespace
 }  // namespace palu

@@ -126,6 +126,20 @@ TEST(Csv, HistogramRejectsNegativeCountInsteadOfWrapping) {
   EXPECT_THROW(read_histogram_csv(buf), DataError);
 }
 
+TEST(Csv, HistogramRejectsOverflowingTotalsInsteadOfWrapping) {
+  // Regression (PR 2): each token fits in a u64, so the row parses, but
+  // d · c = 2^80 used to wrap the histogram's weighted total silently.
+  const std::string hostile = "d,count\n1099511627776,1099511627776\n";
+  std::stringstream strict(hostile);
+  EXPECT_THROW(read_histogram_csv(strict), DataError);
+  // The repair policy salvages rows, not arithmetic: overflow still
+  // aborts the ingest rather than corrupting the accepted histogram.
+  std::stringstream repaired(hostile);
+  IngestOptions opts;
+  opts.policy = ErrorPolicy::kRepair;
+  EXPECT_THROW(read_histogram_csv(repaired, opts), DataError);
+}
+
 TEST(EdgeList, SkipPolicyDropsOutOfRangeEndpoints) {
   std::stringstream buf("# nodes=3\n0 1\n1 2\n2 9\n");
   IngestOptions opts;

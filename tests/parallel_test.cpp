@@ -172,5 +172,28 @@ TEST(MakeChunks, RespectsGrain) {
   EXPECT_LE(chunks.size(), 4u);
 }
 
+TEST(MakeChunks, NeverEmitsTailChunkSmallerThanGrain) {
+  // Regression (PR 2): [90, 100) used to come out as its own chunk of
+  // size 10 < grain 30, violating the documented contract and defeating
+  // SIMD-friendly bodies sized to the grain.
+  for (const auto& c : detail::make_chunks(0, 100, 30, 8)) {
+    EXPECT_GE(c.size(), 30u);
+  }
+  // A longer range whose remainder folds into the final chunk.
+  const auto big = detail::make_chunks(0, 1000, 64, 4);
+  std::size_t expected_begin = 0;
+  for (const auto& c : big) {
+    EXPECT_EQ(c.begin, expected_begin);
+    EXPECT_GE(c.size(), 64u);
+    expected_begin = c.end;
+  }
+  EXPECT_EQ(expected_begin, 1000u);
+  // The one allowed short chunk: a range shorter than a single grain.
+  const auto tiny = detail::make_chunks(0, 5, 30, 8);
+  ASSERT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.front().begin, 0u);
+  EXPECT_EQ(tiny.front().end, 5u);
+}
+
 }  // namespace
 }  // namespace palu

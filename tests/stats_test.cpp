@@ -27,6 +27,29 @@ TEST(DegreeHistogram, BasicAccumulation) {
   EXPECT_EQ(h.max_degree(), 2u);
 }
 
+TEST(DegreeHistogram, AddRejectsOverflowingTotals) {
+  // Regression (PR 2): weighted_total_ += d * c wrapped silently for
+  // hostile inputs (d ≈ c ≈ 2^40 multiplies to 2^80).  The failed add must
+  // throw DataError and leave the histogram untouched.
+  DegreeHistogram h;
+  h.add(10, 10);
+  const Degree big = Degree{1} << 40;
+  EXPECT_THROW(h.add(big, big), DataError);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.weighted_total(), 100u);
+  EXPECT_EQ(h.at(big), 0u);
+  EXPECT_EQ(h.support_size(), 1u);
+  // total_ overflow (sum of counts) is caught independently of d * c.
+  DegreeHistogram t;
+  t.add(1, ~Count{0} - 5);
+  EXPECT_THROW(t.add(1, 6), DataError);
+  EXPECT_EQ(t.total(), ~Count{0} - 5);
+  // weighted_total_ accumulation across adds is guarded too.
+  DegreeHistogram w;
+  w.add(Degree{1} << 62, 2);
+  EXPECT_THROW(w.add(Degree{1} << 62, 2), DataError);
+}
+
 TEST(DegreeHistogram, ZeroCountIsIgnored) {
   DegreeHistogram h;
   h.add(3, 0);

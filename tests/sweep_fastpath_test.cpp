@@ -1,0 +1,211 @@
+// Fast-path ↔ legacy-path equivalence for windowed sweeps (PR 2).
+//
+// The WindowAccumulator fast path must be a pure optimisation: for any
+// seed and quantity it has to produce byte-identical merged histograms,
+// BinnedEnsemble means, and d_max to the legacy SparseCountMatrix path,
+// and it must honour the same failure-budget / cancellation / timeout
+// semantics under fault injection.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "palu/graph/generators.hpp"
+#include "palu/stats/log_binning.hpp"
+#include "palu/testing/fault_injection.hpp"
+#include "palu/traffic/quantities.hpp"
+#include "palu/traffic/sparse_matrix.hpp"
+#include "palu/traffic/stream.hpp"
+#include "palu/traffic/window_accumulator.hpp"
+#include "palu/traffic/window_pipeline.hpp"
+
+namespace palu {
+namespace {
+
+constexpr std::array<traffic::Quantity, 6> kEveryQuantity = {
+    traffic::Quantity::kSourcePackets,
+    traffic::Quantity::kSourceFanOut,
+    traffic::Quantity::kLinkPackets,
+    traffic::Quantity::kDestinationFanIn,
+    traffic::Quantity::kDestinationPackets,
+    traffic::Quantity::kUndirectedDegree};
+
+void expect_identical(const stats::DegreeHistogram& a,
+                      const stats::DegreeHistogram& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.total(), b.total()) << context;
+  EXPECT_EQ(a.weighted_total(), b.weighted_total()) << context;
+  EXPECT_EQ(a.sorted(), b.sorted()) << context;
+}
+
+TEST(WindowAccumulator, MatchesSparseMatrixAcrossReusedWindows) {
+  Rng rng(101);
+  traffic::WindowAccumulator acc;
+  // Three windows through ONE accumulator: the arena-reuse reset must not
+  // leak cells between windows.
+  for (int window = 0; window < 3; ++window) {
+    acc.begin_window();
+    traffic::SparseCountMatrix reference;
+    const Count packets = 4000 + static_cast<Count>(window) * 1000;
+    for (Count i = 0; i < packets; ++i) {
+      // Small id space forces duplicates, self-loops, and mirrored pairs.
+      const NodeId src = rng.uniform_index(64);
+      const NodeId dst = rng.uniform_index(64);
+      acc.add(src, dst);
+      reference.add(src, dst);
+    }
+    ASSERT_EQ(acc.total(), reference.total());
+    ASSERT_EQ(acc.nnz(), reference.nnz());
+    for (const auto q : kEveryQuantity) {
+      expect_identical(acc.histogram(q),
+                       traffic::quantity_histogram(reference, q),
+                       std::string(traffic::quantity_name(q)) +
+                           " window " + std::to_string(window));
+    }
+  }
+}
+
+TEST(WindowAccumulator, GrowsPastInitialCapacity) {
+  // >> 1024 distinct cells and nodes: both open-addressing tables must
+  // rehash without dropping counts.
+  traffic::WindowAccumulator acc;
+  acc.begin_window();
+  traffic::SparseCountMatrix reference;
+  for (NodeId i = 0; i < 5000; ++i) {
+    acc.add(i, i + 1, 3);
+    reference.add(i, i + 1, 3);
+  }
+  EXPECT_EQ(acc.nnz(), 5000u);
+  EXPECT_EQ(acc.total(), 15000u);
+  EXPECT_EQ(acc.at(4999, 5000), 3u);
+  EXPECT_EQ(acc.at(5000, 4999), 0u);
+  for (const auto q : kEveryQuantity) {
+    expect_identical(acc.histogram(q),
+                     traffic::quantity_histogram(reference, q),
+                     std::string(traffic::quantity_name(q)));
+  }
+}
+
+TEST(SweepFastPath, ByteIdenticalToLegacyAcrossQuantitiesAndSeeds) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 600, 0.02);
+  ThreadPool pool(2);
+  for (const std::uint64_t seed : {3ull, 17ull, 91ull}) {
+    for (const auto q : kEveryQuantity) {
+      traffic::SweepOptions fast;
+      fast.fast_path = true;
+      traffic::SweepOptions legacy;
+      legacy.fast_path = false;
+      const auto a = traffic::sweep_windows(g, traffic::RateModel{}, 5000,
+                                            6, q, seed, pool, fast);
+      const auto b = traffic::sweep_windows(g, traffic::RateModel{}, 5000,
+                                            6, q, seed, pool, legacy);
+      const std::string context = std::string(traffic::quantity_name(q)) +
+                                  " seed " + std::to_string(seed);
+      expect_identical(a.merged, b.merged, context);
+      EXPECT_EQ(a.max_value, b.max_value) << context;
+      EXPECT_EQ(a.windows, b.windows) << context;
+      // Bit-exact, not approximately equal: the two paths must feed the
+      // Welford ensemble the same LogBinned sequence in the same order.
+      EXPECT_EQ(a.ensemble.mean(), b.ensemble.mean()) << context;
+      EXPECT_EQ(a.ensemble.stddev(), b.ensemble.stddev()) << context;
+    }
+  }
+}
+
+TEST(SweepFastPath, StageTimingsArePopulated) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 400, 0.02);
+  ThreadPool pool(2);
+  traffic::SweepOptions fast;  // fast path is the default
+  const auto a = traffic::sweep_windows(
+      g, traffic::RateModel{}, 20000, 4,
+      traffic::Quantity::kUndirectedDegree, 5, pool, fast);
+  EXPECT_GT(a.timings.sampling_ns, 0u);
+  EXPECT_GT(a.timings.accumulation_ns, 0u);
+  EXPECT_GT(a.timings.binning_ns, 0u);
+  traffic::SweepOptions legacy;
+  legacy.fast_path = false;
+  const auto b = traffic::sweep_windows(
+      g, traffic::RateModel{}, 20000, 4,
+      traffic::Quantity::kUndirectedDegree, 5, pool, legacy);
+  // Legacy interleaves draws and cell counts inside window(): combined
+  // time lands in sampling_ns, accumulation stays 0 by contract.
+  EXPECT_GT(b.timings.sampling_ns, 0u);
+  EXPECT_EQ(b.timings.accumulation_ns, 0u);
+  EXPECT_GT(b.timings.binning_ns, 0u);
+}
+
+TEST(SweepFastPath, StrictFailureCarriesWindowIndex) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 500, 0.01);
+  ThreadPool pool(1);  // FIFO pool: windows execute in index order
+  testing::FailpointGuard guard;
+  testing::force_sweep_window_failure(/*fires=*/1, /*skip=*/2);
+  traffic::SweepOptions opts;
+  opts.fast_path = true;
+  try {
+    traffic::sweep_windows(g, traffic::RateModel{}, 1000, 6,
+                           traffic::Quantity::kSourceFanOut, 42, pool,
+                           opts);
+    FAIL() << "strict fast-path sweep must rethrow the window failure";
+  } catch (const traffic::SweepWindowError& e) {
+    EXPECT_EQ(e.window(), 2u);
+  }
+}
+
+TEST(SweepFastPath, HonoursFailureBudget) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 500, 0.01);
+  ThreadPool pool(2);
+  testing::FailpointGuard guard;
+  testing::force_sweep_window_failure(/*fires=*/2, /*skip=*/0);
+  traffic::SweepOptions opts;
+  opts.fast_path = true;
+  opts.max_failed_windows = 2;
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, 1000, 8,
+      traffic::Quantity::kSourceFanOut, 42, pool, opts);
+  EXPECT_EQ(sweep.failures.size(), 2u);
+  EXPECT_EQ(sweep.windows, 6u);
+  EXPECT_FALSE(sweep.cancelled);
+}
+
+TEST(SweepFastPath, HonoursCancellation) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 500, 0.01);
+  ThreadPool pool(2);
+  std::atomic<bool> cancel{true};  // cancelled before any window starts
+  traffic::SweepOptions opts;
+  opts.fast_path = true;
+  opts.cancel = &cancel;
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, 1000, 6,
+      traffic::Quantity::kSourceFanOut, 42, pool, opts);
+  EXPECT_TRUE(sweep.cancelled);
+  EXPECT_EQ(sweep.windows, 0u);
+  EXPECT_EQ(sweep.windows_skipped, 6u);
+}
+
+TEST(SweepFastPath, HonoursTimeout) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 500, 0.01);
+  ThreadPool pool(2);
+  traffic::SweepOptions opts;
+  opts.fast_path = true;
+  opts.timeout = std::chrono::milliseconds(1);
+  // 64 windows × 500k packets cannot finish inside 1 ms; the deadline
+  // must stop new windows, leaving the rest skipped (not failed).
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, 500000, 64,
+      traffic::Quantity::kSourceFanOut, 42, pool, opts);
+  EXPECT_TRUE(sweep.cancelled);
+  EXPECT_GE(sweep.windows_skipped, 1u);
+  EXPECT_TRUE(sweep.failures.empty());
+  EXPECT_EQ(sweep.windows + sweep.windows_skipped, 64u);
+}
+
+}  // namespace
+}  // namespace palu

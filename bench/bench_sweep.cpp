@@ -1,6 +1,9 @@
 // Sweep-throughput benchmark: fast path vs. legacy path, with a JSON
 // artifact so the perf trajectory is tracked from PR 2 onward.
 //
+// palu-lint: allow-file(determinism) -- steady_clock reads time the two
+// paths; the sweep itself is seed-driven and stays reproducible.
+//
 // Runs the same Monte-Carlo window sweep twice — once through the legacy
 // per-window SparseCountMatrix path and once through the WindowAccumulator
 // fast path — verifies the merged histograms are identical, and writes

@@ -1,0 +1,48 @@
+// Clang thread-safety annotation macros.
+//
+// Concurrency invariants in palu (which mutex guards which member, which
+// functions must be called with a lock held) are declared in the types
+// themselves so `clang -Wthread-safety` can machine-check them instead of
+// leaving lock discipline to code review.  Under any compiler without the
+// attribute (gcc, msvc) every macro expands to nothing, so annotated code
+// stays portable.  Enable checking with the PALU_WERROR_THREAD_SAFETY
+// CMake option (clang only); see DESIGN.md §5c.
+//
+// Naming follows the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed to
+// keep out of other libraries' way.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PALU_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PALU_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Data member readable/writable only while holding `x`.
+#define PALU_GUARDED_BY(x) PALU_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by `x` (the pointer itself may
+/// be read freely).
+#define PALU_PT_GUARDED_BY(x) PALU_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called while holding every listed capability.
+#define PALU_REQUIRES(...) \
+  PALU_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns holding them.
+#define PALU_ACQUIRE(...) \
+  PALU_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define PALU_RELEASE(...) \
+  PALU_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed capabilities
+/// (deadlock prevention: it acquires them itself).
+#define PALU_EXCLUDES(...) PALU_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code whose safety the analysis cannot express
+/// (e.g. handoff protocols); use with a justifying comment.
+#define PALU_NO_THREAD_SAFETY_ANALYSIS \
+  PALU_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -17,6 +17,9 @@
 #include <utility>
 #include <vector>
 
+#include "palu/common/error.hpp"
+#include "palu/common/thread_annotations.hpp"
+
 namespace palu {
 
 template <typename T>
@@ -59,7 +62,7 @@ class ScratchPool {
   };
 
   /// Grabs an idle slot, constructing a fresh one only when none is free.
-  Lease acquire() {
+  Lease acquire() PALU_EXCLUDES(mutex_) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!free_.empty()) {
@@ -68,8 +71,12 @@ class ScratchPool {
         return Lease(this, std::move(slot));
       }
     }
+    std::unique_ptr<T> slot = factory_();  // factory runs outside the lock
+    PALU_CHECK(slot != nullptr, "ScratchPool: factory returned null slot");
+    // Counted only after the factory succeeds, so a throwing factory does
+    // not inflate slots_created() with slots that never existed.
     created_.fetch_add(1, std::memory_order_relaxed);
-    return Lease(this, factory_());  // factory runs outside the lock
+    return Lease(this, std::move(slot));
   }
 
   /// Slots constructed so far (free + leased); mainly for tests.
@@ -78,14 +85,14 @@ class ScratchPool {
   }
 
  private:
-  void release(std::unique_ptr<T> slot) {
+  void release(std::unique_ptr<T> slot) PALU_EXCLUDES(mutex_) {
     std::lock_guard<std::mutex> lock(mutex_);
     free_.push_back(std::move(slot));
   }
 
   std::mutex mutex_;
-  std::vector<std::unique_ptr<T>> free_;
-  Factory factory_;
+  std::vector<std::unique_ptr<T>> free_ PALU_GUARDED_BY(mutex_);
+  Factory factory_;  // immutable after construction; safe unguarded
   std::atomic<std::size_t> created_{0};
 };
 

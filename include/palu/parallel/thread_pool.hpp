@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "palu/common/thread_annotations.hpp"
+
 namespace palu {
 
 class ThreadPool {
@@ -50,14 +52,18 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
-  void enqueue(std::function<void()> fn);
-  void worker_loop();
+  void enqueue(std::function<void()> fn) PALU_EXCLUDES(mutex_);
+  void worker_loop() PALU_EXCLUDES(mutex_);
+  void shutdown() noexcept PALU_EXCLUDES(mutex_);
 
+  // workers_ is written only before the pool is visible to callers
+  // (constructor) and read while no worker can be running (destructor),
+  // so it needs no guard; everything the workers share goes under mutex_.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
+  std::deque<std::function<void()>> queue_ PALU_GUARDED_BY(mutex_);
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ PALU_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace palu

@@ -12,18 +12,31 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this]() { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this]() { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation failed part-way (resource exhaustion).  The
+    // destructor will not run for a throwing constructor, so the workers
+    // already spun up must be stopped here or their std::thread
+    // destructors call std::terminate.
+    shutdown();
+    throw;
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() noexcept {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 ThreadPool& ThreadPool::global() {

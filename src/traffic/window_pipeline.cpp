@@ -1,5 +1,9 @@
 #include "palu/traffic/window_pipeline.hpp"
 
+// palu-lint: allow-file(determinism) -- steady_clock reads here feed the
+// SweepStageTimings diagnostics and the wall-clock timeout; no analysis
+// result (histograms, ensembles, d_max) ever depends on the clock.
+
 #include <algorithm>
 #include <chrono>
 #include <optional>
@@ -72,6 +76,13 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
 
   // Per-window slots: exactly one of histogram / error is set afterwards;
   // neither set means the window was skipped (cancellation or timeout).
+  //
+  // Thread-safety invariant (checked by tsan_stress_test): each worker
+  // writes only the slots for its own window indices, and the reduce loop
+  // below reads them only after parallel_for has joined every chunk's
+  // future, which establishes the necessary happens-before.  These vectors
+  // therefore need no mutex; all cross-window signalling goes through the
+  // atomics beneath them.
   std::vector<std::optional<stats::DegreeHistogram>> histograms(
       num_windows);
   std::vector<std::optional<std::string>> errors(num_windows);

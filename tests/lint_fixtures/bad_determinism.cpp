@@ -1,0 +1,5 @@
+// Fixture: the C PRNG must trip the determinism rule.
+// palu-lint-expect: determinism
+#include <cstdlib>
+
+int roll() { return std::rand(); }

@@ -1,0 +1,8 @@
+// Fixture: an unannotated clock read must trip the determinism rule (the
+// real timing code carries a file-level allow with a justification).
+// palu-lint-expect: determinism
+#include <chrono>
+
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Fixture: a failpoint site whose name is missing from tools/failpoints.txt
+// must trip the registry rule.
+// palu-lint-expect: failpoint-registry
+#include "palu/common/failpoint.hpp"
+
+void poke() { PALU_FAILPOINT("lint.fixture.unregistered"); }

@@ -1,0 +1,4 @@
+// Fixture: a header without #pragma once must trip the hygiene rule.
+// palu-lint-expect: header-pragma-once
+
+inline int forty_two() { return 42; }

@@ -1,0 +1,10 @@
+// Fixture: `using namespace` at namespace scope in a header must trip the
+// hygiene rule.
+// palu-lint-expect: header-using-namespace
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string greet() { return "hi"; }

@@ -1,0 +1,6 @@
+// Fixture: library code throwing a bare std exception must trip the
+// typed-error rule.
+// palu-lint-expect: typed-error
+#include <stdexcept>
+
+void fail() { throw std::runtime_error("not a palu typed error"); }

@@ -1,0 +1,11 @@
+// Fixture: one file can trip several rules at once; the selftest compares
+// the full set, not just the first hit.
+// palu-lint-expect: typed-error
+// palu-lint-expect: determinism
+#include <cstdlib>
+#include <stdexcept>
+
+int chaos() {
+  if (std::rand() == 0) throw std::logic_error("unreachable");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: a file-level allowance (the timing-instrumentation idiom used
+// by window_pipeline.cpp and the benches) silences the determinism rule
+// for the whole file.
+// palu-lint: allow-file(determinism) -- fixture imitating timing code
+// palu-lint-expect-clean
+#include <chrono>
+
+long long tick() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,9 @@
+// Fixture: a line-level suppression on the preceding line silences the
+// registry rule.
+// palu-lint-expect-clean
+#include "palu/common/failpoint.hpp"
+
+void poke() {
+  // palu-lint: allow(failpoint-registry)
+  PALU_FAILPOINT("lint.fixture.suppressed");
+}

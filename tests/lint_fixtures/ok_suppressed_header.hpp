@@ -1,0 +1,12 @@
+// Fixture: both header-hygiene rules silenced by explicit allowances — a
+// file-level one for the missing #pragma once and a line-level one for
+// the function-local `using namespace`.
+// palu-lint: allow-file(header-pragma-once) -- fixture for the suppressor
+// palu-lint-expect-clean
+
+#include <string>
+
+inline std::string shout() {
+  using namespace std;  // palu-lint: allow(header-using-namespace)
+  return string("ok");
+}

@@ -1,0 +1,7 @@
+// Fixture: a same-line suppression silences the typed-error rule.
+// palu-lint-expect-clean
+#include <stdexcept>
+
+void fail() {
+  throw std::runtime_error("boundary");  // palu-lint: allow(typed-error)
+}

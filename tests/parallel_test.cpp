@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "palu/common/error.hpp"
 #include "palu/parallel/parallel_for.hpp"
+#include "palu/parallel/scratch_pool.hpp"
 #include "palu/parallel/thread_pool.hpp"
 
 namespace palu {
@@ -170,6 +173,64 @@ TEST(MakeChunks, RespectsGrain) {
   EXPECT_EQ(expected_begin, 100u);
   // grain=30 over 100 indices: at most 4 chunks.
   EXPECT_LE(chunks.size(), 4u);
+}
+
+TEST(ScratchPool, ReusesReleasedSlotInsteadOfRebuilding) {
+  ScratchPool<int> pool([]() { return std::make_unique<int>(-1); });
+  for (int round = 0; round < 5; ++round) {
+    auto lease = pool.acquire();
+    // Round 0 sees the factory value; later rounds see the previous
+    // round's scribble — reuse keeps slot state (arena semantics), it
+    // does not reconstruct.
+    EXPECT_EQ(*lease, round - 1);
+    *lease = round;
+  }
+  // Serial acquire/release: one slot serves every round.
+  EXPECT_EQ(pool.slots_created(), 1u);
+}
+
+TEST(ScratchPool, ThrowingFactoryDoesNotInflateSlotCount) {
+  // Regression (PR 3): slots_created() used to be incremented before the
+  // factory ran, so a throwing factory left the pool claiming slots that
+  // never existed — which broke max-concurrency assertions in the sweep
+  // tests whenever fault injection hit generator construction.
+  int calls = 0;
+  ScratchPool<int> pool([&calls]() -> std::unique_ptr<int> {
+    if (++calls == 1) throw DataError("lease boom");
+    return std::make_unique<int>(calls);
+  });
+  EXPECT_THROW(pool.acquire(), DataError);
+  EXPECT_EQ(pool.slots_created(), 0u);
+  auto lease = pool.acquire();  // the pool must stay usable after a throw
+  EXPECT_EQ(*lease, 2);
+  EXPECT_EQ(pool.slots_created(), 1u);
+}
+
+TEST(ScratchPool, NullFactoryResultIsRejected) {
+  ScratchPool<int> pool([]() { return std::unique_ptr<int>(); });
+  EXPECT_THROW(pool.acquire(), InvalidArgument);
+  EXPECT_EQ(pool.slots_created(), 0u);
+}
+
+TEST(ScratchPool, ConcurrentLeasesNeverShareASlot) {
+  ScratchPool<std::atomic<int>> pool(
+      []() { return std::make_unique<std::atomic<int>>(0); });
+  ThreadPool workers(4);
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(workers.submit([&pool]() {
+      auto lease = pool.acquire();
+      // Exclusive ownership: no other thread may touch this slot while
+      // the lease is live, so the counter must go exactly 0 -> 1 -> 0.
+      const int claimed = lease->fetch_add(1);
+      ASSERT_EQ(claimed, 0);
+      std::this_thread::yield();
+      lease->fetch_sub(1);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_LE(pool.slots_created(), 64u);
+  EXPECT_GE(pool.slots_created(), 1u);
 }
 
 TEST(MakeChunks, NeverEmitsTailChunkSmallerThanGrain) {

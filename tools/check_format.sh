@@ -1,0 +1,45 @@
+#!/bin/sh
+# Formatting gate for changed files only.
+#
+# Runs clang-format --dry-run over the C++ sources that differ from the
+# merge base with the main branch (or, on a shallow/detached checkout, the
+# working-tree changes), so formatting drift can't creep into new work
+# while untouched legacy files stay out of scope.  Exits 77 ("skip" to
+# ctest) when clang-format or git metadata is unavailable — the CI clang
+# job is the authoritative run.
+#
+# Usage: check_format.sh <repo-root>
+set -u
+
+root=${1:?usage: check_format.sh <repo-root>}
+cd "$root" || exit 2
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not found; skipping" >&2
+    exit 77
+fi
+if ! git rev-parse --git-dir >/dev/null 2>&1; then
+    echo "check_format: not a git checkout; skipping" >&2
+    exit 77
+fi
+
+base=$(git merge-base origin/main HEAD 2>/dev/null ||
+       git merge-base main HEAD 2>/dev/null || true)
+if [ -n "$base" ]; then
+    files=$(git diff --name-only --diff-filter=ACMR "$base" -- \
+            '*.cpp' '*.cc' '*.hpp' '*.h')
+else
+    files=$(git diff --name-only --diff-filter=ACMR HEAD -- \
+            '*.cpp' '*.cc' '*.hpp' '*.h')
+fi
+
+[ -z "$files" ] && { echo "check_format: no changed C++ files"; exit 0; }
+
+status=0
+for f in $files; do
+    [ -f "$f" ] || continue
+    if ! clang-format --dry-run --Werror "$f"; then
+        status=1
+    fi
+done
+exit $status

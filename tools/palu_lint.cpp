@@ -1,0 +1,563 @@
+// palu_lint — repo-specific static checks for the palu tree.
+//
+// A deliberately small, dependency-free C++17 linter that machine-checks
+// conventions the library's correctness arguments rely on (DESIGN.md §5c):
+//
+//   failpoint-registry     every PALU_FAILPOINT("name") site names an entry
+//                          in tools/failpoints.txt, and no registry entry is
+//                          stale (site deleted, registry not updated)
+//   typed-error            library code throws only the typed errors from
+//                          common/error.hpp, never bare std exceptions
+//   determinism            no std::rand / std::random_device / time(nullptr)
+//                          / steady- or system-clock reads outside code
+//                          annotated as timing instrumentation
+//   header-pragma-once     every header starts with #pragma once
+//   header-using-namespace no `using namespace` in headers (the lint cannot
+//                          see scopes, so function-local uses carry a
+//                          suppression comment instead)
+//
+// Suppressions:
+//   // palu-lint: allow(<rule>)       this line or the next line
+//   // palu-lint: allow-file(<rule>)  whole file, with a justifying comment
+//
+// Matching runs on comment-stripped text (and, for all rules except the
+// failpoint extraction, string-stripped text), so prose and error messages
+// never trip a rule.  Exit codes: 0 clean, 1 violations or selftest
+// failure, 2 usage/IO error.
+//
+// Usage:
+//   palu_lint [--registry FILE] [--no-stale-check] [--list-rules]
+//             [--selftest DIR] PATH...
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Rule identifiers.  Every diagnostic carries one of these and every one
+// of these must be exercised by tests/lint_fixtures (enforced in selftest).
+const char* const kRuleFailpoint = "failpoint-registry";
+const char* const kRuleTypedError = "typed-error";
+const char* const kRuleDeterminism = "determinism";
+const char* const kRulePragmaOnce = "header-pragma-once";
+const char* const kRuleUsingNamespace = "header-using-namespace";
+
+const char* const kAllRules[] = {kRuleFailpoint, kRuleTypedError,
+                                 kRuleDeterminism, kRulePragmaOnce,
+                                 kRuleUsingNamespace};
+
+// Patterns are assembled from split literals so that palu_lint's own
+// source, which is part of the scanned tree, can never match them.
+const std::string kFailpointMacro = std::string("PALU_FAIL") + "POINT(";
+const std::string kThrowStd = std::string("throw ") + "std" + "::";
+
+struct DeterminismBan {
+  std::string token;
+  const char* why;
+};
+
+std::vector<DeterminismBan> determinism_bans() {
+  return {
+      {std::string("std::") + "rand", "seed-stable sweeps must draw from "
+                                      "palu::Rng, not the C PRNG"},
+      {std::string("random") + "_device", "nondeterministic seeding breaks "
+                                          "reproducible sweeps"},
+      {std::string("time(") + "nullptr)", "wall-clock seeding breaks "
+                                          "reproducible sweeps"},
+      {std::string("time(") + "NULL)", "wall-clock seeding breaks "
+                                       "reproducible sweeps"},
+      {std::string("::") + "now()", "clock reads are timing "
+                                    "instrumentation; annotate the file "
+                                    "with a palu-lint allow-file comment "
+                                    "explaining why results stay "
+                                    "seed-stable"},
+  };
+}
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;  // 1-based; 0 = whole file
+  std::string rule;
+  std::string message;
+};
+
+// One source line split into the views the rules match against.
+struct ScannedLine {
+  std::string raw;           // as read, for suppression comments
+  std::string no_comments;   // comments removed, string literals kept
+  std::string code;          // comments AND string literal contents removed
+};
+
+// Strips // and /* */ comments (tracking block comments across lines) and,
+// for `code`, the contents of string/char literals.  Escape sequences are
+// honoured; raw strings are treated as ordinary strings, which is fine for
+// this tree (none are used).
+class LineStripper {
+ public:
+  ScannedLine strip(const std::string& raw) {
+    ScannedLine out;
+    out.raw = raw;
+    bool in_string = false;
+    bool in_char = false;
+    bool escaped = false;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+      if (in_block_comment_) {
+        if (c == '*' && next == '/') {
+          in_block_comment_ = false;
+          ++i;
+        }
+        continue;
+      }
+      if (in_string || in_char) {
+        out.no_comments.push_back(c);
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if (in_string && c == '"') {
+          in_string = false;
+          out.code.push_back(c);
+        } else if (in_char && c == '\'') {
+          in_char = false;
+          out.code.push_back(c);
+        }
+        continue;
+      }
+      if (c == '/' && next == '/') break;  // line comment: drop the rest
+      if (c == '/' && next == '*') {
+        in_block_comment_ = true;
+        ++i;
+        continue;
+      }
+      out.no_comments.push_back(c);
+      out.code.push_back(c);
+      if (c == '"') in_string = true;
+      if (c == '\'') in_char = true;
+    }
+    return out;
+  }
+
+ private:
+  bool in_block_comment_ = false;
+};
+
+bool is_header(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h";
+}
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+// Suppression bookkeeping for one file.
+struct Suppressions {
+  std::set<std::string> file_wide;
+  // line number -> rules allowed on that line and the next one
+  std::map<std::size_t, std::set<std::string>> by_line;
+
+  bool allows(const std::string& rule, std::size_t line) const {
+    if (file_wide.count(rule) != 0) return true;
+    for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
+      auto it = by_line.find(at);
+      if (it != by_line.end() && it->second.count(rule) != 0) return true;
+    }
+    return false;
+  }
+};
+
+// Parses `palu-lint: allow(rule)` / `palu-lint: allow-file(rule)` markers
+// out of a raw line.
+void collect_suppressions(const std::string& raw, std::size_t line_no,
+                          Suppressions* out) {
+  const std::string marker = "palu-lint:";
+  std::size_t pos = raw.find(marker);
+  while (pos != std::string::npos) {
+    std::size_t cursor = pos + marker.size();
+    while (cursor < raw.size() && raw[cursor] == ' ') ++cursor;
+    const bool file_wide =
+        raw.compare(cursor, 11, "allow-file(") == 0;
+    const bool line_wide = raw.compare(cursor, 6, "allow(") == 0;
+    if (file_wide || line_wide) {
+      const std::size_t open = raw.find('(', cursor);
+      const std::size_t close = raw.find(')', open);
+      if (open != std::string::npos && close != std::string::npos) {
+        const std::string rule = raw.substr(open + 1, close - open - 1);
+        if (file_wide) {
+          out->file_wide.insert(rule);
+        } else {
+          (*out).by_line[line_no].insert(rule);
+        }
+      }
+    }
+    pos = raw.find(marker, pos + marker.size());
+  }
+}
+
+struct LintConfig {
+  std::set<std::string> registry;       // registered failpoint names
+  bool have_registry = false;
+  bool stale_check = true;
+  std::string registry_path;
+};
+
+// Extracts the quoted first argument of every PALU_FAILPOINT("...") on the
+// line.  Sites with a non-literal argument (the macro definition itself)
+// are skipped by construction.
+std::vector<std::string> failpoint_names(const std::string& no_comments) {
+  std::vector<std::string> names;
+  std::size_t pos = no_comments.find(kFailpointMacro);
+  while (pos != std::string::npos) {
+    std::size_t cursor = pos + kFailpointMacro.size();
+    while (cursor < no_comments.size() && no_comments[cursor] == ' ') {
+      ++cursor;
+    }
+    if (cursor < no_comments.size() && no_comments[cursor] == '"') {
+      const std::size_t close = no_comments.find('"', cursor + 1);
+      if (close != std::string::npos) {
+        names.push_back(
+            no_comments.substr(cursor + 1, close - cursor - 1));
+      }
+    }
+    pos = no_comments.find(kFailpointMacro, pos + kFailpointMacro.size());
+  }
+  return names;
+}
+
+void lint_file(const fs::path& path, const LintConfig& config,
+               std::vector<Violation>* violations,
+               std::set<std::string>* seen_failpoints) {
+  std::ifstream in(path);
+  if (!in) {
+    violations->push_back(
+        {path.string(), 0, "io", "cannot open file for linting"});
+    return;
+  }
+
+  std::vector<ScannedLine> lines;
+  Suppressions suppressions;
+  LineStripper stripper;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    lines.push_back(stripper.strip(raw));
+    collect_suppressions(raw, lines.size(), &suppressions);
+  }
+
+  const bool header = is_header(path);
+  const auto bans = determinism_bans();
+  std::vector<Violation> local;
+  bool saw_pragma_once = false;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    const ScannedLine& ln = lines[i];
+
+    if (ln.code.find("#pragma once") != std::string::npos) {
+      saw_pragma_once = true;
+    }
+
+    for (const std::string& name : failpoint_names(ln.no_comments)) {
+      seen_failpoints->insert(name);
+      if (config.have_registry && config.registry.count(name) == 0) {
+        local.push_back({path.string(), line_no, kRuleFailpoint,
+                         "failpoint \"" + name +
+                             "\" is not registered in " +
+                             config.registry_path +
+                             "; add it so fault-injection coverage "
+                             "stays auditable"});
+      }
+    }
+
+    if (ln.code.find(kThrowStd) != std::string::npos) {
+      local.push_back({path.string(), line_no, kRuleTypedError,
+                       "library code must throw the typed errors from "
+                       "common/error.hpp (palu::InvalidArgument, "
+                       "DataError, ConvergenceError, ...), not bare std "
+                       "exceptions"});
+    }
+
+    for (const DeterminismBan& ban : bans) {
+      if (ln.code.find(ban.token) != std::string::npos) {
+        local.push_back({path.string(), line_no, kRuleDeterminism,
+                         "banned nondeterminism source `" + ban.token +
+                             "`: " + ban.why});
+      }
+    }
+
+    if (header &&
+        ln.code.find("using namespace") != std::string::npos) {
+      local.push_back({path.string(), line_no, kRuleUsingNamespace,
+                       "`using namespace` in a header leaks into every "
+                       "includer; qualify names instead (function-local "
+                       "uses may carry a suppression comment)"});
+    }
+  }
+
+  if (header && !saw_pragma_once && !lines.empty()) {
+    local.push_back({path.string(), 1, kRulePragmaOnce,
+                     "header is missing #pragma once"});
+  }
+
+  for (Violation& v : local) {
+    if (!suppressions.allows(v.rule, v.line)) {
+      violations->push_back(std::move(v));
+    }
+  }
+}
+
+bool load_registry(const std::string& path, LintConfig* config) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // trim
+    const auto begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t");
+    config->registry.insert(line.substr(begin, end - begin + 1));
+  }
+  config->have_registry = true;
+  config->registry_path = path;
+  return true;
+}
+
+std::vector<fs::path> collect_files(const std::vector<std::string>& roots,
+                                    bool* io_error) {
+  std::vector<fs::path> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator();
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file() && is_source_file(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "palu_lint: no such file or directory: %s\n",
+                   root.c_str());
+      *io_error = true;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int report(const std::vector<Violation>& violations) {
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "palu_lint: %zu violation(s)\n",
+                 violations.size());
+    return 1;
+  }
+  return 0;
+}
+
+int run_lint(const std::vector<std::string>& roots, LintConfig config) {
+  bool io_error = false;
+  const std::vector<fs::path> files = collect_files(roots, &io_error);
+  if (io_error) return 2;
+  std::vector<Violation> violations;
+  std::set<std::string> seen_failpoints;
+  for (const fs::path& f : files) {
+    lint_file(f, config, &violations, &seen_failpoints);
+  }
+  if (config.have_registry && config.stale_check) {
+    for (const std::string& name : config.registry) {
+      if (seen_failpoints.count(name) == 0) {
+        violations.push_back(
+            {config.registry_path, 0, kRuleFailpoint,
+             "registry entry \"" + name +
+                 "\" has no PALU_FAILPOINT site left in the scanned "
+                 "tree; delete the entry or restore the site"});
+      }
+    }
+  }
+  return report(violations);
+}
+
+// ------------------------------------------------------------- selftest
+//
+// Fixture contract (tests/lint_fixtures/): each fixture declares its
+// expected outcome in comments —
+//   // palu-lint-expect: <rule-id>   (one per expected rule)
+//   // palu-lint-expect-clean        (must produce zero violations)
+// The fixture passes iff the set of rules that actually fired equals the
+// declared set.  The selftest additionally requires that, across all
+// fixtures, every rule (a) fires somewhere and (b) is suppressed
+// somewhere (a fixture containing allow(<rule>) in which <rule> did not
+// fire), proving both halves of each rule's contract.
+int run_selftest(const std::string& dir, LintConfig config) {
+  if (!config.have_registry) {
+    std::fprintf(stderr,
+                 "palu_lint: selftest requires --registry (fixtures "
+                 "exercise the failpoint rule)\n");
+    return 2;
+  }
+  config.stale_check = false;  // fixtures are linted one file at a time
+  bool io_error = false;
+  const std::vector<fs::path> files = collect_files({dir}, &io_error);
+  if (io_error || files.empty()) {
+    std::fprintf(stderr, "palu_lint: selftest: no fixtures under %s\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  std::set<std::string> fired_somewhere;
+  std::set<std::string> suppressed_somewhere;
+
+  for (const fs::path& f : files) {
+    // Expectations come from the raw text.
+    std::ifstream in(f);
+    std::set<std::string> expected;
+    bool expect_clean = false;
+    std::set<std::string> mentioned_allows;
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string expect_marker = "palu-lint-expect:";
+      const std::size_t at = line.find(expect_marker);
+      if (at != std::string::npos) {
+        std::string rule = line.substr(at + expect_marker.size());
+        const auto b = rule.find_first_not_of(" \t");
+        const auto e = rule.find_last_not_of(" \t");
+        if (b != std::string::npos) {
+          expected.insert(rule.substr(b, e - b + 1));
+        }
+      }
+      if (line.find("palu-lint-expect-clean") != std::string::npos) {
+        expect_clean = true;
+      }
+      Suppressions s;
+      collect_suppressions(line, 1, &s);
+      for (const auto& r : s.file_wide) mentioned_allows.insert(r);
+      for (const auto& kv : s.by_line) {
+        mentioned_allows.insert(kv.second.begin(), kv.second.end());
+      }
+    }
+    if (!expect_clean && expected.empty()) {
+      std::fprintf(stderr,
+                   "%s: fixture declares no palu-lint-expect marker\n",
+                   f.string().c_str());
+      ++failures;
+      continue;
+    }
+
+    std::vector<Violation> violations;
+    std::set<std::string> seen_failpoints;
+    lint_file(f, config, &violations, &seen_failpoints);
+    std::set<std::string> actual;
+    for (const Violation& v : violations) actual.insert(v.rule);
+
+    if (actual != expected) {
+      std::ostringstream os;
+      os << f.string() << ": expected {";
+      for (const auto& r : expected) os << " " << r;
+      os << " } but got {";
+      for (const auto& r : actual) os << " " << r;
+      os << " }";
+      std::fprintf(stderr, "%s\n", os.str().c_str());
+      for (const Violation& v : violations) {
+        std::fprintf(stderr, "  %s:%zu: [%s] %s\n", v.file.c_str(),
+                     v.line, v.rule.c_str(), v.message.c_str());
+      }
+      ++failures;
+    }
+    fired_somewhere.insert(actual.begin(), actual.end());
+    for (const std::string& r : mentioned_allows) {
+      if (actual.count(r) == 0) suppressed_somewhere.insert(r);
+    }
+  }
+
+  for (const char* rule : kAllRules) {
+    if (fired_somewhere.count(rule) == 0) {
+      std::fprintf(stderr,
+                   "selftest: no fixture makes rule [%s] fire\n", rule);
+      ++failures;
+    }
+    if (suppressed_somewhere.count(rule) == 0) {
+      std::fprintf(stderr,
+                   "selftest: no fixture proves rule [%s] can be "
+                   "suppressed\n",
+                   rule);
+      ++failures;
+    }
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "palu_lint: selftest: %d failure(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("palu_lint: selftest: %zu fixtures ok, %zu rules proven\n",
+              files.size(), std::size(kAllRules));
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: palu_lint [--registry FILE] [--no-stale-check]\n"
+      "                 [--list-rules] [--selftest DIR] PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string registry_path;
+  std::string selftest_dir;
+  LintConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--registry") {
+      if (++i >= argc) return usage();
+      registry_path = argv[i];
+    } else if (arg == "--no-stale-check") {
+      config.stale_check = false;
+    } else if (arg == "--selftest") {
+      if (++i >= argc) return usage();
+      selftest_dir = argv[i];
+    } else if (arg == "--list-rules") {
+      for (const char* rule : kAllRules) std::printf("%s\n", rule);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "palu_lint: unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+
+  if (!registry_path.empty() && !load_registry(registry_path, &config)) {
+    std::fprintf(stderr, "palu_lint: cannot read registry %s\n",
+                 registry_path.c_str());
+    return 2;
+  }
+
+  if (!selftest_dir.empty()) return run_selftest(selftest_dir, config);
+  if (roots.empty()) return usage();
+  return run_lint(roots, std::move(config));
+}

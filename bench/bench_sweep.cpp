@@ -1,7 +1,7 @@
 // Sweep-throughput benchmark: fast path vs. legacy path, with a JSON
 // artifact so the perf trajectory is tracked from PR 2 onward.
 //
-// palu-lint: allow-file(determinism) -- steady_clock reads time the two
+// Timing TU (tools/timing_files.txt): steady_clock reads time the two
 // paths; the sweep itself is seed-driven and stays reproducible.
 //
 // Runs the same Monte-Carlo window sweep twice — once through the legacy
@@ -14,11 +14,16 @@
 //     "config": {"windows", "nvalid", "nodes", "edges", "quantity",
 //                "seed", "pool_threads"},
 //     "legacy": {"seconds", "packets_per_sec",
-//                "timings_ns": {"sampling", "accumulation", "binning"}},
+//                "timings_cpu_ns": {"sampling", "accumulation", "binning"},
+//                "timings_max_ns": {... slowest worker ...},
+//                "metrics": {... obs registry snapshot for the run ...}},
 //     "fast":   {... same shape ...},
 //     "speedup": fast.packets_per_sec / legacy.packets_per_sec,
 //     "identical": true|false
 //   }
+//
+// Each run records into its own obs::Registry, so the metrics block is
+// per-run (not cumulative across the two paths).
 //
 // Default config is the acceptance workload (64 windows × 1e6 packets);
 // `--smoke` shrinks it to seconds so ctest can keep the binary honest.
@@ -26,6 +31,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "palu/cli/args.hpp"
@@ -40,13 +46,16 @@ struct RunResult {
   double packets_per_sec = 0.0;
   traffic::SweepStageTimings timings;
   stats::DegreeHistogram merged;
+  std::string metrics_json;  // this run's registry, already serialized
 };
 
 RunResult run_sweep(const graph::Graph& g, Count n_valid,
                     std::size_t windows, traffic::Quantity quantity,
                     std::uint64_t seed, ThreadPool& pool, bool fast_path) {
+  obs::Registry registry;
   traffic::SweepOptions opts;
   opts.fast_path = fast_path;
+  opts.metrics = &registry;
   const auto t0 = std::chrono::steady_clock::now();
   auto sweep = traffic::sweep_windows(g, traffic::RateModel{}, n_valid,
                                       windows, quantity, seed, pool, opts);
@@ -58,6 +67,23 @@ RunResult run_sweep(const graph::Graph& g, Count n_valid,
       out.seconds;
   out.timings = sweep.timings;
   out.merged = std::move(sweep.merged);
+  std::ostringstream metrics;
+  obs::write_json(metrics, registry.snapshot());
+  out.metrics_json = std::move(metrics).str();
+  return out;
+}
+
+// Re-indents a serialized JSON document to sit at nesting depth 2.
+std::string indent_block(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  for (const char c : json) {
+    out += c;
+    if (c == '\n') out += "  ";
+  }
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\n')) {
+    out.pop_back();
+  }
   return out;
 }
 
@@ -65,9 +91,16 @@ void write_run_json(std::ostream& out, const char* name,
                     const RunResult& r) {
   out << "  \"" << name << "\": {\"seconds\": " << r.seconds
       << ", \"packets_per_sec\": " << r.packets_per_sec
-      << ", \"timings_ns\": {\"sampling\": " << r.timings.sampling_ns
-      << ", \"accumulation\": " << r.timings.accumulation_ns
-      << ", \"binning\": " << r.timings.binning_ns << "}},\n";
+      << ",\n    \"timings_cpu_ns\": {\"sampling\": "
+      << r.timings.sampling_cpu_ns
+      << ", \"accumulation\": " << r.timings.accumulation_cpu_ns
+      << ", \"binning\": " << r.timings.binning_cpu_ns
+      << "},\n    \"timings_max_ns\": {\"sampling\": "
+      << r.timings.sampling_max_ns
+      << ", \"accumulation\": " << r.timings.accumulation_max_ns
+      << ", \"binning\": " << r.timings.binning_max_ns
+      << "},\n    \"metrics\": " << indent_block(r.metrics_json)
+      << "},\n";
 }
 
 }  // namespace

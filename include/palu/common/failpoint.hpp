@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <exception>
 #include <string_view>
 
 namespace palu {
@@ -30,6 +31,12 @@ bool any_armed() noexcept;
 
 /// Hits observed at `name` since it was armed (0 if not armed).
 int hit_count(std::string_view name);
+
+/// True iff `e` was thrown by a firing failpoint site — lets failure
+/// accounting (sweep metrics) distinguish injected faults from organic
+/// ones without a dedicated exception type, which would leak the
+/// fault-injection machinery into every catch signature.
+bool is_failpoint_error(const std::exception& e) noexcept;
 
 }  // namespace failpoints
 

@@ -18,6 +18,10 @@
 
 #include "palu/common/error.hpp"
 
+namespace palu::obs {
+class Registry;
+}
+
 namespace palu {
 
 /// What an ingest routine does when it meets a malformed record.
@@ -41,6 +45,11 @@ struct IngestOptions {
   /// and Repair throw palu::DataError (a stream that is mostly garbage is
   /// a different problem than a stream with a few bad lines).
   std::size_t max_bad_lines = ~std::size_t{0};
+  /// Metrics sink for the palu_ingest_* counter families (reads, per-line
+  /// kept/repaired/dropped, budget exhaustion); nullptr routes to
+  /// obs::default_registry().  The IngestReport stays the authoritative
+  /// per-call record — counters aggregate across calls.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Context of the first malformed record met during an ingest pass.

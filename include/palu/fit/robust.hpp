@@ -22,6 +22,10 @@
 #include "palu/fit/levmar.hpp"
 #include "palu/fit/nelder_mead.hpp"
 
+namespace palu::obs {
+class Registry;
+}
+
 namespace palu::fit {
 
 /// Which rung of the fallback ladder produced the result.
@@ -54,6 +58,10 @@ struct RobustFitOptions {
   std::uint64_t seed = 0x0b0e5eedULL;
   LevMarOptions levmar;
   NelderMeadOptions nelder_mead;
+  /// Metrics sink for the palu_fit_* families (per-stage attempts,
+  /// successes, iteration histograms, ladder outcomes); nullptr routes to
+  /// obs::default_registry().
+  obs::Registry* metrics = nullptr;
 };
 
 struct RobustFitResult {

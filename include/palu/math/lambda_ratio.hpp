@@ -21,9 +21,11 @@ double lambda_moment_ratio(double lambda_cap);
 /// Derivative g'(Λ), used by the Newton refinement of the inverse.
 double lambda_moment_ratio_derivative(double lambda_cap);
 
-/// Solves g(Λ) = r for Λ ≥ 0.  Requires r >= 2 (returns 0 at r == 2);
-/// throws palu::InvalidArgument for r < 2 and palu::ConvergenceError if the
-/// bracketing/Newton iteration fails (it should not for finite r).
+/// Solves g(Λ) = r for Λ ≥ 0.  Requires r >= 2 up to rounding slack:
+/// r ∈ [2 − 1e-9, 2] clamps to Λ = 0 (noisy empirical ratios land there);
+/// throws palu::InvalidArgument below the slack and
+/// palu::ConvergenceError if the bracketing/Newton iteration fails (it
+/// should not for finite r).
 double invert_lambda_moment_ratio(double r);
 
 }  // namespace palu::math

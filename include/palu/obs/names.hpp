@@ -1,0 +1,68 @@
+// Canonical metric names for the instrumented layers.
+//
+// Every series palu emits is declared here once, so exporters, tests, and
+// dashboards agree on spelling, and the fast-vs-legacy equivalence suite
+// can enumerate exactly which families exist.  Conventions follow the
+// Prometheus guidance: `palu_` prefix, `_total` suffix on counters, unit
+// suffix (`_ns`) on duration histograms, labels for low-cardinality
+// dimensions only (reader, stage, path, outcome).
+#pragma once
+
+namespace palu::obs {
+
+class Registry;
+
+namespace names {
+
+// --- ingest (src/io) ---------------------------------------------------
+/// Counter{reader}: calls into a policy-aware reader.
+inline constexpr char kIngestReads[] = "palu_ingest_reads_total";
+/// Counter{reader, outcome=kept|repaired|dropped}: per-line dispositions.
+inline constexpr char kIngestLines[] = "palu_ingest_lines_total";
+/// Counter{reader}: reads aborted because max_bad_lines was exhausted.
+inline constexpr char kIngestBudgetExhausted[] =
+    "palu_ingest_budget_exhausted_total";
+
+// --- window sweeps (src/traffic) ---------------------------------------
+/// Counter: sweep_windows invocations.
+inline constexpr char kSweepRuns[] = "palu_sweep_runs_total";
+/// Counter{outcome=completed|failed|skipped}: per-window dispositions.
+inline constexpr char kSweepWindows[] = "palu_sweep_windows_total";
+/// Counter: sweeps that observed their cancel flag.
+inline constexpr char kSweepCancelled[] = "palu_sweep_cancelled_total";
+/// Counter: sweeps that hit their wall-clock deadline.
+inline constexpr char kSweepDeadlineExpired[] =
+    "palu_sweep_deadline_expired_total";
+/// Counter: window failures caused by an armed failpoint.
+inline constexpr char kSweepFailpointTrips[] =
+    "palu_sweep_failpoint_trips_total";
+/// Gauge: worker count of the pool driving the most recent sweep.
+inline constexpr char kSweepPoolThreads[] = "palu_sweep_pool_threads";
+/// Histogram{stage=sampling|accumulation|binning, path=fast|legacy}:
+/// per-worker CPU ns spent in each stage (one observation per worker).
+inline constexpr char kSweepStageDurationNs[] =
+    "palu_sweep_stage_duration_ns";
+/// Histogram: end-to-end wall ns per sweep_windows call.
+inline constexpr char kSweepDurationNs[] = "palu_sweep_duration_ns";
+
+// --- fit ladder (src/fit, src/core) ------------------------------------
+/// Counter{stage=levmar|nelder-mead|moments}: optimizer attempts.
+inline constexpr char kFitStageAttempts[] = "palu_fit_stage_attempts_total";
+/// Counter{stage}: attempts that produced an accepted stage result.
+inline constexpr char kFitStageSuccess[] = "palu_fit_stage_success_total";
+/// Histogram{stage}: iterations consumed by each attempt.
+inline constexpr char kFitStageIterations[] = "palu_fit_stage_iterations";
+/// Counter{stage=levmar|nelder-mead|moments|failed}: which rung of the
+/// ladder each robust_fit_palu call ultimately returned from.
+inline constexpr char kFitResults[] = "palu_fit_results_total";
+/// Counter: base-fit retries inside robust_fit_palu's tail relaxation.
+inline constexpr char kFitBaseRetries[] = "palu_fit_base_retries_total";
+
+}  // namespace names
+
+/// Registers every family above (with help text) so exporters emit a
+/// complete, stably-ordered catalogue even for layers that have not run
+/// yet.  Idempotent; used by palu_tool --metrics and bench_sweep.
+void preregister_palu_metrics(Registry& registry);
+
+}  // namespace palu::obs

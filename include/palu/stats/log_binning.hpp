@@ -24,10 +24,17 @@ class LogBinned {
   LogBinned() = default;
   explicit LogBinned(std::vector<double> mass) : mass_(std::move(mass)) {}
 
-  /// Bin index of degree d >= 1: the smallest i with 2^i >= d.
+  /// Largest bin count a 64-bit Degree can index: bins 0..63, with the
+  /// top bin saturating (see bin_index).
+  static constexpr std::uint32_t kMaxBins = 64;
+
+  /// Bin index of degree d >= 1: the smallest i with 2^i >= d.  Degrees
+  /// above 2^63 saturate into the top bin (i = 63) — its upper edge then
+  /// nominally understates its contents, but no degree can overflow the
+  /// binning or make from_histogram build a 65th bin.
   static std::uint32_t bin_index(Degree d);
 
-  /// Upper edge d_i = 2^i of bin i.
+  /// Upper edge d_i = 2^i of bin i; requires i < kMaxBins.
   static Degree bin_upper(std::uint32_t i);
 
   /// Lower edge (exclusive) of bin i: 2^{i−1}, with bin 0 starting at 0.

@@ -36,6 +36,10 @@
 #include "palu/traffic/quantities.hpp"
 #include "palu/traffic/stream.hpp"
 
+namespace palu::obs {
+class Registry;
+}
+
 namespace palu::traffic {
 
 /// Thrown when a sweep worker fails and the failure budget is zero; names
@@ -77,24 +81,35 @@ struct SweepOptions {
   /// between windows (a worker stuck inside one window cannot be
   /// preempted, but no new window starts past the deadline).
   std::chrono::milliseconds timeout{0};
+  /// Metrics sink for sweep counters and stage-duration histograms
+  /// (palu_sweep_* families, see palu/obs/names.hpp).  nullptr routes to
+  /// obs::default_registry(); point it at a caller-owned registry for
+  /// per-run isolation (bench_sweep, the equivalence tests).
+  obs::Registry* metrics = nullptr;
 };
 
-/// Wall-clock nanoseconds per sweep stage, summed across windows and
-/// workers (so totals can exceed elapsed time on a multi-core pool).  On
-/// the legacy path packet draws and cell counting are interleaved inside
-/// window(), so their combined time lands in `sampling_ns` and
-/// `accumulation_ns` stays 0.
+/// CPU nanoseconds per sweep stage, in two views.  `*_cpu_ns` is the sum
+/// over all workers — total compute burned, which on a multi-worker pool
+/// exceeds elapsed wall time.  `*_max_ns` is the largest single worker's
+/// total for the stage — the straggler bound, i.e. the best lower bound
+/// on the stage's wall-clock contribution this accounting can give
+/// without per-stage barriers.  (An earlier revision reported the summed
+/// values under a "wall-clock" label; both views exist so neither gets
+/// misread again.)  On the legacy path packet draws and cell counting are
+/// interleaved inside window(), so their combined time lands in the
+/// sampling fields and the accumulation fields stay 0.  The serial
+/// window-order reduce runs on the calling thread and is added to both
+/// binning views.
 struct SweepStageTimings {
-  std::uint64_t sampling_ns = 0;      // RNG + alias-sampler packet draws
-  std::uint64_t accumulation_ns = 0;  // packet → (src, dst) cell counts
-  std::uint64_t binning_ns = 0;       // histogramming + log-binned reduce
+  // Summed across workers (total CPU time per stage).
+  std::uint64_t sampling_cpu_ns = 0;      // RNG + alias-sampler draws
+  std::uint64_t accumulation_cpu_ns = 0;  // packet → (src, dst) counts
+  std::uint64_t binning_cpu_ns = 0;       // histogramming + reduce
 
-  SweepStageTimings& operator+=(const SweepStageTimings& other) noexcept {
-    sampling_ns += other.sampling_ns;
-    accumulation_ns += other.accumulation_ns;
-    binning_ns += other.binning_ns;
-    return *this;
-  }
+  // Slowest single worker per stage (straggler view).
+  std::uint64_t sampling_max_ns = 0;
+  std::uint64_t accumulation_max_ns = 0;
+  std::uint64_t binning_max_ns = 0;
 };
 
 struct WindowSweepResult {
@@ -105,7 +120,7 @@ struct WindowSweepResult {
   std::vector<WindowFailure> failures;  // tolerated per-window failures
   std::size_t windows_skipped = 0;  // not attempted (cancel / timeout)
   bool cancelled = false;           // cancel flag or timeout fired
-  SweepStageTimings timings;        // per-stage wall-clock accounting
+  SweepStageTimings timings;        // per-stage CPU sum + straggler max
 };
 
 /// Draws `num_windows` windows of `n_valid` packets each over

@@ -67,6 +67,12 @@ int hit_count(std::string_view name) {
   return it == map.end() ? 0 : it->second.hits;
 }
 
+bool is_failpoint_error(const std::exception& e) noexcept {
+  // Matches the message shape produced by failpoint_hit below; kept in
+  // one TU with the thrower so the two cannot drift apart silently.
+  return std::string_view(e.what()).starts_with("failpoint '");
+}
+
 }  // namespace failpoints
 
 namespace detail {

@@ -13,6 +13,8 @@
 #include "palu/math/zeta.hpp"
 #include "palu/math/lambda_ratio.hpp"
 #include "palu/math/stable.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
 
 namespace palu::core {
 namespace {
@@ -286,6 +288,15 @@ RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
                               const fit::RobustFitOptions& robust_opts,
                               Degree refine_max) {
   RobustPaluFit out;
+  obs::Registry& registry = robust_opts.metrics != nullptr
+                                ? *robust_opts.metrics
+                                : obs::default_registry();
+  const auto record_result = [&registry](fit::RobustStage stage) {
+    registry
+        .counter(obs::names::kFitResults,
+                 {{"stage", std::string(fit::to_string(stage))}})
+        .inc();
+  };
 
   // Base fit from the staged moment pipeline, retrying with relaxed tail
   // starts when the tail is too thin to regress (degenerate windows).
@@ -295,9 +306,14 @@ RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
   for (const Degree relaxed : {Degree{6}, Degree{4}, Degree{2}}) {
     if (relaxed < fit_opts.tail_min) tails.push_back(relaxed);
   }
+  bool first_base_attempt = true;
   for (const Degree tail : tails) {
     PaluFitOptions attempt = fit_opts;
     attempt.tail_min = tail;
+    if (!first_base_attempt) {
+      registry.counter(obs::names::kFitBaseRetries).inc();
+    }
+    first_base_attempt = false;
     try {
       base = fit_palu(dist, attempt);
       have_base = true;
@@ -306,7 +322,10 @@ RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
       out.error = e.what();
     }
   }
-  if (!have_base) return out;  // stage == kFailed, error set
+  if (!have_base) {
+    record_result(fit::RobustStage::kFailed);
+    return out;  // stage == kFailed, error set
+  }
   out.error.clear();
 
   const RefineProblem problem =
@@ -315,6 +334,7 @@ RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
     // Too little support to polish: the staged pipeline result stands.
     out.fit = base;
     out.stage = fit::RobustStage::kMoments;
+    record_result(out.stage);
     return out;
   }
 
@@ -332,11 +352,13 @@ RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
       rr.objective >= problem.objective(base)) {
     out.fit = base;
     out.stage = fit::RobustStage::kMoments;
+    record_result(out.stage);
     return out;
   }
   out.fit = problem.unpack(rr.x);
   out.fit.mu_identifiable = base.mu_identifiable;
   out.stage = rr.stage;
+  record_result(out.stage);
   return out;
 }
 
@@ -351,6 +373,15 @@ RobustPaluFit robust_fit_palu(const stats::DegreeHistogram& h,
         stats::EmpiricalDistribution::from_histogram(h), fit_opts,
         robust_opts, refine_max);
   } catch (const Error& e) {
+    // The inner overload never ran, so this failure is recorded here.
+    obs::Registry& registry = robust_opts.metrics != nullptr
+                                  ? *robust_opts.metrics
+                                  : obs::default_registry();
+    registry
+        .counter(obs::names::kFitResults,
+                 {{"stage",
+                   std::string(fit::to_string(fit::RobustStage::kFailed))}})
+        .inc();
     RobustPaluFit out;
     out.error = e.what();
     return out;

@@ -1,15 +1,31 @@
 #include "palu/fit/robust.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "palu/common/error.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
 #include "palu/rng/xoshiro.hpp"
 
 namespace palu::fit {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Folds a finished stage's diagnostic into the fit-ladder metrics.
+void record_stage(obs::Registry& registry, const StageDiagnostic& diag) {
+  const obs::Labels labels = {
+      {"stage", std::string(to_string(diag.stage))}};
+  registry.counter(obs::names::kFitStageAttempts, labels)
+      .inc(static_cast<std::uint64_t>(diag.attempts));
+  if (diag.succeeded) {
+    registry.counter(obs::names::kFitStageSuccess, labels).inc();
+  }
+  registry.histogram(obs::names::kFitStageIterations, labels)
+      .observe(static_cast<std::uint64_t>(std::max(diag.iterations, 0)));
+}
 
 bool all_finite(const std::vector<double>& x) {
   for (const double v : x) {
@@ -70,6 +86,9 @@ RobustFitResult robust_least_squares(
   PALU_CHECK(opts.max_attempts_per_stage >= 1,
              "robust_least_squares: need at least one attempt per stage");
   RobustFitResult out;
+  obs::Registry& registry = opts.metrics != nullptr
+                                ? *opts.metrics
+                                : obs::default_registry();
   const Rng base(opts.seed);
 
   // --- stage 1: Levenberg–Marquardt.
@@ -101,6 +120,7 @@ RobustFitResult robust_least_squares(
         diag.error = e.what();
       }
     }
+    record_stage(registry, diag);
     out.diagnostics.push_back(std::move(diag));
     if (out.ok()) return out;
   }
@@ -137,6 +157,7 @@ RobustFitResult robust_least_squares(
         diag.error = e.what();
       }
     }
+    record_stage(registry, diag);
     out.diagnostics.push_back(std::move(diag));
     if (out.ok()) return out;
   }
@@ -165,6 +186,7 @@ RobustFitResult robust_least_squares(
         diag.error = e.what();
       }
     }
+    record_stage(registry, diag);
     out.diagnostics.push_back(std::move(diag));
   }
   return out;

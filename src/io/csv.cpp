@@ -127,7 +127,7 @@ HistogramReadResult read_histogram_csv(std::istream& in,
     ++out.report.lines_read;
     const auto row = parse_histogram_row(body);
     if (row.ok()) {
-      ++out.report.records_kept;
+      gate.kept();
       out.histogram.add(row.value().first, row.value().second);
       continue;
     }

@@ -9,21 +9,56 @@
 
 #include "palu/common/result.hpp"
 #include "palu/io/parse.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
 
 namespace palu::io::detail {
 
 /// Applies one ErrorPolicy to a stream of per-line verdicts: throws under
 /// kStrict, otherwise counts drops/repairs, pins the first error, and
-/// enforces the error budget.
+/// enforces the error budget.  Also the readers' metrics chokepoint: the
+/// palu_ingest_* counter handles are resolved once here (against whatever
+/// registry the options selected), labelled by the reader's context, so
+/// the per-line loops never touch the registry mutex.  Counters are
+/// monotone across a process; the IngestReport is the per-call record —
+/// in particular read_edge_list's late declared-range check unwinds
+/// report fields for edges reclassified as drops, while the counters keep
+/// both the original disposition and the drop (an event log, not a
+/// snapshot).
 class IngestGate {
  public:
   IngestGate(const char* context, const IngestOptions& opts,
              IngestReport& report)
-      : context_(context), opts_(opts), report_(report) {}
+      : context_(context),
+        opts_(opts),
+        report_(report),
+        registry_(opts.metrics != nullptr ? *opts.metrics
+                                          : obs::default_registry()),
+        kept_counter_(registry_.counter(
+            obs::names::kIngestLines,
+            {{"reader", context}, {"outcome", "kept"}})),
+        repaired_counter_(registry_.counter(
+            obs::names::kIngestLines,
+            {{"reader", context}, {"outcome", "repaired"}})),
+        dropped_counter_(registry_.counter(
+            obs::names::kIngestLines,
+            {{"reader", context}, {"outcome", "dropped"}})),
+        budget_counter_(registry_.counter(obs::names::kIngestBudgetExhausted,
+                                          {{"reader", context}})) {
+    registry_.counter(obs::names::kIngestReads, {{"reader", context}}).inc();
+  }
 
-  /// A malformed line with nothing salvageable.
+  /// A well-formed line accepted as-is.
+  void kept() {
+    ++report_.records_kept;
+    kept_counter_.inc();
+  }
+
+  /// A malformed line with nothing salvageable.  Counted as dropped even
+  /// under kStrict, where it also aborts the read.
   void drop(std::size_t line_number, const std::string& message,
             const std::string& line) {
+    dropped_counter_.inc();
     if (opts_.policy == ErrorPolicy::kStrict) {
       throw DataError(std::string(context_) + ": malformed line " +
                       std::to_string(line_number) + ": " + message +
@@ -37,6 +72,7 @@ class IngestGate {
   /// A malformed line salvaged under kRepair.
   void repaired(std::size_t line_number, const std::string& message,
                 const std::string& line) {
+    repaired_counter_.inc();
     ++report_.lines_repaired;
     note_error(line_number, message, line);
     check_budget();
@@ -62,6 +98,7 @@ class IngestGate {
                 std::to_string(report_.first_error->line_number) + ": " +
                 report_.first_error->message;
       }
+      budget_counter_.inc();
       throw DataError(what);
     }
   }
@@ -69,6 +106,11 @@ class IngestGate {
   const char* context_;
   const IngestOptions& opts_;
   IngestReport& report_;
+  obs::Registry& registry_;
+  obs::Counter& kept_counter_;
+  obs::Counter& repaired_counter_;
+  obs::Counter& dropped_counter_;
+  obs::Counter& budget_counter_;
 };
 
 /// Salvage helper for kRepair: extracts the values of up to `want` digit

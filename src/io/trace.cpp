@@ -56,7 +56,7 @@ TraceReadResult read_trace(std::istream& in, const IngestOptions& opts) {
     ++out.report.lines_read;
     auto packet = parse_packet_line(body);
     if (packet.ok()) {
-      ++out.report.records_kept;
+      gate.kept();
       out.packets.push_back(packet.value());
       continue;
     }
@@ -131,7 +131,7 @@ EdgeListReadResult read_edge_list(std::istream& in,
     graph::Edge edge{};
     if (parsed.ok()) {
       edge = graph::Edge{parsed.value().src, parsed.value().dst};
-      ++out.report.records_kept;
+      gate.kept();
     } else {
       if (opts.policy == ErrorPolicy::kRepair) {
         const auto salvaged = detail::salvage_u64(body, 2);
@@ -153,7 +153,10 @@ EdgeListReadResult read_edge_list(std::istream& in,
   }
   if (have_declaration) {
     // Endpoints past the declaration are data errors discovered late; the
-    // per-line accounting is unwound for each offending edge.
+    // per-line accounting is unwound for each offending edge.  Only the
+    // report is unwound: the ingest counters already recorded the line's
+    // first disposition and stay monotone — the gate's drop() below adds
+    // the reclassification as a separate event.
     std::vector<graph::Edge> in_range;
     in_range.reserve(edges.size());
     for (std::size_t i = 0; i < edges.size(); ++i) {

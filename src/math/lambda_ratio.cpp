@@ -36,8 +36,15 @@ double lambda_moment_ratio_derivative(double lambda_cap) {
 }
 
 double invert_lambda_moment_ratio(double r) {
-  PALU_CHECK(r >= 2.0, "invert_lambda_moment_ratio: requires r >= 2");
-  if (r == 2.0) return 0.0;
+  // Empirical ratios come out of the excess-moment sums in estimate.cpp,
+  // where cancellation can round a true r = 2 (Λ = 0) to just under 2.
+  // Treat that sliver as exactly the boundary instead of rejecting it, so
+  // degraded-mode fitting cannot die on rounding noise; anything further
+  // below 2 is outside g's range and still a caller error.
+  constexpr double kBoundarySlack = 1e-9;
+  PALU_CHECK(r >= 2.0 - kBoundarySlack,
+             "invert_lambda_moment_ratio: requires r >= 2");
+  if (r <= 2.0) return 0.0;
   // g(Λ) ∈ [max(2, Λ), Λ + 2], so the root lies in [r − 2, r].
   double lo = std::max(0.0, r - 2.0);
   double hi = r;

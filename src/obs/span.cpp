@@ -1,0 +1,39 @@
+// The obs subsystem's only timing TU: both steady_clock reads of every
+// TraceSpan live here, and this file is listed in tools/timing_files.txt
+// so palu_lint's determinism rule stays on for the rest of the tree.
+#include "palu/obs/span.hpp"
+
+#include <chrono>
+
+#include "palu/obs/metrics.hpp"
+
+namespace palu::obs {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(Histogram& sink) noexcept
+    : histogram_(&sink), start_ns_(now_ns()) {}
+
+TraceSpan::TraceSpan(std::uint64_t& accumulator_ns) noexcept
+    : accumulator_(&accumulator_ns), start_ns_(now_ns()) {}
+
+std::uint64_t TraceSpan::stop() noexcept {
+  if (stopped_) return 0;
+  stopped_ = true;
+  const std::uint64_t end = now_ns();
+  const std::uint64_t elapsed = end >= start_ns_ ? end - start_ns_ : 0;
+  if (histogram_ != nullptr) histogram_->observe(elapsed);
+  if (accumulator_ != nullptr) *accumulator_ += elapsed;
+  return elapsed;
+}
+
+}  // namespace palu::obs

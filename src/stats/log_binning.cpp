@@ -11,11 +11,16 @@ std::uint32_t LogBinned::bin_index(Degree d) {
   PALU_CHECK(d >= 1, "LogBinned::bin_index: requires d >= 1");
   // Smallest i with 2^i >= d, i.e. ceil(log2(d)):
   // bit_width(d−1) is exact for integers (d=1 → 0, d=2 → 1, d=3,4 → 2, …).
-  return static_cast<std::uint32_t>(std::bit_width(d - 1));
+  // Degrees past 2^63 would need bin 64, whose upper edge overflows
+  // Degree; they saturate into the top representable bin instead so that
+  // from_histogram never builds a bin it cannot describe.
+  const auto i = static_cast<std::uint32_t>(std::bit_width(d - 1));
+  return i < kMaxBins ? i : kMaxBins - 1;
 }
 
 Degree LogBinned::bin_upper(std::uint32_t i) {
-  PALU_CHECK(i < 64, "LogBinned::bin_upper: bin index overflows 64-bit");
+  PALU_CHECK(i < kMaxBins,
+             "LogBinned::bin_upper: bin index overflows 64-bit");
   return Degree{1} << i;
 }
 

@@ -1,15 +1,22 @@
+// Timing TU: steady_clock reads here feed the SweepStageTimings
+// diagnostics, the obs duration histograms, and the wall-clock timeout;
+// no analysis result (histograms, ensembles, d_max) ever depends on the
+// clock.  Listed in tools/timing_files.txt for palu_lint's determinism
+// rule.
 #include "palu/traffic/window_pipeline.hpp"
-
-// palu-lint: allow-file(determinism) -- steady_clock reads here feed the
-// SweepStageTimings diagnostics and the wall-clock timeout; no analysis
-// result (histograms, ensembles, d_max) ever depends on the clock.
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "palu/common/failpoint.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
+#include "palu/obs/span.hpp"
 #include "palu/parallel/parallel_for.hpp"
 #include "palu/parallel/scratch_pool.hpp"
 #include "palu/traffic/window_accumulator.hpp"
@@ -38,9 +45,64 @@ struct SweepScratch {
 
 constexpr std::size_t kPacketBatch = 8192;
 
+/// Plain per-stage nanosecond totals, accumulated worker-locally in the
+/// hot loop and folded into both SweepStageTimings views afterwards.
+struct StageNs {
+  std::uint64_t sampling = 0;
+  std::uint64_t accumulation = 0;
+  std::uint64_t binning = 0;
+
+  void add(const StageNs& o) noexcept {
+    sampling += o.sampling;
+    accumulation += o.accumulation;
+    binning += o.binning;
+  }
+};
+
+/// Counter handles for one sweep call, resolved once against whichever
+/// registry the options selected so the per-window hot path never touches
+/// the registry's mutex.
+struct SweepMetrics {
+  obs::Counter& runs;
+  obs::Counter& windows_completed;
+  obs::Counter& windows_failed;
+  obs::Counter& windows_skipped;
+  obs::Counter& cancelled;
+  obs::Counter& deadline_expired;
+  obs::Counter& failpoint_trips;
+  obs::Gauge& pool_threads;
+  obs::Histogram& sweep_duration;
+  obs::Histogram& stage_sampling;
+  obs::Histogram& stage_accumulation;
+  obs::Histogram& stage_binning;
+
+  SweepMetrics(obs::Registry& r, bool fast_path)
+      : runs(r.counter(obs::names::kSweepRuns)),
+        windows_completed(r.counter(obs::names::kSweepWindows,
+                                    {{"outcome", "completed"}})),
+        windows_failed(
+            r.counter(obs::names::kSweepWindows, {{"outcome", "failed"}})),
+        windows_skipped(
+            r.counter(obs::names::kSweepWindows, {{"outcome", "skipped"}})),
+        cancelled(r.counter(obs::names::kSweepCancelled)),
+        deadline_expired(r.counter(obs::names::kSweepDeadlineExpired)),
+        failpoint_trips(r.counter(obs::names::kSweepFailpointTrips)),
+        pool_threads(r.gauge(obs::names::kSweepPoolThreads)),
+        sweep_duration(r.histogram(obs::names::kSweepDurationNs)),
+        stage_sampling(stage_histogram(r, fast_path, "sampling")),
+        stage_accumulation(stage_histogram(r, fast_path, "accumulation")),
+        stage_binning(stage_histogram(r, fast_path, "binning")) {}
+
+  static obs::Histogram& stage_histogram(obs::Registry& r, bool fast_path,
+                                         const char* stage) {
+    return r.histogram(obs::names::kSweepStageDurationNs,
+                       {{"path", fast_path ? "fast" : "legacy"},
+                        {"stage", stage}});
+  }
+};
+
 stats::DegreeHistogram run_window_fast(SweepScratch& scratch, Count n_valid,
-                                       Quantity quantity,
-                                       SweepStageTimings& timings) {
+                                       Quantity quantity, StageNs& timings) {
   scratch.acc.begin_window();
   if (scratch.buf.size() < kPacketBatch) scratch.buf.resize(kPacketBatch);
   Count left = n_valid;
@@ -54,13 +116,13 @@ stats::DegreeHistogram run_window_fast(SweepScratch& scratch, Count n_valid,
       scratch.acc.add(scratch.buf[i].src, scratch.buf[i].dst);
     }
     const auto t2 = Clock::now();
-    timings.sampling_ns += ns_between(t0, t1);
-    timings.accumulation_ns += ns_between(t1, t2);
+    timings.sampling += ns_between(t0, t1);
+    timings.accumulation += ns_between(t1, t2);
     left -= n;
   }
   const auto t0 = Clock::now();
   stats::DegreeHistogram h = scratch.acc.histogram(quantity);
-  timings.binning_ns += ns_between(t0, Clock::now());
+  timings.binning += ns_between(t0, Clock::now());
   return h;
 }
 
@@ -73,6 +135,13 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 const SweepOptions& opts) {
   PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
   PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
+
+  obs::Registry& registry =
+      opts.metrics != nullptr ? *opts.metrics : obs::default_registry();
+  SweepMetrics metrics(registry, opts.fast_path);
+  metrics.runs.inc();
+  metrics.pool_threads.set(static_cast<std::int64_t>(pool.size()));
+  obs::TraceSpan sweep_span(metrics.sweep_duration);
 
   // Per-window slots: exactly one of histogram / error is set afterwards;
   // neither set means the window was skipped (cancellation or timeout).
@@ -87,6 +156,9 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
       num_windows);
   std::vector<std::optional<std::string>> errors(num_windows);
   std::atomic<bool> stop_new_windows{false};
+  std::atomic<bool> cancel_seen{false};
+  std::atomic<bool> deadline_seen{false};
+  std::atomic<std::uint64_t> failpoint_trips{0};
 
   const bool has_deadline = opts.timeout.count() > 0;
   const auto deadline = std::chrono::steady_clock::now() + opts.timeout;
@@ -94,9 +166,14 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
     if (stop_new_windows.load(std::memory_order_relaxed)) return true;
     if (opts.cancel != nullptr &&
         opts.cancel->load(std::memory_order_relaxed)) {
+      cancel_seen.store(true, std::memory_order_relaxed);
       return true;
     }
-    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      deadline_seen.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
   };
 
   const Rng base(seed);
@@ -118,12 +195,15 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
     });
   }
 
-  std::atomic<std::uint64_t> sampling_ns{0};
-  std::atomic<std::uint64_t> accumulation_ns{0};
-  std::atomic<std::uint64_t> binning_ns{0};
+  // Per-worker stage totals, flushed once per chunk (a worker can run
+  // several chunks; map lookup + mutex per chunk is noise next to the
+  // windows inside it).  Keeping totals per worker is what makes the
+  // straggler view (`*_max_ns`) computable after the join.
+  std::mutex worker_ns_mutex;
+  std::map<std::thread::id, StageNs> worker_ns;
 
   parallel_for(pool, 0, num_windows, /*grain=*/1, [&](IndexRange range) {
-    SweepStageTimings local;
+    StageNs local;
     std::optional<ScratchPool<SweepScratch>::Lease> lease;
     if (opts.fast_path) lease.emplace(scratch->acquire());
     for (std::size_t t = range.begin; t < range.end; ++t) {
@@ -141,10 +221,13 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
           const SparseCountMatrix window = stream.window(n_valid);
           const auto t1 = Clock::now();
           histograms[t] = quantity_histogram(window, quantity);
-          local.sampling_ns += ns_between(t0, t1);
-          local.binning_ns += ns_between(t1, Clock::now());
+          local.sampling += ns_between(t0, t1);
+          local.binning += ns_between(t1, Clock::now());
         }
       } catch (const std::exception& e) {
+        if (failpoints::is_failpoint_error(e)) {
+          failpoint_trips.fetch_add(1, std::memory_order_relaxed);
+        }
         errors[t] = e.what();
         if (opts.max_failed_windows == 0) {
           // Strict mode: no point producing more windows for a sweep
@@ -153,13 +236,53 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
         }
       }
     }
-    sampling_ns.fetch_add(local.sampling_ns, std::memory_order_relaxed);
-    accumulation_ns.fetch_add(local.accumulation_ns,
-                              std::memory_order_relaxed);
-    binning_ns.fetch_add(local.binning_ns, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(worker_ns_mutex);
+      worker_ns[std::this_thread::get_id()].add(local);
+    }
   });
 
+  // Fold per-worker totals into both timing views and the registry's
+  // stage histograms (one observation per participating worker).
   WindowSweepResult out;
+  for (const auto& [id, ns] : worker_ns) {
+    (void)id;
+    out.timings.sampling_cpu_ns += ns.sampling;
+    out.timings.accumulation_cpu_ns += ns.accumulation;
+    out.timings.binning_cpu_ns += ns.binning;
+    out.timings.sampling_max_ns =
+        std::max(out.timings.sampling_max_ns, ns.sampling);
+    out.timings.accumulation_max_ns =
+        std::max(out.timings.accumulation_max_ns, ns.accumulation);
+    out.timings.binning_max_ns =
+        std::max(out.timings.binning_max_ns, ns.binning);
+    metrics.stage_sampling.observe(ns.sampling);
+    metrics.stage_accumulation.observe(ns.accumulation);
+    metrics.stage_binning.observe(ns.binning);
+  }
+
+  // Record window dispositions and stop causes before the strict/budget
+  // throws below, so metrics describe failed sweeps too.
+  std::size_t n_failed = 0, n_skipped = 0, n_completed = 0;
+  for (std::size_t t = 0; t < num_windows; ++t) {
+    if (errors[t]) {
+      ++n_failed;
+    } else if (!histograms[t]) {
+      ++n_skipped;
+    } else {
+      ++n_completed;
+    }
+  }
+  metrics.windows_completed.inc(n_completed);
+  metrics.windows_failed.inc(n_failed);
+  metrics.windows_skipped.inc(n_skipped);
+  metrics.failpoint_trips.inc(
+      failpoint_trips.load(std::memory_order_relaxed));
+  if (cancel_seen.load(std::memory_order_relaxed)) metrics.cancelled.inc();
+  if (deadline_seen.load(std::memory_order_relaxed)) {
+    metrics.deadline_expired.inc();
+  }
+
   const auto reduce_start = Clock::now();
   for (std::size_t t = 0; t < num_windows; ++t) {
     if (errors[t]) {
@@ -188,11 +311,11 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
             " windows failed, budget " +
             std::to_string(opts.max_failed_windows) + ")");
   }
-  out.timings.sampling_ns = sampling_ns.load(std::memory_order_relaxed);
-  out.timings.accumulation_ns =
-      accumulation_ns.load(std::memory_order_relaxed);
-  out.timings.binning_ns = binning_ns.load(std::memory_order_relaxed) +
-                           ns_between(reduce_start, Clock::now());
+  // The serial window-order reduce runs on this (single) thread, so its
+  // cost goes into both the CPU and straggler views of binning.
+  const std::uint64_t reduce_ns = ns_between(reduce_start, Clock::now());
+  out.timings.binning_cpu_ns += reduce_ns;
+  out.timings.binning_max_ns += reduce_ns;
   return out;
 }
 

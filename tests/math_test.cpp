@@ -297,5 +297,17 @@ TEST(LambdaInverse, BoundaryAndErrors) {
   EXPECT_THROW(invert_lambda_moment_ratio(1.99), InvalidArgument);
 }
 
+TEST(LambdaInverse, ClampsRoundingNoiseBelowTwoToZero) {
+  // Noisy empirical ratios from the excess-moment sums can land an exact
+  // r = 2 a few ulps below it; that sliver is Λ = 0, not an error.
+  EXPECT_DOUBLE_EQ(invert_lambda_moment_ratio(2.0 - 1e-10), 0.0);
+  EXPECT_DOUBLE_EQ(invert_lambda_moment_ratio(
+                       std::nextafter(2.0, 0.0)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(invert_lambda_moment_ratio(2.0 - 1e-9), 0.0);
+  // Anything past the documented slack is still a domain error.
+  EXPECT_THROW(invert_lambda_moment_ratio(2.0 - 1.1e-9), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace palu::math

@@ -155,6 +155,31 @@ TEST(LogBinned, BinIndexIsCeilLog2) {
   EXPECT_EQ(LogBinned::bin_index(1025), 11u);
 }
 
+TEST(LogBinned, TopBinSaturatesAtBoundaryDegrees) {
+  // Regression: degrees past 2^63 used to index a 65th bin whose upper
+  // edge overflows Degree, so from_histogram threw on huge (corrupt or
+  // synthetic) degrees.  The top bin saturates instead.
+  const Degree two63 = Degree{1} << 63;
+  EXPECT_EQ(LogBinned::bin_index(two63 - 1), 63u);
+  EXPECT_EQ(LogBinned::bin_index(two63), 63u);
+  EXPECT_EQ(LogBinned::bin_index(two63 + 1), 63u);
+  EXPECT_EQ(LogBinned::bin_index(~Degree{0}), 63u);
+  EXPECT_EQ(LogBinned::bin_upper(63), two63);
+  EXPECT_THROW(LogBinned::bin_upper(64), InvalidArgument);
+
+  // Only one past-2^63 degree: DegreeHistogram's own weighted-total
+  // overflow guard (PR 2) rightly rejects a second one in the same
+  // histogram, and this test is about the binning, not that guard.
+  DegreeHistogram h;
+  h.add(1, 3);
+  h.add(two63 + 1, 1);  // saturating degree must pool, not throw
+  const auto pooled = LogBinned::from_histogram(h);
+  ASSERT_EQ(pooled.num_bins(), LogBinned::kMaxBins);
+  EXPECT_DOUBLE_EQ(pooled[0], 0.75);
+  EXPECT_DOUBLE_EQ(pooled[63], 0.25);
+  EXPECT_NEAR(pooled.total_mass(), 1.0, 1e-12);
+}
+
 TEST(LogBinned, BinEdges) {
   EXPECT_EQ(LogBinned::bin_upper(0), 1u);
   EXPECT_EQ(LogBinned::bin_upper(5), 32u);

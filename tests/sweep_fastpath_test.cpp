@@ -13,6 +13,7 @@
 #include <string>
 
 #include "palu/graph/generators.hpp"
+#include "palu/obs/metrics.hpp"
 #include "palu/stats/log_binning.hpp"
 #include "palu/testing/fault_injection.hpp"
 #include "palu/traffic/quantities.hpp"
@@ -123,19 +124,60 @@ TEST(SweepFastPath, StageTimingsArePopulated) {
   const auto a = traffic::sweep_windows(
       g, traffic::RateModel{}, 20000, 4,
       traffic::Quantity::kUndirectedDegree, 5, pool, fast);
-  EXPECT_GT(a.timings.sampling_ns, 0u);
-  EXPECT_GT(a.timings.accumulation_ns, 0u);
-  EXPECT_GT(a.timings.binning_ns, 0u);
+  EXPECT_GT(a.timings.sampling_cpu_ns, 0u);
+  EXPECT_GT(a.timings.accumulation_cpu_ns, 0u);
+  EXPECT_GT(a.timings.binning_cpu_ns, 0u);
+  // The straggler view is a max over per-worker sums of the same samples:
+  // it must be positive and can never exceed the CPU (summed) view.
+  EXPECT_GT(a.timings.sampling_max_ns, 0u);
+  EXPECT_LE(a.timings.sampling_max_ns, a.timings.sampling_cpu_ns);
+  EXPECT_LE(a.timings.accumulation_max_ns, a.timings.accumulation_cpu_ns);
+  EXPECT_LE(a.timings.binning_max_ns, a.timings.binning_cpu_ns);
   traffic::SweepOptions legacy;
   legacy.fast_path = false;
   const auto b = traffic::sweep_windows(
       g, traffic::RateModel{}, 20000, 4,
       traffic::Quantity::kUndirectedDegree, 5, pool, legacy);
   // Legacy interleaves draws and cell counts inside window(): combined
-  // time lands in sampling_ns, accumulation stays 0 by contract.
-  EXPECT_GT(b.timings.sampling_ns, 0u);
-  EXPECT_EQ(b.timings.accumulation_ns, 0u);
-  EXPECT_GT(b.timings.binning_ns, 0u);
+  // time lands in the sampling views, accumulation stays 0 by contract.
+  EXPECT_GT(b.timings.sampling_cpu_ns, 0u);
+  EXPECT_EQ(b.timings.accumulation_cpu_ns, 0u);
+  EXPECT_EQ(b.timings.accumulation_max_ns, 0u);
+  EXPECT_GT(b.timings.binning_cpu_ns, 0u);
+}
+
+// Observability half of the equivalence contract: the fast path must
+// leave the same metric trail as the legacy path.  Only counters and
+// gauges are compared — they are deterministic per (seed, workload) —
+// while stage-duration histograms are excluded by construction (their
+// labels carry path=fast|legacy and worker participation is timing-
+// dependent).
+TEST(SweepFastPath, CountersAndGaugesMatchLegacyPath) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 600, 0.02);
+  ThreadPool pool(2);
+  const auto run = [&](std::uint64_t seed, bool fast_path) {
+    obs::Registry registry;
+    traffic::SweepOptions opts;
+    opts.fast_path = fast_path;
+    opts.metrics = &registry;
+    traffic::sweep_windows(g, traffic::RateModel{}, 5000, 6,
+                           traffic::Quantity::kUndirectedDegree, seed,
+                           pool, opts);
+    obs::RegistrySnapshot snap = registry.snapshot();
+    // Drop the path-labelled duration histograms; everything else must
+    // be byte-identical across the two paths.
+    snap.histograms.clear();
+    return snap;
+  };
+  for (const std::uint64_t seed : {3ull, 17ull, 91ull}) {
+    const auto fast = run(seed, /*fast_path=*/true);
+    const auto legacy = run(seed, /*fast_path=*/false);
+    const std::string context = "seed " + std::to_string(seed);
+    EXPECT_EQ(fast.counters, legacy.counters) << context;
+    EXPECT_EQ(fast.gauges, legacy.gauges) << context;
+    EXPECT_FALSE(fast.counters.empty()) << context;
+  }
 }
 
 TEST(SweepFastPath, StrictFailureCarriesWindowIndex) {

@@ -3,8 +3,9 @@
 //
 // These tests pass on any build, but their point is the
 // `-DPALU_SANITIZE=thread` tree: they drive sweep_windows with
-// cancellation flips, wall-clock timeouts, armed failpoints, and several
-// sweeps sharing the process-global failpoint registry — all at once —
+// cancellation flips, wall-clock timeouts, armed failpoints, several
+// sweeps sharing the process-global failpoint registry, and concurrent
+// sweeps recording into one obs::Registry — all at once —
 // so TSan can observe every cross-thread edge the pipeline claims is
 // synchronized.  Assertions here are consistency invariants (every
 // window accounted for exactly once), not timing expectations: on a
@@ -19,6 +20,8 @@
 
 #include "palu/common/failpoint.hpp"
 #include "palu/graph/generators.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
 #include "palu/parallel/scratch_pool.hpp"
 #include "palu/parallel/thread_pool.hpp"
 #include "palu/traffic/window_pipeline.hpp"
@@ -102,6 +105,50 @@ TEST(TsanStress, ConcurrentSweepsShareFailpointRegistry) {
   stop_arming.store(true, std::memory_order_relaxed);
   armer.join();
   failpoints::disarm_all();
+}
+
+TEST(TsanStress, ConcurrentSweepsShareOneMetricsRegistry) {
+  // Two sweeps recording into the SAME obs::Registry while a reader
+  // thread keeps snapshotting it: registration (mutex), recording
+  // (relaxed atomics), and snapshotting must all be race-free, and the
+  // shared counters must end at the exact two-sweep totals.
+  const auto g = stress_graph();
+  obs::Registry registry;
+  std::atomic<bool> stop_reading{false};
+  std::thread reader([&registry, &stop_reading]() {
+    while (!stop_reading.load(std::memory_order_relaxed)) {
+      // snapshot() performs the racing reads TSan is here to watch; the
+      // only invariant mid-flight is that the series set never shrinks.
+      const auto snap = registry.snapshot();
+      EXPECT_LE(snap.counters.size(), registry.num_series());
+      std::this_thread::yield();
+    }
+  });
+
+  auto run_sweep = [&g, &registry](std::uint64_t seed) {
+    ThreadPool pool(2);
+    traffic::SweepOptions opts;
+    opts.metrics = &registry;
+    const auto result = traffic::sweep_windows(
+        g, traffic::RateModel{}, 1500, 12,
+        traffic::Quantity::kUndirectedDegree, seed, pool, opts);
+    expect_partitioned(result, 12);
+  };
+  std::thread a([&run_sweep]() { run_sweep(5); });
+  std::thread b([&run_sweep]() { run_sweep(31); });
+  a.join();
+  b.join();
+  stop_reading.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto snap = registry.snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name == obs::names::kSweepRuns) EXPECT_EQ(c.value, 2u);
+    if (c.name == obs::names::kSweepWindows && !c.labels.empty() &&
+        c.labels.front().second == "completed") {
+      EXPECT_EQ(c.value, 24u);
+    }
+  }
 }
 
 TEST(TsanStress, FaultInjectedSweepIsDeterministicUnderBudget) {

@@ -20,14 +20,22 @@
 //   // palu-lint: allow(<rule>)       this line or the next line
 //   // palu-lint: allow-file(<rule>)  whole file, with a justifying comment
 //
+// Timing TUs — files whose whole purpose is reading the clock (span
+// recording, stage timing, benchmarks) — are declared centrally in an
+// allowlist file (tools/timing_files.txt) passed via --timing-allowlist,
+// mirroring the failpoint registry: one reviewable place instead of
+// per-file allow-file(determinism) comments.  Entries are repo-relative
+// path suffixes matched on '/' boundaries, and stale entries (no scanned
+// file matches) are violations just like stale failpoints.
+//
 // Matching runs on comment-stripped text (and, for all rules except the
 // failpoint extraction, string-stripped text), so prose and error messages
 // never trip a rule.  Exit codes: 0 clean, 1 violations or selftest
 // failure, 2 usage/IO error.
 //
 // Usage:
-//   palu_lint [--registry FILE] [--no-stale-check] [--list-rules]
-//             [--selftest DIR] PATH...
+//   palu_lint [--registry FILE] [--timing-allowlist FILE]
+//             [--no-stale-check] [--list-rules] [--selftest DIR] PATH...
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -210,7 +218,25 @@ struct LintConfig {
   bool have_registry = false;
   bool stale_check = true;
   std::string registry_path;
+  std::set<std::string> timing_files;   // path suffixes exempt from the
+                                        // determinism rule
+  bool have_timing_allowlist = false;
+  std::string timing_allowlist_path;
 };
+
+// True when `path` ends with allowlist entry `suffix` on a '/' boundary:
+// "src/obs/span.cpp" matches "/root/repo/src/obs/span.cpp" but not
+// "other_span.cpp".  Paths are compared with generic (forward-slash)
+// separators.
+bool path_matches_suffix(const fs::path& path, const std::string& suffix) {
+  const std::string p = path.generic_string();
+  if (p.size() < suffix.size()) return false;
+  if (p.compare(p.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return p.size() == suffix.size() ||
+         p[p.size() - suffix.size() - 1] == '/';
+}
 
 // Extracts the quoted first argument of every PALU_FAILPOINT("...") on the
 // line.  Sites with a non-literal argument (the macro definition itself)
@@ -237,7 +263,8 @@ std::vector<std::string> failpoint_names(const std::string& no_comments) {
 
 void lint_file(const fs::path& path, const LintConfig& config,
                std::vector<Violation>* violations,
-               std::set<std::string>* seen_failpoints) {
+               std::set<std::string>* seen_failpoints,
+               std::set<std::string>* matched_timing_entries) {
   std::ifstream in(path);
   if (!in) {
     violations->push_back(
@@ -252,6 +279,17 @@ void lint_file(const fs::path& path, const LintConfig& config,
   while (std::getline(in, raw)) {
     lines.push_back(stripper.strip(raw));
     collect_suppressions(raw, lines.size(), &suppressions);
+  }
+
+  // Timing TUs from the central allowlist get a file-wide determinism
+  // exemption, exactly as if they carried allow-file(determinism).
+  for (const std::string& entry : config.timing_files) {
+    if (path_matches_suffix(path, entry)) {
+      suppressions.file_wide.insert(kRuleDeterminism);
+      if (matched_timing_entries != nullptr) {
+        matched_timing_entries->insert(entry);
+      }
+    }
   }
 
   const bool header = is_header(path);
@@ -316,7 +354,9 @@ void lint_file(const fs::path& path, const LintConfig& config,
   }
 }
 
-bool load_registry(const std::string& path, LintConfig* config) {
+// Shared loader for the registry-style config files (failpoints.txt,
+// timing_files.txt): one entry per line, '#' comments, whitespace-trimmed.
+bool load_entries(const std::string& path, std::set<std::string>* out) {
   std::ifstream in(path);
   if (!in) return false;
   std::string line;
@@ -327,10 +367,22 @@ bool load_registry(const std::string& path, LintConfig* config) {
     const auto begin = line.find_first_not_of(" \t");
     if (begin == std::string::npos) continue;
     const auto end = line.find_last_not_of(" \t");
-    config->registry.insert(line.substr(begin, end - begin + 1));
+    out->insert(line.substr(begin, end - begin + 1));
   }
+  return true;
+}
+
+bool load_registry(const std::string& path, LintConfig* config) {
+  if (!load_entries(path, &config->registry)) return false;
   config->have_registry = true;
   config->registry_path = path;
+  return true;
+}
+
+bool load_timing_allowlist(const std::string& path, LintConfig* config) {
+  if (!load_entries(path, &config->timing_files)) return false;
+  config->have_timing_allowlist = true;
+  config->timing_allowlist_path = path;
   return true;
 }
 
@@ -379,8 +431,10 @@ int run_lint(const std::vector<std::string>& roots, LintConfig config) {
   if (io_error) return 2;
   std::vector<Violation> violations;
   std::set<std::string> seen_failpoints;
+  std::set<std::string> matched_timing_entries;
   for (const fs::path& f : files) {
-    lint_file(f, config, &violations, &seen_failpoints);
+    lint_file(f, config, &violations, &seen_failpoints,
+              &matched_timing_entries);
   }
   if (config.have_registry && config.stale_check) {
     for (const std::string& name : config.registry) {
@@ -390,6 +444,17 @@ int run_lint(const std::vector<std::string>& roots, LintConfig config) {
              "registry entry \"" + name +
                  "\" has no PALU_FAILPOINT site left in the scanned "
                  "tree; delete the entry or restore the site"});
+      }
+    }
+  }
+  if (config.have_timing_allowlist && config.stale_check) {
+    for (const std::string& entry : config.timing_files) {
+      if (matched_timing_entries.count(entry) == 0) {
+        violations.push_back(
+            {config.timing_allowlist_path, 0, kRuleDeterminism,
+             "timing-allowlist entry \"" + entry +
+                 "\" matched no scanned file; delete the entry or fix "
+                 "the path so the exemption stays auditable"});
       }
     }
   }
@@ -465,7 +530,7 @@ int run_selftest(const std::string& dir, LintConfig config) {
 
     std::vector<Violation> violations;
     std::set<std::string> seen_failpoints;
-    lint_file(f, config, &violations, &seen_failpoints);
+    lint_file(f, config, &violations, &seen_failpoints, nullptr);
     std::set<std::string> actual;
     for (const Violation& v : violations) actual.insert(v.rule);
 
@@ -517,8 +582,9 @@ int run_selftest(const std::string& dir, LintConfig config) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: palu_lint [--registry FILE] [--no-stale-check]\n"
-      "                 [--list-rules] [--selftest DIR] PATH...\n");
+      "usage: palu_lint [--registry FILE] [--timing-allowlist FILE]\n"
+      "                 [--no-stale-check] [--list-rules]\n"
+      "                 [--selftest DIR] PATH...\n");
   return 2;
 }
 
@@ -527,6 +593,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string registry_path;
+  std::string timing_allowlist_path;
   std::string selftest_dir;
   LintConfig config;
 
@@ -535,6 +602,9 @@ int main(int argc, char** argv) {
     if (arg == "--registry") {
       if (++i >= argc) return usage();
       registry_path = argv[i];
+    } else if (arg == "--timing-allowlist") {
+      if (++i >= argc) return usage();
+      timing_allowlist_path = argv[i];
     } else if (arg == "--no-stale-check") {
       config.stale_check = false;
     } else if (arg == "--selftest") {
@@ -554,6 +624,12 @@ int main(int argc, char** argv) {
   if (!registry_path.empty() && !load_registry(registry_path, &config)) {
     std::fprintf(stderr, "palu_lint: cannot read registry %s\n",
                  registry_path.c_str());
+    return 2;
+  }
+  if (!timing_allowlist_path.empty() &&
+      !load_timing_allowlist(timing_allowlist_path, &config)) {
+    std::fprintf(stderr, "palu_lint: cannot read timing allowlist %s\n",
+                 timing_allowlist_path.c_str());
     return 2;
   }
 

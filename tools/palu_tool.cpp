@@ -196,12 +196,81 @@ int cmd_sweep(const cli::Args& args) {
               static_cast<unsigned long long>(sweep.max_value),
               static_cast<unsigned long long>(sweep.merged.total()),
               sweep.merged.support_size());
-  std::printf("stage timings: sampling=%.1fms accumulation=%.1fms "
-              "binning=%.1fms\n",
-              static_cast<double>(sweep.timings.sampling_ns) / 1e6,
-              static_cast<double>(sweep.timings.accumulation_ns) / 1e6,
-              static_cast<double>(sweep.timings.binning_ns) / 1e6);
+  std::printf("stage cpu (summed over workers): sampling=%.1fms "
+              "accumulation=%.1fms binning=%.1fms\n",
+              static_cast<double>(sweep.timings.sampling_cpu_ns) / 1e6,
+              static_cast<double>(sweep.timings.accumulation_cpu_ns) / 1e6,
+              static_cast<double>(sweep.timings.binning_cpu_ns) / 1e6);
+  std::printf("stage max (slowest worker):      sampling=%.1fms "
+              "accumulation=%.1fms binning=%.1fms\n",
+              static_cast<double>(sweep.timings.sampling_max_ns) / 1e6,
+              static_cast<double>(sweep.timings.accumulation_max_ns) / 1e6,
+              static_cast<double>(sweep.timings.binning_max_ns) / 1e6);
+  // Fit the PALU constants on the merged sweep so one `sweep --metrics`
+  // run exercises — and exports — the whole instrumented pipeline.
+  const auto robust = core::robust_fit_palu(sweep.merged);
+  if (robust.ok()) {
+    std::printf("palu constants: alpha=%.4f c=%.5f mu=%.4f u=%.6f "
+                "l=%.5f  [stage=%s]\n",
+                robust.fit.alpha, robust.fit.c, robust.fit.mu,
+                robust.fit.u, robust.fit.l,
+                std::string(fit::to_string(robust.stage)).c_str());
+  } else {
+    std::printf("palu constants: (fit failed on every stage: %s)\n",
+                robust.error.c_str());
+  }
   return 0;
+}
+
+int cmd_check_metrics(const cli::Args& args) {
+  // Round-trips a Prometheus exposition file through the strict format
+  // validator; CI uses this to pin the exporter's output format.
+  const std::string path = args.get_string("prom", "");
+  PALU_CHECK(!path.empty(), "missing --prom FILE");
+  std::ifstream in(path);
+  PALU_CHECK(static_cast<bool>(in), "cannot open metrics file: " + path);
+  const auto violations = obs::validate_prometheus(in);
+  if (violations.empty()) {
+    std::printf("check-metrics: %s: OK\n", path.c_str());
+    return 0;
+  }
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "check-metrics: %s: %s\n", path.c_str(),
+                 v.c_str());
+  }
+  throw DataError("check-metrics: " + path + ": " +
+                  std::to_string(violations.size()) +
+                  " format violation(s)");
+}
+
+// --metrics FILE: export the default registry after the command ran —
+// JSON at FILE, Prometheus text alongside it at FILE with the extension
+// replaced by '.prom'.
+std::string prom_path_for(const std::string& json_path) {
+  const std::size_t slash = json_path.find_last_of('/');
+  const std::size_t dot = json_path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return json_path + ".prom";
+  }
+  return json_path.substr(0, dot) + ".prom";
+}
+
+void export_metrics(const std::string& json_path) {
+  const auto snap = obs::default_registry().snapshot();
+  {
+    std::ofstream out(json_path);
+    PALU_CHECK(static_cast<bool>(out),
+               "cannot write metrics file: " + json_path);
+    obs::write_json(out, snap);
+  }
+  const std::string prom = prom_path_for(json_path);
+  std::ofstream out(prom);
+  PALU_CHECK(static_cast<bool>(out), "cannot write metrics file: " + prom);
+  obs::write_prometheus(out, snap);
+  // stderr: commands like `generate` stream their payload on stdout.
+  std::fprintf(stderr, "wrote metrics: %s + %s\n", json_path.c_str(),
+               prom.c_str());
 }
 
 int cmd_census(const cli::Args& args) {
@@ -327,7 +396,13 @@ int print_help() {
       "  graph-census --graph FILE|-                  census/clustering/\n"
       "                                               core depth of an\n"
       "                                               'u v' edge list\n"
+      "  check-metrics --prom FILE                    validate a Prometheus\n"
+      "                                               exposition file\n"
       "  help\n"
+      "observability (any command):\n"
+      "  --metrics FILE   export the run's metrics after the command:\n"
+      "                   JSON to FILE, Prometheus text to FILE with the\n"
+      "                   extension replaced by .prom\n"
       "ingest options (analyze, census, zoo, graph-census):\n"
       "  --on-error strict|skip|repair   malformed-line policy; strict\n"
       "                                  (default) aborts on the first bad\n"
@@ -343,21 +418,34 @@ int print_help() {
 
 }  // namespace
 
+int dispatch(const std::string& command, const palu::cli::Args& args) {
+  if (command == "generate") return cmd_generate(args);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "census") return cmd_census(args);
+  if (command == "zoo") return cmd_zoo(args);
+  if (command == "graph-census") return cmd_graph_census(args);
+  if (command == "check-metrics") return cmd_check_metrics(args);
+  if (command == "help") return print_help();
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  print_help();
+  return 2;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return print_help();
   const std::string command = argv[1];
   try {
     const auto args = palu::cli::Args::parse(argc, argv, 2);
-    if (command == "generate") return cmd_generate(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "census") return cmd_census(args);
-    if (command == "zoo") return cmd_zoo(args);
-    if (command == "graph-census") return cmd_graph_census(args);
-    if (command == "help") return print_help();
-    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-    print_help();
-    return 2;
+    const std::string metrics_path = args.get_string("metrics", "");
+    if (!metrics_path.empty()) {
+      // Preregister every family so the export is a complete catalogue
+      // even for layers this command never reached.
+      palu::obs::preregister_palu_metrics(palu::obs::default_registry());
+    }
+    const int rc = dispatch(command, args);
+    if (!metrics_path.empty()) export_metrics(metrics_path);
+    return rc;
   } catch (const palu::DataError& e) {
     // Malformed input or an exhausted error budget: documented exit 3 so
     // batch drivers can separate bad captures from tool bugs.

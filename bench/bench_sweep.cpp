@@ -1,12 +1,14 @@
-// Sweep-throughput benchmark: fast path vs. legacy path, with a JSON
-// artifact so the perf trajectory is tracked from PR 2 onward.
+// Sweep-throughput benchmark: legacy vs. fast vs. counts synthesis, with
+// a JSON artifact so the perf trajectory is tracked from PR 2 onward.
 //
-// Timing TU (tools/timing_files.txt): steady_clock reads time the two
-// paths; the sweep itself is seed-driven and stays reproducible.
+// Timing TU (tools/timing_files.txt): steady_clock reads time the paths;
+// the sweeps themselves are seed-driven and stay reproducible.
 //
-// Runs the same Monte-Carlo window sweep twice — once through the legacy
-// per-window SparseCountMatrix path and once through the WindowAccumulator
-// fast path — verifies the merged histograms are identical, and writes
+// Runs the same Monte-Carlo window sweep three ways — the legacy
+// per-window SparseCountMatrix path, the WindowAccumulator fast path, and
+// the count-space Multinomial path — verifies that legacy and fast merged
+// histograms are identical (they share RNG consumption) and that a
+// count-space window conserves packet mass exactly, then writes
 // BENCH_sweep.json:
 //
 //   {
@@ -18,21 +20,31 @@
 //                "timings_max_ns": {... slowest worker ...},
 //                "metrics": {... obs registry snapshot for the run ...}},
 //     "fast":   {... same shape ...},
+//     "counts": {... same shape ...},
 //     "speedup": fast.packets_per_sec / legacy.packets_per_sec,
-//     "identical": true|false
+//     "speedup_counts_vs_fast": counts pps / fast pps,
+//     "speedup_counts_vs_legacy": counts pps / legacy pps,
+//     "identical": true|false,           // legacy vs fast only
+//     "counts_mass_conserved": true|false,
+//     "scaling": {"windows", "points": [{"nvalid", "seconds_per_window"}],
+//                 "ratios": [per-decade cost growth of the counts path]}
 //   }
 //
 // Each run records into its own obs::Registry, so the metrics block is
-// per-run (not cumulative across the two paths).
+// per-run (not cumulative across paths).  The counts path consumes RNG
+// differently, so it is held to distributional equivalence (tested in
+// sweep_counts_test) plus the exact mass check here, not byte identity.
 //
 // Default config is the acceptance workload (64 windows × 1e6 packets);
-// `--smoke` shrinks it to seconds so ctest can keep the binary honest.
-// Exit code is non-zero when the two paths disagree.
+// `--smoke` shrinks it to seconds so ctest can keep the binary honest,
+// and `--counts-only` skips the slow packet paths (the counts smoke
+// ctest).  Exit code is non-zero on any check failure.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "palu/cli/args.hpp"
 #include "palu/palu.hpp"
@@ -40,6 +52,8 @@
 namespace {
 
 using namespace palu;
+
+enum class Path { kLegacy, kFast, kCounts };
 
 struct RunResult {
   double seconds = 0.0;
@@ -51,10 +65,13 @@ struct RunResult {
 
 RunResult run_sweep(const graph::Graph& g, Count n_valid,
                     std::size_t windows, traffic::Quantity quantity,
-                    std::uint64_t seed, ThreadPool& pool, bool fast_path) {
+                    std::uint64_t seed, ThreadPool& pool, Path path) {
   obs::Registry registry;
   traffic::SweepOptions opts;
-  opts.fast_path = fast_path;
+  opts.fast_path = path != Path::kLegacy;
+  if (path == Path::kCounts) {
+    opts.synthesis = traffic::SynthesisMode::kMultinomial;
+  }
   opts.metrics = &registry;
   const auto t0 = std::chrono::steady_clock::now();
   auto sweep = traffic::sweep_windows(g, traffic::RateModel{}, n_valid,
@@ -71,6 +88,21 @@ RunResult run_sweep(const graph::Graph& g, Count n_valid,
   obs::write_json(metrics, registry.snapshot());
   out.metrics_json = std::move(metrics).str();
   return out;
+}
+
+// One count-space window drawn directly: Σ (forward + backward) must equal
+// n_valid exactly — the Multinomial split conserves packet mass by
+// construction, so any drift is a bug, not noise.
+bool counts_mass_conserved(const graph::Graph& g, Count n_valid,
+                           std::uint64_t seed) {
+  traffic::SyntheticTrafficGenerator gen(
+      g, traffic::make_edge_rates(g, traffic::RateModel{}, Rng(seed)),
+      Rng(seed + 1));
+  std::vector<traffic::EdgePacketCounts> pairs;
+  gen.next_window_counts(n_valid, pairs);
+  Count total = 0;
+  for (const auto& pc : pairs) total += pc.forward + pc.backward;
+  return total == n_valid;
 }
 
 // Re-indents a serialized JSON document to sit at nesting depth 2.
@@ -108,6 +140,7 @@ void write_run_json(std::ostream& out, const char* name,
 int main(int argc, char** argv) {
   const auto args = cli::Args::parse(argc, argv, 1);
   const bool smoke = args.get_flag("smoke");
+  const bool counts_only = args.get_flag("counts-only");
   const auto windows = static_cast<std::size_t>(
       args.get_int("windows", smoke ? 4 : 64));
   const auto n_valid =
@@ -131,42 +164,110 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(net.graph.num_nodes()),
               net.graph.num_edges(), pool.size());
 
-  const RunResult legacy = run_sweep(net.graph, n_valid, windows, quantity,
-                                     seed, pool, /*fast_path=*/false);
-  const RunResult fast = run_sweep(net.graph, n_valid, windows, quantity,
-                                   seed, pool, /*fast_path=*/true);
-  const bool identical = legacy.merged.sorted() == fast.merged.sorted() &&
-                         legacy.merged.total() == fast.merged.total();
-  const double speedup = fast.packets_per_sec / legacy.packets_per_sec;
+  const bool mass_ok = counts_mass_conserved(net.graph, n_valid, seed);
+  std::printf("counts mass conservation: %s\n", mass_ok ? "ok" : "FAIL");
 
-  std::printf("legacy: %.3fs (%.2fM packets/s)\n", legacy.seconds,
-              legacy.packets_per_sec / 1e6);
-  std::printf("fast:   %.3fs (%.2fM packets/s)\n", fast.seconds,
-              fast.packets_per_sec / 1e6);
-  std::printf("speedup: %.2fx, identical: %s\n", speedup,
-              identical ? "true" : "false");
-
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  RunResult legacy, fast;
+  bool identical = true;
+  if (!counts_only) {
+    legacy = run_sweep(net.graph, n_valid, windows, quantity, seed, pool,
+                       Path::kLegacy);
+    fast = run_sweep(net.graph, n_valid, windows, quantity, seed, pool,
+                     Path::kFast);
+    identical = legacy.merged.sorted() == fast.merged.sorted() &&
+                legacy.merged.total() == fast.merged.total();
+    std::printf("legacy: %.3fs (%.2fM packets/s)\n", legacy.seconds,
+                legacy.packets_per_sec / 1e6);
+    std::printf("fast:   %.3fs (%.2fM packets/s)\n", fast.seconds,
+                fast.packets_per_sec / 1e6);
   }
-  out << "{\n  \"bench\": \"sweep\",\n";
-  out << "  \"config\": {\"windows\": " << windows
-      << ", \"nvalid\": " << n_valid << ", \"nodes\": " << nodes
-      << ", \"edges\": " << net.graph.num_edges() << ", \"quantity\": \""
-      << traffic::quantity_name(quantity) << "\", \"seed\": " << seed
-      << ", \"pool_threads\": " << pool.size() << "},\n";
-  write_run_json(out, "legacy", legacy);
-  write_run_json(out, "fast", fast);
-  out << "  \"speedup\": " << speedup << ",\n";
-  out << "  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
-  std::printf("wrote %s\n", out_path.c_str());
+  const RunResult counts = run_sweep(net.graph, n_valid, windows, quantity,
+                                     seed, pool, Path::kCounts);
+  std::printf("counts: %.3fs (%.2fM packets/s)\n", counts.seconds,
+              counts.packets_per_sec / 1e6);
+  const bool counts_sane = counts.merged.total() > 0;
 
+  // Counts-path scaling axis: per-window cost vs. N_V (the whole point of
+  // count-space synthesis is that this curve is nearly flat per decade).
+  const std::vector<Count> scaling_nvalid =
+      smoke ? std::vector<Count>{10000, 100000}
+            : std::vector<Count>{100000, 1000000, 10000000};
+  const std::size_t scaling_windows = smoke ? 4 : 8;
+  std::vector<double> per_window;
+  for (const Count nv : scaling_nvalid) {
+    const RunResult r = run_sweep(net.graph, nv, scaling_windows, quantity,
+                                  seed, pool, Path::kCounts);
+    per_window.push_back(r.seconds / static_cast<double>(scaling_windows));
+    std::printf("counts scaling: nvalid=%llu %.2fms/window\n",
+                static_cast<unsigned long long>(nv),
+                per_window.back() * 1e3);
+  }
+  std::vector<double> ratios;
+  for (std::size_t i = 1; i < per_window.size(); ++i) {
+    ratios.push_back(per_window[i] / per_window[i - 1]);
+    std::printf("counts scaling ratio (x10 packets): %.3fx\n",
+                ratios.back());
+  }
+
+  if (!counts_only) {
+    const double speedup = fast.packets_per_sec / legacy.packets_per_sec;
+    const double counts_vs_fast =
+        counts.packets_per_sec / fast.packets_per_sec;
+    const double counts_vs_legacy =
+        counts.packets_per_sec / legacy.packets_per_sec;
+    std::printf("speedup fast/legacy: %.2fx, counts/fast: %.2fx, "
+                "counts/legacy: %.2fx, identical: %s\n",
+                speedup, counts_vs_fast, counts_vs_legacy,
+                identical ? "true" : "false");
+
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"sweep\",\n";
+    out << "  \"config\": {\"windows\": " << windows
+        << ", \"nvalid\": " << n_valid << ", \"nodes\": " << nodes
+        << ", \"edges\": " << net.graph.num_edges() << ", \"quantity\": \""
+        << traffic::quantity_name(quantity) << "\", \"seed\": " << seed
+        << ", \"pool_threads\": " << pool.size() << "},\n";
+    write_run_json(out, "legacy", legacy);
+    write_run_json(out, "fast", fast);
+    write_run_json(out, "counts", counts);
+    out << "  \"speedup\": " << speedup << ",\n";
+    out << "  \"speedup_counts_vs_fast\": " << counts_vs_fast << ",\n";
+    out << "  \"speedup_counts_vs_legacy\": " << counts_vs_legacy << ",\n";
+    out << "  \"identical\": " << (identical ? "true" : "false") << ",\n";
+    out << "  \"counts_mass_conserved\": " << (mass_ok ? "true" : "false")
+        << ",\n";
+    out << "  \"scaling\": {\"windows\": " << scaling_windows
+        << ", \"points\": [";
+    for (std::size_t i = 0; i < scaling_nvalid.size(); ++i) {
+      out << (i ? ", " : "") << "{\"nvalid\": " << scaling_nvalid[i]
+          << ", \"seconds_per_window\": " << per_window[i] << "}";
+    }
+    out << "],\n    \"ratios\": [";
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      out << (i ? ", " : "") << ratios[i];
+    }
+    out << "]}\n}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  bool ok = true;
   if (!identical) {
     std::fprintf(stderr,
                  "FAIL: fast path diverged from the legacy path\n");
-    return 1;
+    ok = false;
   }
-  return 0;
+  if (!mass_ok) {
+    std::fprintf(stderr,
+                 "FAIL: counts window lost or invented packets\n");
+    ok = false;
+  }
+  if (!counts_sane) {
+    std::fprintf(stderr, "FAIL: counts sweep produced an empty result\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

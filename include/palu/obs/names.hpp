@@ -38,7 +38,7 @@ inline constexpr char kSweepFailpointTrips[] =
     "palu_sweep_failpoint_trips_total";
 /// Gauge: worker count of the pool driving the most recent sweep.
 inline constexpr char kSweepPoolThreads[] = "palu_sweep_pool_threads";
-/// Histogram{stage=sampling|accumulation|binning, path=fast|legacy}:
+/// Histogram{stage=sampling|accumulation|binning, path=fast|legacy|counts}:
 /// per-worker CPU ns spent in each stage (one observation per worker).
 inline constexpr char kSweepStageDurationNs[] =
     "palu_sweep_stage_duration_ns";

@@ -5,6 +5,8 @@
 // - Bounded Zipf (p(d) ∝ d^{-α}, 1 ≤ d ≤ dmax): core degree sequence.
 // - Geometric: the Section VI geometric replacement of the Poisson tail.
 // - Alias method: arbitrary finite pmfs (e.g. Zipf–Mandelbrot streams).
+// - Multinomial(n, w): whole window matrices in one draw — per-category
+//   counts via binomial splitting, O(#categories) independent of n.
 //
 // All samplers are exact (rejection-based, not approximations) so that
 // Monte-Carlo checks of the paper's closed-form predictions are limited by
@@ -12,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "palu/rng/xoshiro.hpp"
@@ -25,6 +28,16 @@ std::uint64_t sample_poisson(Rng& rng, double lambda);
 /// Binomial(n, p) sample; exact (inversion for small n·min(p,1−p),
 /// Hörmann BTRS transformed rejection for large).
 std::uint64_t sample_binomial(Rng& rng, std::uint64_t n, double p);
+
+/// Binomial(n, p) sample with the same law as sample_binomial but a
+/// different small-mean kernel: single-uniform CDF inversion via the
+/// multiplicative pmf recurrence, one mul/div per step instead of one
+/// log per success, then the shared BTRS kernel once n·min(p,1−p) ≥ 10.
+/// Used by the count-space synthesis hot loops, where millions of
+/// small-mean splits per window make the transcendental count the
+/// bottleneck.  Consumes the RNG differently from sample_binomial, so
+/// callers pinned to byte-exact legacy streams must keep using that one.
+std::uint64_t sample_binomial_small(Rng& rng, std::uint64_t n, double p);
 
 /// Geometric on {1, 2, ...} with success probability q: P[X=k] = q(1−q)^{k−1}.
 std::uint64_t sample_geometric(Rng& rng, double q);
@@ -63,6 +76,68 @@ class BoundedZipfSampler {
   bool steep_ = false;
   double total_mass_ = 0.0;  // Σ_{d=dmin}^{dmax} d^{−α} for steep mode
 };
+
+/// Exact Multinomial(n, w) sampler over a fixed weight vector.
+///
+/// Construction precomputes a balanced binary tree of partial weight sums
+/// (pairwise summation, so heavy-tailed weight vectors do not lose mass
+/// to rounding).  Each draw splits n recursively down the tree — the
+/// left-subtree count is Binomial(n, w_left / w_node), reusing the exact
+/// BTRS/inversion kernel of sample_binomial — so a full draw costs
+/// O(#categories) regardless of n.  Subtrees whose count reaches zero are
+/// pruned, and a single remaining trial descends the cumulative sums
+/// directly, so sparse draws (n << #categories) cost O(active · log).
+///
+/// Dense draws (4·n ≥ #categories, where pruning cannot win) instead run
+/// the sequential conditional-binomial split: category c takes
+/// Binomial(n_remaining, w_c / suffix_sum_c) in one linear cache-friendly
+/// pass, exactly one split per non-zero category.  Together the two
+/// regimes keep the per-draw cost nearly flat in n, which is what makes
+/// the count-space sweep's per-window cost independent of N_V.
+///
+/// This is the count-space synthesis kernel: under iid rate-proportional
+/// packet draws a whole traffic window is exactly Multinomial(N_V, rates),
+/// so sampling counts per edge replaces N_V per-packet draws.
+class MultinomialSampler {
+ public:
+  /// `weights` need not be normalized; they must be non-negative and
+  /// finite with a positive sum.  Zero-weight categories always draw 0.
+  explicit MultinomialSampler(const std::vector<double>& weights);
+
+  /// Fills `counts` (size num_categories()) with one Multinomial(n, w)
+  /// draw; Σ counts == n exactly.
+  void operator()(Rng& rng, std::uint64_t n,
+                  std::span<std::uint64_t> counts) const;
+
+  std::size_t num_categories() const noexcept { return categories_; }
+
+ private:
+  void descend(Rng& rng, std::size_t node, std::uint64_t n,
+               std::span<std::uint64_t> counts) const;
+  void sequential_split(Rng& rng, std::uint64_t n,
+                        std::span<std::uint64_t> counts) const;
+
+  // Implicit heap: tree_[1] is the total weight, children of i are 2i and
+  // 2i+1, category c's leaf sits at leaf_base_ + c (power-of-two padding
+  // carries weight 0 and is pruned on every draw).
+  std::vector<double> tree_;
+  // Dense-regime split constants, fixed per category: the conditional
+  // probability p_c = w_c / Σ_{j ≥ c} w_j (compensated suffix sums), plus
+  // log1p(−p_c) and p_c/(1−p_c) so the per-window CDF walk pays one exp,
+  // not an exp and a log1p, per category, and log(p_c/(1−p_c)) so the
+  // large-mean BTRS draws skip their per-call log.
+  std::vector<double> split_p_;
+  std::vector<double> split_log1m_;
+  std::vector<double> split_ratio_;
+  std::vector<double> split_lpq_;
+  std::size_t categories_ = 0;
+  std::size_t leaf_base_ = 0;
+  std::size_t last_nonzero_ = 0;  // largest c with w_c > 0: takes the rest
+};
+
+/// One-shot convenience wrapper: a single Multinomial(n, weights) draw.
+std::vector<std::uint64_t> sample_multinomial(
+    Rng& rng, std::uint64_t n, const std::vector<double>& weights);
 
 /// Walker alias method over a finite pmf on {offset, offset+1, ...}.
 /// Construction is O(n); each draw is O(1).

@@ -1,4 +1,6 @@
-// A valid packet: one (source, destination) observation in the stream.
+// Per-observation records of the synthetic stream: a single valid packet
+// (packet-space synthesis) and one support pair's whole-window packet
+// counts (count-space synthesis).
 #pragma once
 
 #include "palu/common/types.hpp"
@@ -9,6 +11,19 @@ struct Packet {
   NodeId src;
   NodeId dst;
   friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+/// One active support pair of a count-space window: `forward` packets
+/// flowed u → v and `backward` flowed v → u.  Emitted only for pairs that
+/// saw traffic (forward + backward >= 1); self-pairs (u == v) carry all
+/// of their packets in `forward`.
+struct EdgePacketCounts {
+  NodeId u;
+  NodeId v;
+  Count forward;
+  Count backward;
+  friend bool operator==(const EdgePacketCounts&,
+                         const EdgePacketCounts&) = default;
 };
 
 }  // namespace palu::traffic

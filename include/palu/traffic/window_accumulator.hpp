@@ -11,6 +11,13 @@
 // cells — no entries() copy+sort and no per-node peer sets — and produce
 // histograms identical in content to quantity_histogram() on the
 // equivalent SparseCountMatrix.
+//
+// Count-space windows (ingest_counts) skip the hash tables entirely: the
+// generator already delivers one record per active unordered pair, so the
+// accumulator keeps a flat view of the records and computes marginals in
+// dense NodeId-indexed scratch arrays with touched-lists for O(active)
+// reset.  When node ids are too sparse for dense indexing the records are
+// replayed through the hash tables instead — slower, still exact.
 #pragma once
 
 #include <cstdint>
@@ -38,11 +45,25 @@ class WindowAccumulator {
   /// Accumulates a batch of packets.
   void add_packets(std::span<const Packet> packets);
 
+  /// Hands the accumulator one whole count-space window (as produced by
+  /// SyntheticTrafficGenerator::next_window_counts): one record per
+  /// unordered pair, `forward` packets on (u, v) and `backward` on (v, u).
+  /// Records with forward == backward == 0 are permitted (the generator
+  /// emits its full support each window so loop sizes stay N_V-independent)
+  /// and contribute nothing to any histogram or marginal.  Pairs must be
+  /// unique.  Call once per window, right after begin_window(), and do not
+  /// mix with add()/add_packets() in the same window.  `pairs` must stay
+  /// valid until the next begin_window() — the accumulator keeps a view,
+  /// not a copy.
+  void ingest_counts(std::span<const EdgePacketCounts> pairs);
+
   /// Σ_ij A_t(i, j): total packets in the current window.
   Count total() const noexcept { return total_; }
 
   /// Number of live (src, dst) cells (the nnz of A_t).
-  std::size_t nnz() const noexcept { return live_cells_.size(); }
+  std::size_t nnz() const noexcept {
+    return counts_mode_ ? counts_nnz_ : live_cells_.size();
+  }
 
   /// Packet count of a specific link, 0 if absent.
   Count at(NodeId src, NodeId dst) const;
@@ -77,6 +98,11 @@ class WindowAccumulator {
   NodeSlot& node_slot(NodeId id);
   void grow_nodes();
 
+  stats::DegreeHistogram histogram_counts(Quantity q);
+  stats::DegreeHistogram emit_dense_nodes(bool want_packets);
+  stats::DegreeHistogram drain_value_scratch();
+  void add_value(Count v);
+
   // ---- cell table (open addressing, linear probing, epoch-stamped) ----
   std::vector<Cell> cells_;
   std::vector<std::uint32_t> cell_epoch_;
@@ -93,6 +119,23 @@ class WindowAccumulator {
   std::uint32_t node_pass_ = 1;
   std::size_t node_mask_ = 0;
   std::size_t node_grow_at_ = 0;
+
+  // ---- count-space window state (dense, hash-free) ----
+  // Invariant between histogram passes: every entry of the dense arrays is
+  // zero.  Node passes accumulate into the dense arrays, then one linear
+  // emit over [0, counts_dense_nodes_) reads and re-zeroes them — a fixed
+  // graph-sized sweep, so per-window cost does not track the active-node
+  // count.  The value scratch keeps a touched-list because histogram
+  // values are unbounded.
+  std::span<const EdgePacketCounts> pairs_;  // view into caller's window
+  bool counts_mode_ = false;
+  std::size_t counts_nnz_ = 0;
+  std::size_t counts_dense_nodes_ = 0;     // emit scan bound (max id + 1)
+  std::vector<Count> node_packets_dense_;  // indexed by NodeId
+  std::vector<Count> node_fan_dense_;      // indexed by NodeId
+  std::vector<Count> value_count_;         // indexed by histogram value
+  std::vector<Count> touched_values_;
+  std::vector<Count> overflow_values_;     // values >= the dense cap
 };
 
 }  // namespace palu::traffic

@@ -19,6 +19,13 @@
 // single-pass histogramming.  Results are byte-identical to the legacy
 // SparseCountMatrix path (SweepOptions::fast_path = false) for the same
 // seed; stage timings land in WindowSweepResult::timings either way.
+//
+// Count-space synthesis (SweepOptions::synthesis = kMultinomial) goes one
+// step further: each window is drawn whole as per-pair packet counts
+// (Multinomial over edge rates + one direction Binomial per active pair),
+// so per-window cost is O(num_edges) instead of O(n_valid).  Same law,
+// different RNG consumption — counts sweeps are distributionally
+// equivalent to packet sweeps, not byte-identical (see DESIGN.md §5e).
 #pragma once
 
 #include <atomic>
@@ -63,6 +70,17 @@ struct WindowFailure {
   std::string error;
 };
 
+/// How a sweep turns the traffic law into per-window histograms.
+enum class SynthesisMode {
+  /// Draw n_valid individual packets per window (default; the reference
+  /// path — byte-identical between fast and legacy for the same seed).
+  kPacket,
+  /// Draw each window whole as per-pair counts via one Multinomial over
+  /// the edge rates; O(num_edges) per window.  Distributionally
+  /// equivalent to kPacket, not byte-identical.
+  kMultinomial,
+};
+
 /// Resilience and performance knobs for sweep_windows.
 struct SweepOptions {
   /// Windows allowed to fail before the sweep itself fails.  0 preserves
@@ -73,7 +91,12 @@ struct SweepOptions {
   /// reuse, cached per-worker generators, batched draws).  Produces
   /// byte-identical results to the legacy SparseCountMatrix path for the
   /// same seed; off is the escape hatch for A/B comparison and debugging.
+  /// Ignored when synthesis == kMultinomial (counts windows always use
+  /// the pooled scratch).
   bool fast_path = true;
+  /// Window synthesis strategy; kPacket keeps the packet-exact reference
+  /// behaviour, kMultinomial switches to O(num_edges) count-space draws.
+  SynthesisMode synthesis = SynthesisMode::kPacket;
   /// Cooperative cancellation: checked between windows; a cancelled sweep
   /// returns the windows finished so far with `cancelled` set.
   const std::atomic<bool>* cancel = nullptr;
@@ -97,9 +120,10 @@ struct SweepOptions {
 /// values under a "wall-clock" label; both views exist so neither gets
 /// misread again.)  On the legacy path packet draws and cell counting are
 /// interleaved inside window(), so their combined time lands in the
-/// sampling fields and the accumulation fields stay 0.  The serial
-/// window-order reduce runs on the calling thread and is added to both
-/// binning views.
+/// sampling fields and the accumulation fields stay 0.  On the counts
+/// path sampling covers the Multinomial + direction-split draws,
+/// accumulation the ingest of the pair records.  The serial window-order
+/// reduce runs on the calling thread and is added to both binning views.
 struct SweepStageTimings {
   // Summed across workers (total CPU time per stage).
   std::uint64_t sampling_cpu_ns = 0;      // RNG + alias-sampler draws

@@ -1,10 +1,12 @@
 #include "palu/rng/distributions.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <deque>
 
 #include "palu/common/error.hpp"
+#include "palu/common/failpoint.hpp"
 #include "palu/math/gamma.hpp"
 
 namespace palu::rng {
@@ -47,6 +49,46 @@ std::uint64_t poisson_ptrs(Rng& rng, double lambda) {
   }
 }
 
+// Binomial(n, p) by single-uniform CDF inversion with the multiplicative
+// pmf recurrence
+//   pmf(k+1) = pmf(k) · (n−k)/(k+1) · p/(1−p):
+// one mul/div per step after a single exp setup, vs. one log per success
+// for the waiting-time form.  Caller passes log1p(-p) and p/(1−p) so a
+// fixed-p hot loop (the sequential multinomial split) precomputes them
+// once per category.  Requires p <= 0.5 and n·p < 10; that bounds the
+// setup (1−p)^n ≥ e^{−20}, so no underflow at k = 0.
+// Reciprocals of the step divisor k + 1: in the n·p < 10 regime the walk
+// serves, k almost never reaches kWalkInv, and a table-load multiply is
+// off the loop-carried pmf dependency chain where the divide was on it.
+constexpr std::size_t kWalkInv = 64;
+constexpr std::array<double, kWalkInv> kWalkInvTable = [] {
+  std::array<double, kWalkInv> table{};
+  for (std::size_t i = 1; i < kWalkInv; ++i) {
+    table[i] = 1.0 / static_cast<double>(i);
+  }
+  return table;
+}();
+
+std::uint64_t binomial_cdf_walk(Rng& rng, std::uint64_t n, double log1m_p,
+                                double ratio) {
+  double pmf = std::exp(static_cast<double>(n) * log1m_p);
+  double cdf = pmf;
+  const double u = rng.uniform();
+  std::uint64_t k = 0;
+  while (u > cdf && k < n) {
+    const double inv = k + 1 < kWalkInv
+                           ? kWalkInvTable[k + 1]
+                           : 1.0 / static_cast<double>(k + 1);
+    pmf *= ratio * static_cast<double>(n - k) * inv;
+    cdf += pmf;
+    ++k;
+    // Deep-tail underflow: u sits beyond the representable mass, so the
+    // walk can never catch up — stop at the last representable value.
+    if (pmf == 0.0) break;
+  }
+  return k;
+}
+
 // Binomial by waiting-time inversion; expected iterations = n·p + 1.
 std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
   const double log_q = std::log1p(-p);
@@ -60,9 +102,29 @@ std::uint64_t binomial_inversion(Rng& rng, std::uint64_t n, double p) {
   }
 }
 
+// ln(n!) with a Stirling tail past the shared table: two correction terms
+// leave the error far below the Lanczos kernel's own ~1e-13, at a third
+// of its cost (one log instead of three, no coefficient divisions).
+// Counts-path only — the legacy samplers keep math::log_factorial so
+// their accept/reject arithmetic stays bit-stable under the goldens.
+double log_factorial_fast(std::uint64_t n) {
+  if (n <= 1024) return math::log_factorial(n);
+  const double x = static_cast<double>(n) + 1.0;
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  return (x - 0.5) * std::log(x) - x +
+         0.91893853320467274178 +  // 0.5·ln(2π)
+         inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0));
+}
+
 // Hörmann's BTRS transformed-rejection binomial sampler; exact for
-// n·p ≥ 10, p ≤ 0.5.
-std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) {
+// n·p ≥ 10, p ≤ 0.5.  `lpq` is log(p / (1 − p)), passed in so fixed-p
+// hot loops (the sequential multinomial split) can precompute it.
+// kFastTail selects the Stirling ln(n!) for the rejection test; keep it
+// off anywhere byte-pinned to the legacy RNG stream.
+template <bool kFastTail>
+std::uint64_t binomial_btrs_prepared(Rng& rng, std::uint64_t n, double p,
+                                     double lpq) {
   const double nd = static_cast<double>(n);
   const double spq = std::sqrt(nd * p * (1.0 - p));
   const double b = 1.15 + 2.53 * spq;
@@ -70,10 +132,12 @@ std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) {
   const double c = nd * p + 0.5;
   const double v_r = 0.92 - 4.2 / b;
   const double alpha = (2.83 + 5.1 / b) * spq;
-  const double lpq = std::log(p / (1.0 - p));
   const double m = std::floor((nd + 1.0) * p);
-  const double h = math::log_factorial(static_cast<std::uint64_t>(m)) +
-                   math::log_factorial(n - static_cast<std::uint64_t>(m));
+  // h needs two log_factorials (log_gamma for n beyond the table) but is
+  // only read when the squeeze test fails (~15% of draws), so compute it
+  // lazily: same value, same RNG consumption, identical results.
+  double h = 0.0;
+  bool h_ready = false;
   for (;;) {
     const double u = rng.uniform() - 0.5;
     const double v = rng.uniform_positive();
@@ -82,11 +146,27 @@ std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) {
     if (kf < 0.0 || kf > nd) continue;
     const auto k = static_cast<std::uint64_t>(kf);
     if (us >= 0.07 && v <= v_r) return k;
+    if (!h_ready) {
+      h = kFastTail
+              ? log_factorial_fast(static_cast<std::uint64_t>(m)) +
+                    log_factorial_fast(n - static_cast<std::uint64_t>(m))
+              : math::log_factorial(static_cast<std::uint64_t>(m)) +
+                    math::log_factorial(n - static_cast<std::uint64_t>(m));
+      h_ready = true;
+    }
     const double lhs = std::log(v * alpha / (a / (us * us) + b));
-    const double rhs = h - math::log_factorial(k) -
-                       math::log_factorial(n - k) + (kf - m) * lpq;
+    const double rhs =
+        kFastTail ? h - log_factorial_fast(k) - log_factorial_fast(n - k) +
+                        (kf - m) * lpq
+                  : h - math::log_factorial(k) -
+                        math::log_factorial(n - k) + (kf - m) * lpq;
     if (lhs <= rhs) return k;
   }
+}
+
+std::uint64_t binomial_btrs(Rng& rng, std::uint64_t n, double p) {
+  return binomial_btrs_prepared<false>(rng, n, p,
+                                       std::log(p / (1.0 - p)));
 }
 
 }  // namespace
@@ -107,6 +187,23 @@ std::uint64_t sample_binomial(Rng& rng, std::uint64_t n, double p) {
   const double nq = static_cast<double>(n) * q;
   const std::uint64_t k =
       nq < 10.0 ? binomial_inversion(rng, n, q) : binomial_btrs(rng, n, q);
+  return flipped ? n - k : k;
+}
+
+std::uint64_t sample_binomial_small(Rng& rng, std::uint64_t n, double p) {
+  PALU_CHECK(p >= 0.0 && p <= 1.0,
+             "sample_binomial_small: requires 0 <= p <= 1");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  const bool flipped = p > 0.5;
+  const double q = flipped ? 1.0 - p : p;
+  if (static_cast<double>(n) * q >= 10.0) {
+    const std::uint64_t k = binomial_btrs_prepared<true>(
+        rng, n, q, std::log(q / (1.0 - q)));
+    return flipped ? n - k : k;
+  }
+  const std::uint64_t k =
+      binomial_cdf_walk(rng, n, std::log1p(-q), q / (1.0 - q));
   return flipped ? n - k : k;
 }
 
@@ -188,6 +285,181 @@ std::uint64_t BoundedZipfSampler::operator()(Rng& rng) const {
       return k;
     }
   }
+}
+
+MultinomialSampler::MultinomialSampler(const std::vector<double>& weights) {
+  PALU_CHECK(!weights.empty(), "MultinomialSampler: empty weight vector");
+  PALU_CHECK(weights.size() < (std::uint64_t{1} << 32),
+             "MultinomialSampler: too many categories");
+  categories_ = weights.size();
+  std::size_t cap = 1;
+  while (cap < categories_) cap <<= 1;
+  leaf_base_ = cap;
+  tree_.assign(2 * cap, 0.0);
+  for (std::size_t i = 0; i < categories_; ++i) {
+    PALU_CHECK(weights[i] >= 0.0 && std::isfinite(weights[i]),
+               "MultinomialSampler: weights must be finite and "
+               "non-negative");
+    tree_[leaf_base_ + i] = weights[i];
+  }
+  // Bottom-up build doubles as pairwise summation: tree_[1] is a far more
+  // accurate total than a naive left-to-right accumulation over a
+  // heavy-tailed weight vector.
+  for (std::size_t i = cap - 1; i >= 1; --i) {
+    tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+  }
+  PALU_CHECK(tree_[1] > 0.0, "MultinomialSampler: weights sum to zero");
+  // Dense-regime split constants from compensated (Neumaier) suffix sums,
+  // so heavy-tailed weights keep their conditional probabilities accurate
+  // all the way down the vector.  The last non-zero category gets p = 1:
+  // it absorbs whatever remains, which conserves mass exactly even under
+  // suffix-sum rounding.
+  split_p_.assign(categories_, 0.0);
+  split_log1m_.assign(categories_, 0.0);
+  split_ratio_.assign(categories_, 0.0);
+  split_lpq_.assign(categories_, 0.0);
+  double sum = 0.0;
+  double compensation = 0.0;
+  bool nonzero_seen = false;
+  for (std::size_t i = categories_; i-- > 0;) {
+    const double w = tree_[leaf_base_ + i];
+    if (w <= 0.0) continue;
+    if (!nonzero_seen) {
+      nonzero_seen = true;
+      last_nonzero_ = i;
+      split_p_[i] = 1.0;
+      sum = w;
+      continue;
+    }
+    const double t = sum + w;
+    if (std::abs(sum) >= std::abs(w)) {
+      compensation += (sum - t) + w;
+    } else {
+      compensation += (w - t) + sum;
+    }
+    sum = t;
+    const double p = std::min(1.0, w / (sum + compensation));
+    split_p_[i] = p;
+    if (p < 1.0) {
+      split_log1m_[i] = std::log1p(-p);
+      split_ratio_[i] = p / (1.0 - p);
+      split_lpq_[i] = std::log(split_ratio_[i]);
+    }
+  }
+}
+
+void MultinomialSampler::descend(Rng& rng, std::size_t node,
+                                 std::uint64_t n,
+                                 std::span<std::uint64_t> counts) const {
+  for (;;) {
+    if (n == 0) return;  // prune: the whole subtree stays at zero
+    if (node >= leaf_base_) {
+      counts[node - leaf_base_] = n;
+      return;
+    }
+    if (n == 1) {
+      // One remaining trial: a categorical draw by cumulative-sum descent
+      // is one uniform instead of one binomial per remaining level.
+      double target = rng.uniform() * tree_[node];
+      while (node < leaf_base_) {
+        const double left = tree_[2 * node];
+        if (target < left) {
+          node = 2 * node;
+        } else {
+          target -= left;
+          node = 2 * node + 1;
+        }
+      }
+      counts[node - leaf_base_] = 1;
+      return;
+    }
+    const double left = tree_[2 * node];
+    const double right = tree_[2 * node + 1];
+    if (right == 0.0) {  // includes the power-of-two padding subtrees
+      node = 2 * node;
+      continue;
+    }
+    if (left == 0.0) {
+      node = 2 * node + 1;
+      continue;
+    }
+    // tree_[node] was built as left + right, so the ratio is a valid
+    // probability (≤ 1) by IEEE semantics.
+    const std::uint64_t k = sample_binomial(rng, n, left / tree_[node]);
+    descend(rng, 2 * node, k, counts);
+    node = 2 * node + 1;
+    n -= k;
+  }
+}
+
+void MultinomialSampler::sequential_split(
+    Rng& rng, std::uint64_t n, std::span<std::uint64_t> counts) const {
+  // Conditional-binomial chain: category c takes
+  // Binomial(remaining, w_c / Σ_{j ≥ c} w_j), one linear cache-friendly
+  // pass over the precomputed split constants.  Exactly one split per
+  // non-zero category regardless of n — the dense-regime counterpart of
+  // the pruned tree descent — and the last non-zero category has p = 1,
+  // so it absorbs the remainder and mass is conserved exactly.
+  std::uint64_t remaining = n;
+  for (std::size_t i = 0; i < categories_; ++i) {
+    if (remaining == 0) return;  // counts are already zero-filled
+    const double p = split_p_[i];
+    if (p <= 0.0) continue;  // zero-weight category: always draws 0
+    std::uint64_t k;
+    if (p >= 1.0) {
+      k = remaining;  // last non-zero category absorbs the rest
+    } else if (p <= 0.5 &&
+               static_cast<double>(remaining) * p < 10.0) {
+      // Small-mean common case: the precomputed-constant CDF walk.
+      k = binomial_cdf_walk(rng, remaining, split_log1m_[i],
+                            split_ratio_[i]);
+    } else {
+      // Large mean (or p > 0.5): the BTRS kernel, fed the precomputed
+      // log(p/(1−p)) so the whole draw is transcendental-free on the
+      // squeeze-accept path.  At large n every category lands here, so
+      // this per-draw cost is what the N_V-scaling bench measures.
+      const bool flipped = p > 0.5;
+      const double q = flipped ? 1.0 - p : p;
+      const double lpq = flipped ? -split_lpq_[i] : split_lpq_[i];
+      std::uint64_t kq;
+      if (static_cast<double>(remaining) * q >= 10.0) {
+        kq = binomial_btrs_prepared<true>(rng, remaining, q, lpq);
+      } else {
+        // Rare: a dominant category (p > 0.5) met late, once `remaining`
+        // has shrunk below the BTRS regime.
+        kq = binomial_cdf_walk(rng, remaining, std::log1p(-q),
+                               q / (1.0 - q));
+      }
+      k = flipped ? remaining - kq : kq;
+    }
+    counts[i] = k;
+    remaining -= k;
+  }
+}
+
+void MultinomialSampler::operator()(Rng& rng, std::uint64_t n,
+                                    std::span<std::uint64_t> counts) const {
+  PALU_CHECK(counts.size() == categories_,
+             "MultinomialSampler: counts span must have one slot per "
+             "category");
+  PALU_FAILPOINT("rng.multinomial");
+  std::fill(counts.begin(), counts.end(), std::uint64_t{0});
+  if (n == 0) return;
+  // Crossover: once n is within a small factor of the category count the
+  // tree cannot prune enough to beat one cheap split per category.
+  if (n >= (categories_ + 3) / 4) {
+    sequential_split(rng, n, counts);
+    return;
+  }
+  descend(rng, 1, n, counts);
+}
+
+std::vector<std::uint64_t> sample_multinomial(
+    Rng& rng, std::uint64_t n, const std::vector<double>& weights) {
+  const MultinomialSampler sampler(weights);
+  std::vector<std::uint64_t> counts(weights.size(), 0);
+  sampler(rng, n, std::span<std::uint64_t>(counts));
+  return counts;
 }
 
 AliasSampler::AliasSampler(const std::vector<double>& weights,

@@ -1,10 +1,77 @@
 #include "palu/traffic/stream.hpp"
 
+#include <bit>
 #include <cmath>
+#include <unordered_map>
+#include <utility>
 
 #include "palu/common/error.hpp"
+#include "palu/common/failpoint.hpp"
 
 namespace palu::traffic {
+
+namespace {
+
+/// Neumaier (Kahan–Babuška) compensated sum: a naive `total += r` over a
+/// heavy-tailed Pareto rate vector silently drops the small rates' mass
+/// once one giant rate dominates the accumulator, which skews every
+/// normalized rate.  The running compensation keeps the error at one ulp
+/// of the true sum regardless of ordering or dynamic range.
+double compensated_sum(const std::vector<double>& values) {
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (const double v : values) {
+    const double t = sum + v;
+    if (std::abs(sum) >= std::abs(v)) {
+      compensation += (sum - t) + v;
+    } else {
+      compensation += (v - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + compensation;
+}
+
+/// Binomial(n, 1/2) for n <= 64: one RNG word, n coin flips by popcount.
+/// Exact, and an order of magnitude cheaper than waiting-time inversion
+/// for the small per-pair counts that dominate a count-space window.
+std::uint64_t binomial_half_small(Rng& rng, std::uint64_t n) {
+  const std::uint64_t mask =
+      n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  return static_cast<std::uint64_t>(std::popcount(rng() & mask));
+}
+
+/// Binomial(n, 1/2) by whole-word popcounts, cheaper than a rejection
+/// draw up to a few thousand trials.  Beyond kPopcountCap the O(n/64)
+/// word loop loses to BTRS's O(1).
+constexpr std::uint64_t kPopcountCap = 2048;
+
+std::uint64_t binomial_half(Rng& rng, std::uint64_t n) {
+  std::uint64_t k = 0;
+  while (n > 64) {
+    k += static_cast<std::uint64_t>(std::popcount(rng()));
+    n -= 64;
+  }
+  return k + binomial_half_small(rng, n);
+}
+
+/// Linear-probe memo over (n_valid → value); sweeps and benches query a
+/// handful of distinct window sizes, so a flat list beats a map.  Bounded
+/// so a pathological caller cannot grow it without limit.
+constexpr std::size_t kMemoCap = 64;
+
+template <typename Compute>
+double memoized(std::vector<std::pair<Count, double>>& memo, Count n_valid,
+                Compute&& compute) {
+  for (const auto& [key, value] : memo) {
+    if (key == n_valid) return value;
+  }
+  const double value = compute();
+  if (memo.size() < kMemoCap) memo.emplace_back(n_valid, value);
+  return value;
+}
+
+}  // namespace
 
 std::vector<double> make_edge_rates(const graph::Graph& g,
                                     const RateModel& model, Rng rng) {
@@ -52,11 +119,10 @@ SyntheticTrafficGenerator::SyntheticTrafficGenerator(
   PALU_CHECK(rates.size() == edges_.size(),
              "SyntheticTrafficGenerator: one rate per edge required");
   rates_ = std::move(rates);
-  double total = 0.0;
-  for (double r : rates_) {
+  for (const double r : rates_) {
     PALU_CHECK(r >= 0.0, "SyntheticTrafficGenerator: negative rate");
-    total += r;
   }
+  const double total = compensated_sum(rates_);
   PALU_CHECK(total > 0.0, "SyntheticTrafficGenerator: all rates zero");
   for (double& r : rates_) r /= total;
   sampler_.emplace(rates_);
@@ -79,6 +145,109 @@ void SyntheticTrafficGenerator::next_batch(std::span<Packet> out) {
   }
 }
 
+void SyntheticTrafficGenerator::build_counts_support() {
+  // Merge edges by unordered endpoint pair.  A Multinomial category per
+  // *pair* (weight = Σ rates of its parallel edges) is distributionally
+  // exact, and the direction split stays a single Binomial because every
+  // packet on the pair flows u → v with the same mixture probability
+  //   P[u → v] = Σ_i rate_i · f_i / Σ_i rate_i,
+  // where f_i is forward_prob for edges stored (u, v) and 1 − forward_prob
+  // for edges stored (v, u).  Self-pairs route everything to forward.
+  struct PairSlot {
+    std::size_t index;      // into the SoA below (first-seen order)
+    double forward_weight;  // Σ rate_i · f_i, same units as weight
+  };
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+      std::uint64_t h = p.first * 0x9e3779b97f4a7c15ULL;
+      h ^= p.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdULL;
+      return static_cast<std::size_t>(h ^ (h >> 33));
+    }
+  };
+
+  std::vector<NodeId> u, v;
+  std::vector<double> weight;
+  std::unordered_map<std::pair<NodeId, NodeId>, PairSlot, PairHash> seen;
+  seen.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const double r = rates_[i];
+    if (r <= 0.0) continue;  // zero-weight edges never emit packets
+    const graph::Edge& e = edges_[i];
+    const auto key = e.u <= e.v ? std::make_pair(e.u, e.v)
+                                : std::make_pair(e.v, e.u);
+    auto [it, inserted] = seen.try_emplace(key, PairSlot{u.size(), 0.0});
+    if (inserted) {
+      // Canonical orientation = the first-seen stored orientation, so the
+      // common duplicate-free case keeps the edge's natural (u, v).
+      u.push_back(e.u);
+      v.push_back(e.v);
+      weight.push_back(0.0);
+    }
+    const std::size_t slot = it->second.index;
+    weight[slot] += r;
+    if (e.u == e.v) {
+      it->second.forward_weight += r;  // self-pair: everything is forward
+    } else if (e.u == u[slot] && e.v == v[slot]) {
+      it->second.forward_weight += r * forward_prob_;
+    } else {
+      it->second.forward_weight += r * (1.0 - forward_prob_);
+    }
+  }
+
+  std::vector<double> forward_prob(u.size());
+  for (const auto& [key, slot] : seen) {
+    (void)key;
+    forward_prob[slot.index] =
+        weight[slot.index] > 0.0 ? slot.forward_weight / weight[slot.index]
+                                 : 0.0;
+  }
+  // The single-edge-per-pair case is by far the most common; pin its
+  // forward probability to the exact ctor value so the popcount fast path
+  // for forward_prob == 0.5 engages.
+  if (!edges_.empty()) {
+    for (std::size_t i = 0; i < forward_prob.size(); ++i) {
+      if (u[i] != v[i] &&
+          std::abs(forward_prob[i] - forward_prob_) < 1e-15) {
+        forward_prob[i] = forward_prob_;
+      }
+    }
+  }
+
+  counts_support_.emplace(CountsSupport{
+      rng::MultinomialSampler(weight), std::move(u), std::move(v),
+      std::move(forward_prob), std::vector<Count>(weight.size(), 0)});
+}
+
+void SyntheticTrafficGenerator::next_window_counts(
+    Count n_valid, std::vector<EdgePacketCounts>& out) {
+  if (!counts_support_) build_counts_support();
+  PALU_FAILPOINT("traffic.window_counts");
+  CountsSupport& s = *counts_support_;
+  s.sampler(rng_, n_valid, std::span<Count>(s.counts));
+  // One record per merged pair, in the fixed support order, zero rows
+  // included: every per-window pass here and downstream then runs over a
+  // size that depends only on the graph, never on N_V or on how many
+  // pairs happened to draw packets — the flat-cost half of the counts
+  // path's O(E) contract (the other half is the sampler's dense-regime
+  // sequential split).
+  out.resize(s.counts.size());
+  for (std::size_t i = 0; i < s.counts.size(); ++i) {
+    const Count c = s.counts[i];
+    Count forward;
+    if (c == 0) {
+      forward = 0;
+    } else if (s.u[i] == s.v[i] || s.forward_prob[i] >= 1.0) {
+      forward = c;
+    } else if (s.forward_prob[i] == 0.5 && c <= kPopcountCap) {
+      forward = binomial_half(rng_, c);
+    } else {
+      forward = rng::sample_binomial_small(rng_, c, s.forward_prob[i]);
+    }
+    out[i] = EdgePacketCounts{s.u[i], s.v[i], forward, c - forward};
+  }
+}
+
 SparseCountMatrix SyntheticTrafficGenerator::window(Count n_valid) {
   SparseCountMatrix a;
   for (Count i = 0; i < n_valid; ++i) {
@@ -98,26 +267,30 @@ std::vector<SparseCountMatrix> SyntheticTrafficGenerator::windows(
 
 double SyntheticTrafficGenerator::expected_edge_visibility(
     Count n_valid) const {
-  double acc = 0.0;
-  const double n = static_cast<double>(n_valid);
-  for (double r : rates_) {
-    // P[edge seen] = 1 − (1 − r)^{N_V}.
-    acc += -std::expm1(n * std::log1p(-r));
-  }
-  return acc / static_cast<double>(rates_.size());
+  return memoized(visibility_memo_, n_valid, [&] {
+    double acc = 0.0;
+    const double n = static_cast<double>(n_valid);
+    for (double r : rates_) {
+      // P[edge seen] = 1 − (1 − r)^{N_V}.
+      acc += -std::expm1(n * std::log1p(-r));
+    }
+    return acc / static_cast<double>(rates_.size());
+  });
 }
 
 double SyntheticTrafficGenerator::expected_unique_links(
     Count n_valid) const {
-  const double n = static_cast<double>(n_valid);
-  double acc = 0.0;
-  for (const double r : rates_) {
-    const double forward = forward_prob_ * r;
-    const double backward = (1.0 - forward_prob_) * r;
-    if (forward > 0.0) acc += -std::expm1(n * std::log1p(-forward));
-    if (backward > 0.0) acc += -std::expm1(n * std::log1p(-backward));
-  }
-  return acc;
+  return memoized(unique_links_memo_, n_valid, [&] {
+    const double n = static_cast<double>(n_valid);
+    double acc = 0.0;
+    for (const double r : rates_) {
+      const double forward = forward_prob_ * r;
+      const double backward = (1.0 - forward_prob_) * r;
+      if (forward > 0.0) acc += -std::expm1(n * std::log1p(-forward));
+      if (backward > 0.0) acc += -std::expm1(n * std::log1p(-backward));
+    }
+    return acc;
+  });
 }
 
 }  // namespace palu::traffic

@@ -10,6 +10,15 @@ namespace {
 constexpr std::size_t kInitialCapacity = std::size_t{1} << 10;
 // The live-slot lists hold 32-bit indices, so tables cap at 2^32 slots.
 constexpr std::size_t kMaxCapacity = std::size_t{1} << 32;
+// Count-space windows use dense NodeId-indexed marginal arrays only while
+// the id range stays within a small factor of the active pair count;
+// beyond that (sparse ids) the records replay through the hash tables.
+constexpr std::size_t kDenseNodeFactor = 8;
+constexpr std::size_t kDenseNodeFloor = 4096;
+// Histogram values below this accumulate in a dense value-indexed array;
+// rarer larger values (a single pair can carry ~N_V packets) go through a
+// small overflow list so the scratch never balloons.
+constexpr Count kDenseValueCap = Count{1} << 22;
 }  // namespace
 
 WindowAccumulator::WindowAccumulator() {
@@ -45,6 +54,9 @@ std::uint64_t WindowAccumulator::mix_node(NodeId id) noexcept {
 void WindowAccumulator::begin_window() {
   live_cells_.clear();
   total_ = 0;
+  counts_mode_ = false;
+  counts_nnz_ = 0;
+  pairs_ = {};
   if (++epoch_ == 0) {
     // The 32-bit stamp wrapped: stamps from 2^32 windows ago could alias
     // the new epoch, so take the rare O(capacity) clear.
@@ -65,7 +77,46 @@ void WindowAccumulator::add_packets(std::span<const Packet> packets) {
   for (const Packet& p : packets) add(p.src, p.dst);
 }
 
+void WindowAccumulator::ingest_counts(std::span<const EdgePacketCounts> pairs) {
+  Count total = 0;
+  std::size_t nnz = 0;
+  NodeId max_id = 0;
+  for (const EdgePacketCounts& pc : pairs) {
+    total += pc.forward + pc.backward;
+    nnz += static_cast<std::size_t>(pc.forward > 0) +
+           static_cast<std::size_t>(pc.backward > 0);
+    max_id = std::max({max_id, pc.u, pc.v});
+  }
+  const std::size_t dense_nodes = static_cast<std::size_t>(max_id) + 1;
+  if (!pairs.empty() &&
+      dense_nodes > kDenseNodeFactor * pairs.size() + kDenseNodeFloor) {
+    // Ids too sparse for dense marginals: replay through the hash tables.
+    for (const EdgePacketCounts& pc : pairs) {
+      add(pc.u, pc.v, pc.forward);
+      add(pc.v, pc.u, pc.backward);
+    }
+    return;
+  }
+  counts_mode_ = true;
+  counts_nnz_ = nnz;
+  counts_dense_nodes_ = dense_nodes;
+  total_ = total;
+  pairs_ = pairs;
+  if (node_packets_dense_.size() < dense_nodes) {
+    node_packets_dense_.assign(dense_nodes, 0);
+    node_fan_dense_.assign(dense_nodes, 0);
+  }
+}
+
 Count WindowAccumulator::at(NodeId src, NodeId dst) const {
+  if (counts_mode_) {
+    // Cold path (tests, spot checks): one scan over the unique pairs.
+    for (const EdgePacketCounts& pc : pairs_) {
+      if (pc.u == src && pc.v == dst) return pc.forward;
+      if (pc.u == dst && pc.v == src) return pc.backward;
+    }
+    return 0;
+  }
   const std::size_t slot = find_cell(src, dst);
   return slot == kNpos ? 0 : cells_[slot].count;
 }
@@ -155,6 +206,7 @@ void WindowAccumulator::grow_nodes() {
 }
 
 stats::DegreeHistogram WindowAccumulator::histogram(Quantity q) {
+  if (counts_mode_) return histogram_counts(q);
   stats::DegreeHistogram h;
   switch (q) {
     case Quantity::kLinkPackets:
@@ -211,6 +263,99 @@ stats::DegreeHistogram WindowAccumulator::histogram(Quantity q) {
     }
   }
   return h;
+}
+
+void WindowAccumulator::add_value(Count v) {
+  if (v >= kDenseValueCap) {
+    overflow_values_.push_back(v);
+    return;
+  }
+  if (v >= value_count_.size()) {
+    value_count_.resize(std::max<std::size_t>(v + 1, value_count_.size() * 2),
+                        0);
+  }
+  if (value_count_[v]++ == 0) touched_values_.push_back(v);
+}
+
+stats::DegreeHistogram WindowAccumulator::drain_value_scratch() {
+  stats::DegreeHistogram h;
+  for (const Count v : touched_values_) {
+    h.add(v, value_count_[v]);
+    value_count_[v] = 0;
+  }
+  touched_values_.clear();
+  for (const Count v : overflow_values_) h.add(v);
+  overflow_values_.clear();
+  return h;
+}
+
+stats::DegreeHistogram WindowAccumulator::emit_dense_nodes(
+    bool want_packets) {
+  // Linear sweep over the dense id range: every pass increments fan when
+  // it credits a node, so fan > 0 marks exactly the touched nodes, and
+  // re-zeroing restores the all-zero invariant.  The sweep is a fixed
+  // graph-sized cost — cheaper than touched-list bookkeeping once most
+  // nodes are active, and N_V-independent either way.
+  for (std::size_t id = 0; id < counts_dense_nodes_; ++id) {
+    const Count fan = node_fan_dense_[id];
+    if (fan == 0) continue;
+    add_value(want_packets ? node_packets_dense_[id] : fan);
+    node_packets_dense_[id] = 0;
+    node_fan_dense_[id] = 0;
+  }
+  return drain_value_scratch();
+}
+
+stats::DegreeHistogram WindowAccumulator::histogram_counts(Quantity q) {
+  // Each record expands to the directed cells (u, v, forward) and
+  // (v, u, backward); pairs are unique, so — unlike the hash path — no
+  // mirror lookups are needed anywhere, including kUndirectedDegree.
+  switch (q) {
+    case Quantity::kLinkPackets:
+      for (const EdgePacketCounts& pc : pairs_) {
+        if (pc.forward > 0) add_value(pc.forward);
+        if (pc.backward > 0) add_value(pc.backward);
+      }
+      return drain_value_scratch();
+    case Quantity::kSourcePackets:
+    case Quantity::kSourceFanOut:
+      for (const EdgePacketCounts& pc : pairs_) {
+        if (pc.forward > 0) {
+          node_packets_dense_[pc.u] += pc.forward;
+          ++node_fan_dense_[pc.u];
+        }
+        if (pc.backward > 0) {
+          node_packets_dense_[pc.v] += pc.backward;
+          ++node_fan_dense_[pc.v];
+        }
+      }
+      return emit_dense_nodes(q == Quantity::kSourcePackets);
+    case Quantity::kDestinationPackets:
+    case Quantity::kDestinationFanIn:
+      for (const EdgePacketCounts& pc : pairs_) {
+        if (pc.forward > 0) {
+          node_packets_dense_[pc.v] += pc.forward;
+          ++node_fan_dense_[pc.v];
+        }
+        if (pc.backward > 0) {
+          node_packets_dense_[pc.u] += pc.backward;
+          ++node_fan_dense_[pc.u];
+        }
+      }
+      return emit_dense_nodes(q == Quantity::kDestinationPackets);
+    case Quantity::kUndirectedDegree:
+      // Pair-owned-once comes for free: every record IS one unordered
+      // pair, so each endpoint is credited exactly once per active pair.
+      // Zero rows (the support pairs that drew no packets this window)
+      // carry no degree.
+      for (const EdgePacketCounts& pc : pairs_) {
+        if (pc.u == pc.v || (pc.forward | pc.backward) == 0) continue;
+        ++node_fan_dense_[pc.u];
+        ++node_fan_dense_[pc.v];
+      }
+      return emit_dense_nodes(false);
+  }
+  return stats::DegreeHistogram{};
 }
 
 }  // namespace palu::traffic

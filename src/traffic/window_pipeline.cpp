@@ -41,6 +41,7 @@ struct SweepScratch {
   SyntheticTrafficGenerator gen;
   WindowAccumulator acc;
   std::vector<Packet> buf;
+  std::vector<EdgePacketCounts> pairs;  // counts-path window records
 };
 
 constexpr std::size_t kPacketBatch = 8192;
@@ -76,7 +77,7 @@ struct SweepMetrics {
   obs::Histogram& stage_accumulation;
   obs::Histogram& stage_binning;
 
-  SweepMetrics(obs::Registry& r, bool fast_path)
+  SweepMetrics(obs::Registry& r, const char* path)
       : runs(r.counter(obs::names::kSweepRuns)),
         windows_completed(r.counter(obs::names::kSweepWindows,
                                     {{"outcome", "completed"}})),
@@ -89,15 +90,14 @@ struct SweepMetrics {
         failpoint_trips(r.counter(obs::names::kSweepFailpointTrips)),
         pool_threads(r.gauge(obs::names::kSweepPoolThreads)),
         sweep_duration(r.histogram(obs::names::kSweepDurationNs)),
-        stage_sampling(stage_histogram(r, fast_path, "sampling")),
-        stage_accumulation(stage_histogram(r, fast_path, "accumulation")),
-        stage_binning(stage_histogram(r, fast_path, "binning")) {}
+        stage_sampling(stage_histogram(r, path, "sampling")),
+        stage_accumulation(stage_histogram(r, path, "accumulation")),
+        stage_binning(stage_histogram(r, path, "binning")) {}
 
-  static obs::Histogram& stage_histogram(obs::Registry& r, bool fast_path,
+  static obs::Histogram& stage_histogram(obs::Registry& r, const char* path,
                                          const char* stage) {
     return r.histogram(obs::names::kSweepStageDurationNs,
-                       {{"path", fast_path ? "fast" : "legacy"},
-                        {"stage", stage}});
+                       {{"path", path}, {"stage", stage}});
   }
 };
 
@@ -126,6 +126,22 @@ stats::DegreeHistogram run_window_fast(SweepScratch& scratch, Count n_valid,
   return h;
 }
 
+stats::DegreeHistogram run_window_counts(SweepScratch& scratch,
+                                         Count n_valid, Quantity quantity,
+                                         StageNs& timings) {
+  scratch.acc.begin_window();
+  const auto t0 = Clock::now();
+  scratch.gen.next_window_counts(n_valid, scratch.pairs);
+  const auto t1 = Clock::now();
+  scratch.acc.ingest_counts(scratch.pairs);
+  const auto t2 = Clock::now();
+  stats::DegreeHistogram h = scratch.acc.histogram(quantity);
+  timings.sampling += ns_between(t0, t1);
+  timings.accumulation += ns_between(t1, t2);
+  timings.binning += ns_between(t2, Clock::now());
+  return h;
+}
+
 }  // namespace
 
 WindowSweepResult sweep_windows(const graph::Graph& underlying,
@@ -136,9 +152,13 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
   PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
 
+  const bool counts_path = opts.synthesis == SynthesisMode::kMultinomial;
+  const bool pooled_scratch = counts_path || opts.fast_path;
+
   obs::Registry& registry =
       opts.metrics != nullptr ? *opts.metrics : obs::default_registry();
-  SweepMetrics metrics(registry, opts.fast_path);
+  SweepMetrics metrics(
+      registry, counts_path ? "counts" : opts.fast_path ? "fast" : "legacy");
   metrics.runs.inc();
   metrics.pool_threads.set(static_cast<std::int64_t>(pool.size()));
   obs::TraceSpan sweep_span(metrics.sweep_duration);
@@ -182,15 +202,17 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   const std::vector<double> shared_rates =
       make_edge_rates(underlying, rates, base.fork(0));
 
-  // Fast path: per-worker scratch slots; each slot pays the edge copy and
-  // alias-table build once and is reseeded per window, versus the legacy
-  // path's per-window generator construction.
+  // Fast and counts paths: per-worker scratch slots; each slot pays the
+  // edge copy and alias-table build once (the counts support adds itself
+  // lazily on a slot's first counts window) and is reseeded per window,
+  // versus the legacy path's per-window generator construction.
   std::optional<ScratchPool<SweepScratch>> scratch;
-  if (opts.fast_path) {
+  if (pooled_scratch) {
     scratch.emplace([&underlying, &shared_rates]() {
       return std::make_unique<SweepScratch>(SweepScratch{
           SyntheticTrafficGenerator(underlying, shared_rates, Rng(0)),
           WindowAccumulator{},
+          {},
           {}});
     });
   }
@@ -205,12 +227,16 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   parallel_for(pool, 0, num_windows, /*grain=*/1, [&](IndexRange range) {
     StageNs local;
     std::optional<ScratchPool<SweepScratch>::Lease> lease;
-    if (opts.fast_path) lease.emplace(scratch->acquire());
+    if (pooled_scratch) lease.emplace(scratch->acquire());
     for (std::size_t t = range.begin; t < range.end; ++t) {
       if (should_stop()) break;  // leave the remaining slots unset
       try {
         PALU_FAILPOINT("traffic.sweep_window");
-        if (opts.fast_path) {
+        if (counts_path) {
+          (*lease)->gen.reseed(base.fork(t + 1));
+          histograms[t] =
+              run_window_counts(**lease, n_valid, quantity, local);
+        } else if (opts.fast_path) {
           (*lease)->gen.reseed(base.fork(t + 1));
           histograms[t] =
               run_window_fast(**lease, n_valid, quantity, local);

@@ -217,6 +217,41 @@ TEST(Binomial, NeverExceedsN) {
   }
 }
 
+TEST(Binomial, SmallMeanKernelMatchesMoments) {
+  // sample_binomial_small implements the same law through a different
+  // small-mean kernel (single-uniform CDF walk below n·min(p,1−p) = 10,
+  // the shared BTRS kernel above).  Cover the walk regime, the BTRS
+  // handoff, and the p > 0.5 mirror of each.
+  for (const auto [n, p] :
+       {BinomialCase{40, 0.05}, BinomialCase{40, 0.95},
+        BinomialCase{9, 0.5}, BinomialCase{5000, 0.2},
+        BinomialCase{200, 0.97}, BinomialCase{1000000, 0.0005}}) {
+    Rng rng(606);
+    constexpr int kN = 200000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < kN; ++i) {
+      const auto k =
+          static_cast<double>(sample_binomial_small(rng, n, p));
+      ASSERT_LE(k, static_cast<double>(n));
+      sum += k;
+      sum2 += k * k;
+    }
+    const double mean = sum / kN;
+    const double var = sum2 / kN - mean * mean;
+    const double m = static_cast<double>(n) * p;
+    const double v = m * (1.0 - p);
+    EXPECT_NEAR(mean, m, 6.0 * std::sqrt(v / kN) + 1e-9)
+        << "n=" << n << " p=" << p;
+    EXPECT_NEAR(var, v, 0.03 * v + 1e-9) << "n=" << n << " p=" << p;
+  }
+  Rng rng(1);
+  EXPECT_EQ(sample_binomial_small(rng, 0, 0.5), 0u);
+  EXPECT_EQ(sample_binomial_small(rng, 50, 0.0), 0u);
+  EXPECT_EQ(sample_binomial_small(rng, 50, 1.0), 50u);
+  EXPECT_THROW(sample_binomial_small(rng, 10, -0.5),
+               palu::InvalidArgument);
+}
+
 TEST(Poisson, AlgorithmBoundaryIsSeamless) {
   // λ just below and above the inversion/PTRS switch must produce the
   // same law; compare mean and a head pmf between the two.
@@ -374,6 +409,165 @@ TEST(Alias, RejectsDegenerateInputs) {
   EXPECT_THROW(AliasSampler({}), palu::InvalidArgument);
   EXPECT_THROW(AliasSampler({0.0, 0.0}), palu::InvalidArgument);
   EXPECT_THROW(AliasSampler({-1.0, 2.0}), palu::InvalidArgument);
+}
+
+TEST(Multinomial, ConservesMassExactly) {
+  // The binomial-splitting tree partitions n at every node, so the draw
+  // must sum to n exactly — for any n, including far above the per-draw
+  // variance where a lost trial would hide from moment checks.
+  const std::vector<double> weights{3.0, 0.25, 10.0, 1.0, 0.5, 7.0, 2.0};
+  MultinomialSampler sampler(weights);
+  Rng rng(811);
+  std::vector<std::uint64_t> counts(weights.size());
+  for (const std::uint64_t n :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{13},
+        std::uint64_t{4096}, std::uint64_t{1000003}}) {
+    sampler(rng, n, counts);
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    EXPECT_EQ(total, n) << "n=" << n;
+  }
+}
+
+TEST(Multinomial, ChiSquareAgreementAcrossSeeds) {
+  // Pooled per-category frequencies vs the exact expectation n·w_i/Σw,
+  // as a chi-square statistic per seed.  dof = 7 categories − 1 = 6;
+  // the 0.999 quantile of χ²(6) is 22.46, so a correct sampler fails one
+  // seed in a thousand — four independent seeds make a flake vanishing.
+  const std::vector<double> weights{5.0, 1.0, 0.01, 12.0, 3.0, 0.5, 2.0};
+  double total_weight = 0.0;
+  for (const double w : weights) total_weight += w;
+  MultinomialSampler sampler(weights);
+  constexpr std::uint64_t kN = 200000;
+  std::vector<std::uint64_t> counts(weights.size());
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Rng rng(seed);
+    sampler(rng, kN, counts);
+    double chi2 = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double expected =
+          static_cast<double>(kN) * weights[i] / total_weight;
+      ASSERT_GT(expected, 50.0);
+      const double d = static_cast<double>(counts[i]) - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 22.46) << "seed=" << seed;
+  }
+}
+
+TEST(Multinomial, SparseAndDenseRegimesAgree) {
+  // The sampler switches from pruned tree descent to the sequential
+  // conditional-binomial chain at n >= (categories + 3) / 4.  Both
+  // implement the same law, so pooled per-category frequencies from
+  // either side of the crossover must match the exact expectation.
+  constexpr std::size_t kCats = 256;
+  std::vector<double> weights(kCats);
+  Rng wrng(3);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = std::pow(wrng.uniform_positive(), -0.5);  // heavy-tailed weights
+    total += w;
+  }
+  MultinomialSampler sampler(weights);
+  std::vector<std::uint64_t> counts(kCats);
+  const auto pool = [&](Rng& rng, std::uint64_t per_draw, int draws,
+                        std::vector<double>& out) {
+    out.assign(kCats, 0.0);
+    for (int d = 0; d < draws; ++d) {
+      sampler(rng, per_draw, counts);
+      for (std::size_t i = 0; i < kCats; ++i) {
+        out[i] += static_cast<double>(counts[i]);
+      }
+    }
+  };
+  // 32 < 256/4: multi-trial tree descent.  6000 < ... is not: the chain.
+  std::vector<double> sparse, dense;
+  Rng rng_s(71), rng_d(72);
+  pool(rng_s, 32, 8000, sparse);
+  pool(rng_d, 6000, 50, dense);
+  for (std::size_t i = 0; i < kCats; ++i) {
+    const double p = weights[i] / total;
+    for (const auto* pooled : {&sparse, &dense}) {
+      const double n = pooled == &sparse ? 32.0 * 8000.0 : 6000.0 * 50.0;
+      const double sigma = std::sqrt(n * p * (1.0 - p));
+      EXPECT_NEAR((*pooled)[i], n * p, 6.0 * sigma + 1.0) << "cat " << i;
+    }
+  }
+}
+
+TEST(Multinomial, MatchesRepeatedCategoricalLaw) {
+  // Cross-check against the alias sampler: both implement the same law,
+  // so pooled frequencies over many draws must agree within CLT noise.
+  const std::vector<double> weights{1.0, 2.0, 4.0, 8.0};
+  MultinomialSampler multi(weights);
+  AliasSampler alias(weights);
+  constexpr int kDraws = 200;
+  constexpr std::uint64_t kPerDraw = 1000;
+  std::vector<double> from_multi(weights.size(), 0.0);
+  std::vector<double> from_alias(weights.size(), 0.0);
+  Rng rng_m(99), rng_a(99);
+  std::vector<std::uint64_t> counts(weights.size());
+  for (int d = 0; d < kDraws; ++d) {
+    multi(rng_m, kPerDraw, counts);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      from_multi[i] += static_cast<double>(counts[i]);
+    }
+    for (std::uint64_t i = 0; i < kPerDraw; ++i) ++from_alias[alias(rng_a)];
+  }
+  const double n = kDraws * static_cast<double>(kPerDraw);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double p = weights[i] / 15.0;
+    const double sigma = std::sqrt(n * p * (1.0 - p));
+    EXPECT_NEAR(from_multi[i], from_alias[i], 8.0 * sigma) << "cat " << i;
+  }
+}
+
+TEST(Multinomial, SingleCategoryTakesEverything) {
+  MultinomialSampler sampler({2.5});
+  Rng rng(4);
+  std::vector<std::uint64_t> counts(1);
+  sampler(rng, 123456, counts);
+  EXPECT_EQ(counts[0], 123456u);
+}
+
+TEST(Multinomial, ZeroWeightCategoriesNeverDraw) {
+  MultinomialSampler sampler({0.0, 3.0, 0.0, 1.0, 0.0});
+  Rng rng(6);
+  std::vector<std::uint64_t> counts(5);
+  for (int rep = 0; rep < 50; ++rep) {
+    sampler(rng, 10000, counts);
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_EQ(counts[2], 0u);
+    EXPECT_EQ(counts[4], 0u);
+    EXPECT_EQ(counts[1] + counts[3], 10000u);
+  }
+}
+
+TEST(Multinomial, ZeroTrialsLeaveAllZero) {
+  MultinomialSampler sampler({1.0, 2.0, 3.0});
+  Rng rng(8);
+  std::vector<std::uint64_t> counts{9, 9, 9};  // stale scratch is cleared
+  sampler(rng, 0, counts);
+  for (const auto c : counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(Multinomial, RejectsDegenerateInputs) {
+  EXPECT_THROW(MultinomialSampler({}), palu::InvalidArgument);
+  EXPECT_THROW(MultinomialSampler({0.0, 0.0}), palu::InvalidArgument);
+  EXPECT_THROW(MultinomialSampler({1.0, -2.0}), palu::InvalidArgument);
+  MultinomialSampler sampler({1.0, 1.0});
+  Rng rng(2);
+  std::vector<std::uint64_t> wrong_size(3);
+  EXPECT_THROW(sampler(rng, 5, wrong_size), palu::InvalidArgument);
+}
+
+TEST(Multinomial, ConvenienceWrapperMatchesLaw) {
+  Rng rng(21);
+  const auto counts = sample_multinomial(rng, 1000, {1.0, 1.0});
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0] + counts[1], 1000u);
+  // Binomial(1000, 1/2) is within 6σ ≈ 95 of 500 essentially always.
+  EXPECT_NEAR(static_cast<double>(counts[0]), 500.0, 95.0);
 }
 
 }  // namespace

@@ -143,12 +143,96 @@ TEST(TsanStress, ConcurrentSweepsShareOneMetricsRegistry) {
 
   const auto snap = registry.snapshot();
   for (const auto& c : snap.counters) {
-    if (c.name == obs::names::kSweepRuns) EXPECT_EQ(c.value, 2u);
+    if (c.name == obs::names::kSweepRuns) {
+      EXPECT_EQ(c.value, 2u);
+    }
     if (c.name == obs::names::kSweepWindows && !c.labels.empty() &&
         c.labels.front().second == "completed") {
       EXPECT_EQ(c.value, 24u);
     }
   }
+}
+
+TEST(TsanStress, ConcurrentCountsSweepsShareOneMetricsRegistry) {
+  // The count-space path (PR 5) on the same contract as the packet path:
+  // two counts sweeps recording into one registry while a third thread
+  // snapshots, exercising the MultinomialSampler (shared per-worker via
+  // ScratchPool leases), ingest_counts, and the path=counts stage
+  // histograms under TSan.
+  const auto g = stress_graph();
+  obs::Registry registry;
+  std::atomic<bool> stop_reading{false};
+  std::thread reader([&registry, &stop_reading]() {
+    while (!stop_reading.load(std::memory_order_relaxed)) {
+      const auto snap = registry.snapshot();
+      EXPECT_LE(snap.counters.size(), registry.num_series());
+      std::this_thread::yield();
+    }
+  });
+
+  auto run_sweep = [&g, &registry](std::uint64_t seed) {
+    ThreadPool pool(2);
+    traffic::SweepOptions opts;
+    opts.synthesis = traffic::SynthesisMode::kMultinomial;
+    opts.metrics = &registry;
+    const auto result = traffic::sweep_windows(
+        g, traffic::RateModel{}, 30000, 12,
+        traffic::Quantity::kUndirectedDegree, seed, pool, opts);
+    expect_partitioned(result, 12);
+    EXPECT_EQ(result.windows, 12u);
+  };
+  std::thread a([&run_sweep]() { run_sweep(5); });
+  std::thread b([&run_sweep]() { run_sweep(31); });
+  a.join();
+  b.join();
+  stop_reading.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto snap = registry.snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name == obs::names::kSweepRuns) {
+      EXPECT_EQ(c.value, 2u);
+    }
+    if (c.name == obs::names::kSweepWindows && !c.labels.empty() &&
+        c.labels.front().second == "completed") {
+      EXPECT_EQ(c.value, 24u);
+    }
+  }
+}
+
+TEST(TsanStress, CountsSweepSurvivesArmedFailpoints) {
+  // The two new failpoints ("rng.multinomial", "traffic.window_counts")
+  // flip concurrently with two running counts sweeps; every injected
+  // failure must be tolerated by the budget and accounted exactly once.
+  const auto g = stress_graph();
+  std::atomic<bool> stop_arming{false};
+  std::thread armer([&stop_arming]() {
+    while (!stop_arming.load(std::memory_order_relaxed)) {
+      failpoints::arm("traffic.window_counts", /*fires=*/2, /*skip=*/3);
+      failpoints::arm("rng.multinomial", /*fires=*/1, /*skip=*/7);
+      std::this_thread::yield();
+      failpoints::disarm("traffic.window_counts");
+      failpoints::disarm("rng.multinomial");
+    }
+  });
+
+  auto run_sweep = [&g](std::uint64_t seed) {
+    ThreadPool pool(2);
+    traffic::SweepOptions opts;
+    opts.synthesis = traffic::SynthesisMode::kMultinomial;
+    opts.max_failed_windows = 24;  // tolerate every injected failure
+    const auto result = traffic::sweep_windows(
+        g, traffic::RateModel{}, 1500, 24,
+        traffic::Quantity::kDestinationFanIn, seed, pool, opts);
+    expect_partitioned(result, 24);
+  };
+  std::thread a([&run_sweep]() { run_sweep(11); });
+  std::thread b([&run_sweep]() { run_sweep(23); });
+  a.join();
+  b.join();
+  stop_arming.store(true, std::memory_order_relaxed);
+  armer.join();
+  failpoints::disarm_all();
 }
 
 TEST(TsanStress, FaultInjectedSweepIsDeterministicUnderBudget) {

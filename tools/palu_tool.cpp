@@ -174,6 +174,15 @@ int cmd_sweep(const cli::Args& args) {
     throw InvalidArgument("--fast-path must be 'on' or 'off', got '" +
                           fast + "'");
   }
+  // --synthesis counts switches to count-space window draws (O(edges) per
+  // window; same law as the packet paths, different RNG consumption).
+  const std::string synthesis = args.get_string("synthesis", "packet");
+  if (synthesis == "counts") {
+    opts.synthesis = traffic::SynthesisMode::kMultinomial;
+  } else if (synthesis != "packet") {
+    throw InvalidArgument("--synthesis must be 'packet' or 'counts', got '" +
+                          synthesis + "'");
+  }
 
   Rng rng(seed);
   const auto net = core::generate_underlying(params, nodes, rng);
@@ -188,10 +197,12 @@ int cmd_sweep(const cli::Args& args) {
                          sweep.ensemble.stddev());
     return 0;
   }
-  std::printf("sweep: %zu/%zu windows, quantity=%s, fast_path=%s\n",
+  std::printf("sweep: %zu/%zu windows, quantity=%s, path=%s\n",
               sweep.windows, windows,
               std::string(traffic::quantity_name(quantity)).c_str(),
-              opts.fast_path ? "on" : "off");
+              opts.synthesis == traffic::SynthesisMode::kMultinomial
+                  ? "counts"
+                  : (opts.fast_path ? "fast" : "legacy"));
   std::printf("d_max=%llu merged_total=%llu support=%zu\n",
               static_cast<unsigned long long>(sweep.max_value),
               static_cast<unsigned long long>(sweep.merged.total()),
@@ -385,7 +396,8 @@ int print_help() {
       "  generate --nodes N --lambda L --core C --leaves F --alpha A\n"
       "           --window P --packets K [--seed S]   write a trace\n"
       "  sweep    --windows W --nvalid N [--quantity Q] [--seed S]\n"
-      "           [--fast-path on|off] [--csv]         Monte-Carlo window\n"
+      "           [--fast-path on|off] [--synthesis packet|counts]\n"
+      "           [--csv]                              Monte-Carlo window\n"
       "                                               sweep over a PALU\n"
       "                                               network (fast path\n"
       "                                               on by default)\n"

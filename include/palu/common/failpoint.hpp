@@ -26,6 +26,14 @@ void disarm(std::string_view name);
 /// Disarms every site; call from test teardown.
 void disarm_all();
 
+/// Arms sites from a spec string: a comma-separated list of
+/// `name[:fires[:skip]]` clauses (fires defaults to -1 = unbounded, skip
+/// to 0).  This is the out-of-process arming path — `palu_tool` reads it
+/// from the PALU_FAILPOINT environment variable so CI can inject faults
+/// into a subprocess it cannot call arm() in.  Throws
+/// palu::InvalidArgument on a malformed spec.
+void arm_from_spec(std::string_view spec);
+
 /// True when at least one site is armed (fast path for the macro).
 bool any_armed() noexcept;
 

@@ -125,6 +125,10 @@ struct RobustPaluFit {
   fit::RobustStage stage = fit::RobustStage::kFailed;
   std::vector<fit::StageDiagnostic> diagnostics;
   std::string error;  ///< why everything failed, when stage == kFailed
+  /// True when the staged moment pipeline failed on this window and the
+  /// caller-supplied warm-start parameters served as the base fit instead
+  /// (warm overloads only) — a lower-provenance result worth surfacing.
+  bool warm_base = false;
 
   bool ok() const noexcept { return stage != fit::RobustStage::kFailed; }
 };
@@ -146,6 +150,26 @@ RobustPaluFit robust_fit_palu(
 /// Convenience overload from a histogram.
 RobustPaluFit robust_fit_palu(
     const stats::DegreeHistogram& h, const PaluFitOptions& fit_opts = {},
+    const fit::RobustFitOptions& robust_opts = {},
+    Degree refine_max = 256);
+
+/// Warm-started variant for streaming refits: the LM → Nelder–Mead ladder
+/// starts from `warm` (the previous window's parameters) instead of the
+/// staged pipeline's estimate, and when the staged pipeline fails outright
+/// on a pathological window, `warm` itself serves as the base fit
+/// (result tagged `warm_base`), so a window the cold pipeline cannot fit
+/// still yields usable parameters.  Identical to robust_fit_palu when the
+/// warm start neither helps nor is needed as a base.
+RobustPaluFit robust_fit_palu_warm(
+    const stats::EmpiricalDistribution& dist, const PaluFit& warm,
+    const PaluFitOptions& fit_opts = {},
+    const fit::RobustFitOptions& robust_opts = {},
+    Degree refine_max = 256);
+
+/// Convenience overload from a histogram.
+RobustPaluFit robust_fit_palu_warm(
+    const stats::DegreeHistogram& h, const PaluFit& warm,
+    const PaluFitOptions& fit_opts = {},
     const fit::RobustFitOptions& robust_opts = {},
     Degree refine_max = 256);
 

@@ -2,16 +2,36 @@
 //
 // The paper's data arrive as an endless sequence of fixed-N_V windows;
 // an operator wants running parameter estimates, not a one-shot batch
-// fit.  This accumulator merges window histograms as they arrive, refits
-// the Section IV-B constants after each, and keeps the trajectory so
-// drift (e.g. a botnet ramping up the star density) is visible as a time
-// series of (α, μ, u, l).
+// fit.  Two estimators live here:
+//
+//  - StreamingPaluEstimator: the original cumulative-aggregate tracker.
+//    It merges every window histogram into one growing aggregate and
+//    refits the Section IV-B constants after each, so the trajectory
+//    converges to the batch fit as data accumulate.
+//
+//  - WindowedStreamingEstimator: the serve daemon's per-window engine.
+//    Each window is fitted on its own (tumbling lane) and as part of a
+//    bounded sliding horizon of recent windows (sliding lane), with the
+//    robust LM → Nelder–Mead → moments ladder warm-started from the
+//    previous window's parameters.  A window the ladder cannot fit — or
+//    one force-degraded by the caller (fit deadline, injected fault) —
+//    keeps the previous parameters tagged kStale instead of failing, so
+//    the service degrades rather than dies.  The complete estimator
+//    state (lanes + horizon) is exposed for checkpointing: restoring a
+//    StreamingState and replaying the same windows reproduces the exact
+//    fits of an uninterrupted run.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "palu/core/estimate.hpp"
+#include "palu/fit/robust.hpp"
+#include "palu/fit/zipf_mandelbrot.hpp"
 #include "palu/stats/histogram.hpp"
 
 namespace palu::core {
@@ -48,6 +68,125 @@ class StreamingPaluEstimator {
   std::optional<PaluFit> latest_;
   std::vector<PaluFit> history_;
   std::size_t windows_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Windowed streaming estimation (the `palu_tool serve` engine).
+// ---------------------------------------------------------------------------
+
+/// Knobs for the windowed estimator.
+struct StreamingOptions {
+  PaluFitOptions fit;
+  fit::RobustFitOptions robust;
+  /// Joint-polish degree cap forwarded to the robust ladder.
+  Degree refine_max = 256;
+  /// Windows merged into the sliding lane (>= 1).  The horizon is a
+  /// bounded deque: window t's sliding fit sees windows
+  /// [t − horizon + 1, t].
+  std::size_t sliding_horizon = 4;
+  /// Seed each window's ladder from the previous window's parameters.
+  bool warm_start = true;
+  /// Also fit the modified Zipf–Mandelbrot model per window.
+  bool fit_zm = true;
+};
+
+/// Provenance of the parameters a lane currently serves.
+enum class FitFreshness {
+  kNone,   ///< no window has ever produced parameters on this lane
+  kFresh,  ///< parameters come from the most recent window
+  kStale,  ///< most recent window degraded; serving an older window's fit
+};
+
+std::string_view to_string(FitFreshness f) noexcept;
+
+/// One lane's serveable state: the PALU parameters (and optionally the ZM
+/// companion fit) plus how trustworthy they are right now.
+struct StreamingFitSnapshot {
+  PaluFit fit;
+  fit::RobustStage stage = fit::RobustStage::kFailed;
+  FitFreshness freshness = FitFreshness::kNone;
+  /// The staged pipeline failed and the warm-start parameters served as
+  /// the base fit (see RobustPaluFit::warm_base).
+  bool warm_base = false;
+  fit::ZmFitResult zm;
+  bool zm_valid = false;
+  /// Why the most recent window degraded this lane (empty when fresh).
+  std::string error;
+
+  bool has_fit() const noexcept {
+    return freshness != FitFreshness::kNone;
+  }
+};
+
+/// Outcome of one refit_window call: both lanes after folding the window.
+struct StreamingRefit {
+  std::size_t window_index = 0;  ///< 0-based index of the window just fed
+  StreamingFitSnapshot window;   ///< tumbling lane (this window alone)
+  StreamingFitSnapshot sliding;  ///< sliding lane (horizon merge)
+  /// True when the tumbling lane got fresh parameters from this window.
+  bool fresh = false;
+};
+
+/// The complete serializable estimator state.  restore()ing this and
+/// replaying the same subsequent windows yields byte-identical fits to an
+/// uninterrupted run — the contract the serve checkpoint relies on.
+struct StreamingState {
+  std::size_t windows = 0;        ///< windows folded so far
+  std::size_t stale_windows = 0;  ///< refits that left the tumbling lane stale
+  StreamingFitSnapshot window_lane;
+  StreamingFitSnapshot sliding_lane;
+  /// Sliding horizon, oldest first (at most sliding_horizon entries).
+  std::vector<stats::DegreeHistogram> horizon;
+};
+
+class WindowedStreamingEstimator {
+ public:
+  explicit WindowedStreamingEstimator(StreamingOptions opts = {});
+
+  /// Folds one window histogram and refits both lanes.  When
+  /// `forced_error` is non-empty the window is treated as un-fittable
+  /// (deadline overrun, injected fault): the histogram still enters the
+  /// horizon — so a later restore replay stays consistent — but both
+  /// lanes keep their previous parameters tagged kStale.  Never throws
+  /// for bad data; a window the ladder cannot fit degrades the same way.
+  StreamingRefit refit_window(const stats::DegreeHistogram& window,
+                              std::string_view forced_error = {});
+
+  std::size_t windows_seen() const noexcept { return state_.windows; }
+  std::size_t stale_windows() const noexcept {
+    return state_.stale_windows;
+  }
+  /// Consecutive refits (ending now) that left the tumbling lane stale.
+  std::size_t consecutive_stale() const noexcept {
+    return consecutive_stale_;
+  }
+
+  const StreamingFitSnapshot& window_fit() const noexcept {
+    return state_.window_lane;
+  }
+  const StreamingFitSnapshot& sliding_fit() const noexcept {
+    return state_.sliding_lane;
+  }
+
+  const StreamingOptions& options() const noexcept { return opts_; }
+
+  /// Snapshot of the complete state for checkpointing.
+  StreamingState state() const;
+
+  /// Replaces the estimator state (checkpoint restore).  Horizon entries
+  /// beyond sliding_horizon are dropped oldest-first.
+  void restore(StreamingState state);
+
+ private:
+  StreamingFitSnapshot fit_lane(const stats::DegreeHistogram& h,
+                                const StreamingFitSnapshot& previous);
+  static StreamingFitSnapshot degrade(const StreamingFitSnapshot& previous,
+                                      std::string_view why);
+
+  StreamingOptions opts_;
+  StreamingState state_;
+  std::deque<stats::DegreeHistogram> horizon_;
+  std::size_t consecutive_stale_ = 0;
 };
 
 }  // namespace palu::core

@@ -1,0 +1,87 @@
+// Incremental packet-trace reading for unbounded streams.
+//
+// `palu_tool serve` tails a growing file, a pipe, or stdin: data arrive
+// in arbitrary chunks whose boundaries do not respect line breaks.  The
+// batch read_trace reader would misparse the fragment at the end of
+// every chunk as a malformed line and bleed the error budget dry on
+// perfectly healthy input.  TraceTailReader therefore buffers bytes and
+// only parses complete (newline-terminated) lines: a partial last line
+// is "incomplete, retry with more bytes", never a budget charge.  The
+// per-line policy machinery is exactly read_trace's — same ErrorPolicy
+// semantics, same IngestReport accounting, same palu_ingest_* counters
+// (reader label "trace_tail").
+//
+// Every emitted record carries the stream byte offset one past its line,
+// so a consumer that persists `end_offset` can crash, reopen the file,
+// seek, and resume with no duplicated and no dropped packets — the
+// anchor the serve checkpoint is built on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "palu/common/result.hpp"
+#include "palu/traffic/packet.hpp"
+
+namespace palu::io {
+
+/// One parsed packet plus its resume anchor.
+struct TailRecord {
+  traffic::Packet packet;
+  /// Stream offset one past this record's line (including the '\n').
+  /// Seeking here and re-reading yields the stream minus everything up
+  /// to and including this record.
+  std::uint64_t end_offset = 0;
+};
+
+class TraceTailReader {
+ public:
+  /// `base_offset` is the stream position the first fed byte corresponds
+  /// to (non-zero after a checkpoint-restore seek).
+  explicit TraceTailReader(const IngestOptions& opts = {},
+                           std::uint64_t base_offset = 0);
+  ~TraceTailReader();
+
+  TraceTailReader(const TraceTailReader&) = delete;
+  TraceTailReader& operator=(const TraceTailReader&) = delete;
+
+  /// Consumes one chunk, appending a TailRecord per complete packet line
+  /// to `out`.  Returns the number of records appended.  Throws
+  /// palu::DataError exactly where read_trace would (kStrict malformed
+  /// line, exhausted error budget).
+  std::size_t feed(std::string_view chunk, std::vector<TailRecord>& out);
+
+  /// Flushes the trailing partial line, treating end-of-stream as its
+  /// terminator.  Call once when the stream is known to be complete; a
+  /// follow-mode reader never calls this.
+  std::size_t finish(std::vector<TailRecord>& out);
+
+  /// Stream offset one past the last fully consumed line — the exact
+  /// position to seek to when resuming.  Bytes past it are the buffered
+  /// partial line.
+  std::uint64_t consumed_offset() const noexcept { return consumed_; }
+
+  /// Bytes held back as a partial line.
+  std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
+
+  /// Drops the partial-line buffer and rebases the reader at `offset`
+  /// (stage restart: the owner re-reads from consumed_offset()).
+  void reset_at(std::uint64_t offset);
+
+  /// Cumulative per-line accounting across all feeds.
+  const IngestReport& report() const noexcept;
+
+ private:
+  std::size_t consume_line(std::string_view line,
+                           std::vector<TailRecord>& out);
+
+  struct Gate;  // wraps the internal IngestGate without leaking it here
+  std::unique_ptr<Gate> gate_;
+  std::string buffer_;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace palu::io

@@ -58,6 +58,43 @@ inline constexpr char kFitResults[] = "palu_fit_results_total";
 /// Counter: base-fit retries inside robust_fit_palu's tail relaxation.
 inline constexpr char kFitBaseRetries[] = "palu_fit_base_retries_total";
 
+// --- streaming service (src/serve) --------------------------------------
+/// Counter: packets admitted into the serve window accumulator.
+inline constexpr char kServePackets[] = "palu_serve_packets_total";
+/// Counter: window boundaries processed (published result lines).
+inline constexpr char kServeWindowsFitted[] =
+    "palu_serve_windows_fitted_total";
+/// Counter: windows whose tumbling lane degraded to stale parameters.
+inline constexpr char kServeWindowsStale[] =
+    "palu_serve_windows_stale_total";
+/// Counter: windows published from the previous fit after a deadline miss.
+inline constexpr char kServeDeadlineMisses[] =
+    "palu_serve_fit_deadline_misses_total";
+/// Gauge: records currently queued between ingest and fit.
+inline constexpr char kServeQueueDepth[] = "palu_serve_queue_depth";
+/// Counter{policy=drop-oldest|drop-newest}: records shed by backpressure.
+inline constexpr char kServeQueueDropped[] =
+    "palu_serve_queue_dropped_total";
+/// Counter{stage=ingest|fit}: supervised stage restarts.
+inline constexpr char kServeStageRestarts[] =
+    "palu_serve_stage_restarts_total";
+/// Counter: checkpoints written successfully.
+inline constexpr char kServeCheckpointWrites[] =
+    "palu_serve_checkpoint_writes_total";
+/// Counter: checkpoint writes that failed (service kept running).
+inline constexpr char kServeCheckpointFailures[] =
+    "palu_serve_checkpoint_failures_total";
+/// Gauge: window boundaries since the last successful checkpoint.
+inline constexpr char kServeCheckpointAge[] =
+    "palu_serve_checkpoint_age_windows";
+/// Counter{outcome=ok|failed}: restore attempts at startup.
+inline constexpr char kServeRestores[] = "palu_serve_restore_total";
+/// Gauge: consecutive windows the tumbling lane has been stale.
+inline constexpr char kServeStaleness[] = "palu_serve_staleness_windows";
+/// Counter: metrics snapshot files written.
+inline constexpr char kServeSnapshotWrites[] =
+    "palu_serve_snapshot_writes_total";
+
 }  // namespace names
 
 /// Registers every family above (with help text) so exporters emit a

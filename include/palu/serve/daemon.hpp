@@ -1,0 +1,146 @@
+// The crash-only streaming estimation daemon behind `palu_tool serve`.
+//
+// Three actors, two threads plus the caller:
+//
+//   ingest thread:  tails the input (file tail / pipe / stdin) through a
+//                   TraceTailReader and pushes TailRecords into the
+//                   bounded queue under the configured backpressure
+//                   policy.
+//   fit thread:     pops records into a WindowAccumulator; at every N_V
+//                   boundary it histograms the window, refits both lanes
+//                   of the WindowedStreamingEstimator (warm-started),
+//                   publishes one result line, and checkpoints.
+//   supervisor:     the caller's thread inside run() — polls for
+//                   signals, enforces the drain deadline, writes metrics
+//                   snapshots on an interval, and finalizes state.
+//
+// Both worker stages run under run_stage(): a palu::DataError is fatal
+// (bad input, exit 3), any other failure restarts the stage with capped
+// exponential backoff, and a stage that keeps failing without making
+// progress gives the daemon up with exit 1.  Fit failures are not stage
+// failures: the estimator degrades to stale-but-tagged parameters and
+// the service keeps running.  Four failpoints (serve.ingest, serve.fit,
+// serve.checkpoint, serve.restore) make every one of those paths
+// deterministically testable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "palu/core/streaming.hpp"
+#include "palu/io/tail.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/serve/checkpoint.hpp"
+#include "palu/serve/options.hpp"
+#include "palu/serve/queue.hpp"
+#include "palu/traffic/window_accumulator.hpp"
+
+namespace palu::serve {
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServeOptions opts);
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Runs the daemon to completion (EOF, --max-windows, signal, or a
+  /// fatal failure).  Returns the process exit code under the documented
+  /// contract: 0 clean, 1 a stage gave up after max_stage_restarts,
+  /// 3 unrecoverable input data error.
+  int run();
+
+  /// Asks the daemon to drain and exit (what SIGINT/SIGTERM trigger);
+  /// callable from any thread.
+  void request_stop() noexcept { stop_.store(true); }
+
+  /// Result lines published so far (monotone while running).
+  std::uint64_t windows_published() const noexcept {
+    return published_.load();
+  }
+
+  /// Estimator state; stable only after run() returns.
+  const core::WindowedStreamingEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+
+  /// Why the daemon exited non-zero (empty on clean exit).
+  const std::string& fatal_message() const noexcept {
+    return fatal_message_;
+  }
+
+ private:
+  bool stopping() const noexcept;
+  void fatal(int code, const std::string& message);
+  void run_stage(const char* name, obs::Counter& restarts,
+                 const std::function<std::uint64_t()>& progress,
+                 const std::function<void()>& body);
+  void interruptible_sleep_ms(double ms);
+
+  void ingest_stage();
+  void ingest_body();
+  bool deliver(std::vector<io::TailRecord>& records);
+
+  void fit_stage();
+  void fit_body();
+  void boundary();
+  void publish_line(std::size_t index, std::uint64_t offset,
+                    const core::StreamingRefit& refit,
+                    const char* degraded);
+
+  Checkpoint make_checkpoint() const;
+  void do_checkpoint();
+  void try_restore();
+  void write_snapshot();
+
+  void supervise();
+
+  ServeOptions opts_;
+  obs::Registry& registry_;
+  core::WindowedStreamingEstimator estimator_;
+  traffic::WindowAccumulator acc_;
+  BoundedRecordQueue queue_;
+  std::unique_ptr<io::TraceTailReader> reader_;
+
+  // Cross-thread coordination.
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> ingest_done_{false};
+  std::atomic<bool> fit_done_{false};
+  std::atomic<int> fatal_exit_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> records_pushed_{0};
+
+  // Fit-thread state (touched by run() only before start / after join).
+  std::uint64_t window_fill_ = 0;
+  std::uint64_t packets_total_ = 0;
+  std::uint64_t last_offset_ = 0;
+  std::uint64_t last_boundary_offset_ = 0;
+  std::uint64_t windows_since_checkpoint_ = 0;
+  std::optional<core::StreamingRefit> last_published_;
+  std::uint64_t resume_offset_ = 0;
+  std::string fatal_message_;
+
+  // Metric handles, resolved once against the selected registry.
+  obs::Counter& packets_counter_;
+  obs::Counter& windows_counter_;
+  obs::Counter& stale_counter_;
+  obs::Counter& deadline_counter_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Counter& drop_oldest_counter_;
+  obs::Counter& drop_newest_counter_;
+  obs::Counter& ingest_restarts_;
+  obs::Counter& fit_restarts_;
+  obs::Counter& checkpoint_writes_;
+  obs::Counter& checkpoint_failures_;
+  obs::Gauge& checkpoint_age_gauge_;
+  obs::Counter& restore_ok_;
+  obs::Counter& restore_failed_;
+  obs::Gauge& staleness_gauge_;
+  obs::Counter& snapshot_writes_;
+};
+
+}  // namespace palu::serve

@@ -1,0 +1,66 @@
+// The bounded ingest queue between the tail reader and the fit stage.
+//
+// A single-producer/single-consumer handoff with an explicit
+// backpressure policy: kBlock makes the producer wait (lossless), the
+// two drop policies shed load and count every shed record so the
+// operator sees data loss as a first-class metric rather than a silent
+// gap.  close() ends the stream gracefully (consumers drain what is
+// queued); abort() is the drain-deadline hammer (pending and future
+// pops return immediately).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "palu/common/thread_annotations.hpp"
+#include "palu/io/tail.hpp"
+#include "palu/serve/options.hpp"
+
+namespace palu::serve {
+
+class BoundedRecordQueue {
+ public:
+  enum class PushResult {
+    kOk,            ///< record admitted
+    kDroppedOldest, ///< admitted; the oldest queued record was evicted
+    kDroppedNewest, ///< record discarded
+    kClosed,        ///< queue closed or aborted; record discarded
+  };
+
+  BoundedRecordQueue(std::size_t capacity, BackpressurePolicy policy);
+
+  /// Producer side.  Under kBlock this waits while the queue is full
+  /// (until a pop, close, or abort).
+  PushResult push(io::TailRecord record);
+
+  /// Consumer side: blocks until a record, close-with-empty-queue, or
+  /// abort.  Returns false when the stream has ended.
+  bool pop(io::TailRecord& out);
+
+  /// No more pushes; pops drain the remaining records then return false.
+  void close();
+
+  /// Discards queued records and wakes everyone; both ends see the
+  /// stream as ended immediately.
+  void abort();
+
+  std::size_t depth() const;
+  bool closed() const;
+  /// Records shed by the drop policies since construction.
+  std::uint64_t dropped() const;
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<io::TailRecord> items_ PALU_GUARDED_BY(mutex_);
+  bool closed_ PALU_GUARDED_BY(mutex_) = false;
+  bool aborted_ PALU_GUARDED_BY(mutex_) = false;
+  std::uint64_t dropped_ PALU_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace palu::serve

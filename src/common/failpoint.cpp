@@ -56,6 +56,57 @@ void disarm_all() {
   registry().clear();
 }
 
+void arm_from_spec(std::string_view spec) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view clause = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (clause.empty()) continue;
+    // name[:fires[:skip]]
+    const std::size_t c1 = clause.find(':');
+    const std::string_view name = clause.substr(0, c1);
+    int fires = -1;
+    int skip = 0;
+    if (name.empty()) {
+      throw InvalidArgument("failpoint spec clause '" +
+                            std::string(clause) + "' has no site name");
+    }
+    const auto parse_int = [&clause](std::string_view tok) {
+      if (tok.empty()) {
+        throw InvalidArgument("failpoint spec clause '" +
+                              std::string(clause) + "' has an empty field");
+      }
+      int sign = 1;
+      std::size_t i = 0;
+      if (tok[0] == '-') {
+        sign = -1;
+        i = 1;
+      }
+      int v = 0;
+      for (; i < tok.size(); ++i) {
+        if (tok[i] < '0' || tok[i] > '9') {
+          throw InvalidArgument("failpoint spec clause '" +
+                                std::string(clause) +
+                                "' has a non-numeric field");
+        }
+        v = v * 10 + (tok[i] - '0');
+      }
+      return sign * v;
+    };
+    if (c1 != std::string_view::npos) {
+      const std::string_view rest = clause.substr(c1 + 1);
+      const std::size_t c2 = rest.find(':');
+      fires = parse_int(rest.substr(0, c2));
+      if (c2 != std::string_view::npos) {
+        skip = parse_int(rest.substr(c2 + 1));
+      }
+    }
+    arm(name, fires, skip);
+  }
+}
+
 bool any_armed() noexcept {
   return g_armed_count.load(std::memory_order_relaxed) > 0;
 }

@@ -283,10 +283,16 @@ PaluFit refine_palu_fit(const stats::EmpiricalDistribution& dist,
   return refined;
 }
 
-RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
-                              const PaluFitOptions& fit_opts,
-                              const fit::RobustFitOptions& robust_opts,
-                              Degree refine_max) {
+namespace {
+
+// Shared driver behind robust_fit_palu and robust_fit_palu_warm.  `warm`,
+// when non-null, (a) seeds the optimizer ladder's x0 with the previous
+// window's parameters and (b) stands in as the base fit when the staged
+// pipeline fails on every relaxed tail start.
+RobustPaluFit robust_fit_palu_impl(const stats::EmpiricalDistribution& dist,
+                                   const PaluFitOptions& fit_opts,
+                                   const fit::RobustFitOptions& robust_opts,
+                                   Degree refine_max, const PaluFit* warm) {
   RobustPaluFit out;
   obs::Registry& registry = robust_opts.metrics != nullptr
                                 ? *robust_opts.metrics
@@ -322,14 +328,33 @@ RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
       out.error = e.what();
     }
   }
+  if (!have_base && warm != nullptr) {
+    // Degraded base: the previous window's parameters.  Lower provenance
+    // than a same-window moment fit, but they keep a pathological window
+    // from producing nothing at all.
+    base = *warm;
+    have_base = true;
+    out.warm_base = true;
+  }
   if (!have_base) {
     record_result(fit::RobustStage::kFailed);
     return out;  // stage == kFailed, error set
   }
   out.error.clear();
 
-  const RefineProblem problem =
+  RefineProblem problem =
       make_refine_problem(dist, base, std::max<Degree>(refine_max, 8));
+  if (warm != nullptr) {
+    // Warm start: the ladder descends from the previous window's
+    // parameters (consecutive windows are near-identical problems, so LM
+    // typically converges in a handful of iterations).
+    constexpr double kFloor = 1e-12;
+    problem.x0 = {std::log(std::max(warm->alpha, 1.05)),
+                  std::log(std::max(warm->c, kFloor)),
+                  std::log(std::max(warm->mu, 1e-3)),
+                  std::log(std::max(warm->u, kFloor)),
+                  std::log(std::max(warm->l, kFloor))};
+  }
   if (!problem.viable) {
     // Too little support to polish: the staged pipeline result stands.
     out.fit = base;
@@ -362,18 +387,18 @@ RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
   return out;
 }
 
-RobustPaluFit robust_fit_palu(const stats::DegreeHistogram& h,
-                              const PaluFitOptions& fit_opts,
-                              const fit::RobustFitOptions& robust_opts,
-                              Degree refine_max) {
-  // The conversion itself rejects empty/degenerate histograms; that is
-  // bad data, not a programmer error, so it degrades like everything else.
+// Histogram front door shared by the cold and warm drivers: converts, and
+// treats a degenerate histogram as bad data (kFailed), not as a throw.
+RobustPaluFit robust_fit_palu_from_histogram(
+    const stats::DegreeHistogram& h, const PaluFitOptions& fit_opts,
+    const fit::RobustFitOptions& robust_opts, Degree refine_max,
+    const PaluFit* warm) {
   try {
-    return robust_fit_palu(
+    return robust_fit_palu_impl(
         stats::EmpiricalDistribution::from_histogram(h), fit_opts,
-        robust_opts, refine_max);
+        robust_opts, refine_max, warm);
   } catch (const Error& e) {
-    // The inner overload never ran, so this failure is recorded here.
+    // The inner driver never ran, so this failure is recorded here.
     obs::Registry& registry = robust_opts.metrics != nullptr
                                   ? *robust_opts.metrics
                                   : obs::default_registry();
@@ -386,6 +411,42 @@ RobustPaluFit robust_fit_palu(const stats::DegreeHistogram& h,
     out.error = e.what();
     return out;
   }
+}
+
+}  // namespace
+
+RobustPaluFit robust_fit_palu(const stats::EmpiricalDistribution& dist,
+                              const PaluFitOptions& fit_opts,
+                              const fit::RobustFitOptions& robust_opts,
+                              Degree refine_max) {
+  return robust_fit_palu_impl(dist, fit_opts, robust_opts, refine_max,
+                              nullptr);
+}
+
+RobustPaluFit robust_fit_palu(const stats::DegreeHistogram& h,
+                              const PaluFitOptions& fit_opts,
+                              const fit::RobustFitOptions& robust_opts,
+                              Degree refine_max) {
+  return robust_fit_palu_from_histogram(h, fit_opts, robust_opts,
+                                        refine_max, nullptr);
+}
+
+RobustPaluFit robust_fit_palu_warm(const stats::EmpiricalDistribution& dist,
+                                   const PaluFit& warm,
+                                   const PaluFitOptions& fit_opts,
+                                   const fit::RobustFitOptions& robust_opts,
+                                   Degree refine_max) {
+  return robust_fit_palu_impl(dist, fit_opts, robust_opts, refine_max,
+                              &warm);
+}
+
+RobustPaluFit robust_fit_palu_warm(const stats::DegreeHistogram& h,
+                                   const PaluFit& warm,
+                                   const PaluFitOptions& fit_opts,
+                                   const fit::RobustFitOptions& robust_opts,
+                                   Degree refine_max) {
+  return robust_fit_palu_from_histogram(h, fit_opts, robust_opts,
+                                        refine_max, &warm);
 }
 
 double estimate_mu_pointwise(const stats::EmpiricalDistribution& dist,

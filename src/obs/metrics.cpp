@@ -246,6 +246,49 @@ void preregister_palu_metrics(Registry& r) {
   }
   r.counter(names::kFitBaseRetries, {},
             "Base-fit retries during tail relaxation in robust_fit_palu");
+
+  r.counter(names::kIngestReads, {{"reader", "trace_tail"}},
+            "Calls into a policy-aware reader");
+  for (const char* outcome : {"kept", "repaired", "dropped"}) {
+    r.counter(names::kIngestLines,
+              {{"reader", "trace_tail"}, {"outcome", outcome}},
+              "Per-line ingest dispositions");
+  }
+  r.counter(names::kIngestBudgetExhausted, {{"reader", "trace_tail"}},
+            "Reads aborted after exhausting max_bad_lines");
+
+  r.counter(names::kServePackets, {},
+            "Packets admitted into the serve window accumulator");
+  r.counter(names::kServeWindowsFitted, {},
+            "Window boundaries processed by the serve daemon");
+  r.counter(names::kServeWindowsStale, {},
+            "Windows whose tumbling lane degraded to stale parameters");
+  r.counter(names::kServeDeadlineMisses, {},
+            "Windows served from the previous fit after a deadline miss");
+  r.gauge(names::kServeQueueDepth, {},
+          "Records currently queued between ingest and fit");
+  for (const char* policy : {"drop-oldest", "drop-newest"}) {
+    r.counter(names::kServeQueueDropped, {{"policy", policy}},
+              "Records shed by the queue backpressure policy");
+  }
+  for (const char* stage : {"ingest", "fit"}) {
+    r.counter(names::kServeStageRestarts, {{"stage", stage}},
+              "Supervised serve stage restarts");
+  }
+  r.counter(names::kServeCheckpointWrites, {},
+            "Checkpoints written successfully");
+  r.counter(names::kServeCheckpointFailures, {},
+            "Checkpoint writes that failed (service kept running)");
+  r.gauge(names::kServeCheckpointAge, {},
+          "Window boundaries since the last successful checkpoint");
+  for (const char* outcome : {"ok", "failed"}) {
+    r.counter(names::kServeRestores, {{"outcome", outcome}},
+              "Checkpoint restore attempts at serve startup");
+  }
+  r.gauge(names::kServeStaleness, {},
+          "Consecutive windows the tumbling lane has been stale");
+  r.counter(names::kServeSnapshotWrites, {},
+            "Metrics snapshot files written by the serve daemon");
 }
 
 }  // namespace palu::obs

@@ -1,0 +1,111 @@
+#include "palu/serve/queue.hpp"
+
+#include <utility>
+
+#include "palu/common/error.hpp"
+
+namespace palu::serve {
+
+BackpressurePolicy parse_backpressure(std::string_view text) {
+  if (text == "block") return BackpressurePolicy::kBlock;
+  if (text == "drop-oldest") return BackpressurePolicy::kDropOldest;
+  if (text == "drop-newest") return BackpressurePolicy::kDropNewest;
+  throw InvalidArgument("unknown backpressure policy '" +
+                        std::string(text) +
+                        "' (expected block|drop-oldest|drop-newest)");
+}
+
+std::string_view to_string(BackpressurePolicy policy) noexcept {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropOldest:
+      return "drop-oldest";
+    case BackpressurePolicy::kDropNewest:
+      return "drop-newest";
+  }
+  return "block";
+}
+
+BoundedRecordQueue::BoundedRecordQueue(std::size_t capacity,
+                                       BackpressurePolicy policy)
+    : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+BoundedRecordQueue::PushResult BoundedRecordQueue::push(
+    io::TailRecord record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_ || aborted_) return PushResult::kClosed;
+  PushResult result = PushResult::kOk;
+  if (items_.size() >= capacity_) {
+    switch (policy_) {
+      case BackpressurePolicy::kBlock:
+        not_full_.wait(lock, [&] {
+          return items_.size() < capacity_ || closed_ || aborted_;
+        });
+        if (closed_ || aborted_) return PushResult::kClosed;
+        break;
+      case BackpressurePolicy::kDropOldest:
+        items_.pop_front();
+        ++dropped_;
+        result = PushResult::kDroppedOldest;
+        break;
+      case BackpressurePolicy::kDropNewest:
+        ++dropped_;
+        return PushResult::kDroppedNewest;
+    }
+  }
+  items_.push_back(std::move(record));
+  lock.unlock();
+  not_empty_.notify_one();
+  return result;
+}
+
+bool BoundedRecordQueue::pop(io::TailRecord& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] {
+    return !items_.empty() || closed_ || aborted_;
+  });
+  if (aborted_ || items_.empty()) return false;
+  out = items_.front();
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void BoundedRecordQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+void BoundedRecordQueue::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    aborted_ = true;
+    items_.clear();
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t BoundedRecordQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool BoundedRecordQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::uint64_t BoundedRecordQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace palu::serve

@@ -13,6 +13,7 @@
 //   help
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -390,6 +391,46 @@ int cmd_zoo(const cli::Args& args) {
   return 0;
 }
 
+int cmd_serve(const cli::Args& args) {
+  serve::ServeOptions opts;
+  opts.input_path = args.get_string("trace", "-");
+  opts.follow = args.get_flag("follow");
+  opts.ingest = ingest_options(args);
+  opts.window_packets =
+      static_cast<std::uint64_t>(args.get_int("window", 100000));
+  opts.quantity =
+      parse_quantity(args.get_string("quantity", "undirected_degree"));
+  opts.streaming.sliding_horizon =
+      static_cast<std::size_t>(args.get_int("horizon", 4));
+  opts.streaming.warm_start =
+      args.get_string("warm-start", "on") != "off";
+  opts.max_windows =
+      static_cast<std::uint64_t>(args.get_int("max-windows", 0));
+  opts.fit_deadline_ms = args.get_double("fit-deadline-ms", 0.0);
+  opts.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 65536));
+  opts.backpressure =
+      serve::parse_backpressure(args.get_string("backpressure", "block"));
+  opts.checkpoint_path = args.get_string("checkpoint", "");
+  opts.checkpoint_every =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 1));
+  opts.restore = args.get_flag("restore");
+  opts.snapshot_path = args.get_string("snapshot", "");
+  opts.snapshot_interval_ms =
+      args.get_double("snapshot-interval-ms", 1000.0);
+  opts.max_stage_restarts =
+      static_cast<std::uint64_t>(args.get_int("max-restarts", 5));
+  opts.drain_deadline_ms = args.get_double("drain-deadline-ms", 5000.0);
+  opts.poll_interval_ms = args.get_double("poll-interval-ms", 50.0);
+  PALU_CHECK(!(opts.restore && opts.checkpoint_path.empty()),
+             "--restore needs --checkpoint FILE");
+  // The snapshot families should be complete from the first interval, not
+  // fill in as layers get exercised.
+  palu::obs::preregister_palu_metrics(palu::obs::default_registry());
+  serve::ServeDaemon daemon(std::move(opts));
+  return daemon.run();
+}
+
 int print_help() {
   std::printf(
       "palu_tool <command> [options]\n"
@@ -408,6 +449,20 @@ int print_help() {
       "  graph-census --graph FILE|-                  census/clustering/\n"
       "                                               core depth of an\n"
       "                                               'u v' edge list\n"
+      "  serve    [--trace FILE|-] [--follow] --window N\n"
+      "           [--quantity Q] [--horizon K] [--warm-start on|off]\n"
+      "           [--max-windows W] [--fit-deadline-ms D]\n"
+      "           [--queue N] [--backpressure block|drop-oldest|drop-newest]\n"
+      "           [--checkpoint FILE [--checkpoint-every K] [--restore]]\n"
+      "           [--snapshot FILE [--snapshot-interval-ms MS]]\n"
+      "           [--max-restarts R] [--drain-deadline-ms MS]\n"
+      "                                               long-running streaming\n"
+      "                                               estimation daemon: tails\n"
+      "                                               the trace (stdin by\n"
+      "                                               default), fits PALU+ZM\n"
+      "                                               per N-packet window,\n"
+      "                                               one result line each;\n"
+      "                                               SIGINT/SIGTERM drain\n"
       "  check-metrics --prom FILE                    validate a Prometheus\n"
       "                                               exposition file\n"
       "  help\n"
@@ -437,6 +492,7 @@ int dispatch(const std::string& command, const palu::cli::Args& args) {
   if (command == "census") return cmd_census(args);
   if (command == "zoo") return cmd_zoo(args);
   if (command == "graph-census") return cmd_graph_census(args);
+  if (command == "serve") return cmd_serve(args);
   if (command == "check-metrics") return cmd_check_metrics(args);
   if (command == "help") return print_help();
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
@@ -448,6 +504,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return print_help();
   const std::string command = argv[1];
   try {
+    // Out-of-process fault injection: PALU_FAILPOINT="name[:fires[:skip]],…"
+    // arms registered failpoints before dispatch, so CI can fault a
+    // subprocess it cannot call failpoints::arm() in (the serve soak job
+    // relies on this).
+    if (const char* spec = std::getenv("PALU_FAILPOINT")) {
+      palu::failpoints::arm_from_spec(spec);
+    }
     const auto args = palu::cli::Args::parse(argc, argv, 2);
     const std::string metrics_path = args.get_string("metrics", "");
     if (!metrics_path.empty()) {

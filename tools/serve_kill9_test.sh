@@ -1,0 +1,76 @@
+#!/bin/sh
+# Crash-recovery acceptance for `palu_tool serve` (DESIGN.md §5f).
+#
+# The crash-only claim: a daemon killed with SIGKILL mid-service — no
+# drain, no final flush — restarts with --restore at the last
+# checkpointed window boundary, and every fit it publishes from there on
+# is byte-identical to an uninterrupted run over the same trace.
+#
+# Usage: serve_kill9_test.sh /path/to/palu_tool
+set -eu
+
+TOOL="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$TOOL" generate --nodes 2000 --packets 30000 --seed 13 > "$DIR/trace.txt"
+
+# Uninterrupted reference run: 6 windows.
+"$TOOL" serve --trace "$DIR/trace.txt" --window 5000 > "$DIR/full.txt"
+[ "$(grep -c '^window=' "$DIR/full.txt")" -eq 6 ] || {
+    echo "FAIL: reference run did not publish 6 windows" >&2
+    exit 1
+}
+
+# Interrupted run: the growing file holds only 3.5 windows, so the
+# follow-mode daemon publishes 3 windows and parks at EOF mid-stream
+# (half a window buffered, nothing clean about this stopping point).
+# SIGKILL it there — no drain, no final checkpoint flush.
+head -n 17500 "$DIR/trace.txt" > "$DIR/growing.txt"
+"$TOOL" serve --trace "$DIR/growing.txt" --follow --window 5000 \
+    --poll-interval-ms 20 --checkpoint "$DIR/ck.txt" \
+    > "$DIR/part.txt" 2> "$DIR/part_err.txt" &
+PID=$!
+i=0
+while [ "$(grep -c '^window=' "$DIR/part.txt" 2>/dev/null || true)" -lt 3 ]
+do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "FAIL: interrupted run stalled" >&2
+        cat "$DIR/part_err.txt" >&2
+        kill -9 "$PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+# The writer finishes the stream, and the daemon restarts from the
+# checkpoint to serve the rest of the trace.
+cp "$DIR/trace.txt" "$DIR/growing.txt"
+"$TOOL" serve --trace "$DIR/growing.txt" --window 5000 \
+    --checkpoint "$DIR/ck.txt" --restore \
+    > "$DIR/resume.txt" 2> "$DIR/resume_err.txt"
+grep -q 'restored checkpoint' "$DIR/resume_err.txt" || {
+    echo "FAIL: resume did not restore the checkpoint" >&2
+    cat "$DIR/resume_err.txt" >&2
+    exit 1
+}
+
+# The resumed run must pick up exactly at the checkpointed boundary
+# (window 3): its lines are byte-identical to the reference run's
+# trailing lines.
+RESUMED=$(grep -c '^window=' "$DIR/resume.txt" || true)
+if [ "$RESUMED" -ne 3 ]; then
+    echo "FAIL: resumed run published $RESUMED windows (expected 3)" >&2
+    cat "$DIR/resume_err.txt" >&2
+    exit 1
+fi
+tail -n "$RESUMED" "$DIR/full.txt" > "$DIR/expected_tail.txt"
+diff "$DIR/expected_tail.txt" "$DIR/resume.txt" || {
+    echo "FAIL: resumed fits differ from the uninterrupted run" >&2
+    exit 1
+}
+
+echo "serve kill-9 restore: OK (resumed $RESUMED of 6 windows)"

@@ -1,0 +1,79 @@
+#!/bin/sh
+# CI soak for `palu_tool serve`: a live pipe plus failpoint churn.
+#
+# A generator loop feeds serve's stdin for DURATION seconds while the
+# PALU_FAILPOINT environment variable arms all three runtime serve
+# failpoints (ingest restart, fit degradation, checkpoint failure).
+# Pass criteria: the daemon survives the whole soak and drains cleanly
+# on SIGTERM (exit 0), the published window indices are strictly
+# monotone with no gaps (the windows-fitted counter never goes
+# backwards or skips), and the final metrics snapshot round-trips
+# through the strict Prometheus validator.
+#
+# Usage: serve_soak.sh /path/to/palu_tool [duration_seconds]
+set -eu
+
+TOOL="$1"
+DURATION="${2:-30}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$TOOL" generate --nodes 3000 --packets 200000 --seed 17 > "$DIR/trace.txt"
+
+# Endless writer: replay the trace until the pipe closes.  The subshell
+# dies on SIGPIPE when serve exits.
+(
+    while :; do cat "$DIR/trace.txt" || exit 0; done
+) | PALU_FAILPOINT="serve.ingest:3:5,serve.fit:2:3,serve.checkpoint:2:4" \
+    "$TOOL" serve --window 20000 --checkpoint "$DIR/ck.txt" \
+        --snapshot "$DIR/snap.json" --snapshot-interval-ms 500 \
+        > "$DIR/out.txt" 2> "$DIR/err.txt" &
+PID=$!
+
+sleep "$DURATION"
+
+if ! kill -0 "$PID" 2>/dev/null; then
+    RC=0
+    wait "$PID" || RC=$?
+    echo "FAIL: serve died mid-soak (exit $RC)" >&2
+    cat "$DIR/err.txt" >&2
+    exit 1
+fi
+kill -TERM "$PID"
+j=0
+while kill -0 "$PID" 2>/dev/null; do
+    j=$((j + 1))
+    if [ "$j" -gt 100 ]; then
+        echo "FAIL: serve did not drain after the soak" >&2
+        kill -9 "$PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+RC=0
+wait "$PID" || RC=$?
+if [ "$RC" -ne 0 ]; then
+    echo "FAIL: soak exit code $RC != 0" >&2
+    cat "$DIR/err.txt" >&2
+    exit 1
+fi
+
+WINDOWS=$(grep -c '^window=' "$DIR/out.txt" || true)
+if [ "$WINDOWS" -lt 2 ]; then
+    echo "FAIL: only $WINDOWS windows fitted during the soak" >&2
+    cat "$DIR/err.txt" >&2
+    exit 1
+fi
+# Window indices must be strictly monotone with no gaps: 0, 1, 2, ...
+sed -n 's/^window=\([0-9]*\) .*/\1/p' "$DIR/out.txt" |
+    awk 'NR != $1 + 1 { print "gap at line " NR ": index " $1; bad = 1 }
+         END { exit bad }' || {
+    echo "FAIL: windows-fitted sequence is not monotone" >&2
+    exit 1
+}
+
+[ -s "$DIR/snap.json" ] || { echo "FAIL: snapshot missing" >&2; exit 1; }
+"$TOOL" check-metrics --prom "$DIR/snap.prom"
+
+echo "serve soak: OK ($WINDOWS windows over ${DURATION}s, injected" \
+     "faults survived)"

@@ -1,5 +1,6 @@
 #include "palu/common/failpoint.hpp"
 
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -84,6 +85,11 @@ void arm_from_spec(std::string_view spec) {
         sign = -1;
         i = 1;
       }
+      if (i == tok.size()) {
+        throw InvalidArgument("failpoint spec clause '" +
+                              std::string(clause) +
+                              "' has a sign with no digits");
+      }
       int v = 0;
       for (; i < tok.size(); ++i) {
         if (tok[i] < '0' || tok[i] > '9') {
@@ -91,7 +97,13 @@ void arm_from_spec(std::string_view spec) {
                                 std::string(clause) +
                                 "' has a non-numeric field");
         }
-        v = v * 10 + (tok[i] - '0');
+        const int digit = tok[i] - '0';
+        if (v > (std::numeric_limits<int>::max() - digit) / 10) {
+          throw InvalidArgument("failpoint spec clause '" +
+                                std::string(clause) +
+                                "' has a numeric field out of range");
+        }
+        v = v * 10 + digit;
       }
       return sign * v;
     };

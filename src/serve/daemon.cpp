@@ -171,26 +171,31 @@ void ServeDaemon::run_stage(
 // ---------------------------------------------------------------- ingest
 
 bool ServeDaemon::deliver(std::vector<io::TailRecord>& records) {
+  // The ingest counters track *admissions*: a drop-newest record was
+  // never in the queue, and on kClosed only the prefix already delivered
+  // counts — anything else skews the restart progress meter.
+  std::uint64_t admitted = 0;
+  bool open = true;
   for (const io::TailRecord& rec : records) {
-    switch (queue_.push(rec)) {
-      case BoundedRecordQueue::PushResult::kOk:
-        break;
-      case BoundedRecordQueue::PushResult::kDroppedOldest:
-        drop_oldest_counter_.inc();
-        break;
-      case BoundedRecordQueue::PushResult::kDroppedNewest:
-        drop_newest_counter_.inc();
-        break;
-      case BoundedRecordQueue::PushResult::kClosed:
-        records.clear();
-        return false;
+    const auto result = queue_.push(rec);
+    if (result == BoundedRecordQueue::PushResult::kClosed) {
+      open = false;
+      break;
     }
+    if (result == BoundedRecordQueue::PushResult::kDroppedNewest) {
+      drop_newest_counter_.inc();  // discarded, not admitted
+      continue;
+    }
+    if (result == BoundedRecordQueue::PushResult::kDroppedOldest) {
+      drop_oldest_counter_.inc();  // admitted; the queue head was shed
+    }
+    ++admitted;
   }
-  packets_counter_.inc(records.size());
-  records_pushed_.fetch_add(records.size());
+  packets_counter_.inc(admitted);
+  records_pushed_.fetch_add(admitted);
   records.clear();
   queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.depth()));
-  return true;
+  return open;
 }
 
 void ServeDaemon::ingest_body() {
@@ -377,8 +382,14 @@ void ServeDaemon::boundary() {
 
 void ServeDaemon::fit_body() {
   io::TailRecord rec;
-  while (!stopping()) {
-    if (!queue_.pop(rec)) return;  // stream ended or aborted
+  // A stop request does NOT end this loop: the drain contract
+  // (options.hpp drain_deadline_ms) is that records queued at
+  // SIGINT/SIGTERM are still fitted.  On stop the ingest stage exits and
+  // close()s the queue, so pop() returns false once the backlog is
+  // consumed; the supervisor's drain-deadline abort() bounds the drain.
+  // Only a fatal abort skips straight out.
+  while (fatal_exit_.load() == 0) {
+    if (!queue_.pop(rec)) return;  // stream drained or aborted
     acc_.add(rec.packet.src, rec.packet.dst);
     ++packets_total_;
     ++window_fill_;
@@ -507,8 +518,10 @@ void ServeDaemon::supervise() {
 }
 
 int ServeDaemon::run() {
+  // Unconditionally: a daemon that installs no handlers must not inherit
+  // a stop left behind by a signal-stopped predecessor in this process.
+  g_signal_stop.store(false);
   if (opts_.install_signal_handlers) {
-    g_signal_stop.store(false);
     std::signal(SIGINT, serve_signal_handler);
     std::signal(SIGTERM, serve_signal_handler);
   }

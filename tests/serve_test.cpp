@@ -8,10 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -342,6 +344,16 @@ TEST_F(ServeTest, ArmFromSpecRejectsMalformedClauses) {
   EXPECT_THROW(failpoints::arm_from_spec("site:"), InvalidArgument);
   EXPECT_THROW(failpoints::arm_from_spec("site:abc"), InvalidArgument);
   EXPECT_THROW(failpoints::arm_from_spec("site:1:xyz"), InvalidArgument);
+  // A bare sign is not a number (it used to parse as 0 and silently arm
+  // a never-firing failpoint), and a digit string past INT_MAX must be
+  // rejected rather than overflow.
+  EXPECT_THROW(failpoints::arm_from_spec("site:-"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm_from_spec("site:1:-"), InvalidArgument);
+  EXPECT_THROW(failpoints::arm_from_spec("site:99999999999999999999"),
+               InvalidArgument);
+  EXPECT_THROW(failpoints::arm_from_spec("site:2147483648"),
+               InvalidArgument);
+  EXPECT_NO_THROW(failpoints::arm_from_spec("spec.max:2147483647"));
   // Empty clauses between commas are tolerated (trailing comma idiom).
   EXPECT_NO_THROW(failpoints::arm_from_spec("spec.c:1,"));
 }
@@ -793,6 +805,87 @@ TEST_F(ServeTest, DaemonRequestStopDrainsAndCheckpoints) {
 
   EXPECT_EQ(lines_of(out.str()).size(), 3u);
   // The final checkpoint reflects the last completed boundary.
+  const serve::Checkpoint saved = serve::load_checkpoint(ck);
+  EXPECT_EQ(saved.windows_published, 3u);
+  EXPECT_EQ(saved.estimator.windows, 3u);
+  std::remove(trace.c_str());
+  std::remove(ck.c_str());
+}
+
+// A result-line sink whose flush blocks until released: pins the fit
+// stage inside its first publish so a test can pile complete windows
+// into the queue before requesting a stop.
+class GateBuf : public std::stringbuf {
+ public:
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  bool blocked() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return blocked_;
+  }
+
+ protected:
+  int sync() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    blocked_ = true;
+    cv_.wait(lock, [this] { return open_; });
+    blocked_ = false;
+    return std::stringbuf::sync();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  bool blocked_ = false;
+};
+
+// The hard half of the drain contract: a stop that arrives while the
+// queue still holds complete windows must not discard them.  The fit
+// stage keeps popping to the queue's close and publishes every complete
+// window before the daemon exits 0.  (The easy half — stop with an
+// already-empty queue — is DaemonRequestStopDrainsAndCheckpoints.)
+TEST_F(ServeTest, DaemonStopWithQueuedWindowsDrainsThemAll) {
+  const std::string trace = temp_path("drainq.trace");
+  const std::string ck = temp_path("drainq.ck");
+  write_file(trace, to_trace_text(synth_packets(4500, 61)));
+
+  GateBuf gate;
+  std::ostream gated_out(&gate);
+  obs::Registry registry;
+  serve::ServeOptions opts;
+  opts.input_path = trace;
+  opts.window_packets = 1500;
+  opts.metrics = &registry;
+  opts.out = &gated_out;
+  opts.install_signal_handlers = false;
+  opts.follow = true;  // EOF polls, so only a stop ends ingest
+  opts.poll_interval_ms = 5.0;
+  opts.checkpoint_path = ck;
+  serve::ServeDaemon daemon(std::move(opts));
+
+  std::thread runner([&] { EXPECT_EQ(daemon.run(), 0); });
+  // Wait (bounded) until the fit stage is pinned inside window 0's
+  // publish and the ingest stage has queued the other two full windows.
+  auto& packets = registry.counter(obs::names::kServePackets);
+  for (int i = 0;
+       i < 2000 && !(gate.blocked() && packets.value() >= 4500); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(gate.blocked());
+  ASSERT_GE(packets.value(), 4500u);
+
+  daemon.request_stop();  // windows 1 and 2 are complete in the queue
+  gate.release();
+  runner.join();
+
+  EXPECT_EQ(daemon.windows_published(), 3u);
+  EXPECT_EQ(lines_of(gate.str()).size(), 3u);
   const serve::Checkpoint saved = serve::load_checkpoint(ck);
   EXPECT_EQ(saved.windows_published, 3u);
   EXPECT_EQ(saved.estimator.windows, 3u);

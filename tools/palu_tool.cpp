@@ -12,6 +12,7 @@
 //       Prints the Fig-2 topology census of each window.
 //   help
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -392,34 +393,41 @@ int cmd_zoo(const cli::Args& args) {
 }
 
 int cmd_serve(const cli::Args& args) {
+  // Count flags are parsed signed; a negative would wrap to a huge
+  // unsigned (e.g. --window -1 -> 2^64-1) and sail past every later
+  // bound, so validate before any cast.
+  const auto get_count = [&args](const char* name, std::int64_t fallback,
+                                 std::int64_t min_value) {
+    const std::int64_t v = args.get_int(name, fallback);
+    PALU_CHECK(v >= min_value, "--" + std::string(name) +
+                                   " must be >= " +
+                                   std::to_string(min_value) + ", got " +
+                                   std::to_string(v));
+    return static_cast<std::uint64_t>(v);
+  };
   serve::ServeOptions opts;
   opts.input_path = args.get_string("trace", "-");
   opts.follow = args.get_flag("follow");
   opts.ingest = ingest_options(args);
-  opts.window_packets =
-      static_cast<std::uint64_t>(args.get_int("window", 100000));
+  opts.window_packets = get_count("window", 100000, 1);
   opts.quantity =
       parse_quantity(args.get_string("quantity", "undirected_degree"));
   opts.streaming.sliding_horizon =
-      static_cast<std::size_t>(args.get_int("horizon", 4));
+      static_cast<std::size_t>(get_count("horizon", 4, 1));
   opts.streaming.warm_start =
       args.get_string("warm-start", "on") != "off";
-  opts.max_windows =
-      static_cast<std::uint64_t>(args.get_int("max-windows", 0));
+  opts.max_windows = get_count("max-windows", 0, 0);
   opts.fit_deadline_ms = args.get_double("fit-deadline-ms", 0.0);
-  opts.queue_capacity =
-      static_cast<std::size_t>(args.get_int("queue", 65536));
+  opts.queue_capacity = static_cast<std::size_t>(get_count("queue", 65536, 1));
   opts.backpressure =
       serve::parse_backpressure(args.get_string("backpressure", "block"));
   opts.checkpoint_path = args.get_string("checkpoint", "");
-  opts.checkpoint_every =
-      static_cast<std::uint64_t>(args.get_int("checkpoint-every", 1));
+  opts.checkpoint_every = get_count("checkpoint-every", 1, 1);
   opts.restore = args.get_flag("restore");
   opts.snapshot_path = args.get_string("snapshot", "");
   opts.snapshot_interval_ms =
       args.get_double("snapshot-interval-ms", 1000.0);
-  opts.max_stage_restarts =
-      static_cast<std::uint64_t>(args.get_int("max-restarts", 5));
+  opts.max_stage_restarts = get_count("max-restarts", 5, 0);
   opts.drain_deadline_ms = args.get_double("drain-deadline-ms", 5000.0);
   opts.poll_interval_ms = args.get_double("poll-interval-ms", 50.0);
   PALU_CHECK(!(opts.restore && opts.checkpoint_path.empty()),

@@ -27,7 +27,9 @@
 //     "identical": true|false,           // legacy vs fast only
 //     "counts_mass_conserved": true|false,
 //     "scaling": {"windows", "points": [{"nvalid", "seconds_per_window"}],
-//                 "ratios": [per-decade cost growth of the counts path]}
+//                 "ratios": [per-decade cost growth of the counts path]},
+//     "shards": {"identical": true|false,   // every K byte-identical to K=1
+//                "points": [{"shards", "seconds"}]}   // intra-window axis
 //   }
 //
 // Each run records into its own obs::Registry, so the metrics block is
@@ -65,12 +67,17 @@ struct RunResult {
 
 RunResult run_sweep(const graph::Graph& g, Count n_valid,
                     std::size_t windows, traffic::Quantity quantity,
-                    std::uint64_t seed, ThreadPool& pool, Path path) {
+                    std::uint64_t seed, ThreadPool& pool, Path path,
+                    std::size_t shards = 1) {
   obs::Registry registry;
   traffic::SweepOptions opts;
   opts.fast_path = path != Path::kLegacy;
   if (path == Path::kCounts) {
     opts.synthesis = traffic::SynthesisMode::kMultinomial;
+  }
+  if (shards > 1) {
+    opts.shard_mode = traffic::ShardMode::kIntraWindow;
+    opts.shards_per_window = shards;
   }
   opts.metrics = &registry;
   const auto t0 = std::chrono::steady_clock::now();
@@ -209,6 +216,26 @@ int main(int argc, char** argv) {
                 ratios.back());
   }
 
+  // Intra-window shard axis (PR 7): the counts sweep re-run with the
+  // window's accumulation partitioned across K sub-accumulators.  Sharding
+  // must be a pure re-association — every K produces the byte-identical
+  // merged histogram — so the axis records only where the time goes.
+  const std::vector<std::size_t> shard_counts = {1, 2, 4};
+  std::vector<double> shard_seconds;
+  bool shards_identical = true;
+  for (const std::size_t k : shard_counts) {
+    const RunResult r = run_sweep(net.graph, n_valid, windows, quantity,
+                                  seed, pool, Path::kCounts, k);
+    shard_seconds.push_back(r.seconds);
+    if (r.merged.sorted() != counts.merged.sorted() ||
+        r.merged.total() != counts.merged.total()) {
+      shards_identical = false;
+    }
+    std::printf("counts shards=%zu: %.3fs (%.2fM packets/s)%s\n", k,
+                r.seconds, r.packets_per_sec / 1e6,
+                shards_identical ? "" : "  DIVERGED");
+  }
+
   if (!counts_only) {
     const double speedup = fast.packets_per_sec / legacy.packets_per_sec;
     const double counts_vs_fast =
@@ -250,6 +277,13 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < ratios.size(); ++i) {
       out << (i ? ", " : "") << ratios[i];
     }
+    out << "]},\n";
+    out << "  \"shards\": {\"identical\": "
+        << (shards_identical ? "true" : "false") << ", \"points\": [";
+    for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+      out << (i ? ", " : "") << "{\"shards\": " << shard_counts[i]
+          << ", \"seconds\": " << shard_seconds[i] << "}";
+    }
     out << "]}\n}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
@@ -267,6 +301,11 @@ int main(int argc, char** argv) {
   }
   if (!counts_sane) {
     std::fprintf(stderr, "FAIL: counts sweep produced an empty result\n");
+    ok = false;
+  }
+  if (!shards_identical) {
+    std::fprintf(stderr,
+                 "FAIL: intra-window sharding changed the merged result\n");
     ok = false;
   }
   return ok ? 0 : 1;

@@ -38,8 +38,13 @@ namespace palu::core {
 
 class StreamingPaluEstimator {
  public:
-  explicit StreamingPaluEstimator(PaluFitOptions opts = {})
-      : opts_(opts) {}
+  /// `history_cap` bounds the per-refit history: once more than
+  /// `history_cap` refits have succeeded the oldest entries are dropped,
+  /// so an unbounded stream cannot grow the estimator without limit.  The
+  /// default 0 keeps the full history (the batch-caller behaviour).
+  explicit StreamingPaluEstimator(PaluFitOptions opts = {},
+                                  std::size_t history_cap = 0)
+      : opts_(opts), history_cap_(history_cap) {}
 
   /// Folds one window's degree histogram into the running aggregate and
   /// refits.  Windows whose aggregate is still too thin to fit (DataError
@@ -54,8 +59,12 @@ class StreamingPaluEstimator {
 
   bool has_fit() const noexcept { return latest_.has_value(); }
 
-  /// One entry per successful refit, in arrival order.
+  /// Entries per successful refit, in arrival order; at most history_cap()
+  /// entries when a cap is set (oldest dropped first).
   const std::vector<PaluFit>& history() const noexcept { return history_; }
+
+  /// Maximum retained history entries; 0 means unbounded.
+  std::size_t history_cap() const noexcept { return history_cap_; }
 
   /// The merged histogram backing the current fit.
   const stats::DegreeHistogram& aggregate() const noexcept {
@@ -64,6 +73,7 @@ class StreamingPaluEstimator {
 
  private:
   PaluFitOptions opts_;
+  std::size_t history_cap_ = 0;
   stats::DegreeHistogram merged_;
   std::optional<PaluFit> latest_;
   std::vector<PaluFit> history_;
@@ -133,6 +143,11 @@ struct StreamingRefit {
 struct StreamingState {
   std::size_t windows = 0;        ///< windows folded so far
   std::size_t stale_windows = 0;  ///< refits that left the tumbling lane stale
+  /// Consecutive refits (ending at the last window) that left the
+  /// tumbling lane stale.  Part of the serializable state: the serve
+  /// staleness gauge is derived from it, so a restore that dropped it
+  /// would break the byte-identical-resume contract for metrics.
+  std::size_t consecutive_stale = 0;
   StreamingFitSnapshot window_lane;
   StreamingFitSnapshot sliding_lane;
   /// Sliding horizon, oldest first (at most sliding_horizon entries).
@@ -157,8 +172,9 @@ class WindowedStreamingEstimator {
     return state_.stale_windows;
   }
   /// Consecutive refits (ending now) that left the tumbling lane stale.
+  /// Lives in StreamingState, so it survives checkpoint restore.
   std::size_t consecutive_stale() const noexcept {
-    return consecutive_stale_;
+    return state_.consecutive_stale;
   }
 
   const StreamingFitSnapshot& window_fit() const noexcept {
@@ -186,7 +202,6 @@ class WindowedStreamingEstimator {
   StreamingOptions opts_;
   StreamingState state_;
   std::deque<stats::DegreeHistogram> horizon_;
-  std::size_t consecutive_stale_ = 0;
 };
 
 }  // namespace palu::core

@@ -38,6 +38,13 @@ inline constexpr char kSweepFailpointTrips[] =
     "palu_sweep_failpoint_trips_total";
 /// Gauge: worker count of the pool driving the most recent sweep.
 inline constexpr char kSweepPoolThreads[] = "palu_sweep_pool_threads";
+/// Gauge: sub-accumulators per window of the most recent sweep (1 =
+/// concurrent-windows mode, K = intra-window sharding).
+inline constexpr char kSweepShardsPerWindow[] =
+    "palu_sweep_shards_per_window";
+/// Counter: intra-window shard merges performed (K−1 per sharded window).
+inline constexpr char kSweepShardsMerged[] =
+    "palu_sweep_shards_merged_total";
 /// Histogram{stage=sampling|accumulation|binning, path=fast|legacy|counts}:
 /// per-worker CPU ns spent in each stage (one observation per worker).
 inline constexpr char kSweepStageDurationNs[] =

@@ -1,0 +1,60 @@
+// Contiguous node-id range sharding.
+//
+// The sweep's intra-window mode partitions a window's accumulation by
+// node-id range across K sub-accumulators whose contents merge
+// associatively.  The routing function here is the single source of truth
+// for that partition: shard s owns the block [s·B, (s+1)·B) ∩ [0, domain)
+// with B = ceil(domain / K), so the ranges tile [0, domain) and every id
+// maps to exactly one shard (trailing shards may be empty when K does not
+// divide the domain — an empty shard merges as a no-op).  Determinism of
+// the sharded sweep reduces to this function being a pure partition: the
+// merged union of per-shard state is then content-identical to unsharded
+// accumulation no matter how ids arrive.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "palu/common/types.hpp"
+
+namespace palu::parallel {
+
+/// Ids per shard under the block partition of [0, domain) into `shards`
+/// ranges; always >= 1 so the routing division is well defined.
+inline NodeId shard_block(std::size_t shards, NodeId domain) noexcept {
+  if (shards <= 1 || domain == 0) return domain > 0 ? domain : 1;
+  return domain / shards + (domain % shards != 0 ? 1 : 0);
+}
+
+/// Maps a node id to its shard.  Ids at or beyond the domain (never
+/// produced by the synthetic generators, but cheap to defend) land in the
+/// last shard.  `shards == 0` is treated as 1.
+inline std::size_t shard_of(NodeId id, std::size_t shards,
+                            NodeId domain) noexcept {
+  if (shards <= 1 || domain == 0) return 0;
+  if (id >= domain) return shards - 1;
+  return std::min<std::size_t>(
+      static_cast<std::size_t>(id / shard_block(shards, domain)),
+      shards - 1);
+}
+
+/// Half-open id range [begin, end) owned by shard `s`; the ranges for
+/// s = 0..shards−1 tile [0, domain).
+struct ShardRange {
+  NodeId begin = 0;
+  NodeId end = 0;
+};
+
+inline ShardRange shard_range(std::size_t s, std::size_t shards,
+                              NodeId domain) noexcept {
+  if (shards <= 1) return ShardRange{0, domain};
+  const NodeId block = shard_block(shards, domain);
+  // block <= domain, so s·block stays far below the NodeId range for any
+  // realistic shard count; clamp to the domain for the tail.
+  const NodeId lo = std::min<NodeId>(static_cast<NodeId>(s) * block, domain);
+  const NodeId hi =
+      std::min<NodeId>(static_cast<NodeId>(s + 1) * block, domain);
+  return ShardRange{lo, hi};
+}
+
+}  // namespace palu::parallel

@@ -26,6 +26,13 @@
 // so per-window cost is O(num_edges) instead of O(n_valid).  Same law,
 // different RNG consumption — counts sweeps are distributionally
 // equivalent to packet sweeps, not byte-identical (see DESIGN.md §5e).
+//
+// The sweep body is an explicit stage graph — synthesize → accumulate →
+// bin per window inside a worker, then a serial fit/reduce on the calling
+// thread — with two selectable sharding modes for the accumulate stage
+// (SweepOptions::shard_mode): concurrent windows (default) and
+// intra-window node-range sharding across mergeable sub-accumulators
+// (DESIGN.md §5g).  Both are byte-identical for the same seed.
 #pragma once
 
 #include <atomic>
@@ -70,6 +77,28 @@ struct WindowFailure {
   std::string error;
 };
 
+/// How a sweep maps accumulation onto state (DESIGN.md §5g).  Both modes
+/// run the same stage graph (synthesize → accumulate → bin → fit/reduce)
+/// and produce byte-identical results for the same seed and synthesis
+/// mode; they differ only in how the accumulate stage is sharded.
+enum class ShardMode {
+  /// One window per worker, one accumulator per worker — the default and
+  /// today's concurrency axis (windows are exchangeable).
+  kConcurrentWindows,
+  /// Additionally partition each window's accumulation by node-id range
+  /// across SweepOptions::shards_per_window sub-accumulators that are
+  /// merged (WindowAccumulator::merge) before binning.  RNG consumption
+  /// is untouched — only already-drawn packets / count records are
+  /// routed — so the result is byte-identical to kConcurrentWindows.
+  /// The packet path routes by Packet::src, the counts path by the
+  /// record's lower endpoint (EdgePacketCounts::u).  Mergeable shard
+  /// state is the prerequisite for splitting one huge window across
+  /// cores or hosts; on this container's single core the shards run
+  /// serially inside the owning worker.  Intra-window sharding always
+  /// uses the WindowAccumulator machinery, even with fast_path = false.
+  kIntraWindow,
+};
+
 /// How a sweep turns the traffic law into per-window histograms.
 enum class SynthesisMode {
   /// Draw n_valid individual packets per window (default; the reference
@@ -97,6 +126,12 @@ struct SweepOptions {
   /// Window synthesis strategy; kPacket keeps the packet-exact reference
   /// behaviour, kMultinomial switches to O(num_edges) count-space draws.
   SynthesisMode synthesis = SynthesisMode::kPacket;
+  /// Accumulation sharding (see ShardMode).  kConcurrentWindows ignores
+  /// shards_per_window.
+  ShardMode shard_mode = ShardMode::kConcurrentWindows;
+  /// Sub-accumulators per window under ShardMode::kIntraWindow; must be
+  /// >= 1.  1 degenerates to the unsharded accumulate stage.
+  std::size_t shards_per_window = 1;
   /// Cooperative cancellation: checked between windows; a cancelled sweep
   /// returns the windows finished so far with `cancelled` set.
   const std::atomic<bool>* cancel = nullptr;

@@ -15,6 +15,13 @@ void StreamingPaluEstimator::add_window(
   try {
     latest_ = fit_palu(merged_, opts_);
     history_.push_back(*latest_);
+    if (history_cap_ > 0 && history_.size() > history_cap_) {
+      // Bounded mode: drop oldest.  The cap is operator-sized (tens to
+      // thousands), so the front erase stays cheap next to the refit.
+      history_.erase(history_.begin(),
+                     history_.end() -
+                         static_cast<std::ptrdiff_t>(history_cap_));
+    }
   } catch (const DataError&) {
     // Aggregate still too thin (e.g. tail shorter than tail_min); keep
     // accumulating.
@@ -120,7 +127,7 @@ StreamingRefit WindowedStreamingEstimator::refit_window(
     state_.window_lane = degrade(state_.window_lane, forced_error);
     state_.sliding_lane = degrade(state_.sliding_lane, forced_error);
     ++state_.stale_windows;
-    ++consecutive_stale_;
+    ++state_.consecutive_stale;
     out.window = state_.window_lane;
     out.sliding = state_.sliding_lane;
     out.fresh = false;
@@ -139,10 +146,10 @@ StreamingRefit WindowedStreamingEstimator::refit_window(
 
   out.fresh = state_.window_lane.freshness == FitFreshness::kFresh;
   if (out.fresh) {
-    consecutive_stale_ = 0;
+    state_.consecutive_stale = 0;
   } else {
     ++state_.stale_windows;
-    ++consecutive_stale_;
+    ++state_.consecutive_stale;
   }
   out.window = state_.window_lane;
   out.sliding = state_.sliding_lane;
@@ -159,8 +166,10 @@ void WindowedStreamingEstimator::restore(StreamingState state) {
   horizon_.assign(state.horizon.begin(), state.horizon.end());
   while (horizon_.size() > opts_.sliding_horizon) horizon_.pop_front();
   state.horizon.clear();
+  // consecutive_stale rides along inside the state: an earlier revision
+  // zeroed it here, which made a --restore'd daemon's staleness gauge
+  // diverge from an uninterrupted run.
   state_ = std::move(state);
-  consecutive_stale_ = 0;
 }
 
 }  // namespace palu::core

@@ -18,7 +18,12 @@
 namespace palu::serve {
 namespace {
 
-constexpr char kMagic[] = "palu-serve-checkpoint v1";
+// v2: the counts line gained `consecutive <n>` (the estimator's
+// consecutive-stale run, which the serve staleness gauge is derived
+// from).  v1 files fail the magic check and fall back to the documented
+// fresh-start degrade path — safer than silently resuming with a zeroed
+// gauge.
+constexpr char kMagic[] = "palu-serve-checkpoint v2";
 
 std::uint64_t fnv1a(std::string_view bytes) noexcept {
   std::uint64_t h = 1469598103934665603ULL;
@@ -183,7 +188,9 @@ std::string render(const Checkpoint& ck) {
          std::to_string(ck.packets_ingested) + " published " +
          std::to_string(ck.windows_published) + '\n';
   out += "counts windows " + std::to_string(ck.estimator.windows) +
-         " stale " + std::to_string(ck.estimator.stale_windows) + '\n';
+         " stale " + std::to_string(ck.estimator.stale_windows) +
+         " consecutive " +
+         std::to_string(ck.estimator.consecutive_stale) + '\n';
   append_lane(out, "window", ck.estimator.window_lane);
   append_lane(out, "sliding", ck.estimator.sliding_lane);
   for (std::size_t k = 0; k < ck.estimator.horizon.size(); ++k) {
@@ -306,13 +313,16 @@ Checkpoint load_checkpoint(const std::string& path) {
       ck.packets_ingested = parse_u64_tok(tok[4]);
       ck.windows_published = parse_u64_tok(tok[6]);
     } else if (tok[0] == "counts") {
-      if (tok.size() != 5) {
+      if (tok.size() != 7 || tok[1] != "windows" || tok[3] != "stale" ||
+          tok[5] != "consecutive") {
         throw DataError("serve checkpoint: malformed counts line");
       }
       ck.estimator.windows =
           static_cast<std::size_t>(parse_u64_tok(tok[2]));
       ck.estimator.stale_windows =
           static_cast<std::size_t>(parse_u64_tok(tok[4]));
+      ck.estimator.consecutive_stale =
+          static_cast<std::size_t>(parse_u64_tok(tok[6]));
     } else if (tok[0] == "lane") {
       if (tok.size() < 2) {
         throw DataError("serve checkpoint: malformed lane line");

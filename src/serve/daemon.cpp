@@ -458,6 +458,11 @@ void ServeDaemon::try_restore() {
     packets_total_ = ck.packets_ingested;
     published_.store(ck.windows_published);
     estimator_.restore(std::move(ck.estimator));
+    // The gauge normally updates at window boundaries; seed it from the
+    // restored state so a resume that sees no further boundary still
+    // exports the same staleness as the uninterrupted run it replaces.
+    staleness_gauge_.set(
+        static_cast<std::int64_t>(estimator_.consecutive_stale()));
     restore_ok_.inc();
     std::fprintf(stderr,
                  "serve: restored checkpoint at offset %llu (%llu windows)\n",

@@ -19,6 +19,7 @@
 #include "palu/obs/span.hpp"
 #include "palu/parallel/parallel_for.hpp"
 #include "palu/parallel/scratch_pool.hpp"
+#include "palu/parallel/shard.hpp"
 #include "palu/traffic/window_accumulator.hpp"
 
 namespace palu::traffic {
@@ -37,14 +38,28 @@ std::uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
 /// once, reseeded per window), one arena-reused accumulator, one packet
 /// batch buffer.  Leased from a ScratchPool so whatever worker picks up a
 /// chunk reuses an existing arena instead of rebuilding per window.
+/// Intra-window sharding adds per-shard sub-accumulators and (on the
+/// counts path) per-shard record buckets, all arena-reused the same way.
 struct SweepScratch {
   SyntheticTrafficGenerator gen;
   WindowAccumulator acc;
   std::vector<Packet> buf;
   std::vector<EdgePacketCounts> pairs;  // counts-path window records
+  std::vector<WindowAccumulator> shard_accs;
+  std::vector<std::vector<EdgePacketCounts>> shard_pairs;
 };
 
 constexpr std::size_t kPacketBatch = 8192;
+
+/// Immutable per-sweep description of one window's work, shared by every
+/// stage: window size, quantity, and how the accumulate stage shards
+/// (shards == 1 means unsharded; domain is the node-id routing range).
+struct WindowPlan {
+  Count n_valid;
+  Quantity quantity;
+  std::size_t shards;
+  NodeId domain;
+};
 
 /// Plain per-stage nanosecond totals, accumulated worker-locally in the
 /// hot loop and folded into both SweepStageTimings views afterwards.
@@ -71,7 +86,9 @@ struct SweepMetrics {
   obs::Counter& cancelled;
   obs::Counter& deadline_expired;
   obs::Counter& failpoint_trips;
+  obs::Counter& shard_merges;
   obs::Gauge& pool_threads;
+  obs::Gauge& shards_per_window;
   obs::Histogram& sweep_duration;
   obs::Histogram& stage_sampling;
   obs::Histogram& stage_accumulation;
@@ -88,7 +105,9 @@ struct SweepMetrics {
         cancelled(r.counter(obs::names::kSweepCancelled)),
         deadline_expired(r.counter(obs::names::kSweepDeadlineExpired)),
         failpoint_trips(r.counter(obs::names::kSweepFailpointTrips)),
+        shard_merges(r.counter(obs::names::kSweepShardsMerged)),
         pool_threads(r.gauge(obs::names::kSweepPoolThreads)),
+        shards_per_window(r.gauge(obs::names::kSweepShardsPerWindow)),
         sweep_duration(r.histogram(obs::names::kSweepDurationNs)),
         stage_sampling(stage_histogram(r, path, "sampling")),
         stage_accumulation(stage_histogram(r, path, "accumulation")),
@@ -100,6 +119,41 @@ struct SweepMetrics {
                        {{"path", path}, {"stage", stage}});
   }
 };
+
+// ---------------------------------------------------------------------
+// Stage graph (DESIGN.md §5g).  Every window flows through
+//
+//   synthesize → accumulate → bin        (inside one pool worker)
+//                                └→ fit/reduce  (serial, caller's thread)
+//
+// The runners below are the per-path instantiations of that graph.  The
+// shard mode only changes how `accumulate` maps onto state: unsharded
+// runners use the lease's single accumulator; sharded runners route the
+// same drawn packets / count records by node-id range (parallel::shard_of)
+// into K sub-accumulators and merge them before binning.  Synthesis is
+// untouched either way, so RNG consumption — and therefore the result —
+// is byte-identical across shard counts.  Merge time is charged to the
+// accumulation stage.
+// ---------------------------------------------------------------------
+
+void ensure_shards(SweepScratch& scratch, std::size_t k) {
+  if (scratch.shard_accs.size() < k) scratch.shard_accs.resize(k);
+  if (scratch.shard_pairs.size() < k) scratch.shard_pairs.resize(k);
+}
+
+/// Merges sub-accumulators 1..k−1 into shard 0 and returns it; the
+/// failpoint makes an injected merge failure degrade exactly like any
+/// other per-window fault (budget, strict rethrow, metrics).
+WindowAccumulator& merge_window_shards(SweepScratch& scratch, std::size_t k,
+                                       std::uint64_t& merges) {
+  WindowAccumulator& target = scratch.shard_accs[0];
+  for (std::size_t s = 1; s < k; ++s) {
+    PALU_FAILPOINT("traffic.shard_merge");
+    target.merge(scratch.shard_accs[s]);
+    ++merges;
+  }
+  return target;
+}
 
 stats::DegreeHistogram run_window_fast(SweepScratch& scratch, Count n_valid,
                                        Quantity quantity, StageNs& timings) {
@@ -126,6 +180,43 @@ stats::DegreeHistogram run_window_fast(SweepScratch& scratch, Count n_valid,
   return h;
 }
 
+stats::DegreeHistogram run_window_fast_sharded(SweepScratch& scratch,
+                                               const WindowPlan& plan,
+                                               StageNs& timings,
+                                               std::uint64_t& merges) {
+  ensure_shards(scratch, plan.shards);
+  for (std::size_t s = 0; s < plan.shards; ++s) {
+    scratch.shard_accs[s].begin_window();
+  }
+  if (scratch.buf.size() < kPacketBatch) scratch.buf.resize(kPacketBatch);
+  Count left = plan.n_valid;
+  while (left > 0) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<Count>(left, kPacketBatch));
+    const auto t0 = Clock::now();
+    scratch.gen.next_batch(std::span<Packet>(scratch.buf.data(), n));
+    const auto t1 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Packet& p = scratch.buf[i];
+      scratch
+          .shard_accs[parallel::shard_of(p.src, plan.shards, plan.domain)]
+          .add(p.src, p.dst);
+    }
+    const auto t2 = Clock::now();
+    timings.sampling += ns_between(t0, t1);
+    timings.accumulation += ns_between(t1, t2);
+    left -= n;
+  }
+  const auto m0 = Clock::now();
+  WindowAccumulator& merged = merge_window_shards(scratch, plan.shards,
+                                                  merges);
+  const auto m1 = Clock::now();
+  timings.accumulation += ns_between(m0, m1);
+  stats::DegreeHistogram h = merged.histogram(plan.quantity);
+  timings.binning += ns_between(m1, Clock::now());
+  return h;
+}
+
 stats::DegreeHistogram run_window_counts(SweepScratch& scratch,
                                          Count n_valid, Quantity quantity,
                                          StageNs& timings) {
@@ -142,6 +233,39 @@ stats::DegreeHistogram run_window_counts(SweepScratch& scratch,
   return h;
 }
 
+stats::DegreeHistogram run_window_counts_sharded(SweepScratch& scratch,
+                                                 const WindowPlan& plan,
+                                                 StageNs& timings,
+                                                 std::uint64_t& merges) {
+  ensure_shards(scratch, plan.shards);
+  for (std::size_t s = 0; s < plan.shards; ++s) {
+    scratch.shard_accs[s].begin_window();
+    scratch.shard_pairs[s].clear();
+  }
+  const auto t0 = Clock::now();
+  scratch.gen.next_window_counts(plan.n_valid, scratch.pairs);
+  const auto t1 = Clock::now();
+  // Route whole records by their lower endpoint: pairs are unique, so the
+  // per-shard buckets are disjoint and the merge is a pure union.  Bucket
+  // order preserves the generator's record order within each shard.
+  for (const EdgePacketCounts& pc : scratch.pairs) {
+    scratch.shard_pairs[parallel::shard_of(pc.u, plan.shards, plan.domain)]
+        .push_back(pc);
+  }
+  for (std::size_t s = 0; s < plan.shards; ++s) {
+    scratch.shard_accs[s].ingest_counts(std::span<const EdgePacketCounts>(
+        scratch.shard_pairs[s].data(), scratch.shard_pairs[s].size()));
+  }
+  WindowAccumulator& merged = merge_window_shards(scratch, plan.shards,
+                                                  merges);
+  const auto t2 = Clock::now();
+  stats::DegreeHistogram h = merged.histogram(plan.quantity);
+  timings.sampling += ns_between(t0, t1);
+  timings.accumulation += ns_between(t1, t2);
+  timings.binning += ns_between(t2, Clock::now());
+  return h;
+}
+
 }  // namespace
 
 WindowSweepResult sweep_windows(const graph::Graph& underlying,
@@ -151,16 +275,25 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 const SweepOptions& opts) {
   PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
   PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
+  PALU_CHECK(opts.shards_per_window >= 1,
+             "sweep_windows: shards_per_window must be >= 1");
 
   const bool counts_path = opts.synthesis == SynthesisMode::kMultinomial;
-  const bool pooled_scratch = counts_path || opts.fast_path;
+  const std::size_t shards = opts.shard_mode == ShardMode::kIntraWindow
+                                 ? opts.shards_per_window
+                                 : 1;
+  // Intra-window sharding always routes through the accumulator
+  // machinery; the legacy SparseCountMatrix path has no mergeable state.
+  const bool pooled_scratch = counts_path || opts.fast_path || shards > 1;
+  const WindowPlan plan{n_valid, quantity, shards, underlying.num_nodes()};
 
   obs::Registry& registry =
       opts.metrics != nullptr ? *opts.metrics : obs::default_registry();
   SweepMetrics metrics(
-      registry, counts_path ? "counts" : opts.fast_path ? "fast" : "legacy");
+      registry, counts_path ? "counts" : pooled_scratch ? "fast" : "legacy");
   metrics.runs.inc();
   metrics.pool_threads.set(static_cast<std::int64_t>(pool.size()));
+  metrics.shards_per_window.set(static_cast<std::int64_t>(shards));
   obs::TraceSpan sweep_span(metrics.sweep_duration);
 
   // Per-window slots: exactly one of histogram / error is set afterwards;
@@ -179,9 +312,22 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   std::atomic<bool> cancel_seen{false};
   std::atomic<bool> deadline_seen{false};
   std::atomic<std::uint64_t> failpoint_trips{0};
+  std::atomic<std::uint64_t> shard_merges{0};
 
   const bool has_deadline = opts.timeout.count() > 0;
-  const auto deadline = std::chrono::steady_clock::now() + opts.timeout;
+  // Computed only when a deadline is set: unconditionally adding a
+  // duration::max()-class timeout to now() overflows the time_point
+  // (signed-overflow UB).  Oversized budgets clamp to the clock's
+  // horizon, which is indistinguishable from unlimited.
+  Clock::time_point deadline{};
+  if (has_deadline) {
+    const auto now = Clock::now();
+    const auto headroom =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::time_point::max() - now);
+    deadline = opts.timeout >= headroom ? Clock::time_point::max()
+                                        : now + opts.timeout;
+  }
   const auto should_stop = [&]() {
     if (stop_new_windows.load(std::memory_order_relaxed)) return true;
     if (opts.cancel != nullptr &&
@@ -213,6 +359,8 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
           SyntheticTrafficGenerator(underlying, shared_rates, Rng(0)),
           WindowAccumulator{},
           {},
+          {},
+          {},
           {}});
     });
   }
@@ -226,6 +374,7 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
 
   parallel_for(pool, 0, num_windows, /*grain=*/1, [&](IndexRange range) {
     StageNs local;
+    std::uint64_t local_merges = 0;
     std::optional<ScratchPool<SweepScratch>::Lease> lease;
     if (pooled_scratch) lease.emplace(scratch->acquire());
     for (std::size_t t = range.begin; t < range.end; ++t) {
@@ -235,11 +384,17 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
         if (counts_path) {
           (*lease)->gen.reseed(base.fork(t + 1));
           histograms[t] =
-              run_window_counts(**lease, n_valid, quantity, local);
-        } else if (opts.fast_path) {
+              plan.shards > 1
+                  ? run_window_counts_sharded(**lease, plan, local,
+                                              local_merges)
+                  : run_window_counts(**lease, n_valid, quantity, local);
+        } else if (pooled_scratch) {
           (*lease)->gen.reseed(base.fork(t + 1));
           histograms[t] =
-              run_window_fast(**lease, n_valid, quantity, local);
+              plan.shards > 1
+                  ? run_window_fast_sharded(**lease, plan, local,
+                                            local_merges)
+                  : run_window_fast(**lease, n_valid, quantity, local);
         } else {
           SyntheticTrafficGenerator stream(underlying, shared_rates,
                                            base.fork(t + 1));
@@ -262,6 +417,7 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
         }
       }
     }
+    shard_merges.fetch_add(local_merges, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(worker_ns_mutex);
       worker_ns[std::this_thread::get_id()].add(local);
@@ -304,6 +460,7 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   metrics.windows_skipped.inc(n_skipped);
   metrics.failpoint_trips.inc(
       failpoint_trips.load(std::memory_order_relaxed));
+  metrics.shard_merges.inc(shard_merges.load(std::memory_order_relaxed));
   if (cancel_seen.load(std::memory_order_relaxed)) metrics.cancelled.inc();
   if (deadline_seen.load(std::memory_order_relaxed)) {
     metrics.deadline_expired.inc();

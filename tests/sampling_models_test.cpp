@@ -174,6 +174,40 @@ TEST(StreamingEstimator, HistoryTracksEveryRefit) {
   EXPECT_NEAR(streaming.history().back().alpha, params.alpha, 0.35);
 }
 
+TEST(StreamingEstimator, HistoryCapBoundsRetainedRefits) {
+  // Regression: history_ grew without bound, one PaluFit per refit, so a
+  // long-lived streaming estimator leaked memory linearly in windows.
+  // With a cap the newest entries are kept and the trajectory matches the
+  // uncapped run's tail; cap 0 (the default) keeps everything.
+  const auto params = core::PaluParams::solve_hubs(4.0, 0.35, 0.25, 2.2,
+                                                   0.8);
+  Rng rng(12);
+  core::StreamingPaluEstimator uncapped;
+  core::StreamingPaluEstimator capped({}, /*history_cap=*/3);
+  EXPECT_EQ(capped.history_cap(), 3u);
+  for (int w = 0; w < 7; ++w) {
+    Rng wrng = rng.fork(w + 200);
+    const auto h = core::sample_observed_degrees(params, 40000, wrng);
+    Rng wrng_again = rng.fork(w + 200);
+    const auto h_again =
+        core::sample_observed_degrees(params, 40000, wrng_again);
+    uncapped.add_window(h);
+    capped.add_window(h_again);
+  }
+  ASSERT_EQ(uncapped.history().size(), 7u);
+  ASSERT_EQ(capped.history().size(), 3u);
+  // The cap drops oldest-first: the retained entries are exactly the
+  // uncapped run's last three, in order.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(capped.history()[i].alpha,
+                     uncapped.history()[4 + i].alpha);
+    EXPECT_DOUBLE_EQ(capped.history()[i].mu, uncapped.history()[4 + i].mu);
+  }
+  // Aggregate state (and thus the live fit) is unaffected by the cap.
+  EXPECT_DOUBLE_EQ(capped.current().alpha, uncapped.current().alpha);
+  EXPECT_EQ(capped.aggregate().total(), uncapped.aggregate().total());
+}
+
 TEST(StreamingEstimator, AbsorbsThinWindowsSilently) {
   core::StreamingPaluEstimator streaming;
   stats::DegreeHistogram thin;

@@ -414,6 +414,7 @@ TEST_F(ServeTest, CheckpointRoundTripIsExact) {
   ck.sliding_horizon = 4;
   ck.warm_start = true;
   ck.estimator = digested_estimator(3, 11).state();
+  ck.estimator.consecutive_stale = 2;  // non-zero so the field must travel
 
   const std::string path = temp_path("roundtrip.ck");
   serve::save_checkpoint(path, ck);
@@ -428,6 +429,8 @@ TEST_F(ServeTest, CheckpointRoundTripIsExact) {
   EXPECT_EQ(back.warm_start, ck.warm_start);
   EXPECT_EQ(back.estimator.windows, ck.estimator.windows);
   EXPECT_EQ(back.estimator.stale_windows, ck.estimator.stale_windows);
+  EXPECT_EQ(back.estimator.consecutive_stale,
+            ck.estimator.consecutive_stale);
   expect_snapshot_equal(back.estimator.window_lane,
                         ck.estimator.window_lane);
   expect_snapshot_equal(back.estimator.sliding_lane,
@@ -462,6 +465,55 @@ TEST_F(ServeTest, CheckpointRejectsCorruption) {
   write_file(path, good);  // intact again: loads
   EXPECT_NO_THROW(serve::load_checkpoint(path));
   std::remove(path.c_str());
+}
+
+// Regression: restore() used to zero the consecutive-staleness counter,
+// so a daemon restored mid-stale-streak reported a staleness gauge that
+// diverged from an uninterrupted run over the same windows.  The counter
+// must survive the checkpoint round trip and keep counting from where
+// the interrupted run left off.
+TEST_F(ServeTest, RestorePreservesConsecutiveStaleness) {
+  const auto packets = synth_packets(6 * 1500, 17);
+  std::vector<stats::DegreeHistogram> windows;
+  traffic::WindowAccumulator acc;
+  for (std::size_t w = 0; w < 6; ++w) {
+    acc.begin_window();
+    for (std::size_t i = 0; i < 1500; ++i) {
+      const auto& p = packets[w * 1500 + i];
+      acc.add(p.src, p.dst);
+    }
+    windows.push_back(acc.histogram(traffic::Quantity::kUndirectedDegree));
+  }
+
+  // Every refit force-degraded: the streak grows by one per window.
+  core::WindowedStreamingEstimator reference;
+  for (const auto& w : windows) reference.refit_window(w, "fit timeout");
+  ASSERT_EQ(reference.consecutive_stale(), 6u);
+
+  // Interrupted run: cut after 3 stale windows, round-trip the state
+  // through a checkpoint file, replay the remaining stale windows.
+  core::WindowedStreamingEstimator before;
+  for (std::size_t w = 0; w < 3; ++w)
+    before.refit_window(windows[w], "fit timeout");
+  ASSERT_EQ(before.consecutive_stale(), 3u);
+
+  serve::Checkpoint ck;
+  ck.window_packets = 1500;
+  ck.quantity = "undirected_degree";
+  ck.sliding_horizon = before.options().sliding_horizon;
+  ck.estimator = before.state();
+  const std::string path = temp_path("stale.ck");
+  serve::save_checkpoint(path, ck);
+  const serve::Checkpoint loaded = serve::load_checkpoint(path);
+  std::remove(path.c_str());
+
+  core::WindowedStreamingEstimator after;
+  after.restore(loaded.estimator);
+  EXPECT_EQ(after.consecutive_stale(), 3u);
+  for (std::size_t w = 3; w < 6; ++w)
+    after.refit_window(windows[w], "fit timeout");
+  EXPECT_EQ(after.consecutive_stale(), reference.consecutive_stale());
+  EXPECT_EQ(after.state().stale_windows, reference.state().stale_windows);
 }
 
 // The acceptance property (3 seeds): checkpoint the estimator at a

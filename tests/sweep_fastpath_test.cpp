@@ -249,5 +249,30 @@ TEST(SweepFastPath, HonoursTimeout) {
   EXPECT_EQ(sweep.windows + sweep.windows_skipped, 64u);
 }
 
+TEST(SweepFastPath, HugeTimeoutDoesNotOverflowTheDeadline) {
+  // Regression: the deadline used to be computed unconditionally as
+  // now() + timeout, so a duration::max()-class budget overflowed the
+  // time_point (signed-overflow UB) and could wrap into the past,
+  // spuriously cancelling the sweep.  Oversized budgets must behave like
+  // "unlimited": every window completes.
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 400, 0.02);
+  ThreadPool pool(2);
+  for (const auto timeout : {std::chrono::milliseconds::max(),
+                             std::chrono::milliseconds::max() / 2,
+                             std::chrono::duration_cast<
+                                 std::chrono::milliseconds>(
+                                 std::chrono::nanoseconds::max())}) {
+    traffic::SweepOptions opts;
+    opts.timeout = timeout;
+    const auto sweep = traffic::sweep_windows(
+        g, traffic::RateModel{}, 2000, 4,
+        traffic::Quantity::kUndirectedDegree, 9, pool, opts);
+    EXPECT_FALSE(sweep.cancelled) << timeout.count();
+    EXPECT_EQ(sweep.windows, 4u) << timeout.count();
+    EXPECT_EQ(sweep.windows_skipped, 0u) << timeout.count();
+  }
+}
+
 }  // namespace
 }  // namespace palu

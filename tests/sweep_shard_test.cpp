@@ -1,0 +1,438 @@
+// Intra-window shard-merge equivalence (PR 7, DESIGN.md §5g).
+//
+// Sharding a window's accumulation by node-id range across K mergeable
+// sub-accumulators must be a pure refactoring of state: for any quantity,
+// seed, synthesis mode, and K ∈ {1, 2, 4, 8} the sweep result — merged
+// histogram, BinnedEnsemble moments, d_max, and the metric trail — must
+// be byte-identical to the unsharded path.  The suite also pins
+// WindowAccumulator::merge itself across all of its mode combinations and
+// the traffic.shard_merge failpoint's degrade semantics.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "palu/common/failpoint.hpp"
+#include "palu/graph/generators.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
+#include "palu/parallel/shard.hpp"
+#include "palu/stats/log_binning.hpp"
+#include "palu/testing/fault_injection.hpp"
+#include "palu/traffic/quantities.hpp"
+#include "palu/traffic/stream.hpp"
+#include "palu/traffic/window_accumulator.hpp"
+#include "palu/traffic/window_pipeline.hpp"
+
+namespace palu {
+namespace {
+
+constexpr std::array<traffic::Quantity, 6> kEveryQuantity = {
+    traffic::Quantity::kSourcePackets,
+    traffic::Quantity::kSourceFanOut,
+    traffic::Quantity::kLinkPackets,
+    traffic::Quantity::kDestinationFanIn,
+    traffic::Quantity::kDestinationPackets,
+    traffic::Quantity::kUndirectedDegree};
+
+constexpr std::array<std::size_t, 4> kShardCounts = {1, 2, 4, 8};
+
+void expect_identical(const stats::DegreeHistogram& a,
+                      const stats::DegreeHistogram& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.total(), b.total()) << context;
+  EXPECT_EQ(a.weighted_total(), b.weighted_total()) << context;
+  EXPECT_EQ(a.sorted(), b.sorted()) << context;
+}
+
+// ---------------------------------------------------------------------
+// shard routing
+// ---------------------------------------------------------------------
+
+TEST(ShardRouting, IsAPartitionOfTheDomain) {
+  for (const std::size_t shards : {1u, 2u, 3u, 4u, 7u, 8u, 64u}) {
+    for (const NodeId domain : {1ull, 5ull, 64ull, 1000ull, 4096ull}) {
+      // Every id maps to exactly the shard whose range contains it.
+      NodeId covered = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto r = parallel::shard_range(s, shards, domain);
+        EXPECT_EQ(r.begin, covered);
+        EXPECT_LE(r.begin, r.end);
+        for (NodeId id = r.begin; id < r.end; ++id) {
+          EXPECT_EQ(parallel::shard_of(id, shards, domain), s)
+              << "id " << id << " shards " << shards << " domain "
+              << domain;
+        }
+        covered = r.end;
+      }
+      EXPECT_EQ(covered, domain)
+          << "shards " << shards << " domain " << domain;
+      // Out-of-domain ids route to the last shard instead of indexing
+      // out of bounds.
+      EXPECT_EQ(parallel::shard_of(domain + 7, shards, domain), shards - 1);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// WindowAccumulator::merge
+// ---------------------------------------------------------------------
+
+TEST(AccumulatorMerge, HashShardsMergeToUnshardedContent) {
+  Rng rng(11);
+  traffic::WindowAccumulator whole;
+  std::array<traffic::WindowAccumulator, 4> shards;
+  whole.begin_window();
+  for (auto& s : shards) s.begin_window();
+  constexpr NodeId kDomain = 96;
+  for (Count i = 0; i < 6000; ++i) {
+    const NodeId src = rng.uniform_index(kDomain);
+    const NodeId dst = rng.uniform_index(kDomain);
+    whole.add(src, dst);
+    shards[parallel::shard_of(src, shards.size(), kDomain)].add(src, dst);
+  }
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    shards[0].merge(shards[s]);
+  }
+  EXPECT_EQ(shards[0].total(), whole.total());
+  EXPECT_EQ(shards[0].nnz(), whole.nnz());
+  for (const auto q : kEveryQuantity) {
+    expect_identical(shards[0].histogram(q), whole.histogram(q),
+                     std::string(traffic::quantity_name(q)));
+  }
+}
+
+std::vector<traffic::EdgePacketCounts> synthetic_counts(std::uint64_t seed,
+                                                        NodeId domain,
+                                                        std::size_t pairs) {
+  // Unique unordered pairs with a mix of zero rows, one-sided counts, and
+  // self-loops (all-forward by the generator contract).
+  Rng rng(seed);
+  std::vector<traffic::EdgePacketCounts> out;
+  std::map<std::pair<NodeId, NodeId>, bool> seen;
+  while (out.size() < pairs) {
+    NodeId u = rng.uniform_index(domain);
+    NodeId v = rng.uniform_index(domain);
+    if (u > v) std::swap(u, v);
+    if (!seen.emplace(std::make_pair(u, v), true).second) continue;
+    traffic::EdgePacketCounts pc;
+    pc.u = u;
+    pc.v = v;
+    pc.forward = rng.uniform_index(5);  // 0 permitted
+    pc.backward = u == v ? 0 : rng.uniform_index(5);
+    out.push_back(pc);
+  }
+  return out;
+}
+
+TEST(AccumulatorMerge, CountsShardsMergeToUnshardedContent) {
+  constexpr NodeId kDomain = 200;
+  const auto records = synthetic_counts(29, kDomain, 500);
+
+  traffic::WindowAccumulator whole;
+  whole.begin_window();
+  whole.ingest_counts(records);
+
+  constexpr std::size_t kShards = 4;
+  std::array<std::vector<traffic::EdgePacketCounts>, kShards> buckets;
+  for (const auto& pc : records) {
+    buckets[parallel::shard_of(pc.u, kShards, kDomain)].push_back(pc);
+  }
+  std::array<traffic::WindowAccumulator, kShards> shards;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shards[s].begin_window();
+    shards[s].ingest_counts(buckets[s]);
+  }
+  for (std::size_t s = 1; s < kShards; ++s) shards[0].merge(shards[s]);
+
+  EXPECT_EQ(shards[0].total(), whole.total());
+  EXPECT_EQ(shards[0].nnz(), whole.nnz());
+  for (const auto& pc : records) {
+    EXPECT_EQ(shards[0].at(pc.u, pc.v), whole.at(pc.u, pc.v));
+  }
+  for (const auto q : kEveryQuantity) {
+    expect_identical(shards[0].histogram(q), whole.histogram(q),
+                     std::string(traffic::quantity_name(q)));
+  }
+}
+
+TEST(AccumulatorMerge, MixedModesDemoteToHashExactly) {
+  // One shard holds count-space records, the other hash cells; the merge
+  // must demote the counts side and still match a hash replay of both.
+  constexpr NodeId kDomain = 120;
+  const auto records = synthetic_counts(31, kDomain, 300);
+
+  traffic::WindowAccumulator counts_side;
+  counts_side.begin_window();
+  counts_side.ingest_counts(records);
+
+  traffic::WindowAccumulator hash_side;
+  hash_side.begin_window();
+  Rng rng(5);
+  std::vector<traffic::Packet> packets;
+  for (Count i = 0; i < 2000; ++i) {
+    packets.push_back(traffic::Packet{rng.uniform_index(kDomain),
+                                      rng.uniform_index(kDomain)});
+    hash_side.add(packets.back().src, packets.back().dst);
+  }
+
+  traffic::WindowAccumulator reference;
+  reference.begin_window();
+  for (const auto& pc : records) {
+    reference.add(pc.u, pc.v, pc.forward);
+    reference.add(pc.v, pc.u, pc.backward);
+  }
+  for (const auto& p : packets) reference.add(p.src, p.dst);
+
+  // counts ⊕ hash (demotes self) and hash ⊕ counts (replays other) must
+  // both land on the reference content.
+  traffic::WindowAccumulator a;
+  a.begin_window();
+  a.ingest_counts(records);
+  a.merge(hash_side);
+  traffic::WindowAccumulator b;
+  b.begin_window();
+  for (const auto& p : packets) b.add(p.src, p.dst);
+  b.merge(counts_side);
+  for (traffic::WindowAccumulator* acc : {&a, &b}) {
+    EXPECT_EQ(acc->total(), reference.total());
+    EXPECT_EQ(acc->nnz(), reference.nnz());
+    for (const auto q : kEveryQuantity) {
+      expect_identical(acc->histogram(q), reference.histogram(q),
+                       std::string(traffic::quantity_name(q)));
+    }
+  }
+}
+
+TEST(AccumulatorMerge, EmptyAndReusedShardsAreNoOps) {
+  traffic::WindowAccumulator acc;
+  acc.begin_window();
+  acc.add(1, 2, 5);
+  traffic::WindowAccumulator empty_hash;
+  empty_hash.begin_window();
+  traffic::WindowAccumulator empty_counts;
+  empty_counts.begin_window();
+  empty_counts.ingest_counts({});
+  acc.merge(empty_hash);
+  acc.merge(empty_counts);
+  EXPECT_EQ(acc.total(), 5u);
+  EXPECT_EQ(acc.nnz(), 1u);
+  EXPECT_EQ(acc.at(1, 2), 5u);
+  // Arena reuse across windows must not leak previously merged state.
+  acc.begin_window();
+  acc.merge(empty_hash);
+  EXPECT_EQ(acc.total(), 0u);
+  EXPECT_EQ(acc.nnz(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// sweep-level property suite
+// ---------------------------------------------------------------------
+
+traffic::SweepOptions sharded_opts(std::size_t shards, bool counts,
+                                   obs::Registry* registry = nullptr) {
+  traffic::SweepOptions opts;
+  if (counts) opts.synthesis = traffic::SynthesisMode::kMultinomial;
+  if (shards > 1) {
+    opts.shard_mode = traffic::ShardMode::kIntraWindow;
+    opts.shards_per_window = shards;
+  }
+  opts.metrics = registry;
+  return opts;
+}
+
+TEST(SweepShards, ByteIdenticalAcrossQuantitiesSeedsAndShardCounts) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 600, 0.02);
+  ThreadPool pool(2);
+  for (const std::uint64_t seed : {3ull, 17ull, 91ull}) {
+    for (const auto q : kEveryQuantity) {
+      const auto baseline = traffic::sweep_windows(
+          g, traffic::RateModel{}, 5000, 6, q, seed, pool,
+          sharded_opts(1, /*counts=*/false));
+      for (const std::size_t shards : kShardCounts) {
+        const auto sharded = traffic::sweep_windows(
+            g, traffic::RateModel{}, 5000, 6, q, seed, pool,
+            sharded_opts(shards, /*counts=*/false));
+        const std::string context =
+            std::string(traffic::quantity_name(q)) + " seed " +
+            std::to_string(seed) + " shards " + std::to_string(shards);
+        expect_identical(sharded.merged, baseline.merged, context);
+        EXPECT_EQ(sharded.max_value, baseline.max_value) << context;
+        EXPECT_EQ(sharded.windows, baseline.windows) << context;
+        // Bit-exact: the shard merge must feed the Welford ensemble the
+        // same LogBinned sequence in the same order.
+        EXPECT_EQ(sharded.ensemble.mean(), baseline.ensemble.mean())
+            << context;
+        EXPECT_EQ(sharded.ensemble.stddev(), baseline.ensemble.stddev())
+            << context;
+      }
+    }
+  }
+}
+
+TEST(SweepShards, CountsPathByteIdenticalAcrossShardCounts) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 600, 0.02);
+  ThreadPool pool(2);
+  for (const std::uint64_t seed : {3ull, 17ull, 91ull}) {
+    for (const auto q : kEveryQuantity) {
+      const auto baseline = traffic::sweep_windows(
+          g, traffic::RateModel{}, 5000, 6, q, seed, pool,
+          sharded_opts(1, /*counts=*/true));
+      for (const std::size_t shards : kShardCounts) {
+        const auto sharded = traffic::sweep_windows(
+            g, traffic::RateModel{}, 5000, 6, q, seed, pool,
+            sharded_opts(shards, /*counts=*/true));
+        const std::string context =
+            "counts " + std::string(traffic::quantity_name(q)) + " seed " +
+            std::to_string(seed) + " shards " + std::to_string(shards);
+        expect_identical(sharded.merged, baseline.merged, context);
+        EXPECT_EQ(sharded.max_value, baseline.max_value) << context;
+        EXPECT_EQ(sharded.ensemble.mean(), baseline.ensemble.mean())
+            << context;
+        EXPECT_EQ(sharded.ensemble.stddev(), baseline.ensemble.stddev())
+            << context;
+      }
+    }
+  }
+}
+
+// Legacy-path callers that also ask for intra-window sharding are routed
+// through the accumulator machinery; the result must still match.
+TEST(SweepShards, LegacyPathWithShardsMatchesLegacyOutput) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 500, 0.02);
+  ThreadPool pool(2);
+  traffic::SweepOptions legacy;
+  legacy.fast_path = false;
+  auto sharded_legacy = sharded_opts(4, /*counts=*/false);
+  sharded_legacy.fast_path = false;
+  const auto a = traffic::sweep_windows(
+      g, traffic::RateModel{}, 4000, 5,
+      traffic::Quantity::kUndirectedDegree, 13, pool, legacy);
+  const auto b = traffic::sweep_windows(
+      g, traffic::RateModel{}, 4000, 5,
+      traffic::Quantity::kUndirectedDegree, 13, pool, sharded_legacy);
+  expect_identical(a.merged, b.merged, "legacy vs sharded-legacy");
+  EXPECT_EQ(a.ensemble.mean(), b.ensemble.mean());
+}
+
+// Metrics half of the property: everything except the shard-specific
+// families (the shards gauge and the merge counter, which measure the
+// sharding itself) must be byte-identical across shard counts, and the
+// shard families must report exactly the configured K and K−1 merges per
+// completed window.
+TEST(SweepShards, MetricTrailMatchesModuloShardFamilies) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 600, 0.02);
+  ThreadPool pool(2);
+  struct Run {
+    obs::RegistrySnapshot snap;  // shard families removed
+    std::int64_t shards_gauge = -1;
+    std::uint64_t merges = 0;
+    std::uint64_t completed = 0;
+  };
+  const auto run = [&](std::size_t shards) {
+    obs::Registry registry;
+    traffic::sweep_windows(g, traffic::RateModel{}, 5000, 6,
+                           traffic::Quantity::kUndirectedDegree, 17, pool,
+                           sharded_opts(shards, /*counts=*/false,
+                                        &registry));
+    Run out;
+    out.snap = registry.snapshot();
+    out.snap.histograms.clear();  // path/worker-labelled durations
+    std::erase_if(out.snap.gauges, [&](const obs::GaugeSample& s) {
+      if (s.name != obs::names::kSweepShardsPerWindow) return false;
+      out.shards_gauge = s.value;
+      return true;
+    });
+    std::erase_if(out.snap.counters, [&](const obs::CounterSample& s) {
+      if (s.name == obs::names::kSweepShardsMerged) {
+        out.merges = s.value;
+        return true;
+      }
+      if (s.name == obs::names::kSweepWindows &&
+          s.labels == obs::Labels{{"outcome", "completed"}}) {
+        out.completed = s.value;
+      }
+      return false;
+    });
+    return out;
+  };
+  const Run baseline = run(1);
+  EXPECT_EQ(baseline.shards_gauge, 1);
+  EXPECT_EQ(baseline.merges, 0u);
+  for (const std::size_t shards : kShardCounts) {
+    const Run sharded = run(shards);
+    const std::string context = "shards " + std::to_string(shards);
+    EXPECT_EQ(sharded.snap.counters, baseline.snap.counters) << context;
+    EXPECT_EQ(sharded.snap.gauges, baseline.snap.gauges) << context;
+    EXPECT_FALSE(sharded.snap.counters.empty()) << context;
+    EXPECT_EQ(sharded.shards_gauge, static_cast<std::int64_t>(shards))
+        << context;
+    EXPECT_EQ(sharded.completed, baseline.completed) << context;
+    EXPECT_EQ(sharded.merges, (shards - 1) * sharded.completed) << context;
+  }
+}
+
+// ---------------------------------------------------------------------
+// failure semantics
+// ---------------------------------------------------------------------
+
+TEST(SweepShards, MergeFailpointDegradesUnderBudget) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 400, 0.02);
+  ThreadPool pool(1);  // FIFO: windows execute in index order
+  testing::FailpointGuard guard;
+  failpoints::arm("traffic.shard_merge", /*fires=*/2, /*skip=*/0);
+  auto opts = sharded_opts(4, /*counts=*/true);
+  opts.max_failed_windows = 2;
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, 3000, 6,
+      traffic::Quantity::kUndirectedDegree, 21, pool, opts);
+  EXPECT_EQ(sweep.failures.size(), 2u);
+  EXPECT_EQ(sweep.windows, 4u);
+  // Windows that survived the injected merge failures must still match
+  // the unsharded content for the same seeds.
+  const auto reference = traffic::sweep_windows(
+      g, traffic::RateModel{}, 3000, 6,
+      traffic::Quantity::kUndirectedDegree, 21, pool,
+      sharded_opts(1, /*counts=*/true));
+  EXPECT_LT(sweep.merged.total(), reference.merged.total());
+}
+
+TEST(SweepShards, MergeFailpointStrictModeThrowsWithWindowIndex) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 400, 0.02);
+  ThreadPool pool(1);
+  testing::FailpointGuard guard;
+  failpoints::arm("traffic.shard_merge", /*fires=*/1, /*skip=*/1);
+  const auto opts = sharded_opts(2, /*counts=*/false);
+  try {
+    traffic::sweep_windows(g, traffic::RateModel{}, 2000, 4,
+                           traffic::Quantity::kSourceFanOut, 42, pool,
+                           opts);
+    FAIL() << "strict sharded sweep must rethrow the merge failure";
+  } catch (const traffic::SweepWindowError& e) {
+    EXPECT_EQ(e.window(), 1u);
+  }
+}
+
+TEST(SweepShards, RejectsZeroShards) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 100, 0.02);
+  ThreadPool pool(1);
+  traffic::SweepOptions opts;
+  opts.shard_mode = traffic::ShardMode::kIntraWindow;
+  opts.shards_per_window = 0;
+  EXPECT_THROW(traffic::sweep_windows(g, traffic::RateModel{}, 100, 1,
+                                      traffic::Quantity::kSourceFanOut, 1,
+                                      pool, opts),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace palu

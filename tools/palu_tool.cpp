@@ -185,6 +185,18 @@ int cmd_sweep(const cli::Args& args) {
     throw InvalidArgument("--synthesis must be 'packet' or 'counts', got '" +
                           synthesis + "'");
   }
+  // --shards K > 1 turns on intra-window sharding: each window's
+  // accumulation is partitioned by node-id range across K mergeable
+  // sub-accumulators.  Byte-identical to --shards 1 for the same seed.
+  const std::int64_t shards_arg = args.get_int("shards", 1);
+  if (shards_arg < 1) {
+    throw InvalidArgument("--shards must be >= 1, got " +
+                          std::to_string(shards_arg));
+  }
+  opts.shards_per_window = static_cast<std::size_t>(shards_arg);
+  if (opts.shards_per_window > 1) {
+    opts.shard_mode = traffic::ShardMode::kIntraWindow;
+  }
 
   Rng rng(seed);
   const auto net = core::generate_underlying(params, nodes, rng);
@@ -199,12 +211,14 @@ int cmd_sweep(const cli::Args& args) {
                          sweep.ensemble.stddev());
     return 0;
   }
-  std::printf("sweep: %zu/%zu windows, quantity=%s, path=%s\n",
+  std::printf("sweep: %zu/%zu windows, quantity=%s, path=%s, shards=%zu\n",
               sweep.windows, windows,
               std::string(traffic::quantity_name(quantity)).c_str(),
               opts.synthesis == traffic::SynthesisMode::kMultinomial
                   ? "counts"
-                  : (opts.fast_path ? "fast" : "legacy"));
+                  : (opts.fast_path || opts.shards_per_window > 1 ? "fast"
+                                                                  : "legacy"),
+              opts.shards_per_window);
   std::printf("d_max=%llu merged_total=%llu support=%zu\n",
               static_cast<unsigned long long>(sweep.max_value),
               static_cast<unsigned long long>(sweep.merged.total()),
@@ -446,10 +460,15 @@ int print_help() {
       "           --window P --packets K [--seed S]   write a trace\n"
       "  sweep    --windows W --nvalid N [--quantity Q] [--seed S]\n"
       "           [--fast-path on|off] [--synthesis packet|counts]\n"
-      "           [--csv]                              Monte-Carlo window\n"
+      "           [--shards K] [--csv]                 Monte-Carlo window\n"
       "                                               sweep over a PALU\n"
       "                                               network (fast path\n"
-      "                                               on by default)\n"
+      "                                               on by default);\n"
+      "                                               --shards K>1 shards\n"
+      "                                               each window by node\n"
+      "                                               range across K merged\n"
+      "                                               sub-accumulators\n"
+      "                                               (byte-identical)\n"
       "  analyze  --trace FILE|- --nvalid N [--csv]   fit models\n"
       "  census   --trace FILE|- --nvalid N           topology census\n"
       "  zoo      --histogram FILE|- [--csv]          rank model zoo on\n"

@@ -74,3 +74,63 @@ diff "$DIR/expected_tail.txt" "$DIR/resume.txt" || {
 }
 
 echo "serve kill-9 restore: OK (resumed $RESUMED of 6 windows)"
+
+# Scenario 2 — the staleness gauge must survive the crash.  With every
+# refit force-degraded (PALU_FAILPOINT=serve.fit with a huge fire budget)
+# the consecutive-staleness streak grows by one per window, so the final
+# gauge counts every window served since the last fresh fit.  A restored
+# daemon must resume the streak where the killed one left off: reference
+# (6 windows, one process) and interrupted-then-resumed (3 + 3 windows)
+# runs must export the same palu_serve_staleness_windows.  A regression
+# that zeroes the counter on restore makes the resumed gauge read 3.
+FP="serve.fit:1000"
+
+PALU_FAILPOINT="$FP" "$TOOL" serve --trace "$DIR/trace.txt" \
+    --window 5000 --snapshot "$DIR/ref_snap.json" \
+    > "$DIR/stale_full.txt" 2> "$DIR/stale_full_err.txt"
+REF_GAUGE=$(awk '$1 == "palu_serve_staleness_windows" {print $2}' \
+    "$DIR/ref_snap.prom")
+[ "$REF_GAUGE" = "6" ] || {
+    echo "FAIL: stale reference run exported gauge $REF_GAUGE (expected 6)" >&2
+    exit 1
+}
+
+head -n 17500 "$DIR/trace.txt" > "$DIR/stale_growing.txt"
+PALU_FAILPOINT="$FP" "$TOOL" serve --trace "$DIR/stale_growing.txt" \
+    --follow --window 5000 --poll-interval-ms 20 \
+    --checkpoint "$DIR/stale_ck.txt" \
+    > "$DIR/stale_part.txt" 2> "$DIR/stale_part_err.txt" &
+PID=$!
+i=0
+while [ "$(grep -c '^window=' "$DIR/stale_part.txt" 2>/dev/null || true)" -lt 3 ]
+do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "FAIL: stale interrupted run stalled" >&2
+        cat "$DIR/stale_part_err.txt" >&2
+        kill -9 "$PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+cp "$DIR/trace.txt" "$DIR/stale_growing.txt"
+PALU_FAILPOINT="$FP" "$TOOL" serve --trace "$DIR/stale_growing.txt" \
+    --window 5000 --checkpoint "$DIR/stale_ck.txt" --restore \
+    --snapshot "$DIR/resume_snap.json" \
+    > "$DIR/stale_resume.txt" 2> "$DIR/stale_resume_err.txt"
+grep -q 'restored checkpoint' "$DIR/stale_resume_err.txt" || {
+    echo "FAIL: stale resume did not restore the checkpoint" >&2
+    cat "$DIR/stale_resume_err.txt" >&2
+    exit 1
+}
+RESUME_GAUGE=$(awk '$1 == "palu_serve_staleness_windows" {print $2}' \
+    "$DIR/resume_snap.prom")
+[ "$RESUME_GAUGE" = "$REF_GAUGE" ] || {
+    echo "FAIL: restored staleness gauge $RESUME_GAUGE != reference $REF_GAUGE" >&2
+    exit 1
+}
+
+echo "serve kill-9 staleness: OK (gauge $RESUME_GAUGE matches reference)"

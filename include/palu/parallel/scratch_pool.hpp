@@ -92,7 +92,7 @@ class ScratchPool {
 
   std::mutex mutex_;
   std::vector<std::unique_ptr<T>> free_ PALU_GUARDED_BY(mutex_);
-  Factory factory_;  // immutable after construction; safe unguarded
+  const Factory factory_;  // immutable after construction; safe unguarded
   std::atomic<std::size_t> created_{0};
 };
 

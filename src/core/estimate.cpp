@@ -313,11 +313,13 @@ RobustPaluFit robust_fit_palu_impl(const stats::EmpiricalDistribution& dist,
     if (relaxed < fit_opts.tail_min) tails.push_back(relaxed);
   }
   bool first_base_attempt = true;
+  obs::Counter& base_retries =
+      registry.counter(obs::names::kFitBaseRetries);
   for (const Degree tail : tails) {
     PaluFitOptions attempt = fit_opts;
     attempt.tail_min = tail;
     if (!first_base_attempt) {
-      registry.counter(obs::names::kFitBaseRetries).inc();
+      base_retries.inc();
     }
     first_base_attempt = false;
     try {

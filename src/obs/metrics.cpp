@@ -1,5 +1,11 @@
 #include "palu/obs/metrics.hpp"
 
+// palu-lint: allow-file(hot-path-registration)
+// preregister_palu_metrics exists to pay every name-lookup once, at
+// startup, so scrapes see stable series from the first export; its
+// registration loops are the one place where looking metrics up by name
+// inside a loop is the point rather than a hot-path bug.
+
 #include <bit>
 
 #include "palu/common/error.hpp"

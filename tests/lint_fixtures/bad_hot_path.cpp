@@ -1,0 +1,18 @@
+// Fixture: Registry name-lookups inside loop bodies — both the
+// obs::names:: constant form and the string-literal form, in braced and
+// brace-less loop statements.
+// palu-lint-expect: hot-path-registration
+#include <vector>
+
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
+
+void pump(palu::obs::Registry& registry, const std::vector<int>& xs) {
+  for (int x : xs) {
+    registry.counter(palu::obs::names::kSweepRuns).inc();
+    (void)x;
+  }
+  int n = 3;
+  while (n > 0)
+    registry.histogram("palu_window_packets_fixture").observe(n--);
+}

@@ -1,0 +1,23 @@
+// Fixture: a method that reads a PALU_GUARDED_BY member without taking
+// the lock or declaring PALU_REQUIRES.  add() (lock_guard) and
+// locked_sum() (PALU_REQUIRES) are compliant and must not fire.
+// palu-lint-expect: lock-discipline
+#include <mutex>
+
+#include "palu/common/thread_annotations.hpp"
+
+class Tracker {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += v;
+  }
+
+  int peek() const { return total_; }
+
+  int locked_sum() const PALU_REQUIRES(mutex_) { return total_; }
+
+ private:
+  mutable std::mutex mutex_;
+  int total_ PALU_GUARDED_BY(mutex_) = 0;
+};

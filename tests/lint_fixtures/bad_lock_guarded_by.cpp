@@ -1,0 +1,23 @@
+// Fixture: a class holding a mutex must annotate sibling data members.
+// entries_ is unannotated; the atomic and the const member are exempt by
+// construction and must not fire.
+// palu-lint-expect: lock-guarded-by
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "palu/common/thread_annotations.hpp"
+
+class Cache {
+ public:
+  void put(int k) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(k);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> entries_;
+  std::atomic<int> hits_{0};
+  const int capacity_ = 8;
+};

@@ -1,0 +1,6 @@
+// Fixture: an allow() that suppresses nothing is itself a violation.
+// palu-lint-expect: stale-suppression
+#include <cstdint>
+
+// palu-lint: allow(determinism)
+std::uint64_t add(std::uint64_t a, std::uint64_t b) { return a + b; }

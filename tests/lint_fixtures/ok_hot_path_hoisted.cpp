@@ -1,0 +1,22 @@
+// Fixture: the compliant shape — the name-lookup is hoisted out of the
+// loop and only the returned handle records inside it.  The
+// acc.histogram(x) call is a handle-style recording (its argument is a
+// quantity, not a metric name) and must not fire.
+// palu-lint-expect-clean
+#include <vector>
+
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
+
+struct Acc {
+  void histogram(long v);
+};
+
+void pump(palu::obs::Registry& registry, Acc& acc,
+          const std::vector<long>& xs) {
+  palu::obs::Counter& runs = registry.counter(palu::obs::names::kSweepRuns);
+  for (long x : xs) {
+    runs.inc();
+    acc.histogram(x);
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: a sanctioned in-loop lookup (cold path by construction).
+// palu-lint-expect-clean
+#include "palu/obs/metrics.hpp"
+
+void probe(palu::obs::Registry& registry) {
+  for (int i = 0; i < 2; ++i) {
+    // Startup-only probe loop; runs once per process.
+    // palu-lint: allow(hot-path-registration)
+    registry.counter("palu_startup_probe_total_fixture").inc();
+  }
+}

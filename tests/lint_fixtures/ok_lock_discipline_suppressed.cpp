@@ -1,0 +1,23 @@
+// Fixture: a deliberately unlocked read, sanctioned in place.
+// palu-lint-expect-clean
+#include <mutex>
+
+#include "palu/common/thread_annotations.hpp"
+
+class Tracker {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += v;
+  }
+
+  int peek() const {
+    // Racy-by-design gauge read: staleness is acceptable here.
+    // palu-lint: allow(lock-discipline)
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  int total_ PALU_GUARDED_BY(mutex_) = 0;
+};

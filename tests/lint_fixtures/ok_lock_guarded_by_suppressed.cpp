@@ -1,0 +1,22 @@
+// Fixture: a justified unannotated member next to a mutex.
+// palu-lint-expect-clean
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "palu/common/thread_annotations.hpp"
+
+class Cache {
+ public:
+  void put(int k) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(k);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> entries_ PALU_GUARDED_BY(mutex_);
+  // Written only during construction, before the cache is shared.
+  // palu-lint: allow(lock-guarded-by)
+  std::function<int(int)> hasher_;
+};

@@ -1,0 +1,9 @@
+// Fixture: a backslash-newline splice extends a // comment onto the \
+   next physical line, so this text is comment too: std::rand(); \
+   std::random_device rd; time(nullptr);
+// palu-lint-expect-clean
+#include <cstdint>
+
+/* A block comment mentioning ::now() and `throw std::logic_error` is
+   equally inert. */
+std::uint32_t two() { return 2; }

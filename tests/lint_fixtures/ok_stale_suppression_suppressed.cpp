@@ -1,0 +1,11 @@
+// Fixture: a stale marker whose staleness diagnostic is itself
+// sanctioned by a *different* marker (self-excuse is rejected, so the
+// order matters: the stale-suppression allow covers the line below it).
+// palu-lint-expect-clean
+#include <cstdint>
+
+// Kept deliberately while the typed-error migration of this fixture's
+// imaginary caller is in flight:
+// palu-lint: allow(stale-suppression)
+// palu-lint: allow(typed-error)
+std::uint64_t sub(std::uint64_t a, std::uint64_t b) { return a - b; }

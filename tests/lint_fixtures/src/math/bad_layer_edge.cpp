@@ -1,0 +1,8 @@
+// Fixture: this file sits in layer "math"; including serve crosses the
+// DAG upward (edge math -> serve is not declared in tools/layers.txt).
+// The common include is declared and must not fire.
+// palu-lint-expect: include-layering
+#include "palu/common/config.hpp"
+#include "palu/serve/daemon.hpp"
+
+int layered() { return 1; }

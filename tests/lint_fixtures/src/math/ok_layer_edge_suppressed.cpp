@@ -1,0 +1,6 @@
+// Fixture: an explicitly sanctioned cross-layer include.
+// palu-lint-expect-clean
+// palu-lint: allow(include-layering) -- exercising the suppression path
+#include "palu/serve/daemon.hpp"
+
+int layered_ok() { return 2; }

@@ -1,0 +1,21 @@
+// Fixture: tokenizer exactness.  Nothing inside string literals or raw
+// strings may trip a rule — this file sits in layer "math" so a leaked
+// fake include would also fire include-layering.
+// palu-lint-expect-clean
+#include <string>
+
+// The raw string swallows everything up to its custom delimiter:
+// quotes, a fake cross-layer include, banned identifiers, and even a
+// suppression marker (markers are read from comments only).
+const std::string kDoc = R"lint(
+  #include "palu/serve/daemon.hpp"
+  PALU_FAILPOINT("not-a-registered-failpoint")
+  throw std::runtime_error("nope");
+  std::rand(); std::chrono::steady_clock::now(); std::random_device rd;
+  // palu-lint: allow(determinism)
+)lint";
+
+const std::string kEscapes = "quote \" then ::now() and std::rand()";
+const char* kFakeInclude = "#include \"palu/serve/queue.hpp\"";
+
+int raw_ok() { return static_cast<int>(kDoc.size() + kEscapes.size()); }

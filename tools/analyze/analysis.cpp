@@ -1,0 +1,140 @@
+#include "analyze/analysis.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace palu::analyze {
+
+std::vector<Marker> collect_markers(const TokenizedFile& toks) {
+  std::vector<Marker> markers;
+  const std::string tag = "palu-lint:";
+  for (const Token& comment : toks.comments) {
+    const std::string& text = comment.text;
+    std::size_t pos = text.find(tag);
+    while (pos != std::string::npos) {
+      std::size_t cursor = pos + tag.size();
+      while (cursor < text.size() && text[cursor] == ' ') ++cursor;
+      const bool file_wide = text.compare(cursor, 11, "allow-file(") == 0;
+      const bool line_wide = text.compare(cursor, 6, "allow(") == 0;
+      if (file_wide || line_wide) {
+        const std::size_t open = text.find('(', cursor);
+        const std::size_t close = text.find(')', open);
+        if (open != std::string::npos && close != std::string::npos) {
+          Marker m;
+          m.rule = text.substr(open + 1, close - open - 1);
+          m.file_wide = file_wide;
+          // Attribute the marker to the physical line its text sits on
+          // (block comments span lines; their token starts earlier).
+          m.line = comment.line +
+                   static_cast<std::size_t>(
+                       std::count(text.begin(), text.begin() +
+                                  static_cast<std::ptrdiff_t>(pos), '\n'));
+          markers.push_back(std::move(m));
+        }
+      }
+      pos = text.find(tag, pos + tag.size());
+    }
+  }
+  return markers;
+}
+
+namespace {
+
+// A line marker at L covers violations on L and L+1 (marker above the
+// offending line, or trailing on it).
+bool marker_covers(const Marker& m, const std::string& rule,
+                   std::size_t line) {
+  if (m.rule != rule) return false;
+  if (m.file_wide) return true;
+  return m.line == line || m.line + 1 == line;
+}
+
+}  // namespace
+
+void apply_suppressions(FileScan& scan,
+                        const std::set<std::string>& config_file_wide,
+                        std::vector<Violation> local,
+                        std::vector<Violation>* out) {
+  for (Violation& v : local) {
+    if (config_file_wide.count(v.rule) != 0) continue;
+    bool suppressed = false;
+    for (Marker& m : scan.markers) {
+      if (marker_covers(m, v.rule, v.line)) {
+        m.used = true;
+        suppressed = true;
+        // Keep scanning: several markers may cover the same line and all
+        // of them are doing their declared job.
+      }
+    }
+    if (!suppressed) out->push_back(std::move(v));
+  }
+}
+
+void check_stale_markers(FileScan& scan, std::vector<Violation>* out) {
+  auto& markers = scan.markers;
+  // Resolution round first, reporting round second: a marker that is
+  // unused after the main passes may still earn its keep here by
+  // suppressing another marker's staleness diagnostic, and that must not
+  // depend on iteration order.
+  std::vector<bool> excused(markers.size(), false);
+  const std::vector<bool> was_used = [&markers] {
+    std::vector<bool> u;
+    for (const Marker& m : markers) u.push_back(m.used);
+    return u;
+  }();
+  for (std::size_t i = 0; i < markers.size(); ++i) {
+    if (was_used[i]) continue;
+    for (std::size_t j = 0; j < markers.size(); ++j) {
+      if (j == i) continue;  // a marker cannot excuse its own staleness
+      if (marker_covers(markers[j], kRuleStaleSuppression,
+                        markers[i].line)) {
+        markers[j].used = true;
+        excused[i] = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < markers.size(); ++i) {
+    if (markers[i].used || excused[i]) continue;
+    bool known = false;
+    for (const char* rule : kAllRules) {
+      known = known || markers[i].rule == rule;
+    }
+    out->push_back(
+        {scan.path.string(), markers[i].line, kRuleStaleSuppression,
+         known ? "suppression `allow" +
+                     std::string(markers[i].file_wide ? "-file" : "") +
+                     "(" + markers[i].rule +
+                     ")` no longer suppresses any diagnostic; delete it "
+                     "so the suppression inventory stays honest"
+               : "suppression names unknown rule `" + markers[i].rule +
+                     "`; see palu_lint --list-rules"});
+  }
+}
+
+bool load_entries(const std::string& path, std::set<std::string>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t");
+    out->insert(line.substr(begin, end - begin + 1));
+  }
+  return true;
+}
+
+bool path_matches_suffix(const std::filesystem::path& path,
+                         const std::string& suffix) {
+  const std::string p = path.generic_string();
+  if (p.size() < suffix.size()) return false;
+  if (p.compare(p.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return p.size() == suffix.size() ||
+         p[p.size() - suffix.size() - 1] == '/';
+}
+
+}  // namespace palu::analyze

@@ -1,0 +1,104 @@
+// Shared plumbing for palu_lint's analysis passes: rule identifiers, the
+// violation record, suppression markers, and the per-file scan bundle
+// every pass consumes.
+//
+// Suppression model (unchanged syntax from the regex-era linter): a
+// comment containing the `palu-lint:` tag followed by `allow(<rule>)`
+// suppresses <rule> on its own line and the next one; `allow-file(<rule>)`
+// after the tag suppresses <rule> for the whole file.  (This paragraph
+// deliberately never spells the full marker in one piece — the linter
+// scans its own sources.)
+//
+// Markers are read exclusively from comment tokens, so a string literal
+// containing the marker text cannot create a suppression.  Every marker
+// records whether it actually suppressed a diagnostic; the
+// stale-suppression pass turns unused markers into violations, keeping
+// the suppression inventory an honest map of known exceptions.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/token.hpp"
+
+namespace palu::analyze {
+
+// Rule identifiers.  Every diagnostic carries one of these, and every one
+// of them must both fire and suppress somewhere in tests/lint_fixtures
+// (enforced by `palu_lint --selftest`).
+inline constexpr const char* kRuleFailpoint = "failpoint-registry";
+inline constexpr const char* kRuleTypedError = "typed-error";
+inline constexpr const char* kRuleDeterminism = "determinism";
+inline constexpr const char* kRulePragmaOnce = "header-pragma-once";
+inline constexpr const char* kRuleUsingNamespace = "header-using-namespace";
+inline constexpr const char* kRuleIncludeLayering = "include-layering";
+inline constexpr const char* kRuleLockGuardedBy = "lock-guarded-by";
+inline constexpr const char* kRuleLockDiscipline = "lock-discipline";
+inline constexpr const char* kRuleHotPath = "hot-path-registration";
+inline constexpr const char* kRuleStaleSuppression = "stale-suppression";
+
+inline constexpr const char* kAllRules[] = {
+    kRuleFailpoint,      kRuleTypedError,     kRuleDeterminism,
+    kRulePragmaOnce,     kRuleUsingNamespace, kRuleIncludeLayering,
+    kRuleLockGuardedBy,  kRuleLockDiscipline, kRuleHotPath,
+    kRuleStaleSuppression};
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based; 0 = whole file
+  std::string rule;
+  std::string message;
+};
+
+/// One allow()/allow-file() occurrence, with usage bookkeeping for the
+/// stale-suppression pass.
+struct Marker {
+  std::string rule;
+  std::size_t line = 0;  ///< line the marker text appears on
+  bool file_wide = false;
+  bool used = false;
+};
+
+/// Everything the passes need to know about one file.
+struct FileScan {
+  std::filesystem::path path;
+  bool header = false;
+  std::string layer_dir;  ///< include/palu/<d> or src/<d> segment, or ""
+  TokenizedFile toks;
+  std::vector<Marker> markers;
+};
+
+/// Extracts suppression markers from a file's comment tokens.  A marker
+/// inside a multi-line block comment is attributed to the physical line
+/// its text appears on.
+std::vector<Marker> collect_markers(const TokenizedFile& toks);
+
+/// Filters `local` through the file's markers (marking the ones that
+/// suppress something as used) and through `config_file_wide` rules
+/// (central allowlists such as the timing-file exemption; checked first,
+/// so an in-file marker made redundant by the central list stays unused
+/// and is reported stale).  Surviving violations are appended to `out`.
+void apply_suppressions(FileScan& scan,
+                        const std::set<std::string>& config_file_wide,
+                        std::vector<Violation> local,
+                        std::vector<Violation>* out);
+
+/// The stale-suppression pass: every marker that suppressed nothing is a
+/// violation.  A stale marker's diagnostic can itself be suppressed by a
+/// *different* marker allowing `stale-suppression` (file-wide or on the
+/// same/preceding line); self-suppression is rejected so a lone unused
+/// allow(stale-suppression) cannot hide itself.
+void check_stale_markers(FileScan& scan, std::vector<Violation>* out);
+
+/// Loader for registry-style config files (failpoints.txt,
+/// timing_files.txt): one entry per line, '#' comments, trimmed.
+bool load_entries(const std::string& path, std::set<std::string>* out);
+
+/// True when `path` ends with allowlist entry `suffix` on a '/' boundary.
+bool path_matches_suffix(const std::filesystem::path& path,
+                         const std::string& suffix);
+
+}  // namespace palu::analyze

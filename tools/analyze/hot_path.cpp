@@ -1,0 +1,138 @@
+// Hot-path registration pass: bans Registry name-lookups inside loop
+// bodies (rule hot-path-registration).  See passes.hpp for the contract.
+#include "analyze/passes.hpp"
+
+namespace palu::analyze {
+namespace {
+
+bool punct_at(const std::vector<Token>& toks, std::size_t i,
+              const char* text) {
+  return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+         toks[i].text == text;
+}
+bool ident_at(const std::vector<Token>& toks, std::size_t i,
+              const char* text) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdent &&
+         toks[i].text == text;
+}
+
+std::size_t skip_parens(const std::vector<Token>& toks, std::size_t i) {
+  std::size_t depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (punct_at(toks, i, "(")) ++depth;
+    else if (punct_at(toks, i, ")") && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+// Is the first argument of the call whose '(' sits at `open` a metric
+// *name* — a string literal, or an expression mentioning the repo's
+// obs::names:: constants?  Handle-recording calls like
+// `acc_.histogram(quantity)` pass neither test and are not lookups.
+bool first_arg_is_name(const std::vector<Token>& toks, std::size_t open) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (punct_at(toks, i, "(")) {
+      ++depth;
+      continue;
+    }
+    if (punct_at(toks, i, ")")) {
+      if (--depth == 0) return false;
+      continue;
+    }
+    if (depth == 1 && punct_at(toks, i, ",")) return false;
+    if (toks[i].kind == TokKind::kString) return true;
+    if (ident_at(toks, i, "names")) return true;
+  }
+  return false;
+}
+
+// Loop frames: braced loop bodies, plain braces, and brace-less
+// single-statement loop bodies (popped at the next ';' or at the close
+// of a block that ends the statement).
+enum class Frame { kBrace, kLoopBrace, kLoopStmt };
+
+}  // namespace
+
+void check_hot_paths(const FileScan& scan, std::vector<Violation>* out) {
+  const std::vector<Token>& toks = scan.toks.code;
+  const std::string file = scan.path.string();
+  std::vector<Frame> frames;
+  std::size_t loop_depth = 0;
+
+  auto push_loop_body = [&](std::size_t i) -> std::size_t {
+    // `i` points just past the loop header (after `for (...)`,
+    // `while (...)`, or `do`); classify the body shape.
+    if (punct_at(toks, i, "{")) {
+      frames.push_back(Frame::kLoopBrace);
+      ++loop_depth;
+      return i + 1;
+    }
+    frames.push_back(Frame::kLoopStmt);
+    ++loop_depth;
+    return i;
+  };
+  auto pop_frame = [&](Frame f) {
+    if (f != Frame::kBrace) --loop_depth;
+  };
+  auto pop_loop_stmts = [&] {
+    while (!frames.empty() && frames.back() == Frame::kLoopStmt) {
+      pop_frame(frames.back());
+      frames.pop_back();
+    }
+  };
+
+  for (std::size_t i = 0; i < toks.size();) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "for" || t.text == "while") &&
+        punct_at(toks, i + 1, "(")) {
+      i = push_loop_body(skip_parens(toks, i + 1));
+      continue;
+    }
+    if (t.kind == TokKind::kIdent && t.text == "do") {
+      i = push_loop_body(i + 1);
+      continue;
+    }
+    if (punct_at(toks, i, "{")) {
+      frames.push_back(Frame::kBrace);
+      ++i;
+      continue;
+    }
+    if (punct_at(toks, i, "}")) {
+      if (!frames.empty()) {
+        pop_frame(frames.back());
+        frames.pop_back();
+      }
+      // A block that closes also ends any enclosing brace-less loop
+      // statement (`for (...) if (x) { ... }`).
+      pop_loop_stmts();
+      ++i;
+      continue;
+    }
+    if (punct_at(toks, i, ";")) {
+      pop_loop_stmts();
+      ++i;
+      continue;
+    }
+    if (loop_depth > 0 &&
+        (punct_at(toks, i, ".") || punct_at(toks, i, "->")) &&
+        i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+        (toks[i + 1].text == "counter" || toks[i + 1].text == "gauge" ||
+         toks[i + 1].text == "histogram") &&
+        punct_at(toks, i + 2, "(") &&
+        first_arg_is_name(toks, i + 2)) {
+      out->push_back(
+          {file, toks[i + 1].line, kRuleHotPath,
+           "Registry::" + toks[i + 1].text +
+               "(name) inside a loop body takes the registry lock and "
+               "walks the series map per iteration; hoist the lookup "
+               "before the loop and record through the returned handle"});
+      i += 2;
+      continue;
+    }
+    ++i;
+  }
+}
+
+}  // namespace palu::analyze

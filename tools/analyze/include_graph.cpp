@@ -1,0 +1,195 @@
+// The include-layer DAG pass (tools/layers.txt).
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "analyze/passes.hpp"
+
+namespace fs = std::filesystem;
+
+namespace palu::analyze {
+
+bool load_layers(const std::string& path, LayerConfig* config) {
+  std::ifstream in(path);
+  if (!in) return false;
+  config->path = path;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const std::size_t colon = line.find(':', begin);
+    if (colon == std::string::npos) continue;  // validated later
+    std::string dir = line.substr(begin, colon - begin);
+    const auto dir_end = dir.find_last_not_of(" \t");
+    dir = dir.substr(0, dir_end == std::string::npos ? 0 : dir_end + 1);
+    std::set<std::string>& deps = config->deps[dir];
+    config->order.push_back(dir);
+    std::istringstream rest(line.substr(colon + 1));
+    std::string dep;
+    while (rest >> dep) deps.insert(dep);
+  }
+  config->loaded = true;
+  return true;
+}
+
+namespace {
+
+bool dir_exists(const fs::path& repo_root, const std::string& dir) {
+  std::error_code ec;
+  return fs::is_directory(repo_root / "include" / "palu" / dir, ec) ||
+         fs::is_directory(repo_root / "src" / dir, ec);
+}
+
+}  // namespace
+
+void validate_layers(const LayerConfig& config, const fs::path& repo_root,
+                     std::vector<Violation>* out) {
+  if (!config.loaded) return;
+  // Duplicate declarations.
+  std::set<std::string> seen;
+  for (const std::string& dir : config.order) {
+    if (!seen.insert(dir).second) {
+      out->push_back({config.path, 0, kRuleIncludeLayering,
+                      "layer \"" + dir +
+                          "\" is declared more than once in the layer "
+                          "registry"});
+    }
+  }
+  for (const auto& [dir, deps] : config.deps) {
+    // Stale entries: a declared layer whose directory is gone, mirroring
+    // the failpoint/timing registry contract.
+    if (!dir_exists(repo_root, dir)) {
+      out->push_back({config.path, 0, kRuleIncludeLayering,
+                      "layer registry entry \"" + dir +
+                          "\" matches no include/palu/ or src/ "
+                          "directory; delete the entry or restore the "
+                          "directory so the DAG stays auditable"});
+    }
+    for (const std::string& dep : deps) {
+      if (config.deps.count(dep) == 0) {
+        out->push_back({config.path, 0, kRuleIncludeLayering,
+                        "layer \"" + dir + "\" depends on \"" + dep +
+                            "\", which is not itself declared in the "
+                            "layer registry"});
+      }
+    }
+  }
+  // Every on-disk palu directory must be declared, so a new subsystem
+  // cannot silently join the tree outside the DAG.
+  for (const char* side : {"include/palu", "src"}) {
+    std::error_code ec;
+    fs::directory_iterator it(repo_root / side, ec);
+    if (ec) continue;
+    for (const auto& entry : it) {
+      if (!entry.is_directory()) continue;
+      const std::string name = entry.path().filename().string();
+      if (config.deps.count(name) == 0) {
+        out->push_back({config.path, 0, kRuleIncludeLayering,
+                        "directory " + std::string(side) + "/" + name +
+                            " is not declared in the layer registry; "
+                            "add it (with its allowed deps) so the DAG "
+                            "stays complete"});
+      }
+    }
+  }
+  // Cycle check over the declared graph.  With every observed edge
+  // required to be declared, an acyclic declaration proves the observed
+  // include graph acyclic too.
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::function<bool(const std::string&)> dfs =
+      [&](const std::string& dir) -> bool {
+    state[dir] = 1;
+    auto it = config.deps.find(dir);
+    if (it != config.deps.end()) {
+      for (const std::string& dep : it->second) {
+        if (config.deps.count(dep) == 0) continue;
+        if (state[dep] == 1) return false;
+        if (state[dep] == 0 && !dfs(dep)) return false;
+      }
+    }
+    state[dir] = 2;
+    return true;
+  };
+  for (const auto& [dir, deps] : config.deps) {
+    if (state[dir] == 0 && !dfs(dir)) {
+      out->push_back({config.path, 0, kRuleIncludeLayering,
+                      "the declared layer graph contains a cycle "
+                      "through \"" + dir +
+                          "\"; layers must form a DAG"});
+      break;
+    }
+  }
+}
+
+std::string layer_dir_of(const fs::path& path, const LayerConfig& config) {
+  const std::string p = path.generic_string();
+  for (const auto& [dir, deps] : config.deps) {
+    if (p.find("/include/palu/" + dir + "/") != std::string::npos ||
+        p.find("/src/" + dir + "/") != std::string::npos ||
+        p.rfind("include/palu/" + dir + "/", 0) == 0 ||
+        p.rfind("src/" + dir + "/", 0) == 0) {
+      return dir;
+    }
+  }
+  return "";
+}
+
+void check_includes(const FileScan& scan, const LayerConfig& config,
+                    EdgeSet* edges, std::vector<Violation>* out) {
+  if (!config.loaded) return;
+  const std::vector<Token>& toks = scan.toks.code;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kDirective ||
+        toks[i].text != "#include" ||
+        toks[i + 1].kind != TokKind::kString) {
+      continue;
+    }
+    const std::string& inc = toks[i + 1].text;
+    if (inc.rfind("palu/", 0) != 0) continue;
+    const std::size_t slash = inc.find('/', 5);
+    // `palu/palu.hpp` and friends have no subdirectory; the umbrella is
+    // an external-consumer convenience, not a layer.
+    const std::string dep = slash == std::string::npos
+                                ? inc.substr(5)
+                                : inc.substr(5, slash - 5);
+    if (scan.layer_dir.empty()) continue;  // tools/bench/tests: exempt
+    if (dep == scan.layer_dir) continue;   // intra-layer includes are free
+    (*edges)[{scan.layer_dir, dep}] += 1;
+    const auto it = config.deps.find(scan.layer_dir);
+    if (it == config.deps.end() || it->second.count(dep) == 0) {
+      out->push_back(
+          {scan.path.string(), toks[i].line, kRuleIncludeLayering,
+           "layer \"" + scan.layer_dir + "\" must not include \"" + inc +
+               "\": edge " + scan.layer_dir + " -> " + dep +
+               " is not declared in " + config.path +
+               " (declare it below the arrow's target or break the "
+               "dependency)"});
+    }
+  }
+}
+
+std::string dot_include_graph(const LayerConfig& config,
+                              const EdgeSet& edges) {
+  std::ostringstream os;
+  os << "// Generated by palu_lint --dump-include-graph; layers from\n"
+     << "// " << config.path << ".  Render: dot -Tsvg.\n"
+     << "digraph palu_layers {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  std::set<std::string> emitted;
+  for (const std::string& dir : config.order) {
+    if (emitted.insert(dir).second) {
+      os << "  \"" << dir << "\";\n";
+    }
+  }
+  for (const auto& [edge, count] : edges) {
+    os << "  \"" << edge.first << "\" -> \"" << edge.second
+       << "\" [label=\"" << count << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace palu::analyze

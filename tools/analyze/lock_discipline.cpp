@@ -1,0 +1,550 @@
+// Token-level lock-discipline heuristic (rules lock-guarded-by and
+// lock-discipline).  See passes.hpp for the contract; the parser below is
+// a deliberate approximation — it tracks class bodies, member
+// declarations, and method bodies through balanced delimiters, but does
+// not expand macros or instantiate templates.  Where the heuristic is
+// wrong, the allow() suppressions are the designed escape hatch (and the
+// stale-suppression pass keeps them honest).
+#include "analyze/passes.hpp"
+
+namespace palu::analyze {
+namespace {
+
+bool tok_is(const std::vector<Token>& toks, std::size_t i,
+            TokKind kind, const char* text) {
+  return i < toks.size() && toks[i].kind == kind && toks[i].text == text;
+}
+bool ident_at(const std::vector<Token>& toks, std::size_t i,
+              const char* text) {
+  return tok_is(toks, i, TokKind::kIdent, text);
+}
+bool punct_at(const std::vector<Token>& toks, std::size_t i,
+              const char* text) {
+  return tok_is(toks, i, TokKind::kPunct, text);
+}
+
+bool any_of(const std::string& s, std::initializer_list<const char*> set) {
+  for (const char* v : set) {
+    if (s == v) return true;
+  }
+  return false;
+}
+
+// Mutex-ish member types: owning one makes the class subject to the
+// guarded-by rule.
+bool mutex_type(const std::string& id) {
+  return any_of(id, {"mutex", "shared_mutex", "recursive_mutex",
+                     "timed_mutex", "recursive_timed_mutex",
+                     "shared_timed_mutex"});
+}
+
+// Members that are synchronization primitives or lock-free by design and
+// therefore exempt from PALU_GUARDED_BY.
+bool exempt_type(const std::string& id) {
+  return any_of(id, {"atomic", "atomic_bool", "atomic_flag", "atomic_int",
+                     "atomic_uint64_t", "condition_variable",
+                     "condition_variable_any", "thread", "jthread",
+                     "once_flag", "stop_source", "stop_token"});
+}
+
+// The thread-annotation macros from common/thread_annotations.hpp.  The
+// names are spelled as strings so this pass's own source cannot look like
+// an annotated declaration to itself.
+bool annotation_macro(const std::string& id) {
+  return any_of(id, {"PALU_GUARDED_BY", "PALU_PT_GUARDED_BY",
+                     "PALU_REQUIRES", "PALU_ACQUIRE", "PALU_RELEASE",
+                     "PALU_EXCLUDES", "PALU_NO_THREAD_SAFETY_ANALYSIS"});
+}
+
+bool guard_annotation(const std::string& id) {
+  return id == "PALU_GUARDED_BY" || id == "PALU_PT_GUARDED_BY";
+}
+
+class ClassScanner {
+ public:
+  ClassScanner(const FileScan& scan,
+               std::map<std::string, ClassInfo>* classes,
+               std::vector<MethodBody>* methods)
+      : scan_(scan),
+        toks_(scan.toks.code),
+        classes_(classes),
+        methods_(methods) {}
+
+  void run() { walk_namespace_scope(0, toks_.size()); }
+
+ private:
+  // ---- balanced-delimiter helpers (all take the index of the opener and
+  // return the index just past the matching closer, clamped to `end`).
+
+  std::size_t skip_balanced(std::size_t i, std::size_t end,
+                            const char* open, const char* close) const {
+    std::size_t depth = 0;
+    for (; i < end; ++i) {
+      if (punct_at(toks_, i, open)) ++depth;
+      else if (punct_at(toks_, i, close) && --depth == 0) return i + 1;
+    }
+    return end;
+  }
+
+  // Template-argument skip: from '<' to its matching '>' (heuristic:
+  // parens and braces inside are balanced through; every '<'/'>' counts).
+  // Identifiers met along the way are appended to `type_idents` so
+  // std::array<std::atomic<...>, N> still reads as atomic-ish.
+  std::size_t skip_angles(std::size_t i, std::size_t end,
+                          std::vector<std::string>* type_idents) const {
+    std::size_t depth = 0;
+    for (; i < end; ++i) {
+      if (punct_at(toks_, i, "<")) ++depth;
+      else if (punct_at(toks_, i, ">") && --depth == 0) return i + 1;
+      else if (punct_at(toks_, i, "(")) i = skip_balanced(i, end, "(", ")") - 1;
+      else if (punct_at(toks_, i, "{")) i = skip_balanced(i, end, "{", "}") - 1;
+      else if (toks_[i].kind == TokKind::kIdent && type_idents != nullptr) {
+        type_idents->push_back(toks_[i].text);
+      }
+    }
+    return end;
+  }
+
+  // ---- namespace / global scope -----------------------------------
+
+  void walk_namespace_scope(std::size_t i, std::size_t end) {
+    bool pending_namespace = false;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "namespace") {
+          pending_namespace = true;
+          ++i;
+          continue;
+        }
+        if (t.text == "template" && punct_at(toks_, i + 1, "<")) {
+          i = skip_angles(i + 1, end, nullptr);
+          continue;
+        }
+        if (t.text == "enum") {
+          i = skip_enum(i, end);
+          continue;
+        }
+        if (t.text == "class" || t.text == "struct") {
+          i = parse_class_head(i, end);
+          continue;
+        }
+        // Out-of-line member definition: Qualified::name(...) ... { }
+        const std::size_t after = try_out_of_line_method(i, end);
+        if (after != i) {
+          i = after;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (punct_at(toks_, i, "{")) {
+        if (pending_namespace) {
+          // Namespace braces are transparent: keep walking inside so the
+          // classes within are discovered (the matching '}' is just
+          // another closer on the way).
+          pending_namespace = false;
+          ++i;
+          continue;
+        }
+        // Function body / initializer at namespace scope: opaque.
+        i = skip_balanced(i, end, "{", "}");
+        continue;
+      }
+      if (punct_at(toks_, i, ";")) pending_namespace = false;
+      ++i;
+    }
+  }
+
+  std::size_t skip_enum(std::size_t i, std::size_t end) const {
+    ++i;  // 'enum'
+    if (ident_at(toks_, i, "class") || ident_at(toks_, i, "struct")) ++i;
+    while (i < end && !punct_at(toks_, i, "{") && !punct_at(toks_, i, ";")) {
+      ++i;
+    }
+    if (punct_at(toks_, i, "{")) i = skip_balanced(i, end, "{", "}");
+    return i;
+  }
+
+  // 'class'/'struct' at `i`; parses the head and, when a definition
+  // follows, the body.  Returns the index past the head or body.
+  std::size_t parse_class_head(std::size_t i, std::size_t end) {
+    ++i;  // 'class' / 'struct'
+    std::string name;
+    if (i < end && toks_[i].kind == TokKind::kIdent &&
+        !toks_[i].text.empty()) {
+      name = toks_[i].text;
+      ++i;
+      if (punct_at(toks_, i, "<")) i = skip_angles(i, end, nullptr);
+    }
+    // Scan the rest of the head (final, base clause) to '{' or ';'.
+    while (i < end && !punct_at(toks_, i, "{") && !punct_at(toks_, i, ";")) {
+      if (punct_at(toks_, i, "(")) {
+        // `class X` used in an expression/param — not a definition head.
+        return i;
+      }
+      if (punct_at(toks_, i, "<")) {
+        i = skip_angles(i, end, nullptr);
+        continue;
+      }
+      ++i;
+    }
+    if (i >= end || punct_at(toks_, i, ";")) return i;  // fwd decl
+    const std::size_t body_end = skip_balanced(i, end, "{", "}");
+    if (!name.empty()) {
+      parse_class_body(name, i + 1, body_end - 1);
+    }
+    return body_end;
+  }
+
+  // ---- class bodies -------------------------------------------------
+
+  void parse_class_body(const std::string& class_name, std::size_t i,
+                        std::size_t end) {
+    ClassInfo& cls = (*classes_)[class_name];
+    cls.name = class_name;
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kIdent) {
+        if (any_of(t.text, {"public", "private", "protected"}) &&
+            punct_at(toks_, i + 1, ":")) {
+          i += 2;
+          continue;
+        }
+        if (t.text == "friend" || t.text == "using" ||
+            t.text == "typedef") {
+          while (i < end && !punct_at(toks_, i, ";")) ++i;
+          ++i;
+          continue;
+        }
+        if (t.text == "template" && punct_at(toks_, i + 1, "<")) {
+          i = skip_angles(i + 1, end, nullptr);
+          continue;
+        }
+        if (t.text == "enum") {
+          i = skip_enum(i, end);
+          if (punct_at(toks_, i, ";")) ++i;
+          continue;
+        }
+        if (t.text == "class" || t.text == "struct") {
+          i = parse_class_head(i, end);
+          // Skip any trailing declarator and the ';'.
+          while (i < end && !punct_at(toks_, i, ";")) ++i;
+          ++i;
+          continue;
+        }
+        i = parse_member_statement(class_name, &cls, i, end);
+        continue;
+      }
+      ++i;
+    }
+  }
+
+  // One member statement starting at `i`: a data member, a method
+  // declaration, or a method definition.  Returns the index past it.
+  std::size_t parse_member_statement(const std::string& class_name,
+                                     ClassInfo* cls, std::size_t i,
+                                     std::size_t end) {
+    const std::size_t stmt_line = toks_[i].line;
+    std::vector<std::string> type_idents;
+    std::string last_ident;          // declarator-name candidate
+    std::size_t last_ident_line = stmt_line;
+    bool seen_paren = false;         // top-level '(' group (function-ish)
+    bool seen_assign = false;
+    bool assign_before_paren = false;
+    bool has_guard_annotation = false;
+    bool has_requires = false;
+    bool dtor = false;
+    std::string name_before_paren;   // method-name candidate
+
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kIdent) {
+        if (annotation_macro(t.text)) {
+          has_guard_annotation |= guard_annotation(t.text);
+          has_requires |= t.text == "PALU_REQUIRES";
+          ++i;
+          if (punct_at(toks_, i, "(")) i = skip_balanced(i, end, "(", ")");
+          continue;
+        }
+        if ((t.text == "alignas" || t.text == "decltype" ||
+             t.text == "noexcept") &&
+            punct_at(toks_, i + 1, "(")) {
+          i = skip_balanced(i + 1, end, "(", ")");
+          continue;
+        }
+        type_idents.push_back(t.text);
+        if (!seen_assign) {
+          last_ident = t.text;
+          last_ident_line = t.line;
+        }
+        ++i;
+        if (punct_at(toks_, i, "<")) i = skip_angles(i, end, &type_idents);
+        continue;
+      }
+      if (punct_at(toks_, i, "~")) {
+        dtor = true;
+        ++i;
+        continue;
+      }
+      if (punct_at(toks_, i, "(")) {
+        if (!seen_paren && !seen_assign) {
+          seen_paren = true;
+          name_before_paren = last_ident;
+        }
+        if (seen_assign && !seen_paren) assign_before_paren = true;
+        i = skip_balanced(i, end, "(", ")");
+        continue;
+      }
+      if (punct_at(toks_, i, "=")) {
+        seen_assign = true;
+        if (!seen_paren) assign_before_paren = true;
+        ++i;
+        continue;
+      }
+      if (punct_at(toks_, i, "[")) {
+        i = skip_balanced(i, end, "[", "]");
+        continue;
+      }
+      if (punct_at(toks_, i, "{")) {
+        if (seen_paren && !assign_before_paren) {
+          // Method definition: record the body and finish the statement.
+          const std::size_t body_end = skip_balanced(i, end + 1, "{", "}");
+          MethodBody m;
+          m.class_name = class_name;
+          m.name = name_before_paren;
+          m.line = stmt_line;
+          m.body_begin = i + 1;
+          m.body_end = body_end > 0 ? body_end - 1 : i + 1;
+          m.has_requires = has_requires;
+          m.ctor_dtor = dtor || name_before_paren == class_name;
+          methods_->push_back(std::move(m));
+          return body_end;
+        }
+        // Brace initializer: part of the declaration.
+        i = skip_balanced(i, end, "{", "}");
+        continue;
+      }
+      if (punct_at(toks_, i, ";")) {
+        ++i;
+        break;
+      }
+      ++i;
+    }
+
+    // Statement ended at ';' — classify.
+    const bool function_decl = seen_paren && !assign_before_paren;
+    if (function_decl || last_ident.empty()) return i;
+    bool has_specifier = false;
+    bool is_mutex = false;
+    bool is_exempt = false;
+    bool is_const = false;
+    for (std::size_t k = 0; k < type_idents.size(); ++k) {
+      const std::string& id = type_idents[k];
+      // The last identifier is the declarator name, not part of the type.
+      const bool is_name_tok =
+          k + 1 == type_idents.size() && id == last_ident;
+      has_specifier |= any_of(id, {"static", "constexpr", "operator",
+                                   "inline", "extern"});
+      if (!is_name_tok) {
+        is_mutex |= mutex_type(id);
+        is_exempt |= exempt_type(id);
+        is_const |= id == "const";
+      }
+    }
+    if (has_specifier) return i;
+    if (is_mutex) {
+      cls->mutex_members.push_back(last_ident);
+      return i;
+    }
+    if (has_guard_annotation) {
+      cls->guarded_members.insert(last_ident);
+      return i;
+    }
+    if (is_exempt || is_const) return i;
+    cls->unguarded.push_back(
+        {scan_.path.string(), last_ident_line, kRuleLockGuardedBy,
+         "class " + class_name + " holds a mutex, so data member `" +
+             last_ident +
+             "` must declare its guard with PALU_GUARDED_BY / "
+             "PALU_PT_GUARDED_BY (atomics, condition variables, threads, "
+             "and const members are exempt)"});
+    return i;
+  }
+
+  // ---- out-of-line method definitions -------------------------------
+
+  // At `i` (an identifier): tries to match Qualified::name(...) and, when
+  // a body follows, records it.  Returns the index past the definition,
+  // or `i` unchanged when the shape does not match.
+  std::size_t try_out_of_line_method(std::size_t i, std::size_t end) {
+    std::string prev;       // component before the last '::'
+    std::string name;       // last component
+    bool dtor = false;
+    std::size_t j = i;
+    if (toks_[j].kind != TokKind::kIdent) return i;
+    std::string current = toks_[j].text;
+    ++j;
+    if (punct_at(toks_, j, "<")) j = skip_angles(j, end, nullptr);
+    if (!punct_at(toks_, j, "::")) return i;
+    while (punct_at(toks_, j, "::")) {
+      ++j;
+      if (punct_at(toks_, j, "~")) {
+        dtor = true;
+        ++j;
+      }
+      if (j >= end || toks_[j].kind != TokKind::kIdent) return i;
+      prev = current;
+      current = toks_[j].text;
+      ++j;
+      if (punct_at(toks_, j, "<")) j = skip_angles(j, end, nullptr);
+    }
+    name = current;
+    if (!punct_at(toks_, j, "(")) return i;
+    const std::size_t stmt_line = toks_[i].line;
+    j = skip_balanced(j, end, "(", ")");
+    // Trailer: cv-qualifiers, noexcept(...), annotations, trailing
+    // return, constructor init lists — up to '{' (definition), ';'
+    // (declaration), or '=' (= default / = delete).
+    bool has_requires = false;
+    while (j < end && !punct_at(toks_, j, "{") &&
+           !punct_at(toks_, j, ";") && !punct_at(toks_, j, "=")) {
+      if (toks_[j].kind == TokKind::kIdent &&
+          toks_[j].text == "PALU_REQUIRES") {
+        has_requires = true;
+      }
+      if (punct_at(toks_, j, "(")) {
+        j = skip_balanced(j, end, "(", ")");
+        continue;
+      }
+      // Constructor member-init braces: X::X() : a_{1}, b_(2) { ... }
+      if (punct_at(toks_, j, "{") ) break;
+      if (tok_is(toks_, j, TokKind::kPunct, "{")) break;
+      if (punct_at(toks_, j, "<")) {
+        j = skip_angles(j, end, nullptr);
+        continue;
+      }
+      if (tok_is(toks_, j, TokKind::kPunct, "{")) break;
+      if (toks_[j].kind == TokKind::kPunct && toks_[j].text == "{") break;
+      if (toks_[j].kind == TokKind::kPunct && toks_[j].text == "}") break;
+      if (toks_[j].kind == TokKind::kPunct &&
+          (toks_[j].text == "[")) {
+        j = skip_balanced(j, end, "[", "]");
+        continue;
+      }
+      ++j;
+    }
+    if (j >= end || !punct_at(toks_, j, "{")) {
+      // Declaration or defaulted definition: consume to ';' so the walk
+      // advances deterministically.
+      while (j < end && !punct_at(toks_, j, ";")) ++j;
+      return j < end ? j + 1 : end;
+    }
+    // Constructor init lists put brace-initializers before the body; the
+    // body is the last balanced brace group of the statement.  Walk brace
+    // groups until the one that is followed by neither ',' nor an
+    // initializer continuation.
+    std::size_t body_open = j;
+    while (true) {
+      const std::size_t close = skip_balanced(body_open, end, "{", "}");
+      // Init-list groups are followed by ',' or another initializer
+      // (identifier then '(' or '{'); a body is followed by anything
+      // else (typically a new declaration or '}').
+      if (close < end && punct_at(toks_, close, ",")) {
+        std::size_t k = close + 1;
+        while (k < end && !punct_at(toks_, k, "{") &&
+               !punct_at(toks_, k, "(") && !punct_at(toks_, k, ";")) {
+          ++k;
+        }
+        if (k < end && punct_at(toks_, k, "(")) {
+          k = skip_balanced(k, end, "(", ")");
+          while (k < end && !punct_at(toks_, k, "{")) ++k;
+        }
+        if (k < end && punct_at(toks_, k, "{")) {
+          body_open = k;
+          continue;
+        }
+      }
+      MethodBody m;
+      m.class_name = prev;
+      m.name = name;
+      m.line = stmt_line;
+      m.body_begin = body_open + 1;
+      m.body_end = close > 0 ? close - 1 : body_open + 1;
+      m.has_requires = has_requires;
+      m.ctor_dtor = dtor || name == prev;
+      methods_->push_back(std::move(m));
+      return close;
+    }
+  }
+
+  const FileScan& scan_;
+  const std::vector<Token>& toks_;
+  std::map<std::string, ClassInfo>* classes_;
+  std::vector<MethodBody>* methods_;
+};
+
+// Lock-acquisition fingerprints inside a method body.
+bool body_takes_lock(const std::vector<Token>& toks, std::size_t begin,
+                     std::size_t end) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (any_of(t.text, {"lock_guard", "unique_lock", "scoped_lock",
+                        "shared_lock"})) {
+      return true;
+    }
+    if ((t.text == "lock" || t.text == "try_lock" ||
+         t.text == "lock_shared") &&
+        i > 0 &&
+        (punct_at(toks, i - 1, ".") || punct_at(toks, i - 1, "->")) &&
+        punct_at(toks, i + 1, "(")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void scan_classes(const FileScan& scan,
+                  std::map<std::string, ClassInfo>* classes,
+                  std::vector<MethodBody>* methods) {
+  ClassScanner(scan, classes, methods).run();
+}
+
+void check_lock_discipline(const FileScan& scan,
+                           const std::map<std::string, ClassInfo>& classes,
+                           const std::vector<MethodBody>& methods,
+                           std::vector<Violation>* out) {
+  const std::string file = scan.path.string();
+  for (const auto& [name, cls] : classes) {
+    if (cls.mutex_members.empty()) continue;
+    for (const Violation& v : cls.unguarded) {
+      if (v.file == file) out->push_back(v);
+    }
+  }
+  const std::vector<Token>& toks = scan.toks.code;
+  for (const MethodBody& m : methods) {
+    const auto it = classes.find(m.class_name);
+    if (it == classes.end()) continue;
+    const ClassInfo& cls = it->second;
+    if (cls.mutex_members.empty() || cls.guarded_members.empty()) continue;
+    if (m.ctor_dtor || m.has_requires) continue;
+    if (body_takes_lock(toks, m.body_begin, m.body_end)) continue;
+    for (std::size_t i = m.body_begin; i < m.body_end && i < toks.size();
+         ++i) {
+      if (toks[i].kind == TokKind::kIdent &&
+          cls.guarded_members.count(toks[i].text) != 0) {
+        out->push_back(
+            {file, toks[i].line, kRuleLockDiscipline,
+             m.class_name + "::" + m.name + " touches `" + toks[i].text +
+                 "` (PALU_GUARDED_BY) without taking the lock in its "
+                 "body or declaring PALU_REQUIRES"});
+        break;  // one diagnostic per method is enough to act on
+      }
+    }
+  }
+}
+
+}  // namespace palu::analyze

@@ -1,0 +1,139 @@
+// The analysis passes behind palu_lint.  Each pass is a pure function
+// from a FileScan (plus whatever cross-file state it declares) to a list
+// of violations; the driver owns file collection, suppression filtering,
+// and reporting.  See DESIGN.md §5h for the rule catalog.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.hpp"
+#include "analyze/token.hpp"
+
+namespace palu::analyze {
+
+// ------------------------------------------------------------ core rules
+//
+// The five regex-era rules, re-grounded on the token stream: string and
+// comment contents can no longer trip them, and `::now()` matches however
+// it is spelled token-wise.
+
+struct CoreRuleOptions {
+  const std::set<std::string>* registry = nullptr;  ///< failpoint names
+  std::string registry_path;
+};
+
+void run_core_rules(const FileScan& scan, const CoreRuleOptions& opts,
+                    std::set<std::string>* seen_failpoints,
+                    std::vector<Violation>* out);
+
+// --------------------------------------------------------- include graph
+//
+// The declared layer DAG (tools/layers.txt): one line per directory,
+//   <dir>: <allowed direct deps...>
+// listed in topological order.  A file under include/palu/<dir>/ or
+// src/<dir>/ may #include "palu/<dep>/..." only for declared deps (plus
+// its own directory).  The declaration itself is validated: unknown or
+// stale directories and cycles are violations, mirroring the failpoint
+// and timing registries.
+
+struct LayerConfig {
+  /// dir -> allowed direct dependencies.
+  std::map<std::string, std::set<std::string>> deps;
+  /// Declaration order, for the DOT dump.
+  std::vector<std::string> order;
+  std::string path;
+  bool loaded = false;
+};
+
+bool load_layers(const std::string& path, LayerConfig* config);
+
+/// Checks the declaration against the tree rooted at `repo_root`:
+/// every declared name must exist as include/palu/<dir> or src/<dir>
+/// (stale entries are violations), every dep must itself be declared,
+/// every on-disk palu directory must be declared, and the declared graph
+/// must be acyclic.
+void validate_layers(const LayerConfig& config,
+                     const std::filesystem::path& repo_root,
+                     std::vector<Violation>* out);
+
+/// Maps a path to its layer directory ("" when the file is outside the
+/// layered tree: tools, bench, tests, the umbrella header).
+std::string layer_dir_of(const std::filesystem::path& path,
+                         const LayerConfig& config);
+
+/// Observed `#include "palu/..."` edges: (from dir, to dir) -> count.
+using EdgeSet = std::map<std::pair<std::string, std::string>, std::size_t>;
+
+void check_includes(const FileScan& scan, const LayerConfig& config,
+                    EdgeSet* edges, std::vector<Violation>* out);
+
+/// Graphviz DOT rendering of the observed include graph, one node per
+/// declared directory, edges labelled with include counts.
+std::string dot_include_graph(const LayerConfig& config,
+                              const EdgeSet& edges);
+
+// ------------------------------------------------------- lock discipline
+//
+// Token-level lock-discipline heuristic (DESIGN.md §5h):
+//   lock-guarded-by   a class with a std::mutex / std::shared_mutex
+//                     member must annotate every sibling data member
+//                     with PALU_GUARDED_BY / PALU_PT_GUARDED_BY
+//                     (std::atomic, condition variables, threads, and
+//                     const members are exempt by construction);
+//   lock-discipline   a method of such a class that references a guarded
+//                     member must take a lock in its body (lock_guard /
+//                     unique_lock / scoped_lock / shared_lock / .lock())
+//                     or carry PALU_REQUIRES; constructors and
+//                     destructors are exempt (no concurrent access
+//                     before/after the object's lifetime).
+
+struct MethodBody {
+  std::string class_name;
+  std::string name;
+  std::size_t line = 0;        ///< of the method header
+  std::size_t body_begin = 0;  ///< token index past the opening '{'
+  std::size_t body_end = 0;    ///< token index of the closing '}'
+  bool has_requires = false;
+  bool ctor_dtor = false;
+};
+
+struct ClassInfo {
+  std::string name;
+  std::vector<std::string> mutex_members;
+  std::set<std::string> guarded_members;
+  /// Unannotated data members; escalated to violations only when the
+  /// class turns out to hold a mutex.
+  std::vector<Violation> unguarded;
+};
+
+/// Phase A: collects class definitions and method bodies (in-class and
+/// out-of-line) from one file into the cross-file registry.
+void scan_classes(const FileScan& scan,
+                  std::map<std::string, ClassInfo>* classes,
+                  std::vector<MethodBody>* methods);
+
+/// Phase B: emits lock-guarded-by violations for `scan`'s classes and
+/// lock-discipline violations for `methods` defined in `scan`.
+void check_lock_discipline(const FileScan& scan,
+                           const std::map<std::string, ClassInfo>& classes,
+                           const std::vector<MethodBody>& methods,
+                           std::vector<Violation>* out);
+
+// ------------------------------------------------------------- hot paths
+//
+// Registry name-lookups (`x.counter(...)` / `x->histogram(...)` whose
+// first argument is a metric *name* — a string literal or an
+// obs::names:: constant) take the registry mutex and walk a map; the
+// PR-4 convention hoists them out of hot loops and keeps only the
+// returned handle's relaxed-atomic recording inside.  This pass bans the
+// lookup form lexically inside for/while/do bodies.  Calls whose first
+// argument is not a name (e.g. WindowAccumulator::histogram(quantity))
+// are not lookups and are ignored.
+
+void check_hot_paths(const FileScan& scan, std::vector<Violation>* out);
+
+}  // namespace palu::analyze

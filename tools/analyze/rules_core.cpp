@@ -1,0 +1,110 @@
+// The five regex-era rules, re-implemented on the shared token stream.
+#include "analyze/passes.hpp"
+
+namespace palu::analyze {
+namespace {
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+}  // namespace
+
+void run_core_rules(const FileScan& scan, const CoreRuleOptions& opts,
+                    std::set<std::string>* seen_failpoints,
+                    std::vector<Violation>* out) {
+  const std::string file = scan.path.string();
+  const std::vector<Token>& toks = scan.toks.code;
+  bool saw_pragma_once = false;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    auto next = [&](std::size_t k) -> const Token& {
+      static const Token kNone;
+      return i + k < toks.size() ? toks[i + k] : kNone;
+    };
+
+    // header-pragma-once: `#pragma once` anywhere in the file.
+    if (t.kind == TokKind::kDirective && t.text == "#pragma" &&
+        is_ident(next(1), "once")) {
+      saw_pragma_once = true;
+    }
+
+    // failpoint-registry: PALU_FAILPOINT("name") with a literal name.
+    // The macro definition's non-literal argument is skipped by
+    // construction, and the identifier inside a string (this file, for
+    // instance) is a string token, not an identifier.
+    if (is_ident(t, "PALU_FAILPOINT") && is_punct(next(1), "(") &&
+        next(2).kind == TokKind::kString) {
+      const std::string& name = next(2).text;
+      seen_failpoints->insert(name);
+      if (opts.registry != nullptr && opts.registry->count(name) == 0) {
+        out->push_back({file, t.line, kRuleFailpoint,
+                        "failpoint \"" + name +
+                            "\" is not registered in " + opts.registry_path +
+                            "; add it so fault-injection coverage stays "
+                            "auditable"});
+      }
+    }
+
+    // typed-error: `throw std::...` in library code.
+    if (is_ident(t, "throw") && is_ident(next(1), "std") &&
+        is_punct(next(2), "::")) {
+      out->push_back({file, t.line, kRuleTypedError,
+                      "library code must throw the typed errors from "
+                      "common/error.hpp (palu::InvalidArgument, DataError, "
+                      "ConvergenceError, ...), not bare std exceptions"});
+    }
+
+    // determinism: the banned nondeterminism sources.
+    if (is_ident(t, "std") && is_punct(next(1), "::") &&
+        is_ident(next(2), "rand")) {
+      out->push_back({file, t.line, kRuleDeterminism,
+                      "banned nondeterminism source `std::rand`: "
+                      "seed-stable sweeps must draw from palu::Rng, not "
+                      "the C PRNG"});
+    }
+    if (is_ident(t, "random_device")) {
+      out->push_back({file, t.line, kRuleDeterminism,
+                      "banned nondeterminism source `random_device`: "
+                      "nondeterministic seeding breaks reproducible "
+                      "sweeps"});
+    }
+    if (is_ident(t, "time") && is_punct(next(1), "(") &&
+        (is_ident(next(2), "nullptr") || is_ident(next(2), "NULL")) &&
+        is_punct(next(3), ")")) {
+      out->push_back({file, t.line, kRuleDeterminism,
+                      "banned nondeterminism source `time(nullptr)`: "
+                      "wall-clock seeding breaks reproducible sweeps"});
+    }
+    if (is_punct(t, "::") && is_ident(next(1), "now") &&
+        is_punct(next(2), "(") && is_punct(next(3), ")")) {
+      out->push_back({file, t.line, kRuleDeterminism,
+                      "banned nondeterminism source `::now()`: clock "
+                      "reads are timing instrumentation; list the file "
+                      "in tools/timing_files.txt (or carry a palu-lint "
+                      "allow comment) explaining why results stay "
+                      "seed-stable"});
+    }
+
+    // header-using-namespace.
+    if (scan.header && is_ident(t, "using") &&
+        is_ident(next(1), "namespace")) {
+      out->push_back({file, t.line, kRuleUsingNamespace,
+                      "`using namespace` in a header leaks into every "
+                      "includer; qualify names instead (function-local "
+                      "uses may carry a suppression comment)"});
+    }
+  }
+
+  if (scan.header && !saw_pragma_once &&
+      !(toks.empty() && scan.toks.comments.empty())) {
+    out->push_back({file, 1, kRulePragmaOnce,
+                    "header is missing #pragma once"});
+  }
+}
+
+}  // namespace palu::analyze

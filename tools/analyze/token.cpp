@@ -1,0 +1,299 @@
+#include "analyze/token.hpp"
+
+namespace palu::analyze {
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+// The splice-resolved character stream: `chars[i]` is the i-th character
+// after removing every backslash-newline pair, and `line[i]`/`col[i]`
+// remember where it came from.  Raw strings are the one place the C++
+// standard un-splices; none of the rules care about a raw string's exact
+// contents, so the approximation is harmless there.
+struct Stream {
+  std::string chars;
+  std::vector<std::size_t> line;
+  std::vector<std::size_t> col;
+  std::size_t num_lines = 0;
+
+  explicit Stream(const std::string& text) {
+    std::size_t ln = 1, co = 1;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      // Backslash-newline (optionally with a carriage return) splices the
+      // next physical line onto this logical one.
+      if (c == '\\') {
+        std::size_t j = i + 1;
+        if (j < text.size() && text[j] == '\r') ++j;
+        if (j < text.size() && text[j] == '\n') {
+          i = j;
+          ++ln;
+          co = 1;
+          continue;
+        }
+      }
+      chars.push_back(c);
+      line.push_back(ln);
+      col.push_back(co);
+      if (c == '\n') {
+        ++ln;
+        co = 1;
+      } else {
+        ++co;
+      }
+    }
+    num_lines = ln;
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : s_(text) {}
+
+  TokenizedFile run() {
+    TokenizedFile out;
+    out.num_lines = s_.num_lines;
+    bool line_start = true;       // only whitespace/comments so far
+    bool after_include = false;   // the previous code token was #include
+    const std::string& c = s_.chars;
+    std::size_t i = 0;
+    while (i < c.size()) {
+      const char ch = c[i];
+      if (ch == '\n') {
+        line_start = true;
+        after_include = false;
+        ++i;
+        continue;
+      }
+      if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' ||
+          ch == '\f') {
+        ++i;
+        continue;
+      }
+      if (ch == '/' && i + 1 < c.size() && c[i + 1] == '/') {
+        i = lex_line_comment(i, &out);
+        continue;
+      }
+      if (ch == '/' && i + 1 < c.size() && c[i + 1] == '*') {
+        i = lex_block_comment(i, &out);
+        continue;
+      }
+      if (ch == '#' && line_start) {
+        i = lex_directive(i, &out, &after_include);
+        line_start = false;
+        continue;
+      }
+      line_start = false;
+      if (after_include && ch == '<') {
+        i = lex_header_name(i, &out);
+        after_include = false;
+        continue;
+      }
+      after_include = false;
+      if (ch == '"') {
+        i = lex_string(i, &out);
+        continue;
+      }
+      if (ch == '\'') {
+        i = lex_char(i, &out);
+        continue;
+      }
+      if (digit(ch) || (ch == '.' && i + 1 < c.size() && digit(c[i + 1]))) {
+        i = lex_number(i, &out);
+        continue;
+      }
+      if (ident_start(ch)) {
+        i = lex_ident_or_raw_string(i, &out);
+        continue;
+      }
+      i = lex_punct(i, &out);
+    }
+    return out;
+  }
+
+ private:
+  Token at(std::size_t i, TokKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = s_.line[i];
+    t.col = s_.col[i];
+    return t;
+  }
+
+  std::size_t lex_line_comment(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kComment);
+    const std::string& c = s_.chars;
+    while (i < c.size() && c[i] != '\n') t.text.push_back(c[i++]);
+    out->comments.push_back(std::move(t));
+    return i;
+  }
+
+  std::size_t lex_block_comment(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kComment);
+    const std::string& c = s_.chars;
+    t.text += "/*";
+    i += 2;
+    while (i < c.size()) {
+      if (c[i] == '*' && i + 1 < c.size() && c[i + 1] == '/') {
+        t.text += "*/";
+        i += 2;
+        break;
+      }
+      t.text.push_back(c[i++]);
+    }
+    out->comments.push_back(std::move(t));
+    return i;
+  }
+
+  std::size_t lex_directive(std::size_t i, TokenizedFile* out,
+                            bool* after_include) {
+    Token t = at(i, TokKind::kDirective);
+    const std::string& c = s_.chars;
+    t.text.push_back(c[i++]);  // '#'
+    while (i < c.size() && (c[i] == ' ' || c[i] == '\t')) ++i;
+    while (i < c.size() && ident_char(c[i])) t.text.push_back(c[i++]);
+    *after_include = t.text == "#include";
+    out->code.push_back(std::move(t));
+    return i;
+  }
+
+  std::size_t lex_header_name(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kHeaderName);
+    const std::string& c = s_.chars;
+    ++i;  // '<'
+    while (i < c.size() && c[i] != '>' && c[i] != '\n') {
+      t.text.push_back(c[i++]);
+    }
+    if (i < c.size() && c[i] == '>') ++i;
+    out->code.push_back(std::move(t));
+    return i;
+  }
+
+  std::size_t lex_string(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kString);
+    const std::string& c = s_.chars;
+    ++i;  // opening quote
+    while (i < c.size() && c[i] != '"' && c[i] != '\n') {
+      if (c[i] == '\\' && i + 1 < c.size()) {
+        t.text.push_back(c[i++]);  // keep the escape verbatim
+      }
+      t.text.push_back(c[i++]);
+    }
+    if (i < c.size() && c[i] == '"') ++i;
+    out->code.push_back(std::move(t));
+    return i;
+  }
+
+  std::size_t lex_char(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kChar);
+    const std::string& c = s_.chars;
+    ++i;  // opening quote
+    while (i < c.size() && c[i] != '\'' && c[i] != '\n') {
+      if (c[i] == '\\' && i + 1 < c.size()) {
+        t.text.push_back(c[i++]);
+      }
+      t.text.push_back(c[i++]);
+    }
+    if (i < c.size() && c[i] == '\'') ++i;
+    out->code.push_back(std::move(t));
+    return i;
+  }
+
+  std::size_t lex_number(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kNumber);
+    const std::string& c = s_.chars;
+    while (i < c.size()) {
+      const char ch = c[i];
+      if (ident_char(ch) || ch == '.') {
+        t.text.push_back(ch);
+        // Exponent signs belong to the number: 1e+3, 0x1p-4.
+        if ((ch == 'e' || ch == 'E' || ch == 'p' || ch == 'P') &&
+            i + 1 < c.size() && (c[i + 1] == '+' || c[i + 1] == '-')) {
+          t.text.push_back(c[++i]);
+        }
+        ++i;
+        continue;
+      }
+      // Digit separator: 1'000'000.
+      if (ch == '\'' && i + 1 < c.size() && ident_char(c[i + 1])) {
+        t.text.push_back(ch);
+        ++i;
+        continue;
+      }
+      break;
+    }
+    out->code.push_back(std::move(t));
+    return i;
+  }
+
+  // True for the exact raw-string prefixes: R, LR, uR, UR, u8R.
+  static bool raw_prefix(const std::string& id) {
+    return id == "R" || id == "LR" || id == "uR" || id == "UR" ||
+           id == "u8R";
+  }
+
+  std::size_t lex_ident_or_raw_string(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kIdent);
+    const std::string& c = s_.chars;
+    while (i < c.size() && ident_char(c[i])) t.text.push_back(c[i++]);
+    if (i < c.size() && c[i] == '"' && raw_prefix(t.text)) {
+      // Raw string: R"delim( ... )delim", possibly spanning lines.
+      t.kind = TokKind::kString;
+      t.text.clear();
+      ++i;  // opening quote
+      std::string delim;
+      while (i < c.size() && c[i] != '(' && delim.size() < 18) {
+        delim.push_back(c[i++]);
+      }
+      if (i < c.size()) ++i;  // '('
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = c.find(close, i);
+      if (end == std::string::npos) {
+        t.text.assign(c, i, c.size() - i);
+        i = c.size();
+      } else {
+        t.text.assign(c, i, end - i);
+        i = end + close.size();
+      }
+    } else if (i < c.size() && c[i] == '"' &&
+               (t.text == "L" || t.text == "u" || t.text == "U" ||
+                t.text == "u8")) {
+      // Encoding prefix on an ordinary string: drop the prefix token and
+      // lex the literal itself.
+      return lex_string(i, out);
+    }
+    out->code.push_back(std::move(t));
+    return i;
+  }
+
+  std::size_t lex_punct(std::size_t i, TokenizedFile* out) {
+    Token t = at(i, TokKind::kPunct);
+    const std::string& c = s_.chars;
+    const char ch = c[i];
+    const char nx = i + 1 < c.size() ? c[i + 1] : '\0';
+    if ((ch == ':' && nx == ':') || (ch == '-' && nx == '>')) {
+      t.text.assign(1, ch);
+      t.text.push_back(nx);
+      i += 2;
+    } else {
+      t.text.assign(1, ch);
+      ++i;
+    }
+    out->code.push_back(std::move(t));
+    return i;
+  }
+
+  Stream s_;
+};
+
+}  // namespace
+
+TokenizedFile tokenize(const std::string& text) {
+  return Lexer(text).run();
+}
+
+}  // namespace palu::analyze

@@ -1,0 +1,57 @@
+// Token-level view of a C++ source file for palu_lint's analysis passes.
+//
+// The tokenizer is deliberately dependency-free (no palu headers, no
+// third-party lexers) and deliberately approximate: it does not expand
+// macros or track templates, but it is exact about the things that made
+// the old strip-and-regex linter unsound —
+//
+//   * string and character literals (including raw strings and encoding
+//     prefixes) never leak their contents into the code token stream, so
+//     a string containing `#include "palu/serve/x.hpp"` or `std::rand`
+//     cannot trip a rule;
+//   * comments (//, /* */, and //-comments continued by a line splice)
+//     are captured as their own token stream, which is the only place
+//     suppression markers are read from;
+//   * backslash-newline splices are resolved before lexing, so a spliced
+//     preprocessor line or comment behaves as one logical line;
+//   * preprocessor directives are recognized at logical-line starts, and
+//     <...> after #include becomes a single header-name token.
+//
+// Every token carries the 1-based line/column of its first character in
+// the original (unspliced) file, so diagnostics point at real source.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace palu::analyze {
+
+enum class TokKind {
+  kIdent,       ///< identifier or keyword
+  kNumber,      ///< pp-number (digit separators included)
+  kString,      ///< string literal; text = contents without quotes/prefix
+  kChar,        ///< character literal; text = contents without quotes
+  kPunct,       ///< punctuation; `::` and `->` are single tokens
+  kDirective,   ///< `#name` at the start of a logical line (e.g. #include)
+  kHeaderName,  ///< <...> after #include; text = path without brackets
+  kComment,     ///< comment text; may contain newlines (block comments)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based
+  std::size_t col = 0;   ///< 1-based
+};
+
+struct TokenizedFile {
+  std::vector<Token> code;      ///< everything except comments
+  std::vector<Token> comments;  ///< comments, in source order
+  std::size_t num_lines = 0;    ///< physical lines in the file
+};
+
+/// Tokenizes the full text of one source file.
+TokenizedFile tokenize(const std::string& text);
+
+}  // namespace palu::analyze

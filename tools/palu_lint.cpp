@@ -1,422 +1,263 @@
-// palu_lint — repo-specific static checks for the palu tree.
+// palu_lint: the repo's dependency-free static analyzer.
 //
-// A deliberately small, dependency-free C++17 linter that machine-checks
-// conventions the library's correctness arguments rely on (DESIGN.md §5c):
+// PR 3 introduced this tool as a strip-and-regex linter; PR 8 re-grounded
+// it on a real token stream (tools/analyze/token.hpp) and grew it into a
+// small multi-pass analyzer.  The driver below owns file collection,
+// configuration, suppression filtering, and reporting; the passes live in
+// tools/analyze/ and are documented in DESIGN.md §5h.
 //
-//   failpoint-registry     every PALU_FAILPOINT("name") site names an entry
-//                          in tools/failpoints.txt, and no registry entry is
-//                          stale (site deleted, registry not updated)
-//   typed-error            library code throws only the typed errors from
-//                          common/error.hpp, never bare std exceptions
-//   determinism            no std::rand / std::random_device / time(nullptr)
-//                          / steady- or system-clock reads outside code
-//                          annotated as timing instrumentation
-//   header-pragma-once     every header starts with #pragma once
-//   header-using-namespace no `using namespace` in headers (the lint cannot
-//                          see scopes, so function-local uses carry a
-//                          suppression comment instead)
+// Rules (see --list-rules):
+//   failpoint-registry      PALU_FAILPOINT names must be registered
+//   typed-error             no `throw std::...` in library code
+//   determinism             no std::rand / random_device / time(nullptr) /
+//                           ::now() outside the timing allowlist
+//   header-pragma-once      headers start with #pragma once
+//   header-using-namespace  no `using namespace` at header scope
+//   include-layering        palu/ includes must follow tools/layers.txt
+//   lock-guarded-by         mutex-holding classes annotate their members
+//   lock-discipline         guarded members are touched under the lock
+//   hot-path-registration   no Registry name-lookups inside loop bodies
+//   stale-suppression       every allow() must suppress something
 //
-// Suppressions:
-//   // palu-lint: allow(<rule>)       this line or the next line
-//   // palu-lint: allow-file(<rule>)  whole file, with a justifying comment
-//
-// Timing TUs — files whose whole purpose is reading the clock (span
-// recording, stage timing, benchmarks) — are declared centrally in an
-// allowlist file (tools/timing_files.txt) passed via --timing-allowlist,
-// mirroring the failpoint registry: one reviewable place instead of
-// per-file allow-file(determinism) comments.  Entries are repo-relative
-// path suffixes matched on '/' boundaries, and stale entries (no scanned
-// file matches) are violations just like stale failpoints.
-//
-// Matching runs on comment-stripped text (and, for all rules except the
-// failpoint extraction, string-stripped text), so prose and error messages
-// never trip a rule.  Exit codes: 0 clean, 1 violations or selftest
-// failure, 2 usage/IO error.
-//
-// Usage:
-//   palu_lint [--registry FILE] [--timing-allowlist FILE]
-//             [--no-stale-check] [--list-rules] [--selftest DIR] PATH...
+// The legacy CLI is unchanged: without --analyze / --layers only the five
+// original rules (plus the registry stale checks) run, on the new token
+// core.  Exit codes: 0 clean, 1 violations (or selftest failure), 2
+// usage/IO error.
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analyze/analysis.hpp"
+#include "analyze/passes.hpp"
+#include "analyze/token.hpp"
+
 namespace fs = std::filesystem;
 
+namespace palu::analyze {
 namespace {
 
-// Rule identifiers.  Every diagnostic carries one of these and every one
-// of these must be exercised by tests/lint_fixtures (enforced in selftest).
-const char* const kRuleFailpoint = "failpoint-registry";
-const char* const kRuleTypedError = "typed-error";
-const char* const kRuleDeterminism = "determinism";
-const char* const kRulePragmaOnce = "header-pragma-once";
-const char* const kRuleUsingNamespace = "header-using-namespace";
-
-const char* const kAllRules[] = {kRuleFailpoint, kRuleTypedError,
-                                 kRuleDeterminism, kRulePragmaOnce,
-                                 kRuleUsingNamespace};
-
-// Patterns are assembled from split literals so that palu_lint's own
-// source, which is part of the scanned tree, can never match them.
-const std::string kFailpointMacro = std::string("PALU_FAIL") + "POINT(";
-const std::string kThrowStd = std::string("throw ") + "std" + "::";
-
-struct DeterminismBan {
-  std::string token;
-  const char* why;
+struct Options {
+  std::string registry_path;
+  std::string timing_path;
+  std::string layers_path;
+  std::string selftest_dir;
+  bool analyze = false;
+  bool dump_graph = false;
+  bool stale_check = true;
+  bool list_rules = false;
+  std::vector<std::string> roots;
 };
 
-std::vector<DeterminismBan> determinism_bans() {
-  return {
-      {std::string("std::") + "rand", "seed-stable sweeps must draw from "
-                                      "palu::Rng, not the C PRNG"},
-      {std::string("random") + "_device", "nondeterministic seeding breaks "
-                                          "reproducible sweeps"},
-      {std::string("time(") + "nullptr)", "wall-clock seeding breaks "
-                                          "reproducible sweeps"},
-      {std::string("time(") + "NULL)", "wall-clock seeding breaks "
-                                       "reproducible sweeps"},
-      {std::string("::") + "now()", "clock reads are timing "
-                                    "instrumentation; annotate the file "
-                                    "with a palu-lint allow-file comment "
-                                    "explaining why results stay "
-                                    "seed-stable"},
-  };
-}
-
-struct Violation {
-  std::string file;
-  std::size_t line = 0;  // 1-based; 0 = whole file
-  std::string rule;
-  std::string message;
+/// Loaded configuration shared by every file's pass run.
+struct Config {
+  std::set<std::string> registry;
+  bool have_registry = false;
+  std::vector<std::string> timing_entries;
+  LayerConfig layers;
 };
-
-// One source line split into the views the rules match against.
-struct ScannedLine {
-  std::string raw;           // as read, for suppression comments
-  std::string no_comments;   // comments removed, string literals kept
-  std::string code;          // comments AND string literal contents removed
-};
-
-// Strips // and /* */ comments (tracking block comments across lines) and,
-// for `code`, the contents of string/char literals.  Escape sequences are
-// honoured; raw strings are treated as ordinary strings, which is fine for
-// this tree (none are used).
-class LineStripper {
- public:
-  ScannedLine strip(const std::string& raw) {
-    ScannedLine out;
-    out.raw = raw;
-    bool in_string = false;
-    bool in_char = false;
-    bool escaped = false;
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      const char c = raw[i];
-      const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
-      if (in_block_comment_) {
-        if (c == '*' && next == '/') {
-          in_block_comment_ = false;
-          ++i;
-        }
-        continue;
-      }
-      if (in_string || in_char) {
-        out.no_comments.push_back(c);
-        if (escaped) {
-          escaped = false;
-        } else if (c == '\\') {
-          escaped = true;
-        } else if (in_string && c == '"') {
-          in_string = false;
-          out.code.push_back(c);
-        } else if (in_char && c == '\'') {
-          in_char = false;
-          out.code.push_back(c);
-        }
-        continue;
-      }
-      if (c == '/' && next == '/') break;  // line comment: drop the rest
-      if (c == '/' && next == '*') {
-        in_block_comment_ = true;
-        ++i;
-        continue;
-      }
-      out.no_comments.push_back(c);
-      out.code.push_back(c);
-      if (c == '"') in_string = true;
-      if (c == '\'') in_char = true;
-    }
-    return out;
-  }
-
- private:
-  bool in_block_comment_ = false;
-};
-
-bool is_header(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".hpp" || ext == ".h";
-}
 
 bool is_source_file(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
 }
 
-// Suppression bookkeeping for one file.
-struct Suppressions {
-  std::set<std::string> file_wide;
-  // line number -> rules allowed on that line and the next one
-  std::map<std::size_t, std::set<std::string>> by_line;
-
-  bool allows(const std::string& rule, std::size_t line) const {
-    if (file_wide.count(rule) != 0) return true;
-    for (const std::size_t at : {line, line > 1 ? line - 1 : line}) {
-      auto it = by_line.find(at);
-      if (it != by_line.end() && it->second.count(rule) != 0) return true;
-    }
-    return false;
+bool collect_files(const fs::path& root, std::vector<fs::path>* out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (is_source_file(root)) out->push_back(root);
+    return true;
   }
-};
-
-// Parses `palu-lint: allow(rule)` / `palu-lint: allow-file(rule)` markers
-// out of a raw line.
-void collect_suppressions(const std::string& raw, std::size_t line_no,
-                          Suppressions* out) {
-  const std::string marker = "palu-lint:";
-  std::size_t pos = raw.find(marker);
-  while (pos != std::string::npos) {
-    std::size_t cursor = pos + marker.size();
-    while (cursor < raw.size() && raw[cursor] == ' ') ++cursor;
-    const bool file_wide =
-        raw.compare(cursor, 11, "allow-file(") == 0;
-    const bool line_wide = raw.compare(cursor, 6, "allow(") == 0;
-    if (file_wide || line_wide) {
-      const std::size_t open = raw.find('(', cursor);
-      const std::size_t close = raw.find(')', open);
-      if (open != std::string::npos && close != std::string::npos) {
-        const std::string rule = raw.substr(open + 1, close - open - 1);
-        if (file_wide) {
-          out->file_wide.insert(rule);
-        } else {
-          (*out).by_line[line_no].insert(rule);
-        }
-      }
+  if (!fs::is_directory(root, ec)) return false;
+  fs::recursive_directory_iterator it(root, ec);
+  if (ec) return false;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && is_source_file(entry.path())) {
+      out->push_back(entry.path());
     }
-    pos = raw.find(marker, pos + marker.size());
   }
+  return true;
 }
 
-struct LintConfig {
-  std::set<std::string> registry;       // registered failpoint names
-  bool have_registry = false;
-  bool stale_check = true;
-  std::string registry_path;
-  std::set<std::string> timing_files;   // path suffixes exempt from the
-                                        // determinism rule
-  bool have_timing_allowlist = false;
-  std::string timing_allowlist_path;
-};
-
-// True when `path` ends with allowlist entry `suffix` on a '/' boundary:
-// "src/obs/span.cpp" matches "/root/repo/src/obs/span.cpp" but not
-// "other_span.cpp".  Paths are compared with generic (forward-slash)
-// separators.
-bool path_matches_suffix(const fs::path& path, const std::string& suffix) {
-  const std::string p = path.generic_string();
-  if (p.size() < suffix.size()) return false;
-  if (p.compare(p.size() - suffix.size(), suffix.size(), suffix) != 0) {
-    return false;
-  }
-  return p.size() == suffix.size() ||
-         p[p.size() - suffix.size() - 1] == '/';
-}
-
-// Extracts the quoted first argument of every PALU_FAILPOINT("...") on the
-// line.  Sites with a non-literal argument (the macro definition itself)
-// are skipped by construction.
-std::vector<std::string> failpoint_names(const std::string& no_comments) {
-  std::vector<std::string> names;
-  std::size_t pos = no_comments.find(kFailpointMacro);
-  while (pos != std::string::npos) {
-    std::size_t cursor = pos + kFailpointMacro.size();
-    while (cursor < no_comments.size() && no_comments[cursor] == ' ') {
-      ++cursor;
-    }
-    if (cursor < no_comments.size() && no_comments[cursor] == '"') {
-      const std::size_t close = no_comments.find('"', cursor + 1);
-      if (close != std::string::npos) {
-        names.push_back(
-            no_comments.substr(cursor + 1, close - cursor - 1));
-      }
-    }
-    pos = no_comments.find(kFailpointMacro, pos + kFailpointMacro.size());
-  }
-  return names;
-}
-
-void lint_file(const fs::path& path, const LintConfig& config,
-               std::vector<Violation>* violations,
-               std::set<std::string>* seen_failpoints,
-               std::set<std::string>* matched_timing_entries) {
-  std::ifstream in(path);
-  if (!in) {
-    violations->push_back(
-        {path.string(), 0, "io", "cannot open file for linting"});
-    return;
-  }
-
-  std::vector<ScannedLine> lines;
-  Suppressions suppressions;
-  LineStripper stripper;
-  std::string raw;
-  while (std::getline(in, raw)) {
-    lines.push_back(stripper.strip(raw));
-    collect_suppressions(raw, lines.size(), &suppressions);
-  }
-
-  // Timing TUs from the central allowlist get a file-wide determinism
-  // exemption, exactly as if they carried allow-file(determinism).
-  for (const std::string& entry : config.timing_files) {
-    if (path_matches_suffix(path, entry)) {
-      suppressions.file_wide.insert(kRuleDeterminism);
-      if (matched_timing_entries != nullptr) {
-        matched_timing_entries->insert(entry);
-      }
-    }
-  }
-
-  const bool header = is_header(path);
-  const auto bans = determinism_bans();
-  std::vector<Violation> local;
-  bool saw_pragma_once = false;
-
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::size_t line_no = i + 1;
-    const ScannedLine& ln = lines[i];
-
-    if (ln.code.find("#pragma once") != std::string::npos) {
-      saw_pragma_once = true;
-    }
-
-    for (const std::string& name : failpoint_names(ln.no_comments)) {
-      seen_failpoints->insert(name);
-      if (config.have_registry && config.registry.count(name) == 0) {
-        local.push_back({path.string(), line_no, kRuleFailpoint,
-                         "failpoint \"" + name +
-                             "\" is not registered in " +
-                             config.registry_path +
-                             "; add it so fault-injection coverage "
-                             "stays auditable"});
-      }
-    }
-
-    if (ln.code.find(kThrowStd) != std::string::npos) {
-      local.push_back({path.string(), line_no, kRuleTypedError,
-                       "library code must throw the typed errors from "
-                       "common/error.hpp (palu::InvalidArgument, "
-                       "DataError, ConvergenceError, ...), not bare std "
-                       "exceptions"});
-    }
-
-    for (const DeterminismBan& ban : bans) {
-      if (ln.code.find(ban.token) != std::string::npos) {
-        local.push_back({path.string(), line_no, kRuleDeterminism,
-                         "banned nondeterminism source `" + ban.token +
-                             "`: " + ban.why});
-      }
-    }
-
-    if (header &&
-        ln.code.find("using namespace") != std::string::npos) {
-      local.push_back({path.string(), line_no, kRuleUsingNamespace,
-                       "`using namespace` in a header leaks into every "
-                       "includer; qualify names instead (function-local "
-                       "uses may carry a suppression comment)"});
-    }
-  }
-
-  if (header && !saw_pragma_once && !lines.empty()) {
-    local.push_back({path.string(), 1, kRulePragmaOnce,
-                     "header is missing #pragma once"});
-  }
-
-  for (Violation& v : local) {
-    if (!suppressions.allows(v.rule, v.line)) {
-      violations->push_back(std::move(v));
-    }
-  }
-}
-
-// Shared loader for the registry-style config files (failpoints.txt,
-// timing_files.txt): one entry per line, '#' comments, whitespace-trimmed.
-bool load_entries(const std::string& path, std::set<std::string>* out) {
-  std::ifstream in(path);
+bool read_file(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
   if (!in) return false;
-  std::string line;
-  while (std::getline(in, line)) {
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    // trim
-    const auto begin = line.find_first_not_of(" \t");
-    if (begin == std::string::npos) continue;
-    const auto end = line.find_last_not_of(" \t");
-    out->insert(line.substr(begin, end - begin + 1));
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool make_scan(const fs::path& path, const Config& cfg, FileScan* scan) {
+  std::string text;
+  if (!read_file(path, &text)) return false;
+  scan->path = path;
+  const std::string ext = path.extension().string();
+  scan->header = ext == ".hpp" || ext == ".h";
+  scan->layer_dir =
+      cfg.layers.loaded ? layer_dir_of(path, cfg.layers) : std::string();
+  scan->toks = tokenize(text);
+  scan->markers = collect_markers(scan->toks);
+  return true;
+}
+
+/// Runs every enabled pass over one tokenized file, filters the result
+/// through the file's suppressions, and appends survivors to `out`.
+void run_file_passes(FileScan& scan, const Options& opt, const Config& cfg,
+                     const std::map<std::string, ClassInfo>& classes,
+                     const std::vector<MethodBody>& methods,
+                     std::set<std::string>* seen_failpoints, EdgeSet* edges,
+                     std::map<std::string, bool>* timing_seen,
+                     std::vector<Violation>* out) {
+  std::vector<Violation> local;
+  CoreRuleOptions core;
+  core.registry = cfg.have_registry ? &cfg.registry : nullptr;
+  core.registry_path = opt.registry_path;
+  run_core_rules(scan, core, seen_failpoints, &local);
+  if (cfg.layers.loaded) check_includes(scan, cfg.layers, edges, &local);
+  if (opt.analyze) {
+    check_lock_discipline(scan, classes, methods, &local);
+    check_hot_paths(scan, &local);
+  }
+  // Central allowlists are consulted before in-file markers, so a marker
+  // made redundant by the central list stays unused and is reported stale.
+  std::set<std::string> config_file_wide;
+  for (const std::string& entry : cfg.timing_entries) {
+    if (path_matches_suffix(scan.path, entry)) {
+      config_file_wide.insert(kRuleDeterminism);
+      if (timing_seen != nullptr) (*timing_seen)[entry] = true;
+    }
+  }
+  apply_suppressions(scan, config_file_wide, std::move(local), out);
+  if (opt.analyze) check_stale_markers(scan, out);
+}
+
+void report(const Violation& v) {
+  std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+               v.rule.c_str(), v.message.c_str());
+}
+
+bool load_config(const Options& opt, Config* cfg) {
+  if (!opt.registry_path.empty()) {
+    if (!load_entries(opt.registry_path, &cfg->registry)) {
+      std::fprintf(stderr, "palu_lint: cannot read registry %s\n",
+                   opt.registry_path.c_str());
+      return false;
+    }
+    cfg->have_registry = true;
+  }
+  if (!opt.timing_path.empty()) {
+    std::set<std::string> entries;
+    if (!load_entries(opt.timing_path, &entries)) {
+      std::fprintf(stderr, "palu_lint: cannot read timing allowlist %s\n",
+                   opt.timing_path.c_str());
+      return false;
+    }
+    cfg->timing_entries.assign(entries.begin(), entries.end());
+  }
+  if (!opt.layers_path.empty()) {
+    if (!load_layers(opt.layers_path, &cfg->layers)) {
+      std::fprintf(stderr, "palu_lint: cannot read layer registry %s\n",
+                   opt.layers_path.c_str());
+      return false;
+    }
   }
   return true;
 }
 
-bool load_registry(const std::string& path, LintConfig* config) {
-  if (!load_entries(path, &config->registry)) return false;
-  config->have_registry = true;
-  config->registry_path = path;
-  return true;
-}
+// ----------------------------------------------------------- tree lint
 
-bool load_timing_allowlist(const std::string& path, LintConfig* config) {
-  if (!load_entries(path, &config->timing_files)) return false;
-  config->have_timing_allowlist = true;
-  config->timing_allowlist_path = path;
-  return true;
-}
+int run_lint(const Options& opt) {
+  Config cfg;
+  if (!load_config(opt, &cfg)) return 2;
+  std::vector<Violation> violations;
+  if (cfg.layers.loaded) {
+    // The registry lives in tools/, so the repo root is its grandparent.
+    const fs::path repo_root =
+        fs::absolute(opt.layers_path).parent_path().parent_path();
+    validate_layers(cfg.layers, repo_root, &violations);
+  }
 
-std::vector<fs::path> collect_files(const std::vector<std::string>& roots,
-                                    bool* io_error) {
   std::vector<fs::path> files;
-  for (const std::string& root : roots) {
-    std::error_code ec;
-    if (fs::is_directory(root, ec)) {
-      for (auto it = fs::recursive_directory_iterator(root, ec);
-           it != fs::recursive_directory_iterator();
-           it.increment(ec)) {
-        if (ec) break;
-        if (it->is_regular_file() && is_source_file(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(root, ec)) {
-      files.push_back(root);
-    } else {
-      std::fprintf(stderr, "palu_lint: no such file or directory: %s\n",
-                   root.c_str());
-      *io_error = true;
+  for (const std::string& root : opt.roots) {
+    if (!collect_files(root, &files)) {
+      std::fprintf(stderr, "palu_lint: cannot read %s\n", root.c_str());
+      return 2;
     }
   }
   std::sort(files.begin(), files.end());
-  return files;
-}
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-int report(const std::vector<Violation>& violations) {
-  for (const Violation& v : violations) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
-                 v.rule.c_str(), v.message.c_str());
+  std::vector<FileScan> scans(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (!make_scan(files[i], cfg, &scans[i])) {
+      std::fprintf(stderr, "palu_lint: cannot read %s\n",
+                   files[i].string().c_str());
+      return 2;
+    }
   }
+
+  // Phase A: the lock-discipline pass needs the cross-file class registry
+  // (headers declare, .cpp files define out-of-line) before any file can
+  // be checked.
+  std::map<std::string, ClassInfo> classes;
+  std::vector<std::vector<MethodBody>> methods(scans.size());
+  if (opt.analyze) {
+    for (std::size_t i = 0; i < scans.size(); ++i) {
+      scan_classes(scans[i], &classes, &methods[i]);
+    }
+  }
+
+  // Phase B: per-file passes and suppression filtering.
+  std::set<std::string> seen_failpoints;
+  EdgeSet edges;
+  std::map<std::string, bool> timing_seen;
+  for (const std::string& entry : cfg.timing_entries) {
+    timing_seen[entry] = false;
+  }
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    run_file_passes(scans[i], opt, cfg, classes, methods[i],
+                    &seen_failpoints, &edges, &timing_seen, &violations);
+  }
+
+  // Phase C: stale-entry checks for the central registries, mirroring the
+  // per-file stale-suppression rule.
+  if (opt.stale_check) {
+    if (cfg.have_registry) {
+      for (const std::string& name : cfg.registry) {
+        if (seen_failpoints.count(name) == 0) {
+          violations.push_back(
+              {opt.registry_path, 0, kRuleFailpoint,
+               "registered failpoint \"" + name +
+                   "\" fires nowhere in the scanned tree; delete the "
+                   "entry or restore the call site"});
+        }
+      }
+    }
+    for (const auto& [entry, seen] : timing_seen) {
+      if (!seen) {
+        violations.push_back(
+            {opt.timing_path, 0, kRuleDeterminism,
+             "timing allowlist entry \"" + entry +
+                 "\" matches no scanned file; delete the entry or "
+                 "restore the file"});
+      }
+    }
+  }
+
+  if (opt.dump_graph) {
+    const std::string dot = dot_include_graph(cfg.layers, edges);
+    std::fwrite(dot.data(), 1, dot.size(), stdout);
+  }
+
+  for (const Violation& v : violations) report(v);
   if (!violations.empty()) {
     std::fprintf(stderr, "palu_lint: %zu violation(s)\n",
                  violations.size());
@@ -425,215 +266,265 @@ int report(const std::vector<Violation>& violations) {
   return 0;
 }
 
-int run_lint(const std::vector<std::string>& roots, LintConfig config) {
-  bool io_error = false;
-  const std::vector<fs::path> files = collect_files(roots, &io_error);
-  if (io_error) return 2;
-  std::vector<Violation> violations;
-  std::set<std::string> seen_failpoints;
-  std::set<std::string> matched_timing_entries;
-  for (const fs::path& f : files) {
-    lint_file(f, config, &violations, &seen_failpoints,
-              &matched_timing_entries);
-  }
-  if (config.have_registry && config.stale_check) {
-    for (const std::string& name : config.registry) {
-      if (seen_failpoints.count(name) == 0) {
-        violations.push_back(
-            {config.registry_path, 0, kRuleFailpoint,
-             "registry entry \"" + name +
-                 "\" has no PALU_FAILPOINT site left in the scanned "
-                 "tree; delete the entry or restore the site"});
+// ------------------------------------------------------------ selftest
+
+/// Fixture expectations: `palu-lint-expect: <rule>` comments list the
+/// rules that must survive suppression; `palu-lint-expect-clean` asserts
+/// none do.
+struct Expectations {
+  std::set<std::string> rules;
+  bool clean = false;
+  bool any = false;
+};
+
+Expectations parse_expectations(const FileScan& scan) {
+  Expectations ex;
+  for (const Token& comment : scan.toks.comments) {
+    const std::string& text = comment.text;
+    if (text.find("palu-lint-expect-clean") != std::string::npos) {
+      ex.clean = true;
+      ex.any = true;
+    }
+    const std::string tag = "palu-lint-expect:";
+    std::size_t pos = text.find(tag);
+    while (pos != std::string::npos) {
+      std::size_t cursor = pos + tag.size();
+      while (cursor < text.size() && text[cursor] == ' ') ++cursor;
+      std::size_t end = cursor;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) != 0 ||
+              text[end] == '-')) {
+        ++end;
       }
+      if (end > cursor) {
+        ex.rules.insert(text.substr(cursor, end - cursor));
+        ex.any = true;
+      }
+      pos = text.find(tag, end);
     }
   }
-  if (config.have_timing_allowlist && config.stale_check) {
-    for (const std::string& entry : config.timing_files) {
-      if (matched_timing_entries.count(entry) == 0) {
-        violations.push_back(
-            {config.timing_allowlist_path, 0, kRuleDeterminism,
-             "timing-allowlist entry \"" + entry +
-                 "\" matched no scanned file; delete the entry or fix "
-                 "the path so the exemption stays auditable"});
-      }
-    }
-  }
-  return report(violations);
+  return ex;
 }
 
-// ------------------------------------------------------------- selftest
-//
-// Fixture contract (tests/lint_fixtures/): each fixture declares its
-// expected outcome in comments —
-//   // palu-lint-expect: <rule-id>   (one per expected rule)
-//   // palu-lint-expect-clean        (must produce zero violations)
-// The fixture passes iff the set of rules that actually fired equals the
-// declared set.  The selftest additionally requires that, across all
-// fixtures, every rule (a) fires somewhere and (b) is suppressed
-// somewhere (a fixture containing allow(<rule>) in which <rule> did not
-// fire), proving both halves of each rule's contract.
-int run_selftest(const std::string& dir, LintConfig config) {
-  if (!config.have_registry) {
+std::string join(const std::set<std::string>& set) {
+  std::string out;
+  for (const std::string& s : set) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+int run_selftest(const Options& opt) {
+  if (opt.registry_path.empty() || opt.layers_path.empty()) {
     std::fprintf(stderr,
-                 "palu_lint: selftest requires --registry (fixtures "
-                 "exercise the failpoint rule)\n");
+                 "palu_lint: --selftest requires --registry and --layers "
+                 "(the fixtures exercise both registries)\n");
     return 2;
   }
-  config.stale_check = false;  // fixtures are linted one file at a time
-  bool io_error = false;
-  const std::vector<fs::path> files = collect_files({dir}, &io_error);
-  if (io_error || files.empty()) {
-    std::fprintf(stderr, "palu_lint: selftest: no fixtures under %s\n",
-                 dir.c_str());
+  Config cfg;
+  if (!load_config(opt, &cfg)) return 2;
+
+  std::vector<fs::path> files;
+  if (!collect_files(opt.selftest_dir, &files) || files.empty()) {
+    std::fprintf(stderr, "palu_lint: no fixtures under %s\n",
+                 opt.selftest_dir.c_str());
     return 2;
   }
+  std::sort(files.begin(), files.end());
 
-  int failures = 0;
-  std::set<std::string> fired_somewhere;
-  std::set<std::string> suppressed_somewhere;
-
-  for (const fs::path& f : files) {
-    // Expectations come from the raw text.
-    std::ifstream in(f);
-    std::set<std::string> expected;
-    bool expect_clean = false;
-    std::set<std::string> mentioned_allows;
-    std::string line;
-    while (std::getline(in, line)) {
-      const std::string expect_marker = "palu-lint-expect:";
-      const std::size_t at = line.find(expect_marker);
-      if (at != std::string::npos) {
-        std::string rule = line.substr(at + expect_marker.size());
-        const auto b = rule.find_first_not_of(" \t");
-        const auto e = rule.find_last_not_of(" \t");
-        if (b != std::string::npos) {
-          expected.insert(rule.substr(b, e - b + 1));
-        }
-      }
-      if (line.find("palu-lint-expect-clean") != std::string::npos) {
-        expect_clean = true;
-      }
-      Suppressions s;
-      collect_suppressions(line, 1, &s);
-      for (const auto& r : s.file_wide) mentioned_allows.insert(r);
-      for (const auto& kv : s.by_line) {
-        mentioned_allows.insert(kv.second.begin(), kv.second.end());
-      }
-    }
-    if (!expect_clean && expected.empty()) {
-      std::fprintf(stderr,
-                   "%s: fixture declares no palu-lint-expect marker\n",
-                   f.string().c_str());
-      ++failures;
-      continue;
-    }
-
-    std::vector<Violation> violations;
-    std::set<std::string> seen_failpoints;
-    lint_file(f, config, &violations, &seen_failpoints, nullptr);
-    std::set<std::string> actual;
-    for (const Violation& v : violations) actual.insert(v.rule);
-
-    if (actual != expected) {
-      std::ostringstream os;
-      os << f.string() << ": expected {";
-      for (const auto& r : expected) os << " " << r;
-      os << " } but got {";
-      for (const auto& r : actual) os << " " << r;
-      os << " }";
-      std::fprintf(stderr, "%s\n", os.str().c_str());
-      for (const Violation& v : violations) {
-        std::fprintf(stderr, "  %s:%zu: [%s] %s\n", v.file.c_str(),
-                     v.line, v.rule.c_str(), v.message.c_str());
-      }
-      ++failures;
-    }
-    fired_somewhere.insert(actual.begin(), actual.end());
-    for (const std::string& r : mentioned_allows) {
-      if (actual.count(r) == 0) suppressed_somewhere.insert(r);
-    }
-  }
-
+  Options fixture_opt = opt;
+  fixture_opt.analyze = true;
+  std::map<std::string, bool> fired;
+  std::map<std::string, bool> suppressed;
   for (const char* rule : kAllRules) {
-    if (fired_somewhere.count(rule) == 0) {
-      std::fprintf(stderr,
-                   "selftest: no fixture makes rule [%s] fire\n", rule);
-      ++failures;
+    fired[rule] = false;
+    suppressed[rule] = false;
+  }
+  std::vector<std::string> failures;
+
+  for (const fs::path& file : files) {
+    FileScan scan;
+    if (!make_scan(file, cfg, &scan)) {
+      std::fprintf(stderr, "palu_lint: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
     }
-    if (suppressed_somewhere.count(rule) == 0) {
-      std::fprintf(stderr,
-                   "selftest: no fixture proves rule [%s] can be "
-                   "suppressed\n",
-                   rule);
-      ++failures;
+    const Expectations expect = parse_expectations(scan);
+    // Fixtures are independent test cases: class state is per fixture, so
+    // two fixtures may reuse a class name.
+    std::map<std::string, ClassInfo> classes;
+    std::vector<MethodBody> methods;
+    scan_classes(scan, &classes, &methods);
+    std::set<std::string> seen_failpoints;
+    EdgeSet edges;
+    std::vector<Violation> got;
+    run_file_passes(scan, fixture_opt, cfg, classes, methods,
+                    &seen_failpoints, &edges, nullptr, &got);
+    std::set<std::string> actual;
+    for (const Violation& v : got) actual.insert(v.rule);
+
+    const std::string name = file.string();
+    if (!expect.any) {
+      failures.push_back(name +
+                         ": fixture declares no palu-lint-expect markers");
+    } else if (expect.clean && !got.empty()) {
+      failures.push_back(name + ": expected clean, got [" + join(actual) +
+                         "]");
+      for (const Violation& v : got) report(v);
+    } else if (!expect.clean && actual != expect.rules) {
+      failures.push_back(name + ": expected [" + join(expect.rules) +
+                         "], got [" + join(actual) + "]");
+      for (const Violation& v : got) report(v);
+    }
+    for (const std::string& rule : actual) fired[rule] = true;
+    // Suppression credit: the fixture carries an allow marker for a rule
+    // and that rule does not survive — the marker demonstrably worked.
+    for (const Marker& m : scan.markers) {
+      if (fired.count(m.rule) != 0 && actual.count(m.rule) == 0) {
+        suppressed[m.rule] = true;
+      }
     }
   }
 
-  if (failures != 0) {
-    std::fprintf(stderr, "palu_lint: selftest: %d failure(s)\n",
-                 failures);
+  // The coverage contract: every rule must demonstrably fire and
+  // demonstrably suppress somewhere in the fixture corpus.
+  for (const char* rule : kAllRules) {
+    if (!fired[rule]) {
+      failures.push_back(std::string("rule ") + rule +
+                         " never fires in any fixture");
+    }
+    if (!suppressed[rule]) {
+      failures.push_back(std::string("rule ") + rule +
+                         " is never suppressed in any fixture");
+    }
+  }
+
+  if (!failures.empty()) {
+    for (const std::string& f : failures) {
+      std::fprintf(stderr, "palu_lint selftest: %s\n", f.c_str());
+    }
+    std::fprintf(stderr, "palu_lint selftest: FAILED (%zu problem(s))\n",
+                 failures.size());
     return 1;
   }
-  std::printf("palu_lint: selftest: %zu fixtures ok, %zu rules proven\n",
+  std::printf("palu_lint selftest: %zu fixtures, %zu rules fired and "
+              "suppressed\n",
               files.size(), std::size(kAllRules));
   return 0;
 }
 
-int usage() {
+// ---------------------------------------------------------------- main
+
+void print_rules() {
+  static constexpr const char* kDescriptions[][2] = {
+      {"failpoint-registry",
+       "PALU_FAILPOINT(\"name\") must be registered in tools/failpoints.txt"},
+      {"typed-error",
+       "library code throws palu typed errors, not bare std exceptions"},
+      {"determinism",
+       "no std::rand / random_device / time(nullptr) / ::now() outside "
+       "tools/timing_files.txt"},
+      {"header-pragma-once", "headers carry #pragma once"},
+      {"header-using-namespace", "no `using namespace` at header scope"},
+      {"include-layering",
+       "palu/ includes must follow the DAG declared in tools/layers.txt"},
+      {"lock-guarded-by",
+       "mutex-holding classes annotate data members with PALU_GUARDED_BY"},
+      {"lock-discipline",
+       "guarded members are accessed under the lock or PALU_REQUIRES"},
+      {"hot-path-registration",
+       "no Registry counter/gauge/histogram name-lookups in loop bodies"},
+      {"stale-suppression",
+       "every allow()/allow-file() marker must suppress a diagnostic"},
+  };
+  for (const auto& d : kDescriptions) {
+    std::printf("%-24s %s\n", d[0], d[1]);
+  }
+}
+
+int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: palu_lint [--registry FILE] [--timing-allowlist FILE]\n"
-      "                 [--no-stale-check] [--list-rules]\n"
-      "                 [--selftest DIR] PATH...\n");
+      "usage: %s [options] PATH...\n"
+      "       %s --selftest DIR --registry FILE --layers FILE\n"
+      "\n"
+      "options:\n"
+      "  --registry FILE         failpoint registry (tools/failpoints.txt)\n"
+      "  --timing-allowlist FILE files allowed to read clocks\n"
+      "  --layers FILE           include-layer DAG (tools/layers.txt);\n"
+      "                          enables the include-layering pass\n"
+      "  --analyze               enable the analysis passes (lock\n"
+      "                          discipline, hot-path registration,\n"
+      "                          stale-suppression)\n"
+      "  --dump-include-graph    print the observed include graph as\n"
+      "                          Graphviz DOT on stdout (needs --layers)\n"
+      "  --no-stale-check        skip stale-entry checks for registries\n"
+      "  --selftest DIR          run the fixture selftest over DIR\n"
+      "  --list-rules            print the rule catalog\n",
+      argv0, argv0);
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::vector<std::string> roots;
-  std::string registry_path;
-  std::string timing_allowlist_path;
-  std::string selftest_dir;
-  LintConfig config;
-
+int run_main(int argc, char** argv) {
+  Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "palu_lint: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
     if (arg == "--registry") {
-      if (++i >= argc) return usage();
-      registry_path = argv[i];
+      const char* v = value("--registry");
+      if (v == nullptr) return 2;
+      opt.registry_path = v;
     } else if (arg == "--timing-allowlist") {
-      if (++i >= argc) return usage();
-      timing_allowlist_path = argv[i];
-    } else if (arg == "--no-stale-check") {
-      config.stale_check = false;
+      const char* v = value("--timing-allowlist");
+      if (v == nullptr) return 2;
+      opt.timing_path = v;
+    } else if (arg == "--layers") {
+      const char* v = value("--layers");
+      if (v == nullptr) return 2;
+      opt.layers_path = v;
     } else if (arg == "--selftest") {
-      if (++i >= argc) return usage();
-      selftest_dir = argv[i];
+      const char* v = value("--selftest");
+      if (v == nullptr) return 2;
+      opt.selftest_dir = v;
+    } else if (arg == "--analyze") {
+      opt.analyze = true;
+    } else if (arg == "--dump-include-graph") {
+      opt.dump_graph = true;
+    } else if (arg == "--no-stale-check") {
+      opt.stale_check = false;
     } else if (arg == "--list-rules") {
-      for (const char* rule : kAllRules) std::printf("%s\n", rule);
-      return 0;
+      opt.list_rules = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "palu_lint: unknown option %s\n", arg.c_str());
-      return usage();
+      std::fprintf(stderr, "palu_lint: unknown flag %s\n", arg.c_str());
+      return usage(argv[0]);
     } else {
-      roots.push_back(arg);
+      opt.roots.push_back(arg);
     }
   }
-
-  if (!registry_path.empty() && !load_registry(registry_path, &config)) {
-    std::fprintf(stderr, "palu_lint: cannot read registry %s\n",
-                 registry_path.c_str());
+  if (opt.list_rules) {
+    print_rules();
+    return 0;
+  }
+  if (!opt.selftest_dir.empty()) return run_selftest(opt);
+  if (opt.dump_graph && opt.layers_path.empty()) {
+    std::fprintf(stderr,
+                 "palu_lint: --dump-include-graph requires --layers\n");
     return 2;
   }
-  if (!timing_allowlist_path.empty() &&
-      !load_timing_allowlist(timing_allowlist_path, &config)) {
-    std::fprintf(stderr, "palu_lint: cannot read timing allowlist %s\n",
-                 timing_allowlist_path.c_str());
-    return 2;
-  }
+  if (opt.roots.empty()) return usage(argv[0]);
+  return run_lint(opt);
+}
 
-  if (!selftest_dir.empty()) return run_selftest(selftest_dir, config);
-  if (roots.empty()) return usage();
-  return run_lint(roots, std::move(config));
+}  // namespace
+}  // namespace palu::analyze
+
+int main(int argc, char** argv) {
+  return palu::analyze::run_main(argc, argv);
 }

@@ -29,7 +29,10 @@
 //     "scaling": {"windows", "points": [{"nvalid", "seconds_per_window"}],
 //                 "ratios": [per-decade cost growth of the counts path]},
 //     "shards": {"identical": true|false,   // every K byte-identical to K=1
-//                "points": [{"shards", "seconds"}]}   // intra-window axis
+//                "points": [{"shards", "seconds"}]},  // intra-window axis
+//     "expected": {"points": [{"nvalid", "seconds_per_eval"}],
+//                  "ratios": [...],   // flat ⇒ analytic cost is N_V-free
+//                  "counts_sweep_seconds_over_expected_eval": X}
 //   }
 //
 // Each run records into its own obs::Registry, so the metrics block is
@@ -39,9 +42,11 @@
 //
 // Default config is the acceptance workload (64 windows × 1e6 packets);
 // `--smoke` shrinks it to seconds so ctest can keep the binary honest,
-// and `--counts-only` skips the slow packet paths (the counts smoke
-// ctest).  Exit code is non-zero on any check failure.
+// `--counts-only` skips the slow packet paths (the counts smoke ctest),
+// and `--expected-only` runs just the analytic expectation axis (the
+// expected smoke ctest).  Exit code is non-zero on any check failure.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -55,7 +60,7 @@ namespace {
 
 using namespace palu;
 
-enum class Path { kLegacy, kFast, kCounts };
+enum class Path { kLegacy, kFast, kCounts, kExpected };
 
 struct RunResult {
   double seconds = 0.0;
@@ -63,6 +68,7 @@ struct RunResult {
   traffic::SweepStageTimings timings;
   stats::DegreeHistogram merged;
   std::string metrics_json;  // this run's registry, already serialized
+  double expected_mass_total = -1.0;  // kExpected only: Σ mass (≈ 1)
 };
 
 RunResult run_sweep(const graph::Graph& g, Count n_valid,
@@ -74,6 +80,9 @@ RunResult run_sweep(const graph::Graph& g, Count n_valid,
   opts.fast_path = path != Path::kLegacy;
   if (path == Path::kCounts) {
     opts.synthesis = traffic::SynthesisMode::kMultinomial;
+  }
+  if (path == Path::kExpected) {
+    opts.synthesis = traffic::SynthesisMode::kExpected;
   }
   if (shards > 1) {
     opts.shard_mode = traffic::ShardMode::kIntraWindow;
@@ -91,6 +100,9 @@ RunResult run_sweep(const graph::Graph& g, Count n_valid,
       out.seconds;
   out.timings = sweep.timings;
   out.merged = std::move(sweep.merged);
+  if (sweep.expected) {
+    out.expected_mass_total = sweep.expected->mass.total_mass();
+  }
   std::ostringstream metrics;
   obs::write_json(metrics, registry.snapshot());
   out.metrics_json = std::move(metrics).str();
@@ -147,7 +159,8 @@ void write_run_json(std::ostream& out, const char* name,
 int main(int argc, char** argv) {
   const auto args = cli::Args::parse(argc, argv, 1);
   const bool smoke = args.get_flag("smoke");
-  const bool counts_only = args.get_flag("counts-only");
+  const bool expected_only = args.get_flag("expected-only");
+  const bool counts_only = args.get_flag("counts-only") || expected_only;
   const auto windows = static_cast<std::size_t>(
       args.get_int("windows", smoke ? 4 : 64));
   const auto n_valid =
@@ -171,8 +184,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(net.graph.num_nodes()),
               net.graph.num_edges(), pool.size());
 
-  const bool mass_ok = counts_mass_conserved(net.graph, n_valid, seed);
-  std::printf("counts mass conservation: %s\n", mass_ok ? "ok" : "FAIL");
+  const bool mass_ok =
+      expected_only || counts_mass_conserved(net.graph, n_valid, seed);
+  if (!expected_only) {
+    std::printf("counts mass conservation: %s\n", mass_ok ? "ok" : "FAIL");
+  }
 
   RunResult legacy, fast;
   bool identical = true;
@@ -188,52 +204,97 @@ int main(int argc, char** argv) {
     std::printf("fast:   %.3fs (%.2fM packets/s)\n", fast.seconds,
                 fast.packets_per_sec / 1e6);
   }
-  const RunResult counts = run_sweep(net.graph, n_valid, windows, quantity,
-                                     seed, pool, Path::kCounts);
-  std::printf("counts: %.3fs (%.2fM packets/s)\n", counts.seconds,
-              counts.packets_per_sec / 1e6);
-  const bool counts_sane = counts.merged.total() > 0;
-
-  // Counts-path scaling axis: per-window cost vs. N_V (the whole point of
-  // count-space synthesis is that this curve is nearly flat per decade).
   const std::vector<Count> scaling_nvalid =
       smoke ? std::vector<Count>{10000, 100000}
             : std::vector<Count>{100000, 1000000, 10000000};
   const std::size_t scaling_windows = smoke ? 4 : 8;
-  std::vector<double> per_window;
-  for (const Count nv : scaling_nvalid) {
-    const RunResult r = run_sweep(net.graph, nv, scaling_windows, quantity,
-                                  seed, pool, Path::kCounts);
-    per_window.push_back(r.seconds / static_cast<double>(scaling_windows));
-    std::printf("counts scaling: nvalid=%llu %.2fms/window\n",
-                static_cast<unsigned long long>(nv),
-                per_window.back() * 1e3);
-  }
-  std::vector<double> ratios;
-  for (std::size_t i = 1; i < per_window.size(); ++i) {
-    ratios.push_back(per_window[i] / per_window[i - 1]);
-    std::printf("counts scaling ratio (x10 packets): %.3fx\n",
-                ratios.back());
-  }
 
-  // Intra-window shard axis (PR 7): the counts sweep re-run with the
-  // window's accumulation partitioned across K sub-accumulators.  Sharding
-  // must be a pure re-association — every K produces the byte-identical
-  // merged histogram — so the axis records only where the time goes.
+  RunResult counts;
+  bool counts_sane = true;
+  std::vector<double> per_window;
+  std::vector<double> ratios;
   const std::vector<std::size_t> shard_counts = {1, 2, 4};
   std::vector<double> shard_seconds;
   bool shards_identical = true;
-  for (const std::size_t k : shard_counts) {
-    const RunResult r = run_sweep(net.graph, n_valid, windows, quantity,
-                                  seed, pool, Path::kCounts, k);
-    shard_seconds.push_back(r.seconds);
-    if (r.merged.sorted() != counts.merged.sorted() ||
-        r.merged.total() != counts.merged.total()) {
-      shards_identical = false;
+  if (!expected_only) {
+    counts = run_sweep(net.graph, n_valid, windows, quantity, seed, pool,
+                       Path::kCounts);
+    std::printf("counts: %.3fs (%.2fM packets/s)\n", counts.seconds,
+                counts.packets_per_sec / 1e6);
+    counts_sane = counts.merged.total() > 0;
+
+    // Counts-path scaling axis: per-window cost vs. N_V (the whole point
+    // of count-space synthesis is that this curve is nearly flat per
+    // decade).
+    for (const Count nv : scaling_nvalid) {
+      const RunResult r = run_sweep(net.graph, nv, scaling_windows,
+                                    quantity, seed, pool, Path::kCounts);
+      per_window.push_back(r.seconds /
+                           static_cast<double>(scaling_windows));
+      std::printf("counts scaling: nvalid=%llu %.2fms/window\n",
+                  static_cast<unsigned long long>(nv),
+                  per_window.back() * 1e3);
     }
-    std::printf("counts shards=%zu: %.3fs (%.2fM packets/s)%s\n", k,
-                r.seconds, r.packets_per_sec / 1e6,
-                shards_identical ? "" : "  DIVERGED");
+    for (std::size_t i = 1; i < per_window.size(); ++i) {
+      ratios.push_back(per_window[i] / per_window[i - 1]);
+      std::printf("counts scaling ratio (x10 packets): %.3fx\n",
+                  ratios.back());
+    }
+
+    // Intra-window shard axis (PR 7): the counts sweep re-run with the
+    // window's accumulation partitioned across K sub-accumulators.
+    // Sharding must be a pure re-association — every K produces the
+    // byte-identical merged histogram — so the axis records only where
+    // the time goes.
+    for (const std::size_t k : shard_counts) {
+      const RunResult r = run_sweep(net.graph, n_valid, windows, quantity,
+                                    seed, pool, Path::kCounts, k);
+      shard_seconds.push_back(r.seconds);
+      if (r.merged.sorted() != counts.merged.sorted() ||
+          r.merged.total() != counts.merged.total()) {
+        shards_identical = false;
+      }
+      std::printf("counts shards=%zu: %.3fs (%.2fM packets/s)%s\n", k,
+                  r.seconds, r.packets_per_sec / 1e6,
+                  shards_identical ? "" : "  DIVERGED");
+    }
+  }
+
+  // Expected (analytic) axis (PR 9): one deterministic evaluation per
+  // window size, no RNG.  The same N_V ladder as the counts axis, so the
+  // two curves are directly comparable: expected cost should be flat in
+  // N_V, and one evaluation replaces the whole sampled ensemble.
+  std::vector<double> expected_per_eval;
+  std::vector<double> expected_ratios;
+  bool expected_sane = true;
+  for (const Count nv : scaling_nvalid) {
+    const RunResult r = run_sweep(net.graph, nv, 1, quantity, seed, pool,
+                                  Path::kExpected);
+    expected_per_eval.push_back(r.seconds);
+    if (std::abs(r.expected_mass_total - 1.0) > 1e-9) {
+      expected_sane = false;
+    }
+    std::printf("expected: nvalid=%llu %.2fms/eval (mass=%.9f)\n",
+                static_cast<unsigned long long>(nv), r.seconds * 1e3,
+                r.expected_mass_total);
+  }
+  for (std::size_t i = 1; i < expected_per_eval.size(); ++i) {
+    expected_ratios.push_back(expected_per_eval[i] /
+                              expected_per_eval[i - 1]);
+    std::printf("expected scaling ratio (x10 packets): %.3fx\n",
+                expected_ratios.back());
+  }
+  // One analytic evaluation vs. the counts sweep it replaces — the
+  // configured `windows`-window ensemble (64 by default, the ROADMAP
+  // framing) costed at the top of the N_V ladder from the per-window
+  // scaling measurements.
+  double expected_speedup = 0.0;
+  if (!expected_only && !per_window.empty()) {
+    expected_speedup = per_window.back() * static_cast<double>(windows) /
+                       expected_per_eval.back();
+    std::printf("expected vs counts sweep at nvalid=%llu: %.1fx\n",
+                static_cast<unsigned long long>(scaling_nvalid.back()),
+                expected_speedup);
   }
 
   if (!counts_only) {
@@ -284,7 +345,18 @@ int main(int argc, char** argv) {
       out << (i ? ", " : "") << "{\"shards\": " << shard_counts[i]
           << ", \"seconds\": " << shard_seconds[i] << "}";
     }
-    out << "]}\n}\n";
+    out << "]},\n";
+    out << "  \"expected\": {\"points\": [";
+    for (std::size_t i = 0; i < scaling_nvalid.size(); ++i) {
+      out << (i ? ", " : "") << "{\"nvalid\": " << scaling_nvalid[i]
+          << ", \"seconds_per_eval\": " << expected_per_eval[i] << "}";
+    }
+    out << "],\n    \"ratios\": [";
+    for (std::size_t i = 0; i < expected_ratios.size(); ++i) {
+      out << (i ? ", " : "") << expected_ratios[i];
+    }
+    out << "],\n    \"counts_sweep_seconds_over_expected_eval\": "
+        << expected_speedup << "}\n}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
 
@@ -306,6 +378,11 @@ int main(int argc, char** argv) {
   if (!shards_identical) {
     std::fprintf(stderr,
                  "FAIL: intra-window sharding changed the merged result\n");
+    ok = false;
+  }
+  if (!expected_sane) {
+    std::fprintf(stderr,
+                 "FAIL: expected mass does not sum to 1\n");
     ok = false;
   }
   return ok ? 0 : 1;

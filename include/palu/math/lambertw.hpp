@@ -1,0 +1,23 @@
+// Real-branch Lambert W: the inverse of w ↦ w·e^w on [−1, ∞).
+//
+// W₀ is the standard companion of moment-ratio inversions: the Λ equation
+// g(Λ) = r of lambda_ratio.hpp rearranges (drop one O(r−Λ) term) to
+//
+//     (r − Λ)·e^{−(r−Λ)} = e^{−r}·r²   ⇒   Λ ≈ r + W₀(−r²·e^{−r}),
+//
+// which seeds Newton within a few percent of the root for r ≳ 4 instead of
+// the first-order guess 3(r − 2).  The implementation is the classical
+// scheme: a regime-selected starting value (Taylor series near 0, a
+// branch-point √ series near −1/e, log-asymptotics for large x) polished by
+// Halley iteration to full double precision.
+#pragma once
+
+namespace palu::math {
+
+/// Principal branch W₀(x) for x ≥ −1/e: the unique w ≥ −1 with w·e^w = x.
+/// Arguments within a few ulp below −1/e (rounding of the branch point)
+/// clamp to W₀(−1/e) = −1; anything further below throws
+/// palu::InvalidArgument.  NaN propagates.
+double lambert_w0(double x);
+
+}  // namespace palu::math

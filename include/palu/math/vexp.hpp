@@ -1,0 +1,48 @@
+// Batched exp / log1p polynomial-table kernels for per-edge visibility math.
+//
+// The expectation path of the sweep evaluates (1 − q_e)^{N_V} = exp(N_V ·
+// log1p(−q_e)) once per directed link per window size.  Calling libm per
+// element costs a call + branch per value; these kernels process contiguous
+// spans with a branch-light inner loop the compiler can unroll:
+//
+//   vexp:   e^x = 2^k · T[j] · P(r), where x = (64k + j)·(ln2/64) + r,
+//           T a 64-entry 2^{j/64} table and P a degree-5 Taylor kernel on
+//           |r| ≤ ln2/128 (truncation ≈ 2e-17 relative);
+//   vlog1p: 2·atanh(s) with s = x/(2+x) for |x| ≤ 0.5, else an exact
+//           (Sterbenz for x ∈ [−1, −0.5]) 1+x reduction through frexp.
+//
+// Accuracy is a gated budget, not a hope: kVexpUlpBudget pins the maximum
+// ulp error against libm over a fixed probe grid.  The budget is enforced
+// twice — by a ctest (tests/math_accuracy_test.cpp) and by a first-use
+// runtime self-check that silently routes both kernels through libm if a
+// platform's arithmetic falls outside the budget.  Inputs outside the
+// kernels' reduced ranges (overflow, NaN, x ≤ −1) always take libm.
+#pragma once
+
+#include <span>
+
+namespace palu::math {
+
+/// Maximum allowed ulp error of either kernel vs. libm on the probe grid.
+/// Measured values are ~1–2 ulp; the budget leaves headroom for FMA vs.
+/// non-FMA contraction differences across compilers.
+inline constexpr double kVexpUlpBudget = 8.0;
+
+/// out[i] = exp(x[i]).  out.size() must equal x.size(); spans may alias
+/// exactly (out == x) but must not partially overlap.
+void vexp(std::span<const double> x, std::span<double> out);
+
+/// out[i] = log1p(x[i]).  Same span contract as vexp.
+void vlog1p(std::span<const double> x, std::span<double> out);
+
+/// Max ulp error of the exp kernel vs. std::exp over the probe grid.
+double vexp_probe_max_ulp();
+
+/// Max ulp error of the log1p kernel vs. std::log1p over the probe grid.
+double vlog1p_probe_max_ulp();
+
+/// False when the first-use self-check measured a probe error above
+/// kVexpUlpBudget and the kernels fell back to libm wholesale.
+bool vexp_kernel_active();
+
+}  // namespace palu::math

@@ -41,6 +41,20 @@ struct RateModel {
 std::vector<double> make_edge_rates(const graph::Graph& g,
                                     const RateModel& model, Rng rng);
 
+/// Read-only view of the merged unordered-pair support the count-space and
+/// expectation paths share: parallel edges and both orientations collapsed
+/// into one entry per pair, weights normalized (Σ weight = 1), and the
+/// pair's exact forward (u → v) mixture probability.  Spans alias the
+/// owning generator and are invalidated by its destruction or move.
+struct PairSupportView {
+  std::span<const NodeId> u;
+  std::span<const NodeId> v;
+  std::span<const double> weight;
+  std::span<const double> forward_prob;
+
+  std::size_t size() const noexcept { return u.size(); }
+};
+
 class SyntheticTrafficGenerator {
  public:
   /// Builds a generator over `underlying`'s edges.  The graph must have at
@@ -95,6 +109,13 @@ class SyntheticTrafficGenerator {
   /// a packet window for the same seed, not byte-identical.
   void next_window_counts(Count n_valid, std::vector<EdgePacketCounts>& out);
 
+  /// The merged-pair support in its fixed deterministic order (built
+  /// lazily, same structure next_window_counts samples from).  This is
+  /// what the analytic expectation path (traffic/expected_window.hpp)
+  /// evaluates: per-pair visibilities 1 − (1 − weight)^{N_V} follow
+  /// directly from the returned weights.
+  PairSupportView pair_support();
+
   /// Aggregates the next `n_valid` packets into a window matrix A_t.
   SparseCountMatrix window(Count n_valid);
 
@@ -115,12 +136,16 @@ class SyntheticTrafficGenerator {
   /// log1p/expm1 pass runs once per distinct window size, so sweep setup
   /// and the Table-I benches stop paying it per call.  The memo makes
   /// const calls non-reentrant: do not call concurrently on one instance.
+  /// Throws palu::InvalidArgument on a moved-from generator (empty rate
+  /// vector); a rate of exactly 1 (one edge holding all mass) and
+  /// n_valid == 0 are handled exactly instead of producing NaN.
   double expected_edge_visibility(Count n_valid) const;
 
   /// Expected unique *directed* links in a window of n_valid packets (the
   /// Table-I count: an edge active both ways contributes two (src, dst)
   /// cells):  Σ_e [(1 − (1 − f·r_e)^{N}) + (1 − (1 − (1−f)·r_e)^{N})]
-  /// with f = forward_prob.  Memoized like expected_edge_visibility.
+  /// with f = forward_prob.  Memoized like expected_edge_visibility, with
+  /// the same empty-generator and boundary-rate guarantees.
   double expected_unique_links(Count n_valid) const;
 
  private:
@@ -131,6 +156,7 @@ class SyntheticTrafficGenerator {
   struct CountsSupport {
     rng::MultinomialSampler sampler;  // over merged pair weights
     std::vector<NodeId> u, v;         // canonical orientation per pair
+    std::vector<double> weight;       // merged pair weights (sum 1)
     std::vector<double> forward_prob; // P[packet on pair flows u → v]
     std::vector<Count> counts;        // scratch: one multinomial draw
   };

@@ -27,6 +27,13 @@
 // different RNG consumption — counts sweeps are distributionally
 // equivalent to packet sweeps, not byte-identical (see DESIGN.md §5e).
 //
+// Analytic synthesis (SweepOptions::synthesis = kExpected) drops the RNG
+// entirely: one deterministic ExpectedWindowEvaluator pass produces the
+// expected pooled histogram and Table-I aggregates in closed form —
+// O(num_edges) once per window size, independent of both N_V and the
+// window count (DESIGN.md §5i).  Sampled replicates for confidence bands
+// are opt-in via SweepOptions::expected_replicates.
+//
 // The sweep body is an explicit stage graph — synthesize → accumulate →
 // bin per window inside a worker, then a serial fit/reduce on the calling
 // thread — with two selectable sharding modes for the accumulate stage
@@ -38,6 +45,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +55,7 @@
 #include "palu/parallel/thread_pool.hpp"
 #include "palu/stats/histogram.hpp"
 #include "palu/stats/log_binning.hpp"
+#include "palu/traffic/expected_window.hpp"
 #include "palu/traffic/quantities.hpp"
 #include "palu/traffic/stream.hpp"
 
@@ -108,6 +117,15 @@ enum class SynthesisMode {
   /// the edge rates; O(num_edges) per window.  Distributionally
   /// equivalent to kPacket, not byte-identical.
   kMultinomial,
+  /// No sampling at all: evaluate the expected pooled histogram and
+  /// aggregates analytically (traffic/expected_window.hpp) — one
+  /// deterministic O(num_edges) evaluation per window size, so the sweep
+  /// cost is flat in both N_V and num_windows.  `num_windows` is ignored
+  /// (the analytic result is what an infinite ensemble converges to);
+  /// SweepOptions::expected_replicates adds optional sampled counts-path
+  /// replicates so WindowSweepResult::ensemble carries σ bands.  The
+  /// fast_path and shard knobs do not apply.
+  kExpected,
 };
 
 /// Resilience and performance knobs for sweep_windows.
@@ -124,8 +142,14 @@ struct SweepOptions {
   /// the pooled scratch).
   bool fast_path = true;
   /// Window synthesis strategy; kPacket keeps the packet-exact reference
-  /// behaviour, kMultinomial switches to O(num_edges) count-space draws.
+  /// behaviour, kMultinomial switches to O(num_edges) count-space draws,
+  /// kExpected to the closed-form expectation path.
   SynthesisMode synthesis = SynthesisMode::kPacket;
+  /// kExpected only: sampled counts-path replicate windows folded into
+  /// WindowSweepResult::ensemble for confidence bands.  0 (default) keeps
+  /// the path fully deterministic: the ensemble then holds the expected
+  /// mass as a single pseudo-window (σ = 0).
+  std::size_t expected_replicates = 0;
   /// Accumulation sharding (see ShardMode).  kConcurrentWindows ignores
   /// shards_per_window.
   ShardMode shard_mode = ShardMode::kConcurrentWindows;
@@ -180,6 +204,12 @@ struct WindowSweepResult {
   std::size_t windows_skipped = 0;  // not attempted (cancel / timeout)
   bool cancelled = false;           // cancel flag or timeout fired
   SweepStageTimings timings;        // per-stage CPU sum + straggler max
+  /// kExpected sweeps only: the analytic window (expected mass,
+  /// per-bin expected entity counts, expected Table-I aggregates, and
+  /// the median-of-max estimate mirrored into max_value).  The sampled
+  /// paths leave it empty; `merged` stays empty on the expected path
+  /// (there are no integer histograms to merge).
+  std::optional<ExpectedWindow> expected;
 };
 
 /// Draws `num_windows` windows of `n_valid` packets each over

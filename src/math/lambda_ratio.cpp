@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "palu/common/error.hpp"
+#include "palu/math/lambertw.hpp"
 #include "palu/math/stable.hpp"
 
 namespace palu::math {
@@ -21,9 +22,26 @@ double lambda_moment_ratio(double lambda_cap) {
 double lambda_moment_ratio_derivative(double lambda_cap) {
   PALU_CHECK(lambda_cap >= 0.0,
              "lambda_moment_ratio_derivative: requires Λ >= 0");
-  if (lambda_cap < 1e-6) {
-    // g'(Λ) = 1/3 + Λ/9 + O(Λ²).
-    return 1.0 / 3.0 + lambda_cap / 9.0;
+  if (lambda_cap < 0.1) {
+    // g'(Λ) = 1/3 + Λ/9 + Λ²/90 − Λ³/810 − 5Λ⁴/13608 − Λ⁵/340200
+    //         + 7Λ⁶/874800 + 13Λ⁷/18370800 + O(Λ⁸).
+    //
+    // The exact branch below subtracts two ~4/Λ terms that agree only to
+    // O(1), so its relative error grows like ε/Λ — ~1e-9 at Λ = 1e-6,
+    // where the series threshold used to sit (and still ~1e-11 at 1e-2).
+    // Extending the series through Λ⁷ and moving the seam to 0.1 puts
+    // both branches at ≤2e-13 relative error at the crossover (series
+    // truncation ~3e-15, exact-branch cancellation ~40·ε terms); the
+    // continuity regression in math_test pins the seam mismatch.
+    const double l = lambda_cap;
+    return 1.0 / 3.0 +
+           l * (1.0 / 9.0 +
+                l * (1.0 / 90.0 +
+                     l * (-1.0 / 810.0 +
+                          l * (-5.0 / 13608.0 +
+                               l * (-1.0 / 340200.0 +
+                                    l * (7.0 / 874800.0 +
+                                         l * (13.0 / 18370800.0)))))));
   }
   if (lambda_cap > 40.0) {
     // D ≈ e^Λ: g' = 1 + (2Λ − Λ²)e^{-Λ} + O(Λ³e^{-2Λ}).
@@ -48,8 +66,19 @@ double invert_lambda_moment_ratio(double r) {
   // g(Λ) ∈ [max(2, Λ), Λ + 2], so the root lies in [r − 2, r].
   double lo = std::max(0.0, r - 2.0);
   double hi = r;
-  double x = 3.0 * (r - 2.0);  // first-order inverse of g ≈ 2 + Λ/3
-  if (x < lo || x > hi) x = 0.5 * (lo + hi);
+  // Seed Newton with the Lambert-W inverse: rearranging r·(e^Λ−Λ−1) =
+  // Λ·(e^Λ−1) in y = r − Λ and dropping the O((r−1)y·e^{−r}) cross term
+  // gives y·e^{−y} = r²·e^{−r}, i.e. Λ ≈ r + W₀(−r²·e^{−r}).  The W₀
+  // argument stays above the −1/e branch point for r ≥ 4 (max |arg| ≈
+  // 0.293 at r = 4); below that the first-order inverse of g ≈ 2 + Λ/3
+  // is already within a few percent.
+  double x;
+  if (r >= 4.0) {
+    x = r + lambert_w0(-r * r * std::exp(-r));
+  } else {
+    x = 3.0 * (r - 2.0);
+  }
+  if (!(x >= lo && x <= hi)) x = 0.5 * (lo + hi);
   for (int iter = 0; iter < 100; ++iter) {
     const double g = lambda_moment_ratio(x);
     const double err = g - r;
@@ -65,9 +94,17 @@ double invert_lambda_moment_ratio(double r) {
     if (next == x) return x;
     x = next;
   }
-  // Newton/bisection is monotone-convergent here; reaching this means the
-  // bracket collapsed to rounding noise, so the midpoint is the answer.
-  if (hi - lo < 1e-9 * (1.0 + hi)) return 0.5 * (lo + hi);
+  // Newton/bisection is monotone-convergent here, so running out of
+  // iterations normally means the bracket collapsed to rounding noise.
+  // That is only an answer if the midpoint actually satisfies g(Λ) ≈ r:
+  // a collapsed bracket with a large residual (e.g. a non-finite r that
+  // poisoned the bracket arithmetic) must surface as a failure, not as a
+  // silently wrong Λ.
+  if (hi - lo < 1e-9 * (1.0 + hi)) {
+    const double mid = 0.5 * (lo + hi);
+    const double residual = lambda_moment_ratio(mid) - r;
+    if (std::abs(residual) <= 1e-9 * (1.0 + std::abs(r))) return mid;
+  }
   throw ConvergenceError("invert_lambda_moment_ratio: did not converge");
 }
 

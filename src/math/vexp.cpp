@@ -1,0 +1,201 @@
+#include "palu/math/vexp.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "palu/common/error.hpp"
+
+namespace palu::math {
+namespace {
+
+// ---------------------------------------------------------------------------
+// exp kernel: x = (64k + j)·(ln2/64) + r, e^x = 2^k · 2^{j/64} · e^r.
+// ---------------------------------------------------------------------------
+
+// 64/ln2 and a hi/lo split of ln2 (hi has ~21 trailing zero bits, so
+// dividing by 64 keeps the split exact and kd·kLn2Hi rounds to nothing for
+// the |kd| ≤ 2^17 this kernel range produces).
+constexpr double kInvLn2Times64 = 92.332482616893656943;
+constexpr double kLn2HiSplit = 6.93147180369123816490e-01;
+constexpr double kLn2LoSplit = 1.90821492927058770002e-10;
+constexpr double kLn2Hi = kLn2HiSplit / 64.0;
+constexpr double kLn2Lo = kLn2LoSplit / 64.0;
+// |x| beyond this routes to libm: keeps 2^k strictly inside the normal
+// exponent range so the final scaling is a single bit-built multiply.
+constexpr double kExpKernelRange = 700.0;
+
+const std::array<double, 64>& exp2_table() {
+  static const std::array<double, 64> table = [] {
+    std::array<double, 64> t{};
+    for (int j = 0; j < 64; ++j) t[j] = std::exp2(j / 64.0);
+    return t;
+  }();
+  return table;
+}
+
+// Requires |x| <= kExpKernelRange.
+inline double exp_kernel(double x, const std::array<double, 64>& table) {
+  const double t = x * kInvLn2Times64;
+  const double kd = std::nearbyint(t);
+  const auto k = static_cast<std::int64_t>(kd);
+  // r = x − kd·ln2/64 via the split constant; |r| ≤ ln2/128 + rounding.
+  const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+  // Degree-5 Taylor kernel: truncation r⁶/720 ≈ 2.3e-17 relative.
+  const double p =
+      1.0 +
+      r * (1.0 +
+           r * (0.5 + r * (1.0 / 6.0 +
+                           r * (1.0 / 24.0 + r * (1.0 / 120.0)))));
+  const std::int64_t e = (k >> 6) + 1023;  // biased exponent, always normal
+  const double scale = std::bit_cast<double>(static_cast<std::uint64_t>(e)
+                                             << 52);
+  return table[static_cast<std::size_t>(k & 63)] * p * scale;
+}
+
+// ---------------------------------------------------------------------------
+// log1p kernel: 2·atanh(s) with s = x/(2+x) near 0, else an exact 1+x
+// reduction (Sterbenz on [−1, −0.5]) through a bit-level frexp.
+// ---------------------------------------------------------------------------
+
+// atanh series on s² ≤ 0.0295: atanh(s)/s = 1 + s²/3 + s⁴/5 + …; eleven
+// terms leave truncation below 2e-17 relative at both range edges.
+inline double atanh_over_s(double z) {
+  return 1.0 +
+         z * (1.0 / 3.0 +
+              z * (1.0 / 5.0 +
+                   z * (1.0 / 7.0 +
+                        z * (1.0 / 9.0 +
+                             z * (1.0 / 11.0 +
+                                  z * (1.0 / 13.0 +
+                                       z * (1.0 / 15.0 +
+                                            z * (1.0 / 17.0 +
+                                                 z * (1.0 / 19.0 +
+                                                      z * (1.0 /
+                                                           21.0))))))))));
+}
+
+constexpr double kLn2HiFull = 6.93147180369123816490e-01;  // ln2 hi/lo split
+constexpr double kLn2LoFull = 1.90821492927058770002e-10;
+
+// Requires x > −1, finite.
+inline double log1p_kernel(double x) {
+  if (x >= -0.25 && x <= 0.5) {
+    const double s = x / (2.0 + x);
+    return 2.0 * s * atanh_over_s(s * s);
+  }
+  // u = 1 + x is exact on [−1, −0.5] (Sterbenz) and ≤ 0.5 ulp elsewhere in
+  // this branch; u is always a positive normal double (the nearest
+  // representable x above −1 already gives u ≈ 1.1e-16).
+  const double u = 1.0 + x;
+  const auto bits = std::bit_cast<std::uint64_t>(u);
+  int e = static_cast<int>(bits >> 52) - 1022;
+  double m = std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFULL) |
+                                   0x3FE0000000000000ULL);  // m ∈ [0.5, 1)
+  if (m < 0.70710678118654752) {  // centre m in [√½, √2): |s| ≤ 0.1716
+    m *= 2.0;
+    e -= 1;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  const double ed = static_cast<double>(e);
+  return ed * kLn2HiFull + (2.0 * s * atanh_over_s(s * s) + ed * kLn2LoFull);
+}
+
+// ---------------------------------------------------------------------------
+// Probe grid + first-use budget gate.
+// ---------------------------------------------------------------------------
+
+double ulp_diff(double got, double ref) {
+  if (got == ref) return 0.0;
+  if (std::isnan(got) || std::isnan(ref)) return 1e30;
+  const double mag = std::fabs(ref);
+  const double ulp = std::nextafter(mag, 1e308) - mag;
+  return std::fabs(got - ref) / ulp;
+}
+
+bool kernels_within_budget() {
+  static const bool ok = vexp_probe_max_ulp() <= kVexpUlpBudget &&
+                         vlog1p_probe_max_ulp() <= kVexpUlpBudget;
+  return ok;
+}
+
+}  // namespace
+
+double vexp_probe_max_ulp() {
+  const auto& table = exp2_table();
+  double worst = 0.0;
+  // 4096 evenly spaced points across the kernel range plus a fine sweep
+  // around 0, where the expectation path spends most of its arguments.
+  for (int i = 0; i <= 4096; ++i) {
+    const double x = -kExpKernelRange + i * (2.0 * kExpKernelRange / 4096.0);
+    worst = std::max(worst, ulp_diff(exp_kernel(x, table), std::exp(x)));
+  }
+  for (int i = -1000; i <= 1000; ++i) {
+    const double x = i * 1e-3;
+    worst = std::max(worst, ulp_diff(exp_kernel(x, table), std::exp(x)));
+  }
+  return worst;
+}
+
+double vlog1p_probe_max_ulp() {
+  double worst = 0.0;
+  // Log-spaced magnitudes on both sides of 0 and a dense sweep of the
+  // (−1, 0) visibility range, including points hugging −1.
+  for (int i = -1060; i <= 1020; ++i) {
+    const double x = std::ldexp(1.0, i / 2);
+    worst = std::max(worst, ulp_diff(log1p_kernel(x), std::log1p(x)));
+  }
+  for (int i = 1; i <= 2000; ++i) {
+    const double x = -i * (1.0 / 2001.0);
+    worst = std::max(worst, ulp_diff(log1p_kernel(x), std::log1p(x)));
+  }
+  for (int i = 2; i <= 52; ++i) {
+    const double x = std::ldexp(1.0, -i) - 1.0;  // −1 + 2^{−i}
+    worst = std::max(worst, ulp_diff(log1p_kernel(x), std::log1p(x)));
+  }
+  for (int i = 1; i <= 3000; ++i) {  // dense positive sweep across the seams
+    const double x = i * 1e-3;
+    worst = std::max(worst, ulp_diff(log1p_kernel(x), std::log1p(x)));
+  }
+  return worst;
+}
+
+bool vexp_kernel_active() { return kernels_within_budget(); }
+
+void vexp(std::span<const double> x, std::span<double> out) {
+  const std::size_t n = x.size();
+  PALU_CHECK(out.size() == n, "vexp: input/output spans must match");
+  if (!kernels_within_budget()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(x[i]);
+    return;
+  }
+  const auto& table = exp2_table();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    if (xi >= -kExpKernelRange && xi <= kExpKernelRange) {
+      out[i] = exp_kernel(xi, table);
+    } else {
+      out[i] = std::exp(xi);  // overflow/underflow/NaN semantics from libm
+    }
+  }
+}
+
+void vlog1p(std::span<const double> x, std::span<double> out) {
+  const std::size_t n = x.size();
+  PALU_CHECK(out.size() == n, "vlog1p: input/output spans must match");
+  if (!kernels_within_budget()) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::log1p(x[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i];
+    if (xi > -1.0 && std::isfinite(xi)) {
+      out[i] = log1p_kernel(xi);
+    } else {
+      out[i] = std::log1p(xi);  // −1 → −inf, < −1 → NaN, ±inf/NaN from libm
+    }
+  }
+}
+
+}  // namespace palu::math

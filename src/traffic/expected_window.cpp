@@ -1,0 +1,332 @@
+#include "palu/traffic/expected_window.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "palu/common/error.hpp"
+#include "palu/common/failpoint.hpp"
+#include "palu/math/vexp.hpp"
+
+namespace palu::traffic {
+namespace {
+
+constexpr double kLogHalf = -0.69314718055994531;
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+
+/// Continuity-corrected Edgeworth CDF from entity moments — the cheap
+/// location model the median-of-max bisection evaluates O(K · log range)
+/// times.  Mirrors the central tier of math::binmass; a hard support
+/// bound `upper` clamps the right tail (a Binomial can never exceed N).
+double moment_cdf(double m, double mu, double sigma, double gamma3,
+                  double upper) {
+  if (m >= upper) return 1.0;
+  if (sigma <= 0.0) return m + 0.5 >= mu ? 1.0 : 0.0;
+  const double z = (m + 0.5 - mu) / sigma;
+  if (z <= -40.0) return 0.0;
+  if (z >= 40.0) return 1.0;
+  const double phi = 0.5 * std::erfc(-z * kInvSqrt2);
+  const double pdf = kInvSqrt2Pi * std::exp(-0.5 * z * z);
+  return std::clamp(phi - pdf * gamma3 * (z * z - 1.0) / 6.0, 0.0, 1.0);
+}
+
+void build_csr(const std::vector<NodeId>& keys, std::size_t num_nodes,
+               std::vector<std::size_t>& offsets,
+               std::vector<std::size_t>& items) {
+  offsets.assign(num_nodes + 1, 0);
+  for (const NodeId n : keys) ++offsets[n + 1];
+  for (std::size_t n = 0; n < num_nodes; ++n) offsets[n + 1] += offsets[n];
+  items.resize(keys.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t j = 0; j < keys.size(); ++j) items[cursor[keys[j]]++] = j;
+}
+
+}  // namespace
+
+ExpectedWindowEvaluator::ExpectedWindowEvaluator(PairSupportView support,
+                                                 ExpectedWindowOptions opts)
+    : support_(support), opts_(opts) {
+  PALU_CHECK(support_.size() > 0,
+             "ExpectedWindowEvaluator: empty pair support");
+  PALU_CHECK(opts_.max_candidates > 0,
+             "ExpectedWindowEvaluator: max_candidates must be positive");
+  const std::size_t npairs = support_.size();
+  NodeId max_id = 0;
+  for (std::size_t i = 0; i < npairs; ++i) {
+    max_id = std::max({max_id, support_.u[i], support_.v[i]});
+  }
+  num_nodes_ = static_cast<std::size_t>(max_id) + 1;
+
+  // Directed links from the merged pair support, mirroring
+  // next_window_counts exactly: a non-self pair splits its mass into the
+  // forward (u → v) and backward (v → u) cells; a self pair is a single
+  // (u, u) cell holding the whole pair weight.
+  std::vector<NodeId> lsrc, ldst;
+  link_q_.reserve(2 * npairs);
+  lsrc.reserve(2 * npairs);
+  ldst.reserve(2 * npairs);
+  std::vector<NodeId> und_keys;  // endpoint incidences of non-self pairs
+  std::vector<std::size_t> und_pair_of;
+  for (std::size_t i = 0; i < npairs; ++i) {
+    const NodeId u = support_.u[i];
+    const NodeId v = support_.v[i];
+    const double w = support_.weight[i];
+    if (u == v) {
+      lsrc.push_back(u);
+      ldst.push_back(u);
+      link_q_.push_back(w);
+      continue;
+    }
+    const double f = support_.forward_prob[i];
+    lsrc.push_back(u);
+    ldst.push_back(v);
+    link_q_.push_back(w * f);
+    lsrc.push_back(v);
+    ldst.push_back(u);
+    link_q_.push_back(w * (1.0 - f));
+    und_keys.push_back(u);
+    und_pair_of.push_back(i);
+    und_keys.push_back(v);
+    und_pair_of.push_back(i);
+  }
+
+  node_src_mass_.assign(num_nodes_, 0.0);
+  node_dst_mass_.assign(num_nodes_, 0.0);
+  for (std::size_t j = 0; j < link_q_.size(); ++j) {
+    node_src_mass_[lsrc[j]] += link_q_[j];
+    node_dst_mass_[ldst[j]] += link_q_[j];
+  }
+  build_csr(lsrc, num_nodes_, src_offsets_, src_links_);
+  build_csr(ldst, num_nodes_, dst_offsets_, dst_links_);
+  build_csr(und_keys, num_nodes_, und_offsets_, und_pairs_);
+  // build_csr indexed into und_keys; translate to pair indices.
+  for (std::size_t& j : und_pairs_) j = und_pair_of[j];
+}
+
+void ExpectedWindowEvaluator::prepare(Count n_valid) {
+  PALU_FAILPOINT("theory.expected_window");
+  n_valid_ = n_valid;
+  prepared_ = true;
+  aggregates_cached_ = false;
+  const std::size_t nlinks = link_q_.size();
+  const std::size_t npairs = support_.size();
+  link_pi_.resize(nlinks);
+  pair_pi_.resize(npairs);
+  if (n_valid == 0) {
+    std::fill(link_pi_.begin(), link_pi_.end(), 0.0);
+    std::fill(pair_pi_.begin(), pair_pi_.end(), 0.0);
+  } else {
+    // π = 1 − (1 − q)^N as 1 − exp(N·log1p(−q)), batched through the
+    // math::vexp kernels.  q = 1 flows through exactly: log1p(−1) = −inf,
+    // exp(−inf) = 0, π = 1.
+    const double nd = static_cast<double>(n_valid);
+    batch_.resize(nlinks);
+    for (std::size_t j = 0; j < nlinks; ++j) batch_[j] = -link_q_[j];
+    math::vlog1p(batch_, batch_);
+    for (std::size_t j = 0; j < nlinks; ++j) batch_[j] *= nd;
+    math::vexp(batch_, link_pi_);
+    for (std::size_t j = 0; j < nlinks; ++j) link_pi_[j] = 1.0 - link_pi_[j];
+
+    batch_.resize(npairs);
+    for (std::size_t i = 0; i < npairs; ++i) batch_[i] = -support_.weight[i];
+    math::vlog1p(batch_, batch_);
+    for (std::size_t i = 0; i < npairs; ++i) batch_[i] *= nd;
+    math::vexp(batch_, pair_pi_);
+    for (std::size_t i = 0; i < npairs; ++i) pair_pi_[i] = 1.0 - pair_pi_[i];
+  }
+
+  src_pi_.resize(src_links_.size());
+  for (std::size_t k = 0; k < src_links_.size(); ++k) {
+    src_pi_[k] = link_pi_[src_links_[k]];
+  }
+  dst_pi_.resize(dst_links_.size());
+  for (std::size_t k = 0; k < dst_links_.size(); ++k) {
+    dst_pi_[k] = link_pi_[dst_links_[k]];
+  }
+  und_pi_.resize(und_pairs_.size());
+  for (std::size_t k = 0; k < und_pairs_.size(); ++k) {
+    und_pi_[k] = pair_pi_[und_pairs_[k]];
+  }
+}
+
+void ExpectedWindowEvaluator::note_candidate(std::vector<Candidate>& cands,
+                                             double mu, double s2, double m3,
+                                             double upper) const {
+  Candidate c;
+  c.mu = mu;
+  c.sigma = std::sqrt(std::max(0.0, s2));
+  c.gamma3 = s2 > 0.0 ? m3 / (s2 * c.sigma) : 0.0;
+  c.upper = upper;
+  // Optimistic location score: who could plausibly own the maximum.
+  const double score = c.mu + 8.0 * c.sigma;
+  if (cands.size() < opts_.max_candidates) {
+    cands.push_back(c);
+    return;
+  }
+  std::size_t worst = 0;
+  double worst_score = cands[0].mu + 8.0 * cands[0].sigma;
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    const double s = cands[i].mu + 8.0 * cands[i].sigma;
+    if (s < worst_score) {
+      worst_score = s;
+      worst = i;
+    }
+  }
+  if (score > worst_score) cands[worst] = c;
+}
+
+Degree ExpectedWindowEvaluator::median_of_max(
+    const std::vector<Candidate>& cands) const {
+  if (cands.empty()) return 0;
+  double upper = 0.0;
+  for (const Candidate& c : cands) upper = std::max(upper, c.upper);
+  const auto log_p_max_le = [&](double m) {
+    double acc = 0.0;
+    for (const Candidate& c : cands) {
+      const double f = moment_cdf(m, c.mu, c.sigma, c.gamma3, c.upper);
+      if (f <= 0.0) return -1e300;
+      acc += std::log(f);
+    }
+    return acc;
+  };
+  // Smallest integer m with P[max ≤ m] ≥ 1/2 — the distribution's median.
+  Degree lo = 0;
+  auto hi = static_cast<Degree>(std::min(upper, 1.8e19));
+  while (lo < hi) {
+    const Degree mid = lo + (hi - lo) / 2;
+    if (log_p_max_le(static_cast<double>(mid)) >= kLogHalf) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+void ExpectedWindowEvaluator::fold_binomial_entities(
+    std::span<const double> probs, ExpectedWindow& out,
+    std::vector<Candidate>& cands) {
+  const std::span<double> bins(out.bin_counts);
+  const double nd = static_cast<double>(n_valid_);
+  for (const double p : probs) {
+    if (p <= 0.0) continue;
+    out.visible_entities +=
+        math::binomial_log2_bins(n_valid_, p, bins, opts_.binmass);
+    const double mu = nd * p;
+    const double s2 = mu * (1.0 - p);
+    note_candidate(cands, mu, s2, s2 * (1.0 - 2.0 * p), nd);
+  }
+}
+
+void ExpectedWindowEvaluator::fold_pb_entities(
+    const std::vector<std::size_t>& offsets, const std::vector<double>& pis,
+    ExpectedWindow& out, std::vector<Candidate>& cands) {
+  const std::span<double> bins(out.bin_counts);
+  for (std::size_t n = 0; n < num_nodes_; ++n) {
+    const std::size_t b = offsets[n];
+    const std::size_t e = offsets[n + 1];
+    if (b == e) continue;
+    const std::span<const double> entity(pis.data() + b, e - b);
+    out.visible_entities += math::poisson_binomial_log2_bins(
+        entity, bins, scratch_, opts_.binmass);
+    double mu = 0.0, s2 = 0.0, m3 = 0.0;
+    for (const double pi : entity) {
+      const double q = 1.0 - pi;
+      mu += pi;
+      s2 += pi * q;
+      m3 += pi * q * (q - pi);
+    }
+    note_candidate(cands, mu, s2, m3, static_cast<double>(e - b));
+  }
+}
+
+ExpectedWindow ExpectedWindowEvaluator::evaluate(Quantity q) {
+  PALU_CHECK(prepared_,
+             "ExpectedWindowEvaluator: prepare() must precede evaluate()");
+  ExpectedWindow out;
+  out.bin_counts.assign(stats::LogBinned::kMaxBins, 0.0);
+  std::vector<Candidate> cands;
+  cands.reserve(opts_.max_candidates);
+  switch (q) {
+    case Quantity::kSourcePackets:
+      fold_binomial_entities(node_src_mass_, out, cands);
+      break;
+    case Quantity::kDestinationPackets:
+      fold_binomial_entities(node_dst_mass_, out, cands);
+      break;
+    case Quantity::kLinkPackets:
+      fold_binomial_entities(link_q_, out, cands);
+      break;
+    case Quantity::kSourceFanOut:
+      fold_pb_entities(src_offsets_, src_pi_, out, cands);
+      break;
+    case Quantity::kDestinationFanIn:
+      fold_pb_entities(dst_offsets_, dst_pi_, out, cands);
+      break;
+    case Quantity::kUndirectedDegree:
+      fold_pb_entities(und_offsets_, und_pi_, out, cands);
+      break;
+  }
+  finish(out, cands);
+  return out;
+}
+
+double ExpectedWindowEvaluator::sum_visibility(
+    std::span<const double> masses) {
+  if (n_valid_ == 0) return 0.0;
+  const double nd = static_cast<double>(n_valid_);
+  batch_.resize(masses.size());
+  for (std::size_t i = 0; i < masses.size(); ++i) batch_[i] = -masses[i];
+  math::vlog1p(batch_, batch_);
+  for (double& t : batch_) t *= nd;
+  math::vexp(batch_, batch_);
+  double sum = 0.0;
+  for (const double s : batch_) sum += 1.0 - s;
+  return sum;
+}
+
+ExpectedAggregates ExpectedWindowEvaluator::aggregates() {
+  PALU_CHECK(prepared_,
+             "ExpectedWindowEvaluator: prepare() must precede aggregates()");
+  if (aggregates_cached_) return aggregates_cache_;
+  ExpectedAggregates a;
+  a.valid_packets = static_cast<double>(n_valid_);
+  for (const double pi : link_pi_) a.unique_links += pi;
+  a.unique_sources = sum_visibility(node_src_mass_);
+  a.unique_destinations = sum_visibility(node_dst_mass_);
+  std::vector<Candidate> cands;
+  cands.reserve(opts_.max_candidates);
+  const double nd = a.valid_packets;
+  for (const double q : link_q_) {
+    if (q <= 0.0) continue;
+    const double mu = nd * q;
+    const double s2 = mu * (1.0 - q);
+    note_candidate(cands, mu, s2, s2 * (1.0 - 2.0 * q), nd);
+  }
+  a.max_link_packets = static_cast<double>(median_of_max(cands));
+  aggregates_cache_ = a;
+  aggregates_cached_ = true;
+  return a;
+}
+
+void ExpectedWindowEvaluator::finish(ExpectedWindow& out,
+                                     const std::vector<Candidate>& cands) {
+  auto& bc = out.bin_counts;
+  std::size_t used = bc.size();
+  while (used > 0 && bc[used - 1] <= 0.0) --used;
+  bc.resize(used);
+  // Normalize over the folded mass itself (not visible_entities): the
+  // visibility sum is exact while the folded bins carry the ladder's
+  // per-entity budget, and the pooled mass must stay a unit distribution.
+  double folded = 0.0;
+  for (std::size_t i = 0; i < used; ++i) folded += bc[i];
+  std::vector<double> mass(used, 0.0);
+  if (folded > 0.0) {
+    for (std::size_t i = 0; i < used; ++i) mass[i] = bc[i] / folded;
+  }
+  out.mass = stats::LogBinned(std::move(mass));
+  out.max_value = median_of_max(cands);
+  out.aggregates = aggregates();
+}
+
+}  // namespace palu::traffic

@@ -214,9 +214,20 @@ void SyntheticTrafficGenerator::build_counts_support() {
     }
   }
 
+  const std::size_t counts_size = weight.size();
   counts_support_.emplace(CountsSupport{
       rng::MultinomialSampler(weight), std::move(u), std::move(v),
-      std::move(forward_prob), std::vector<Count>(weight.size(), 0)});
+      std::move(weight), std::move(forward_prob),
+      std::vector<Count>(counts_size, 0)});
+}
+
+PairSupportView SyntheticTrafficGenerator::pair_support() {
+  if (!counts_support_) build_counts_support();
+  const CountsSupport& s = *counts_support_;
+  return PairSupportView{std::span<const NodeId>(s.u),
+                         std::span<const NodeId>(s.v),
+                         std::span<const double>(s.weight),
+                         std::span<const double>(s.forward_prob)};
 }
 
 void SyntheticTrafficGenerator::next_window_counts(
@@ -265,14 +276,30 @@ std::vector<SparseCountMatrix> SyntheticTrafficGenerator::windows(
   return out;
 }
 
+namespace {
+
+/// 1 − (1 − rate)^{n_valid}, safe at both domain edges.  rate ≥ 1 (one
+/// edge holding all normalized mass) would send log1p(−rate) to −inf and
+/// n_valid == 0 then multiplies it by 0 → NaN; the closed form's limits
+/// are 1 for any n ≥ 1 and 0 for n == 0, so answer those directly.
+double window_visibility(double rate, Count n_valid) {
+  if (rate >= 1.0) return n_valid >= 1 ? 1.0 : 0.0;
+  return -std::expm1(static_cast<double>(n_valid) * std::log1p(-rate));
+}
+
+}  // namespace
+
 double SyntheticTrafficGenerator::expected_edge_visibility(
     Count n_valid) const {
+  // A moved-from generator has an empty rate vector; 0/0 here would memoize
+  // NaN forever, so reject it loudly instead.
+  PALU_CHECK(!rates_.empty(),
+             "expected_edge_visibility: generator has no rates (moved-from?)");
   return memoized(visibility_memo_, n_valid, [&] {
     double acc = 0.0;
-    const double n = static_cast<double>(n_valid);
     for (double r : rates_) {
       // P[edge seen] = 1 − (1 − r)^{N_V}.
-      acc += -std::expm1(n * std::log1p(-r));
+      acc += window_visibility(r, n_valid);
     }
     return acc / static_cast<double>(rates_.size());
   });
@@ -280,14 +307,15 @@ double SyntheticTrafficGenerator::expected_edge_visibility(
 
 double SyntheticTrafficGenerator::expected_unique_links(
     Count n_valid) const {
+  PALU_CHECK(!rates_.empty(),
+             "expected_unique_links: generator has no rates (moved-from?)");
   return memoized(unique_links_memo_, n_valid, [&] {
-    const double n = static_cast<double>(n_valid);
     double acc = 0.0;
     for (const double r : rates_) {
       const double forward = forward_prob_ * r;
       const double backward = (1.0 - forward_prob_) * r;
-      if (forward > 0.0) acc += -std::expm1(n * std::log1p(-forward));
-      if (backward > 0.0) acc += -std::expm1(n * std::log1p(-backward));
+      if (forward > 0.0) acc += window_visibility(forward, n_valid);
+      if (backward > 0.0) acc += window_visibility(backward, n_valid);
     }
     return acc;
   });

@@ -266,6 +266,101 @@ stats::DegreeHistogram run_window_counts_sharded(SweepScratch& scratch,
   return h;
 }
 
+/// The analytic path: one deterministic expected-window evaluation, no
+/// RNG beyond the shared rate draw.  Stage accounting maps onto the same
+/// graph as the sampled paths — the visibility pass (prepare) is the
+/// "sampling" analogue, the marginal folding (evaluate) is
+/// "accumulation", and the mass assembly/ensemble add is "binning" — so
+/// the `{path="expected"}` stage histograms stay comparable.
+WindowSweepResult sweep_expected(const graph::Graph& underlying,
+                                 const RateModel& rates, Count n_valid,
+                                 Quantity quantity, std::uint64_t seed,
+                                 ThreadPool& pool,
+                                 const SweepOptions& opts) {
+  obs::Registry& registry =
+      opts.metrics != nullptr ? *opts.metrics : obs::default_registry();
+  SweepMetrics metrics(registry, "expected");
+  metrics.runs.inc();
+  metrics.pool_threads.set(static_cast<std::int64_t>(pool.size()));
+  metrics.shards_per_window.set(1);
+  obs::TraceSpan sweep_span(metrics.sweep_duration);
+
+  WindowSweepResult out;
+  if (opts.cancel != nullptr &&
+      opts.cancel->load(std::memory_order_relaxed)) {
+    out.cancelled = true;
+    out.windows_skipped = 1;
+    metrics.cancelled.inc();
+    metrics.windows_skipped.inc(1);
+    return out;
+  }
+
+  const Rng base(seed);
+  const std::vector<double> shared_rates =
+      make_edge_rates(underlying, rates, base.fork(0));
+  try {
+    SyntheticTrafficGenerator gen(underlying, shared_rates, Rng(0));
+    StageNs local;
+    const auto t0 = Clock::now();
+    ExpectedWindowEvaluator eval(gen.pair_support());
+    eval.prepare(n_valid);
+    const auto t1 = Clock::now();
+    ExpectedWindow win = eval.evaluate(quantity);
+    const auto t2 = Clock::now();
+    out.max_value = win.max_value;
+    out.windows = 1;
+    if (opts.expected_replicates == 0) out.ensemble.add(win.mass);
+    out.expected = std::move(win);
+    local.sampling = ns_between(t0, t1);
+    local.accumulation = ns_between(t1, t2);
+    local.binning = ns_between(t2, Clock::now());
+    out.timings.sampling_cpu_ns = local.sampling;
+    out.timings.accumulation_cpu_ns = local.accumulation;
+    out.timings.binning_cpu_ns = local.binning;
+    out.timings.sampling_max_ns = local.sampling;
+    out.timings.accumulation_max_ns = local.accumulation;
+    out.timings.binning_max_ns = local.binning;
+    metrics.stage_sampling.observe(local.sampling);
+    metrics.stage_accumulation.observe(local.accumulation);
+    metrics.stage_binning.observe(local.binning);
+    metrics.windows_completed.inc(1);
+  } catch (const std::exception& e) {
+    if (failpoints::is_failpoint_error(e)) metrics.failpoint_trips.inc(1);
+    metrics.windows_failed.inc(1);
+    if (opts.max_failed_windows == 0) throw SweepWindowError(0, e.what());
+    out.failures.push_back(WindowFailure{0, e.what()});
+    return out;
+  }
+
+  if (opts.expected_replicates > 0) {
+    // Confidence bands: a counts-path sub-sweep whose per-window pooled
+    // distributions fill the ensemble the deterministic result cannot.
+    SweepOptions rep = opts;
+    rep.synthesis = SynthesisMode::kMultinomial;
+    rep.expected_replicates = 0;
+    WindowSweepResult sampled =
+        sweep_windows(underlying, rates, n_valid, opts.expected_replicates,
+                      quantity, seed, pool, rep);
+    out.ensemble = std::move(sampled.ensemble);
+    for (WindowFailure& f : sampled.failures) {
+      out.failures.push_back(std::move(f));
+    }
+    out.windows_skipped += sampled.windows_skipped;
+    out.cancelled = out.cancelled || sampled.cancelled;
+    out.timings.sampling_cpu_ns += sampled.timings.sampling_cpu_ns;
+    out.timings.accumulation_cpu_ns += sampled.timings.accumulation_cpu_ns;
+    out.timings.binning_cpu_ns += sampled.timings.binning_cpu_ns;
+    out.timings.sampling_max_ns = std::max(out.timings.sampling_max_ns,
+                                           sampled.timings.sampling_max_ns);
+    out.timings.accumulation_max_ns =
+        std::max(out.timings.accumulation_max_ns,
+                 sampled.timings.accumulation_max_ns);
+    out.timings.binning_max_ns = std::max(out.timings.binning_max_ns,
+                                          sampled.timings.binning_max_ns);
+  }
+  return out;
+}
+
 }  // namespace
 
 WindowSweepResult sweep_windows(const graph::Graph& underlying,
@@ -273,8 +368,14 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 std::size_t num_windows, Quantity quantity,
                                 std::uint64_t seed, ThreadPool& pool,
                                 const SweepOptions& opts) {
-  PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
   PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
+  if (opts.synthesis == SynthesisMode::kExpected) {
+    // num_windows is deliberately not validated here: the analytic path
+    // ignores it (there is exactly one deterministic evaluation).
+    return sweep_expected(underlying, rates, n_valid, quantity, seed, pool,
+                          opts);
+  }
+  PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
   PALU_CHECK(opts.shards_per_window >= 1,
              "sweep_windows: shards_per_window must be >= 1");
 

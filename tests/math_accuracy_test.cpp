@@ -3,14 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
+#include <vector>
 
 #include "palu/common/error.hpp"
 #include "palu/fit/brent.hpp"
 #include "palu/fit/levmar.hpp"
 #include "palu/fit/nelder_mead.hpp"
+#include "palu/math/binmass.hpp"
 #include "palu/math/gamma.hpp"
 #include "palu/math/incomplete_gamma.hpp"
+#include "palu/math/vexp.hpp"
 #include "palu/math/zeta.hpp"
 #include "palu/rng/xoshiro.hpp"
 
@@ -210,6 +214,165 @@ TEST(OptimizerBattery, BrentMinimizeZetaLikelihoodShape) {
   const double h = 1e-5;
   EXPECT_LT(nll(alpha_star), nll(alpha_star + 10.0 * h));
   EXPECT_LT(nll(alpha_star), nll(alpha_star - 10.0 * h));
+}
+
+// -------------------------------------------------- vexp kernel budget
+
+TEST(VexpKernels, ProbesStayWithinTheUlpBudget) {
+  // The accuracy contract the expectation path relies on: the dense
+  // libm-referenced probes must come in under the budget that gates the
+  // kernels at runtime (today they measure ~2–3 ulp against budget 8;
+  // regressions in the reduction constants or polynomials show up here
+  // long before they would move a histogram).
+  EXPECT_LE(math::vexp_probe_max_ulp(), math::kVexpUlpBudget);
+  EXPECT_LE(math::vlog1p_probe_max_ulp(), math::kVexpUlpBudget);
+  EXPECT_TRUE(math::vexp_kernel_active());
+}
+
+TEST(VexpKernels, MatchesLibmEdgeCases) {
+  const std::vector<double> xs = {0.0,   -0.0, 1.0,   -1.0,  700.0,
+                                  -700.0, 701.0, -745.0, 1e-300, 0.5};
+  std::vector<double> out(xs.size());
+  math::vexp(xs, out);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double ref = std::exp(xs[i]);
+    EXPECT_NEAR(out[i], ref, 4e-15 * std::abs(ref)) << "x=" << xs[i];
+  }
+  const std::vector<double> ys = {0.0,  -0.5, -1.0, 0.25,
+                                  1e-18, -0.999999, 1e6, 3.0};
+  std::vector<double> lout(ys.size());
+  math::vlog1p(ys, lout);
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double ref = std::log1p(ys[i]);
+    if (std::isinf(ref)) {
+      EXPECT_EQ(lout[i], ref) << "y=" << ys[i];
+    } else {
+      EXPECT_NEAR(lout[i], ref, 4e-15 * (1.0 + std::abs(ref)))
+          << "y=" << ys[i];
+    }
+  }
+}
+
+TEST(VexpKernels, AliasedSpansAreSupported) {
+  std::vector<double> buf = {-0.25, 0.0, 0.5, 3.0};
+  const std::vector<double> copy = buf;
+  math::vlog1p(buf, buf);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_DOUBLE_EQ(buf[i], std::log1p(copy[i]));
+  }
+}
+
+// ------------------------------------------- binmass ladder cross-checks
+
+TEST(BinMass, BinomialExactWalkMatchesSaddlepointLadder) {
+  // Same distribution folded twice: once with thresholds that force the
+  // exact pmf walk, once with the span limit at 0 so every boundary goes
+  // through the Edgeworth/Lugannani–Rice ladder.  The ladder owes the
+  // exact tier every bin to ~1e-5 absolute (documented per-entity budget
+  // 1e-4, DESIGN.md §5i).
+  math::BinMassOptions exact;
+  exact.exact_span_limit = 1e18;
+  math::BinMassOptions approx;
+  approx.exact_span_limit = 0.0;
+  // Only σ ≳ 6.4 cases: below that the ±40σ span fits the default
+  // exact_span_limit, so the ladder never serves them in production and
+  // owes them nothing.
+  for (const double p : {2e-3, 5e-2, 0.5, 0.97}) {
+    for (const std::uint64_t n :
+         {std::uint64_t{50000}, std::uint64_t{1000000}}) {
+      std::vector<double> be(64, 0.0), ba(64, 0.0);
+      const double ve = math::binomial_log2_bins(n, p, be, exact);
+      const double va = math::binomial_log2_bins(n, p, ba, approx);
+      EXPECT_NEAR(ve, va, 1e-12) << "n=" << n << " p=" << p;
+      for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_NEAR(be[i], ba[i], 1e-4) << "n=" << n << " p=" << p
+                                        << " bin=" << i;
+      }
+    }
+  }
+}
+
+TEST(BinMass, ModeSeededWalkCoversNarrowHighMeanMarginals) {
+  // Regression for the walk-seed underflow: n=2000, p=0.99 has μ=1980,
+  // σ≈4.4, span 360 < 512 → exact tier, and lo≈1798 > 0.  Seeding the
+  // ratio recurrence at the lo edge evaluates a pmf of ~e^{-800},
+  // underflows to an exact 0, and the recurrence never recovers — every
+  // bin got zero mass while the function still reported visibility 1.
+  std::vector<double> bins(64, 0.0);
+  const double visible = math::binomial_log2_bins(2000, 0.99, bins);
+  EXPECT_NEAR(visible, 1.0, 1e-15);
+  double total = 0.0;
+  for (const double b : bins) total += b;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(bins[11], 1.0, 1e-12);  // (1024, 2048] holds μ=1980
+}
+
+TEST(BinMass, PoissonBinomialDpMatchesSaddlepointLadder) {
+  // Heterogeneous visibilities, DP vs moment-ladder fold of the same
+  // vector (the DP is exact; the ladder carries the approximation).
+  Rng rng(7);
+  std::vector<double> probs(300);
+  for (double& pi : probs) pi = 0.9 * rng.uniform() + 0.05;
+  math::BinMassOptions dp;
+  dp.pb_exact_max_terms = 400;
+  math::BinMassOptions approx;
+  approx.pb_exact_max_terms = 0;
+  math::BinMassScratch scratch;
+  std::vector<double> bd(64, 0.0), ba(64, 0.0);
+  const double vd =
+      math::poisson_binomial_log2_bins(probs, bd, scratch, dp);
+  const double va =
+      math::poisson_binomial_log2_bins(probs, ba, scratch, approx);
+  EXPECT_NEAR(vd, va, 1e-12);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(bd[i], ba[i], 1e-4) << "bin=" << i;
+  }
+  // CDF ladder vs the DP-summed CDF at the bin edges actually used.
+  double cum = 0.0;
+  std::vector<double> pmf(probs.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  for (const double pi : probs) {
+    for (std::size_t j = pmf.size() - 1; j-- > 0;) {
+      pmf[j + 1] += pmf[j] * pi;
+      pmf[j] *= 1.0 - pi;
+    }
+  }
+  for (const double m : {64.0, 128.0, 160.0, 192.0, 256.0}) {
+    cum = 0.0;
+    for (std::size_t d = 0; d <= static_cast<std::size_t>(m); ++d) {
+      cum += pmf[d];
+    }
+    EXPECT_NEAR(math::poisson_binomial_cdf_approx(probs, m), cum, 2e-4)
+        << "m=" << m;
+  }
+}
+
+TEST(BinMass, ExactTiersAndEdgeCases) {
+  // Bin convention matches stats::LogBinned: bin 0 = {1}, bin i =
+  // (2^{i−1}, 2^i].
+  EXPECT_EQ(math::log2_bin_index(1, 64), 0u);
+  EXPECT_EQ(math::log2_bin_index(2, 64), 1u);
+  EXPECT_EQ(math::log2_bin_index(3, 64), 2u);
+  EXPECT_EQ(math::log2_bin_index(4, 64), 2u);
+  EXPECT_EQ(math::log2_bin_index(5, 64), 3u);
+  EXPECT_EQ(math::log2_bin_index(1u << 20, 8), 7u);  // saturating top bin
+
+  // Small binomial folded exactly: mass and visibility are closed-form.
+  std::vector<double> bins(64, 0.0);
+  const double visible = math::binomial_log2_bins(4, 0.5, bins);
+  EXPECT_NEAR(visible, 1.0 - 0.0625, 1e-15);
+  EXPECT_NEAR(bins[0], 0.25, 1e-15);            // P[X=1]
+  EXPECT_NEAR(bins[1], 0.375, 1e-15);           // P[X=2]
+  EXPECT_NEAR(bins[2], 0.25 + 0.0625, 1e-15);   // P[X∈{3,4}]
+
+  // Degenerate cases.
+  std::fill(bins.begin(), bins.end(), 0.0);
+  EXPECT_EQ(math::binomial_log2_bins(0, 0.3, bins), 0.0);
+  EXPECT_EQ(math::binomial_log2_bins(10, 0.0, bins), 0.0);
+  EXPECT_EQ(math::binomial_log2_bins(8, 1.0, bins), 1.0);
+  EXPECT_DOUBLE_EQ(bins[3], 1.0);  // point mass at 8
+  math::BinMassScratch scratch;
+  EXPECT_EQ(math::poisson_binomial_log2_bins({}, bins, scratch), 0.0);
 }
 
 }  // namespace

@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "palu/common/error.hpp"
 #include "palu/math/gamma.hpp"
 #include "palu/math/lambda_ratio.hpp"
+#include "palu/math/lambertw.hpp"
 #include "palu/math/stable.hpp"
 #include "palu/math/zeta.hpp"
 
@@ -307,6 +309,113 @@ TEST(LambdaInverse, ClampsRoundingNoiseBelowTwoToZero) {
   EXPECT_DOUBLE_EQ(invert_lambda_moment_ratio(2.0 - 1e-9), 0.0);
   // Anything past the documented slack is still a domain error.
   EXPECT_THROW(invert_lambda_moment_ratio(2.0 - 1.1e-9), InvalidArgument);
+}
+
+// ------------------------------------------------------------ Lambert W
+
+TEST(LambertW, ReferenceValues) {
+  // Pinned against a 60-digit Decimal Newton evaluation of w·e^w = x
+  // (independent implementation, MAGPIE-style reference table).
+  const struct {
+    double x, w;
+  } kRefs[] = {
+      {1.0, 0.56714329040978387300},    // the omega constant
+      {10.0, 1.74552800274069938307},
+      {100.0, 3.38563014029005018489},
+      {0.5, 0.35173371124919582602},
+      {2.0, 0.85260550201372549135},
+      {1e6, 11.38335808614005262200},
+      {1e-3, 0.00099900149733853089},
+      {700.0, 4.95140829490515652715},
+      {-0.1, -0.11183255915896296483},
+      {-0.2, -0.25917110181907374506},
+      {-0.3, -0.48940222718021496904},
+      {-0.35, -0.71663881645607385059},
+  };
+  for (const auto& ref : kRefs) {
+    EXPECT_NEAR(lambert_w0(ref.x), ref.w,
+                1e-14 * std::max(1.0, std::abs(ref.w)))
+        << "x=" << ref.x;
+  }
+  EXPECT_DOUBLE_EQ(lambert_w0(0.0), 0.0);
+  EXPECT_NEAR(lambert_w0(std::exp(1.0)), 1.0, 1e-14);
+}
+
+TEST(LambertW, DefiningIdentityAcrossTheDomain) {
+  // w·e^w must reproduce x to a few ulps everywhere the real branch
+  // exists, including the awkward stretch just above −1/e.
+  for (double x = -0.367; x <= 0.5; x += 0.0031) {
+    const double w = lambert_w0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 4e-15 * (1.0 + std::abs(x)))
+        << "x=" << x;
+  }
+  for (double x = 1.0; x < 1e8; x *= 3.7) {
+    const double w = lambert_w0(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-13 * x) << "x=" << x;
+  }
+}
+
+TEST(LambertW, BranchPointAndDomainErrors) {
+  // At the branch point itself W = −1; double(−1/e) sits a hair above the
+  // exact −1/e, so the rounded result lands within √ε of −1.
+  const double w = lambert_w0(-std::exp(-1.0));
+  EXPECT_GE(w, -1.0);
+  EXPECT_LE(w, -0.99999997);
+  EXPECT_THROW(lambert_w0(-0.368), InvalidArgument);
+  EXPECT_THROW(lambert_w0(-1.0), InvalidArgument);
+  EXPECT_TRUE(std::isnan(lambert_w0(
+      std::numeric_limits<double>::quiet_NaN())));
+}
+
+// -------------------------------------------- derivative branch seams
+
+TEST(LambdaMomentRatioDerivative, SeriesAccurateDeepInSmallLambda) {
+  // Regression: the exact branch's two ~4/Λ terms cancel to O(1), so its
+  // relative error grows like ε/Λ — about 1e-9 at Λ = 1e-6, where the
+  // series/exact seam used to sit.  The extended series is exact there:
+  // g'(1e-6) = 1/3 + 1e-6/9 + ... pinned to full double precision.
+  const double l = 1e-6;
+  const double series = 1.0 / 3.0 + l / 9.0 + l * l / 90.0;
+  EXPECT_NEAR(lambda_moment_ratio_derivative(l), series, 1e-12 * series);
+  EXPECT_NEAR(lambda_moment_ratio_derivative(0.0), 1.0 / 3.0, 1e-16);
+}
+
+TEST(LambdaMomentRatioDerivative, BranchSeamsAreContinuous) {
+  // Compare at nextafter-adjacent points across each branch seam: the
+  // function's own slope contributes ~1e-18 over one ulp, so any mismatch
+  // beyond 1e-12 relative is branch drift, not curvature.  (Measuring at
+  // seam·(1 ± 1e-9) instead would see g''·ΔΛ ≈ 2e-11 and mask the bug.)
+  for (const double seam : {0.1, 40.0}) {
+    const double below =
+        lambda_moment_ratio_derivative(std::nextafter(seam, 0.0));
+    const double at = lambda_moment_ratio_derivative(seam);
+    EXPECT_NEAR(below, at, 1e-12 * std::abs(at)) << "seam=" << seam;
+  }
+}
+
+// ------------------------------------------------- inverter round trip
+
+TEST(LambdaInverse, DenseRoundTripToFullPrecision) {
+  // Regression for the silent midpoint fallback: the inverter must now
+  // recover Λ (and satisfy g(Λ̂) = r) to 1e-12 relative across the whole
+  // operating range, Lambert-W seed included — a collapsed bracket can no
+  // longer smuggle out an unverified midpoint.
+  for (double x = 0.0; x <= 700.0; x += 0.1) {
+    const double r = lambda_moment_ratio(x);
+    const double inv = invert_lambda_moment_ratio(r);
+    EXPECT_NEAR(inv, x, 1e-12 * std::max(1.0, x)) << "x=" << x;
+    EXPECT_NEAR(lambda_moment_ratio(inv), r,
+                1e-12 * (1.0 + std::abs(r)))
+        << "x=" << x;
+  }
+}
+
+TEST(LambdaInverse, NonFiniteRatioIsRejected) {
+  // A NaN ratio poisoned the old bracket arithmetic into returning an
+  // arbitrary midpoint; it must surface as a domain error instead.
+  EXPECT_THROW(
+      invert_lambda_moment_ratio(std::numeric_limits<double>::quiet_NaN()),
+      InvalidArgument);
 }
 
 }  // namespace

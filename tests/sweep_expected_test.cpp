@@ -1,0 +1,274 @@
+// Analytic synthesis (PR 9): the expected-window path vs sampled truth,
+// plus its pipeline semantics (determinism, replicates, cancellation,
+// failure budget, metrics labels).
+//
+// The expectation path computes E[per-bin entity count] exactly for the
+// packet quantities (Binomial marginals of the Multinomial window) and
+// under within-entity link independence for the link-count quantities
+// (Poisson-binomial over per-link visibilities; the dropped O(q_i·q_j)
+// negative correlation is far below Monte-Carlo noise on these graphs).
+// Its contract against a sampled ensemble is therefore CLT-style: the
+// 64-replicate counts-path mean of every bin must sit within standard-
+// error bands of the analytic mass, for all six quantities and several
+// seeds.  See DESIGN.md §5i.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <string>
+
+#include "palu/graph/generators.hpp"
+#include "palu/graph/graph.hpp"
+#include "palu/obs/metrics.hpp"
+#include "palu/obs/names.hpp"
+#include "palu/stats/log_binning.hpp"
+#include "palu/testing/fault_injection.hpp"
+#include "palu/traffic/aggregates.hpp"
+#include "palu/traffic/quantities.hpp"
+#include "palu/traffic/stream.hpp"
+#include "palu/traffic/window_pipeline.hpp"
+
+namespace palu {
+namespace {
+
+constexpr std::array<traffic::Quantity, 6> kEveryQuantity = {
+    traffic::Quantity::kSourcePackets,
+    traffic::Quantity::kSourceFanOut,
+    traffic::Quantity::kLinkPackets,
+    traffic::Quantity::kDestinationFanIn,
+    traffic::Quantity::kDestinationPackets,
+    traffic::Quantity::kUndirectedDegree};
+
+traffic::SweepOptions expected_options() {
+  traffic::SweepOptions opts;
+  opts.synthesis = traffic::SynthesisMode::kExpected;
+  return opts;
+}
+
+TEST(SweepExpected, MatchesSampledEnsembleMeansEverywhere) {
+  Rng gen_rng(7);
+  const auto g = graph::erdos_renyi(gen_rng, 400, 0.02);
+  ThreadPool pool(2);
+  constexpr std::size_t kReplicates = 64;
+  constexpr Count kN = 3000;
+  for (const std::uint64_t seed : {17u, 101u, 9000u}) {
+    for (const auto q : kEveryQuantity) {
+      const std::string context = std::string(traffic::quantity_name(q)) +
+                                  " seed " + std::to_string(seed);
+      const auto expected = traffic::sweep_windows(
+          g, traffic::RateModel{}, kN, 1, q, seed, pool, expected_options());
+      ASSERT_TRUE(expected.expected.has_value()) << context;
+      traffic::SweepOptions sampled_opts;
+      sampled_opts.synthesis = traffic::SynthesisMode::kMultinomial;
+      const auto sampled = traffic::sweep_windows(
+          g, traffic::RateModel{}, kN, kReplicates, q, seed, pool,
+          sampled_opts);
+      const auto& mass = expected.expected->mass;
+      const auto mean = sampled.ensemble.mean();
+      const auto sd = sampled.ensemble.stddev();
+      const std::size_t bins = std::max<std::size_t>(mean.size(),
+                                                     mass.num_bins());
+      for (std::size_t i = 0; i < bins; ++i) {
+        const double analytic = i < mass.num_bins() ? mass[i] : 0.0;
+        const double mc = i < mean.size() ? mean[i] : 0.0;
+        const double s = i < sd.size() ? sd[i] : 0.0;
+        // 6 standard errors of the replicate mean plus an absolute floor
+        // for bins whose sample σ underestimates (rare tail bins).
+        const double tol =
+            6.0 * s / std::sqrt(static_cast<double>(kReplicates)) + 0.004;
+        EXPECT_NEAR(analytic, mc, tol) << context << " bin " << i;
+      }
+      // The analytic d_max stand-in (median of max) must land within the
+      // spread of sampled maxima — same log₂ bin neighbourhood.
+      ASSERT_GT(expected.max_value, 0u) << context;
+      const double lg_e = std::log2(static_cast<double>(expected.max_value));
+      const double lg_s = std::log2(static_cast<double>(sampled.max_value));
+      EXPECT_NEAR(lg_e, lg_s, 1.5) << context;
+    }
+  }
+}
+
+TEST(SweepExpected, AggregatesMatchSampledTableI) {
+  Rng gen_rng(11);
+  const auto g = graph::erdos_renyi(gen_rng, 300, 0.03);
+  ThreadPool pool(2);
+  constexpr Count kN = 4000;
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, kN, 1, traffic::Quantity::kUndirectedDegree,
+      /*seed=*/23, pool, expected_options());
+  ASSERT_TRUE(sweep.expected.has_value());
+  const auto& agg = sweep.expected->aggregates;
+
+  // Closed-form cross-checks against the generator's own expectations,
+  // replaying the sweep's exact rate draw (Rng(seed).fork(0)).
+  const auto edge_rates =
+      traffic::make_edge_rates(g, traffic::RateModel{}, Rng(23).fork(0));
+  traffic::SyntheticTrafficGenerator gen(g, edge_rates, Rng(1));
+  EXPECT_DOUBLE_EQ(agg.valid_packets, static_cast<double>(kN));
+  EXPECT_NEAR(agg.unique_links, gen.expected_unique_links(kN),
+              1e-9 * gen.expected_unique_links(kN));
+
+  // Monte-Carlo cross-check of the node visibilities and the max: means
+  // of sampled Table-I aggregates across windows.
+  constexpr int kWindows = 64;
+  double src = 0.0, dst = 0.0, links = 0.0, maxp = 0.0;
+  for (int w = 0; w < kWindows; ++w) {
+    const auto a = gen.window(kN);
+    const auto t = traffic::aggregates_summation(a);
+    src += static_cast<double>(t.unique_sources);
+    dst += static_cast<double>(t.unique_destinations);
+    links += static_cast<double>(t.unique_links);
+    maxp += static_cast<double>(t.max_link_packets);
+  }
+  src /= kWindows;
+  dst /= kWindows;
+  links /= kWindows;
+  maxp /= kWindows;
+  // Unique counts are sums of ~|V| Bernoullis: σ ≤ √mean, so 6 standard
+  // errors is 6·√(mean/64).
+  EXPECT_NEAR(agg.unique_sources, src, 6.0 * std::sqrt(src / kWindows) + 1.0);
+  EXPECT_NEAR(agg.unique_destinations, dst,
+              6.0 * std::sqrt(dst / kWindows) + 1.0);
+  EXPECT_NEAR(agg.unique_links, links,
+              6.0 * std::sqrt(links / kWindows) + 1.0);
+  // The analytic max is a median, the sampled one a mean of maxima — they
+  // need only agree to within the distribution's own spread.
+  EXPECT_NEAR(agg.max_link_packets / maxp, 1.0, 0.35);
+}
+
+TEST(SweepExpected, DeterministicAndFlatInWindowCount) {
+  Rng gen_rng(13);
+  const auto g = graph::erdos_renyi(gen_rng, 200, 0.04);
+  ThreadPool pool(2);
+  const auto q = traffic::Quantity::kSourceFanOut;
+  const auto a = traffic::sweep_windows(g, traffic::RateModel{}, 2000, 1, q,
+                                        5, pool, expected_options());
+  // Same seed (the seed fixes the Pareto rate draw, which the analytic
+  // result legitimately depends on), different — even zero — window
+  // count: bit-identical, since the path consumes no per-window RNG and
+  // num_windows is deliberately not validated on it.
+  const auto b = traffic::sweep_windows(g, traffic::RateModel{}, 2000, 0, q,
+                                        5, pool, expected_options());
+  ASSERT_TRUE(a.expected.has_value());
+  ASSERT_TRUE(b.expected.has_value());
+  ASSERT_EQ(a.expected->bin_counts.size(), b.expected->bin_counts.size());
+  for (std::size_t i = 0; i < a.expected->bin_counts.size(); ++i) {
+    EXPECT_EQ(a.expected->bin_counts[i], b.expected->bin_counts[i]) << i;
+  }
+  EXPECT_EQ(a.expected->visible_entities, b.expected->visible_entities);
+  EXPECT_EQ(a.expected->max_value, b.expected->max_value);
+  EXPECT_EQ(a.expected->aggregates.max_link_packets,
+            b.expected->aggregates.max_link_packets);
+  // The expected mass is a unit distribution with the merged histogram
+  // deliberately left empty (nothing integer-valued to merge), and with
+  // replicates off the ensemble holds the mass as one pseudo-window.
+  EXPECT_NEAR(a.expected->mass.total_mass(), 1.0, 1e-9);
+  EXPECT_EQ(a.merged.total(), 0u);
+  EXPECT_EQ(a.ensemble.num_windows(), 1u);
+  const auto em = a.ensemble.mean();
+  for (std::size_t i = 0; i < em.size(); ++i) {
+    const double m = i < a.expected->mass.num_bins() ? a.expected->mass[i]
+                                                     : 0.0;
+    EXPECT_DOUBLE_EQ(em[i], m) << i;
+  }
+}
+
+TEST(SweepExpected, ReplicatesAttachSampledConfidenceBands) {
+  Rng gen_rng(17);
+  const auto g = graph::erdos_renyi(gen_rng, 200, 0.04);
+  ThreadPool pool(2);
+  auto opts = expected_options();
+  opts.expected_replicates = 12;
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, 2000, 1, traffic::Quantity::kLinkPackets,
+      7, pool, opts);
+  ASSERT_TRUE(sweep.expected.has_value());
+  EXPECT_EQ(sweep.ensemble.num_windows(), 12u);
+  // With real sampled windows behind it, the ensemble now carries σ > 0
+  // somewhere, and its mean must straddle the analytic mass (loose bound:
+  // this is the same law the agreement test pins tightly).
+  const auto sd = sweep.ensemble.stddev();
+  double max_sd = 0.0;
+  for (const double s : sd) max_sd = std::max(max_sd, s);
+  EXPECT_GT(max_sd, 0.0);
+}
+
+TEST(SweepExpected, RejectsZeroPacketsAndHonoursCancel) {
+  Rng gen_rng(19);
+  const auto g = graph::erdos_renyi(gen_rng, 100, 0.05);
+  ThreadPool pool(1);
+  EXPECT_THROW(traffic::sweep_windows(g, traffic::RateModel{}, 0, 1,
+                                      traffic::Quantity::kLinkPackets, 1,
+                                      pool, expected_options()),
+               palu::InvalidArgument);
+  std::atomic<bool> cancel{true};
+  auto opts = expected_options();
+  opts.cancel = &cancel;
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, 1000, 1, traffic::Quantity::kLinkPackets, 1,
+      pool, opts);
+  EXPECT_TRUE(sweep.cancelled);
+  EXPECT_EQ(sweep.windows_skipped, 1u);
+  EXPECT_FALSE(sweep.expected.has_value());
+}
+
+TEST(SweepExpected, FailpointHonoursFailureBudget) {
+  Rng gen_rng(23);
+  const auto g = graph::erdos_renyi(gen_rng, 100, 0.05);
+  ThreadPool pool(1);
+  {
+    testing::FailpointGuard guard;
+    failpoints::arm("theory.expected_window", /*fires=*/1, /*skip=*/0);
+    try {
+      traffic::sweep_windows(g, traffic::RateModel{}, 1000, 1,
+                             traffic::Quantity::kLinkPackets, 1, pool,
+                             expected_options());
+      FAIL() << "strict expected sweep must rethrow the failure";
+    } catch (const traffic::SweepWindowError& e) {
+      EXPECT_EQ(e.window(), 0u);
+    }
+  }
+  {
+    testing::FailpointGuard guard;
+    failpoints::arm("theory.expected_window", /*fires=*/1, /*skip=*/0);
+    auto opts = expected_options();
+    opts.max_failed_windows = 1;
+    const auto sweep = traffic::sweep_windows(
+        g, traffic::RateModel{}, 1000, 1, traffic::Quantity::kLinkPackets,
+        1, pool, opts);
+    EXPECT_EQ(sweep.failures.size(), 1u);
+    EXPECT_FALSE(sweep.expected.has_value());
+  }
+}
+
+TEST(SweepExpected, StageMetricsCarryExpectedPathLabel) {
+  Rng gen_rng(29);
+  const auto g = graph::erdos_renyi(gen_rng, 200, 0.04);
+  ThreadPool pool(1);
+  obs::Registry registry;
+  auto opts = expected_options();
+  opts.metrics = &registry;
+  const auto sweep = traffic::sweep_windows(
+      g, traffic::RateModel{}, 5000, 1,
+      traffic::Quantity::kUndirectedDegree, 3, pool, opts);
+  ASSERT_TRUE(sweep.expected.has_value());
+  EXPECT_GT(sweep.timings.sampling_cpu_ns, 0u);    // prepare (visibilities)
+  EXPECT_GT(sweep.timings.accumulation_cpu_ns, 0u);  // marginal folding
+  EXPECT_GT(sweep.timings.binning_cpu_ns, 0u);     // assembly + aggregates
+  const auto snap = registry.snapshot();
+  bool saw_expected_label = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name != obs::names::kSweepStageDurationNs) continue;
+    for (const auto& [key, value] : h.labels) {
+      if (key == "path") {
+        EXPECT_EQ(value, "expected");
+        saw_expected_label = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_expected_label);
+}
+
+}  // namespace
+}  // namespace palu

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "palu/common/error.hpp"
@@ -231,6 +232,34 @@ TEST(Stream, RejectsEdgelessGraph) {
   const graph::Graph g(10);
   EXPECT_THROW(SyntheticTrafficGenerator(g, RateModel{}, Rng(1)),
                palu::InvalidArgument);
+}
+
+TEST(Stream, VisibilityEdgeCases) {
+  // n_valid == 0: zero packets see nothing — and must not evaluate
+  // 0 · log1p(−r) = 0 · (−inf) = NaN for saturated rates.
+  graph::Graph g(2);
+  g.add_edge(0, 1);  // single edge → its rate carries all mass (rate == 1)
+  SyntheticTrafficGenerator gen(g, RateModel{}, Rng(5));
+  EXPECT_EQ(gen.expected_edge_visibility(0), 0.0);
+  EXPECT_EQ(gen.expected_unique_links(0), 0.0);
+  // rate == 1.0: visibility is exactly 1 for any n ≥ 1, not NaN and not
+  // merely close to 1 through expm1(n · (−inf)).
+  EXPECT_EQ(gen.expected_edge_visibility(1), 1.0);
+  EXPECT_EQ(gen.expected_edge_visibility(1000000), 1.0);
+}
+
+TEST(Stream, MovedFromGeneratorRejectsVisibilityQueries) {
+  // A moved-from generator holds an empty rate vector; 0/0 would memoize
+  // NaN forever, so the query must throw a typed error instead.
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  SyntheticTrafficGenerator gen(g, RateModel{}, Rng(7));
+  SyntheticTrafficGenerator sink = std::move(gen);
+  EXPECT_THROW(gen.expected_edge_visibility(100), palu::InvalidArgument);
+  EXPECT_THROW(gen.expected_unique_links(100), palu::InvalidArgument);
+  // The move target still answers.
+  EXPECT_GT(sink.expected_edge_visibility(100), 0.0);
 }
 
 TEST(Stream, DegreeProductRatesFavorHubs) {

@@ -177,13 +177,29 @@ int cmd_sweep(const cli::Args& args) {
                           fast + "'");
   }
   // --synthesis counts switches to count-space window draws (O(edges) per
-  // window; same law as the packet paths, different RNG consumption).
+  // window; same law as the packet paths, different RNG consumption);
+  // --synthesis expected drops sampling entirely and evaluates the
+  // expected histogram and aggregates in closed form (--windows is then
+  // ignored; --replicates R adds sampled counts windows for σ bands).
   const std::string synthesis = args.get_string("synthesis", "packet");
   if (synthesis == "counts") {
     opts.synthesis = traffic::SynthesisMode::kMultinomial;
+  } else if (synthesis == "expected") {
+    opts.synthesis = traffic::SynthesisMode::kExpected;
   } else if (synthesis != "packet") {
-    throw InvalidArgument("--synthesis must be 'packet' or 'counts', got '" +
-                          synthesis + "'");
+    throw InvalidArgument(
+        "--synthesis must be 'packet', 'counts' or 'expected', got '" +
+        synthesis + "'");
+  }
+  const std::int64_t replicates_arg = args.get_int("replicates", 0);
+  if (replicates_arg < 0) {
+    throw InvalidArgument("--replicates must be >= 0, got " +
+                          std::to_string(replicates_arg));
+  }
+  opts.expected_replicates = static_cast<std::size_t>(replicates_arg);
+  if (opts.expected_replicates > 0 &&
+      opts.synthesis != traffic::SynthesisMode::kExpected) {
+    throw InvalidArgument("--replicates needs --synthesis expected");
   }
   // --shards K > 1 turns on intra-window sharding: each window's
   // accumulation is partitioned by node-id range across K mergeable
@@ -211,18 +227,34 @@ int cmd_sweep(const cli::Args& args) {
                          sweep.ensemble.stddev());
     return 0;
   }
+  const char* path_name =
+      opts.synthesis == traffic::SynthesisMode::kExpected ? "expected"
+      : opts.synthesis == traffic::SynthesisMode::kMultinomial
+          ? "counts"
+          : (opts.fast_path || opts.shards_per_window > 1 ? "fast"
+                                                          : "legacy");
   std::printf("sweep: %zu/%zu windows, quantity=%s, path=%s, shards=%zu\n",
-              sweep.windows, windows,
+              sweep.windows,
+              opts.synthesis == traffic::SynthesisMode::kExpected ? 1
+                                                                  : windows,
               std::string(traffic::quantity_name(quantity)).c_str(),
-              opts.synthesis == traffic::SynthesisMode::kMultinomial
-                  ? "counts"
-                  : (opts.fast_path || opts.shards_per_window > 1 ? "fast"
-                                                                  : "legacy"),
-              opts.shards_per_window);
-  std::printf("d_max=%llu merged_total=%llu support=%zu\n",
-              static_cast<unsigned long long>(sweep.max_value),
-              static_cast<unsigned long long>(sweep.merged.total()),
-              sweep.merged.support_size());
+              path_name, opts.shards_per_window);
+  if (sweep.expected) {
+    const auto& agg = sweep.expected->aggregates;
+    std::printf("d_max(median)=%llu visible_entities=%.1f\n",
+                static_cast<unsigned long long>(sweep.max_value),
+                sweep.expected->visible_entities);
+    std::printf("expected aggregates: valid_packets=%.0f unique_links=%.1f "
+                "unique_sources=%.1f unique_destinations=%.1f "
+                "max_link_packets=%.0f\n",
+                agg.valid_packets, agg.unique_links, agg.unique_sources,
+                agg.unique_destinations, agg.max_link_packets);
+  } else {
+    std::printf("d_max=%llu merged_total=%llu support=%zu\n",
+                static_cast<unsigned long long>(sweep.max_value),
+                static_cast<unsigned long long>(sweep.merged.total()),
+                sweep.merged.support_size());
+  }
   std::printf("stage cpu (summed over workers): sampling=%.1fms "
               "accumulation=%.1fms binning=%.1fms\n",
               static_cast<double>(sweep.timings.sampling_cpu_ns) / 1e6,
@@ -234,7 +266,9 @@ int cmd_sweep(const cli::Args& args) {
               static_cast<double>(sweep.timings.accumulation_max_ns) / 1e6,
               static_cast<double>(sweep.timings.binning_max_ns) / 1e6);
   // Fit the PALU constants on the merged sweep so one `sweep --metrics`
-  // run exercises — and exports — the whole instrumented pipeline.
+  // run exercises — and exports — the whole instrumented pipeline.  The
+  // expected path has no merged integer histogram to fit.
+  if (sweep.merged.total() == 0) return 0;
   const auto robust = core::robust_fit_palu(sweep.merged);
   if (robust.ok()) {
     std::printf("palu constants: alpha=%.4f c=%.5f mu=%.4f u=%.6f "
@@ -459,7 +493,9 @@ int print_help() {
       "  generate --nodes N --lambda L --core C --leaves F --alpha A\n"
       "           --window P --packets K [--seed S]   write a trace\n"
       "  sweep    --windows W --nvalid N [--quantity Q] [--seed S]\n"
-      "           [--fast-path on|off] [--synthesis packet|counts]\n"
+      "           [--fast-path on|off]\n"
+      "           [--synthesis packet|counts|expected]\n"
+      "           [--replicates R]\n"
       "           [--shards K] [--csv]                 Monte-Carlo window\n"
       "                                               sweep over a PALU\n"
       "                                               network (fast path\n"
@@ -468,7 +504,13 @@ int print_help() {
       "                                               each window by node\n"
       "                                               range across K merged\n"
       "                                               sub-accumulators\n"
-      "                                               (byte-identical)\n"
+      "                                               (byte-identical);\n"
+      "                                               'expected' evaluates\n"
+      "                                               the analytic window\n"
+      "                                               (no sampling, one\n"
+      "                                               deterministic pass;\n"
+      "                                               --replicates R adds\n"
+      "                                               sampled sigma bands)\n"
       "  analyze  --trace FILE|- --nvalid N [--csv]   fit models\n"
       "  census   --trace FILE|- --nvalid N           topology census\n"
       "  zoo      --histogram FILE|- [--csv]          rank model zoo on\n"

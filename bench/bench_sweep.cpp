@@ -4,9 +4,11 @@
 // Timing TU (tools/timing_files.txt): steady_clock reads time the paths;
 // the sweeps themselves are seed-driven and stay reproducible.
 //
-// Runs the same Monte-Carlo window sweep three ways — the legacy
-// per-window SparseCountMatrix path, the WindowAccumulator fast path, and
-// the count-space Multinomial path — verifies that legacy and fast merged
+// Runs the same Monte-Carlo window sweep four ways — the legacy
+// per-window SparseCountMatrix path, the WindowAccumulator fast path, the
+// count-space Multinomial path, and store replay (capture the counts
+// ensemble once, then re-drive the sweep from decoded blocks) — verifies
+// that legacy and fast merged
 // histograms are identical (they share RNG consumption) and that a
 // count-space window conserves packet mass exactly, then writes
 // BENCH_sweep.json:
@@ -32,7 +34,14 @@
 //                "points": [{"shards", "seconds"}]},  // intra-window axis
 //     "expected": {"points": [{"nvalid", "seconds_per_eval"}],
 //                  "ratios": [...],   // flat ⇒ analytic cost is N_V-free
-//                  "counts_sweep_seconds_over_expected_eval": X}
+//                  "counts_sweep_seconds_over_expected_eval": X},
+//     "replay": {... same shape as legacy/fast/counts ...},
+//     "replay_store": {"windows", "records", "payload_bytes", "file_bytes",
+//                      "payload_bytes_per_record", "bytes_per_window",
+//                      "capture_seconds"},
+//     "speedup_synthesis_vs_replay_per_window": X,  // stage cost replaced
+//     "speedup_replay_vs_counts": X,   // whole-sweep wall ratio
+//     "replay_identical": true|false   // replay (shards 1 and 4) vs capture
 //   }
 //
 // Each run records into its own obs::Registry, so the metrics block is
@@ -43,8 +52,10 @@
 // Default config is the acceptance workload (64 windows × 1e6 packets);
 // `--smoke` shrinks it to seconds so ctest can keep the binary honest,
 // `--counts-only` skips the slow packet paths (the counts smoke ctest),
-// and `--expected-only` runs just the analytic expectation axis (the
-// expected smoke ctest).  Exit code is non-zero on any check failure.
+// `--expected-only` runs just the analytic expectation axis (the
+// expected smoke ctest), and `--replay-only` runs just the capture →
+// replay axis (the replay smoke ctest).  Exit code is non-zero on any
+// check failure.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -74,7 +85,8 @@ struct RunResult {
 RunResult run_sweep(const graph::Graph& g, Count n_valid,
                     std::size_t windows, traffic::Quantity quantity,
                     std::uint64_t seed, ThreadPool& pool, Path path,
-                    std::size_t shards = 1) {
+                    std::size_t shards = 1,
+                    traffic::WindowCaptureSink* capture = nullptr) {
   obs::Registry registry;
   traffic::SweepOptions opts;
   opts.fast_path = path != Path::kLegacy;
@@ -89,6 +101,7 @@ RunResult run_sweep(const graph::Graph& g, Count n_valid,
     opts.shards_per_window = shards;
   }
   opts.metrics = &registry;
+  opts.capture = capture;
   const auto t0 = std::chrono::steady_clock::now();
   auto sweep = traffic::sweep_windows(g, traffic::RateModel{}, n_valid,
                                       windows, quantity, seed, pool, opts);
@@ -103,6 +116,36 @@ RunResult run_sweep(const graph::Graph& g, Count n_valid,
   if (sweep.expected) {
     out.expected_mass_total = sweep.expected->mass.total_mass();
   }
+  std::ostringstream metrics;
+  obs::write_json(metrics, registry.snapshot());
+  out.metrics_json = std::move(metrics).str();
+  return out;
+}
+
+// Replay axis (PR 10): the same stage graph driven from a window store —
+// block read + varint decode replaces synthesis, so the per-window cost
+// is memory/IO bandwidth, not sampling.  The merged result must be
+// byte-identical to the capturing sweep.
+RunResult run_replay(store::WindowStoreReader& reader, std::size_t windows,
+                     Count n_valid, traffic::Quantity quantity,
+                     ThreadPool& pool, std::size_t shards = 1) {
+  obs::Registry registry;
+  traffic::SweepOptions opts;
+  if (shards > 1) {
+    opts.shard_mode = traffic::ShardMode::kIntraWindow;
+    opts.shards_per_window = shards;
+  }
+  opts.metrics = &registry;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto sweep = traffic::sweep_windows(reader, windows, quantity, pool, opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.packets_per_sec =
+      static_cast<double>(n_valid) * static_cast<double>(windows) /
+      out.seconds;
+  out.timings = sweep.timings;
+  out.merged = std::move(sweep.merged);
   std::ostringstream metrics;
   obs::write_json(metrics, registry.snapshot());
   out.metrics_json = std::move(metrics).str();
@@ -160,7 +203,9 @@ int main(int argc, char** argv) {
   const auto args = cli::Args::parse(argc, argv, 1);
   const bool smoke = args.get_flag("smoke");
   const bool expected_only = args.get_flag("expected-only");
-  const bool counts_only = args.get_flag("counts-only") || expected_only;
+  const bool replay_only = args.get_flag("replay-only");
+  const bool counts_only =
+      args.get_flag("counts-only") || expected_only || replay_only;
   const auto windows = static_cast<std::size_t>(
       args.get_int("windows", smoke ? 4 : 64));
   const auto n_valid =
@@ -170,6 +215,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 29));
   const std::string out_path =
       args.get_string("out", "BENCH_sweep.json");
+  const std::string store_dir =
+      args.get_string("store-dir", out_path + ".store");
 
   const auto params = core::PaluParams::solve_hubs(6.0, 0.35, 0.2, 2.3,
                                                    1.0);
@@ -184,9 +231,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(net.graph.num_nodes()),
               net.graph.num_edges(), pool.size());
 
-  const bool mass_ok =
-      expected_only || counts_mass_conserved(net.graph, n_valid, seed);
-  if (!expected_only) {
+  const bool mass_ok = expected_only || replay_only ||
+                       counts_mass_conserved(net.graph, n_valid, seed);
+  if (!expected_only && !replay_only) {
     std::printf("counts mass conservation: %s\n", mass_ok ? "ok" : "FAIL");
   }
 
@@ -216,7 +263,7 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> shard_counts = {1, 2, 4};
   std::vector<double> shard_seconds;
   bool shards_identical = true;
-  if (!expected_only) {
+  if (!expected_only && !replay_only) {
     counts = run_sweep(net.graph, n_valid, windows, quantity, seed, pool,
                        Path::kCounts);
     std::printf("counts: %.3fs (%.2fM packets/s)\n", counts.seconds,
@@ -267,22 +314,24 @@ int main(int argc, char** argv) {
   std::vector<double> expected_per_eval;
   std::vector<double> expected_ratios;
   bool expected_sane = true;
-  for (const Count nv : scaling_nvalid) {
-    const RunResult r = run_sweep(net.graph, nv, 1, quantity, seed, pool,
-                                  Path::kExpected);
-    expected_per_eval.push_back(r.seconds);
-    if (std::abs(r.expected_mass_total - 1.0) > 1e-9) {
-      expected_sane = false;
+  if (!replay_only) {
+    for (const Count nv : scaling_nvalid) {
+      const RunResult r = run_sweep(net.graph, nv, 1, quantity, seed, pool,
+                                    Path::kExpected);
+      expected_per_eval.push_back(r.seconds);
+      if (std::abs(r.expected_mass_total - 1.0) > 1e-9) {
+        expected_sane = false;
+      }
+      std::printf("expected: nvalid=%llu %.2fms/eval (mass=%.9f)\n",
+                  static_cast<unsigned long long>(nv), r.seconds * 1e3,
+                  r.expected_mass_total);
     }
-    std::printf("expected: nvalid=%llu %.2fms/eval (mass=%.9f)\n",
-                static_cast<unsigned long long>(nv), r.seconds * 1e3,
-                r.expected_mass_total);
-  }
-  for (std::size_t i = 1; i < expected_per_eval.size(); ++i) {
-    expected_ratios.push_back(expected_per_eval[i] /
-                              expected_per_eval[i - 1]);
-    std::printf("expected scaling ratio (x10 packets): %.3fx\n",
-                expected_ratios.back());
+    for (std::size_t i = 1; i < expected_per_eval.size(); ++i) {
+      expected_ratios.push_back(expected_per_eval[i] /
+                                expected_per_eval[i - 1]);
+      std::printf("expected scaling ratio (x10 packets): %.3fx\n",
+                  expected_ratios.back());
+    }
   }
   // One analytic evaluation vs. the counts sweep it replaces — the
   // configured `windows`-window ensemble (64 by default, the ROADMAP
@@ -295,6 +344,77 @@ int main(int argc, char** argv) {
     std::printf("expected vs counts sweep at nvalid=%llu: %.1fx\n",
                 static_cast<unsigned long long>(scaling_nvalid.back()),
                 expected_speedup);
+  }
+
+  // Replay axis (PR 10): capture the counts ensemble once into a window
+  // store, then drive the same sweep from the store — block read + varint
+  // decode replaces synthesis.  Replay (shards 1 and 4) must reproduce
+  // the capturing sweep byte-identically, and the store must stay under
+  // 8 payload bytes per (pair, count) record.
+  RunResult captured, replay;
+  store::WindowStoreWriter::Stats wstats;
+  bool replay_identical = true;
+  double replay_speedup = 0.0;
+  double replay_sweep_ratio = 0.0;
+  double replay_bytes_per_record = 0.0;
+  const bool run_replay_axis = replay_only || !counts_only;
+  if (run_replay_axis) {
+    store::WriterOptions wopts;
+    wopts.node_domain = net.graph.num_nodes();
+    wopts.seed = seed;
+    {
+      store::WindowStoreWriter writer(store_dir, wopts);
+      captured = run_sweep(net.graph, n_valid, windows, quantity, seed,
+                           pool, Path::kCounts, 1, &writer);
+      writer.finish();
+      wstats = writer.stats();
+    }
+    if (wstats.records > 0) {
+      replay_bytes_per_record = static_cast<double>(wstats.payload_bytes) /
+                                static_cast<double>(wstats.records);
+    }
+    std::printf("capture: %.3fs, store: %llu windows, %llu records, "
+                "%llu B (%.2f payload B/record)\n",
+                captured.seconds,
+                static_cast<unsigned long long>(wstats.blocks),
+                static_cast<unsigned long long>(wstats.records),
+                static_cast<unsigned long long>(wstats.file_bytes),
+                replay_bytes_per_record);
+
+    store::WindowStoreReader reader(store_dir);
+    replay = run_replay(reader, windows, n_valid, quantity, pool);
+    const RunResult sharded =
+        run_replay(reader, windows, n_valid, quantity, pool, 4);
+    replay_identical =
+        replay.merged.sorted() == captured.merged.sorted() &&
+        replay.merged.total() == captured.merged.total() &&
+        sharded.merged.sorted() == captured.merged.sorted() &&
+        sharded.merged.total() == captured.merged.total();
+    // The per-window acceptance ratio: what synthesis costs to produce a
+    // window's records (the counts path's sampling stage) vs. what replay
+    // pays instead (block read + checksum + decode, accounted in the same
+    // stage slot).  Accumulation and binning are shared verbatim by both
+    // paths, so this isolates the work the store actually replaces; the
+    // whole-sweep wall ratio is reported alongside it.  In --replay-only
+    // mode the capturing run is the synthesis baseline.
+    const auto& synth = replay_only ? captured : counts;
+    replay_speedup =
+        static_cast<double>(synth.timings.sampling_cpu_ns) /
+        static_cast<double>(replay.timings.sampling_cpu_ns);
+    replay_sweep_ratio = synth.seconds / replay.seconds;
+    const double sweep_ratio = replay_sweep_ratio;
+    std::printf("replay: %.3fs (%.2fM packets/s, %.2fms/window), "
+                "shards=4: %.3fs, identical: %s\n",
+                replay.seconds, replay.packets_per_sec / 1e6,
+                replay.seconds / static_cast<double>(windows) * 1e3,
+                sharded.seconds, replay_identical ? "true" : "false");
+    std::printf("per-window synthesis %.2fms vs replay read %.2fms: "
+                "%.1fx (whole sweep: %.1fx)\n",
+                static_cast<double>(synth.timings.sampling_cpu_ns) / 1e6 /
+                    static_cast<double>(windows),
+                static_cast<double>(replay.timings.sampling_cpu_ns) / 1e6 /
+                    static_cast<double>(windows),
+                replay_speedup, sweep_ratio);
   }
 
   if (!counts_only) {
@@ -356,7 +476,24 @@ int main(int argc, char** argv) {
       out << (i ? ", " : "") << expected_ratios[i];
     }
     out << "],\n    \"counts_sweep_seconds_over_expected_eval\": "
-        << expected_speedup << "}\n}\n";
+        << expected_speedup << "},\n";
+    write_run_json(out, "replay", replay);
+    out << "  \"replay_store\": {\"windows\": " << wstats.blocks
+        << ", \"records\": " << wstats.records
+        << ", \"payload_bytes\": " << wstats.payload_bytes
+        << ", \"file_bytes\": " << wstats.file_bytes
+        << ",\n    \"payload_bytes_per_record\": " << replay_bytes_per_record
+        << ", \"bytes_per_window\": "
+        << (wstats.blocks > 0
+                ? static_cast<double>(wstats.file_bytes) /
+                      static_cast<double>(wstats.blocks)
+                : 0.0)
+        << ", \"capture_seconds\": " << captured.seconds << "},\n";
+    out << "  \"speedup_synthesis_vs_replay_per_window\": " << replay_speedup
+        << ",\n";
+    out << "  \"speedup_replay_vs_counts\": " << replay_sweep_ratio << ",\n";
+    out << "  \"replay_identical\": "
+        << (replay_identical ? "true" : "false") << "\n}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }
 
@@ -383,6 +520,16 @@ int main(int argc, char** argv) {
   if (!expected_sane) {
     std::fprintf(stderr,
                  "FAIL: expected mass does not sum to 1\n");
+    ok = false;
+  }
+  if (!replay_identical) {
+    std::fprintf(stderr,
+                 "FAIL: replay diverged from the capturing sweep\n");
+    ok = false;
+  }
+  if (run_replay_axis && replay_bytes_per_record > 8.0) {
+    std::fprintf(stderr,
+                 "FAIL: store exceeds 8 payload bytes per record\n");
     ok = false;
   }
   return ok ? 0 : 1;

@@ -65,6 +65,27 @@ inline constexpr char kFitResults[] = "palu_fit_results_total";
 /// Counter: base-fit retries inside robust_fit_palu's tail relaxation.
 inline constexpr char kFitBaseRetries[] = "palu_fit_base_retries_total";
 
+// --- columnar window store (src/store) ----------------------------------
+/// Counter: window blocks appended by capture writers.
+inline constexpr char kStoreBlocksWritten[] =
+    "palu_store_blocks_written_total";
+/// Counter: bytes written by capture writers (headers + payloads +
+/// manifest/trailer).
+inline constexpr char kStoreBytesWritten[] =
+    "palu_store_bytes_written_total";
+/// Counter: window blocks read and decoded by replay readers.
+inline constexpr char kStoreBlocksRead[] = "palu_store_blocks_read_total";
+/// Counter: bytes read by replay readers.
+inline constexpr char kStoreBytesRead[] = "palu_store_bytes_read_total";
+/// Counter: blocks or manifests rejected for a bad magic, size, or
+/// FNV-1a checksum.
+inline constexpr char kStoreChecksumFailures[] =
+    "palu_store_checksum_failures_total";
+/// Counter: store opens that met a torn tail (missing/corrupt manifest).
+inline constexpr char kStoreTornTails[] = "palu_store_torn_tails_total";
+/// Histogram: per-block varint/delta decode ns on the replay path.
+inline constexpr char kStoreDecodeNs[] = "palu_store_decode_ns";
+
 // --- streaming service (src/serve) --------------------------------------
 /// Counter: packets admitted into the serve window accumulator.
 inline constexpr char kServePackets[] = "palu_serve_packets_total";

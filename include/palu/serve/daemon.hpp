@@ -37,6 +37,7 @@
 #include "palu/serve/checkpoint.hpp"
 #include "palu/serve/options.hpp"
 #include "palu/serve/queue.hpp"
+#include "palu/store/writer.hpp"
 #include "palu/traffic/window_accumulator.hpp"
 
 namespace palu::serve {
@@ -123,6 +124,12 @@ class ServeDaemon {
   std::optional<core::StreamingRefit> last_published_;
   std::uint64_t resume_offset_ = 0;
   std::string fatal_message_;
+
+  // Window recorder (--record): owned by the fit thread after start;
+  // reset on the first append failure so recording can never take the
+  // daemon down.  The export buffer is fit-thread scratch.
+  std::unique_ptr<store::WindowStoreWriter> recorder_;
+  std::vector<traffic::EdgePacketCounts> record_buf_;
 
   // Metric handles, resolved once against the selected registry.
   obs::Counter& packets_counter_;

@@ -82,6 +82,14 @@ struct ServeOptions {
   /// Result-line sink; nullptr means std::cout.
   std::ostream* out = nullptr;
 
+  // --- recording --------------------------------------------------------
+  /// Window-store directory (palu::store): every fitted window's pair
+  /// counts are archived so the run can be replayed with `palu_tool
+  /// replay`.  Empty disables recording.  The store is truncated at
+  /// startup (including under --restore); a recording failure logs to
+  /// stderr and disables the recorder — it never takes the daemon down.
+  std::string record_path;
+
   // --- supervision ------------------------------------------------------
   /// Restarts a stage may consume without making progress before the
   /// daemon gives up (exit 1).

@@ -1,0 +1,211 @@
+// On-disk layout of the columnar window store (DESIGN.md §5j).
+//
+// A store file is: a 40-byte file header, then one block per window in
+// append order, then a manifest (one entry per block), then a 24-byte
+// trailer that locates the manifest.  All integers are little-endian;
+// the header carries an endian tag so a big-endian reader fails loudly
+// instead of decoding garbage.  Per-pair records inside a block are
+// sorted by (u, v) and delta-encoded: u as a varint delta from the
+// previous record's u, v as a zigzag-varint delta from the previous
+// record's v, then the forward and backward packet counts as plain
+// varints.  Every block and the manifest carry a 64-bit checksum
+// (checksum64 below) so torn writes surface as typed DataError, never
+// as silent bad windows.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace palu::store {
+
+// ------------------------------------------------------------ constants
+
+/// File magic, first 8 bytes: "PALUWST1".
+inline constexpr std::uint64_t kFileMagic = 0x3154535755'4C4150ULL;
+/// Endian tag stored as a u32; reads back as 0x04030201 on a
+/// wrong-endian host.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+/// Format version this library writes and the only one it reads.
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Block magic "BLK1" (little-endian u32).
+inline constexpr std::uint32_t kBlockMagic = 0x314B4C42u;
+/// Manifest magic "MFT1" (little-endian u32).
+inline constexpr std::uint32_t kManifestMagic = 0x3154464Du;
+/// Trailer magic, last 8 bytes of the file: "PALUWEND".
+inline constexpr std::uint64_t kTrailerMagic = 0x444E455755'4C4150ULL;
+
+/// Fixed section sizes (serialized field-by-field, never memcpy'd
+/// structs, so there is no padding to get wrong).
+inline constexpr std::size_t kFileHeaderBytes = 40;
+/// Offset of the node_domain field inside the file header (magic, endian
+/// tag, and version precede it).  finish() rewrites it in place so
+/// producers that cannot know the domain up front (the serve recorder)
+/// can widen it to the data actually appended.
+inline constexpr long kFileHeaderDomainOffset = 16;
+inline constexpr std::size_t kBlockHeaderBytes = 40;
+inline constexpr std::size_t kManifestEntryBytes = 24;
+inline constexpr std::size_t kManifestHeaderBytes = 16;
+inline constexpr std::size_t kTrailerBytes = 24;
+
+/// All six window quantities are always covered by a stored block; the
+/// mask exists so a future version can store partial coverage.
+inline constexpr std::uint32_t kAllQuantitiesMask = 0x3Fu;
+
+// ------------------------------------------------------------ checksum
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// One unaligned little-endian u64 load, as a real 8-byte load: the
+/// shift-or idiom in get_u64 below is not reliably coalesced by gcc, and
+/// the checksum walks every stored byte through this.
+inline std::uint64_t load_le_u64(const unsigned char* p) noexcept {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  if constexpr (std::endian::native == std::endian::big) {
+    w = __builtin_bswap64(w);
+  }
+  return w;
+}
+
+/// 64-bit payload checksum: the FNV-1a mix (xor then multiply by the FNV
+/// prime) folded over four independent 64-bit little-endian word lanes,
+/// 32 bytes per step, with the sub-32-byte tail absorbed byte-wise into
+/// lane 0 and the total length mixed into the final fold.  Replay
+/// verifies every block before decoding, so this runs over the whole
+/// store per replay: four independent multiply chains pipeline where the
+/// canonical byte-at-a-time FNV-1a serializes on one (~8x throughput on
+/// one core).  Words are read as little-endian, so the value is
+/// host-endianness-independent like the rest of the format.
+inline std::uint64_t checksum64(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint64_t total = n;
+  std::uint64_t h0 = kFnvOffset;
+  std::uint64_t h1 = kFnvOffset ^ 0x9E3779B97F4A7C15ULL;
+  std::uint64_t h2 = kFnvOffset ^ 0xC2B2AE3D27D4EB4FULL;
+  std::uint64_t h3 = kFnvOffset ^ 0x165667B19E3779F9ULL;
+  while (n >= 32) {
+    h0 = (h0 ^ load_le_u64(p)) * kFnvPrime;
+    h1 = (h1 ^ load_le_u64(p + 8)) * kFnvPrime;
+    h2 = (h2 ^ load_le_u64(p + 16)) * kFnvPrime;
+    h3 = (h3 ^ load_le_u64(p + 24)) * kFnvPrime;
+    p += 32;
+    n -= 32;
+  }
+  while (n > 0) {
+    h0 = (h0 ^ *p++) * kFnvPrime;
+    --n;
+  }
+  std::uint64_t h = (h0 ^ h1) * kFnvPrime;
+  h = (h ^ h2) * kFnvPrime;
+  h = (h ^ h3) * kFnvPrime;
+  return (h ^ total) * kFnvPrime;
+}
+
+// ------------------------------------------------------ varint / zigzag
+//
+// LEB128 varints: 7 value bits per byte, high bit = continuation.  A
+// u64 needs at most 10 bytes.  Signed deltas go through zigzag so small
+// negative v-deltas stay short.
+
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+inline std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t u) noexcept {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Appends the varint encoding of `v` to `out` (raw byte vector).
+template <typename ByteVec>
+inline void put_varint(ByteVec& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<typename ByteVec::value_type>(
+        static_cast<unsigned char>(v) | 0x80u));
+    v >>= 7;
+  }
+  out.push_back(static_cast<typename ByteVec::value_type>(
+      static_cast<unsigned char>(v)));
+}
+
+/// Decodes one varint from [p, end).  Returns the advanced pointer, or
+/// nullptr on truncation / a varint longer than 10 bytes.  The loop is
+/// branch-light: one compare per byte, no per-byte function calls.
+inline const unsigned char* get_varint(const unsigned char* p,
+                                       const unsigned char* end,
+                                       std::uint64_t& v) noexcept {
+  std::uint64_t out = 0;
+  unsigned shift = 0;
+  while (p != end && shift < 70) {
+    const unsigned char byte = *p++;
+    out |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      v = out;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------- fixed-width LE helpers
+
+template <typename ByteVec>
+inline void put_u32(ByteVec& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<typename ByteVec::value_type>(
+        static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+
+template <typename ByteVec>
+inline void put_u64(ByteVec& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<typename ByteVec::value_type>(
+        static_cast<unsigned char>(v >> (8 * i))));
+  }
+}
+
+inline std::uint32_t get_u32(const unsigned char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+inline std::uint64_t get_u64(const unsigned char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+// ------------------------------------------------------- parsed headers
+
+/// Decoded 40-byte file header.
+struct FileHeader {
+  std::uint64_t node_domain = 0;  ///< node-id domain of the producer
+  std::uint64_t seed = 0;         ///< producer RNG seed (provenance only)
+};
+
+/// Decoded 40-byte block header (payload follows immediately).
+struct BlockHeader {
+  std::uint32_t quantity_mask = kAllQuantitiesMask;
+  std::uint64_t window_index = 0;
+  std::uint64_t n_valid = 0;       ///< window valid-packet total N_V
+  std::uint32_t record_count = 0;  ///< (u,v,count) records in the payload
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t payload_checksum = 0;  ///< checksum64 of the payload bytes
+};
+
+/// One manifest entry: where block `window_index` lives in the file.
+struct ManifestEntry {
+  std::uint64_t window_index = 0;
+  std::uint64_t offset = 0;       ///< file offset of the block header
+  std::uint64_t block_bytes = 0;  ///< header + payload
+};
+
+}  // namespace palu::store

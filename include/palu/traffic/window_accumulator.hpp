@@ -81,6 +81,15 @@ class WindowAccumulator {
   /// Packet count of a specific link, 0 if absent.
   Count at(NodeId src, NodeId dst) const;
 
+  /// Appends the current window's content to `out` as unordered-pair
+  /// records with the lower endpoint in `u` (self-pairs all-forward),
+  /// zero rows dropped — the capture-tee export for the columnar window
+  /// store.  In hash mode a pair that saw both directions is emitted
+  /// twice (once per live cell); order is unspecified.  Consumers that
+  /// need canonical form (sorted, one record per pair) coalesce —
+  /// ingest_counts cannot take this output directly.
+  void export_counts(std::vector<EdgePacketCounts>& out) const;
+
   /// Histogram of one quantity over the current window, computed in a
   /// single unsorted pass; content-identical to quantity_histogram() on a
   /// SparseCountMatrix holding the same cells.  Non-const: reuses the node

@@ -65,6 +65,9 @@ class Registry;
 
 namespace palu::traffic {
 
+class WindowSource;       // traffic/window_source.hpp
+class WindowCaptureSink;  // traffic/window_source.hpp
+
 /// Thrown when a sweep worker fails and the failure budget is zero; names
 /// the window so operators can bisect a bad capture region.
 class SweepWindowError : public Error {
@@ -128,6 +131,22 @@ enum class SynthesisMode {
   kExpected,
 };
 
+/// Where a sweep's windows come from (DESIGN.md §5j).
+enum class SweepSource {
+  /// Synthesize windows from the graph + rate model per SynthesisMode
+  /// (the default, and the only mode the graph overloads accept unless
+  /// SweepOptions::replay is set).
+  kSynthesize,
+  /// Replay pre-computed windows from SweepOptions::replay (a
+  /// palu::store reader or any other WindowSource).  Synthesis is
+  /// skipped entirely: no generator build, no RNG, no packet
+  /// materialization — each worker decodes straight into
+  /// WindowAccumulator::ingest_counts.  The graph/rates/seed arguments
+  /// and SynthesisMode are ignored; kExpected and `capture` do not
+  /// compose with replay.
+  kReplay,
+};
+
 /// Resilience and performance knobs for sweep_windows.
 struct SweepOptions {
   /// Windows allowed to fail before the sweep itself fails.  0 preserves
@@ -163,6 +182,23 @@ struct SweepOptions {
   /// between windows (a worker stuck inside one window cannot be
   /// preempted, but no new window starts past the deadline).
   std::chrono::milliseconds timeout{0};
+  /// Window provenance: kSynthesize draws windows, kReplay decodes them
+  /// from `replay` (which must then be non-null).
+  SweepSource source = SweepSource::kSynthesize;
+  /// The stored-window supplier for source == kReplay.  Not owned; must
+  /// outlive the sweep call.  Its node_domain() drives intra-window
+  /// shard routing, so replaying a capture with --shards K is
+  /// byte-identical to the capturing run at any K.
+  WindowSource* replay = nullptr;
+  /// Optional capture tee: every successfully accumulated window is
+  /// appended (canonical per-pair counts) before the sweep reduces it.
+  /// Not owned; must be thread-safe (workers append concurrently) and
+  /// outlive the sweep call.  An append failure is charged to the
+  /// window like any other per-window fault.  Capture always routes
+  /// through the WindowAccumulator machinery (a fast_path = false sweep
+  /// with capture set silently uses the fast path, which is
+  /// byte-identical); it does not compose with kExpected or kReplay.
+  WindowCaptureSink* capture = nullptr;
   /// Metrics sink for sweep counters and stage-duration histograms
   /// (palu_sweep_* families, see palu/obs/names.hpp).  nullptr routes to
   /// obs::default_registry(); point it at a caller-owned registry for
@@ -229,5 +265,18 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 const RateModel& rates, Count n_valid,
                                 std::size_t num_windows, Quantity quantity,
                                 std::uint64_t seed, ThreadPool& pool);
+
+/// Replay overload: drives the same stage graph from stored windows —
+/// no graph, no rate model, no RNG.  Windows [0, num_windows) of
+/// `source` are decoded in parallel on `pool` (num_windows must not
+/// exceed source.num_windows()), accumulated (optionally intra-window
+/// sharded per opts.shard_mode) and reduced in window order, so the
+/// result is byte-identical to the capturing sweep for every quantity
+/// and shard count.  opts.source/opts.replay are overridden; a per-
+/// window DataError from the source (corrupt block) is charged against
+/// opts.max_failed_windows exactly like a synthesis failure.
+WindowSweepResult sweep_windows(WindowSource& source,
+                                std::size_t num_windows, Quantity quantity,
+                                ThreadPool& pool, const SweepOptions& opts);
 
 }  // namespace palu::traffic

@@ -267,6 +267,22 @@ void preregister_palu_metrics(Registry& r) {
   r.counter(names::kIngestBudgetExhausted, {{"reader", "trace_tail"}},
             "Reads aborted after exhausting max_bad_lines");
 
+  r.counter(names::kStoreBlocksWritten, {},
+            "Window blocks appended by capture writers");
+  r.counter(names::kStoreBytesWritten, {},
+            "Bytes written by capture writers");
+  r.counter(names::kStoreBlocksRead, {},
+            "Window blocks read and decoded by replay readers");
+  r.counter(names::kStoreBytesRead, {}, "Bytes read by replay readers");
+  r.counter(names::kStoreChecksumFailures, {},
+            "Blocks or manifests rejected for a bad magic, size, or "
+            "checksum");
+  r.counter(names::kStoreTornTails, {},
+            "Store opens that met a torn tail (missing/corrupt manifest)");
+  r.histogram(names::kStoreDecodeNs, {},
+              "Per-block varint/delta decode nanoseconds on the replay "
+              "path");
+
   r.counter(names::kServePackets, {},
             "Packets admitted into the serve window accumulator");
   r.counter(names::kServeWindowsFitted, {},

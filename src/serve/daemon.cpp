@@ -376,6 +376,22 @@ void ServeDaemon::boundary() {
     }
   }
 
+  // Archive the fitted window before begin_window() retires it.  A
+  // recording failure (disk full, armed io.capture_write failpoint)
+  // disables the recorder and keeps serving: recording is an output tee,
+  // never a reason to stop estimating.
+  if (recorder_ != nullptr) {
+    try {
+      record_buf_.clear();
+      acc_.export_counts(record_buf_);
+      recorder_->append(refit.window_index, opts_.window_packets,
+                        record_buf_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: recording disabled: %s\n", e.what());
+      recorder_.reset();
+    }
+  }
+
   acc_.begin_window();
   window_fill_ = 0;
 }
@@ -535,6 +551,15 @@ int ServeDaemon::run() {
   reader_ =
       std::make_unique<io::TraceTailReader>(opts_.ingest, resume_offset_);
   acc_.begin_window();
+  if (!opts_.record_path.empty()) {
+    // The daemon cannot know the trace's node domain up front; the
+    // writer widens the placeholder to the recorded data at finish().
+    store::WriterOptions wopts;
+    wopts.node_domain = 1;
+    wopts.metrics = &registry_;
+    recorder_ = std::make_unique<store::WindowStoreWriter>(
+        opts_.record_path, wopts);
+  }
 
   std::thread ingest([this] { ingest_stage(); });
   std::thread fit([this] { fit_stage(); });
@@ -550,6 +575,17 @@ int ServeDaemon::run() {
     do_checkpoint();
   }
   write_snapshot();
+  // Seal the recording (manifest + trailer) even on a fatal exit: the
+  // windows fitted so far are intact, and a torn tail is only for runs
+  // the process never got to finish.
+  if (recorder_ != nullptr) {
+    try {
+      recorder_->finish();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serve: record finish failed: %s\n", e.what());
+    }
+    recorder_.reset();
+  }
   if (opts_.out != nullptr) {
     opts_.out->flush();
   } else {

@@ -166,6 +166,30 @@ void WindowAccumulator::merge(const WindowAccumulator& other) {
   }
 }
 
+void WindowAccumulator::export_counts(
+    std::vector<EdgePacketCounts>& out) const {
+  if (counts_mode_) {
+    for (const auto& span : pair_spans_) {
+      for (const EdgePacketCounts& pc : span) {
+        if (pc.forward + pc.backward == 0) continue;
+        out.push_back(pc);
+      }
+    }
+    return;
+  }
+  // Hash mode: every live cell carries a positive count on one directed
+  // link; canonicalize each to lower-endpoint-first (self-pairs keep all
+  // packets in `forward`, matching the counts generator's convention).
+  for (const std::uint32_t slot : live_cells_) {
+    const Cell& c = cells_[slot];
+    if (c.src <= c.dst) {
+      out.push_back(EdgePacketCounts{c.src, c.dst, c.count, 0});
+    } else {
+      out.push_back(EdgePacketCounts{c.dst, c.src, 0, c.count});
+    }
+  }
+}
+
 Count WindowAccumulator::at(NodeId src, NodeId dst) const {
   if (counts_mode_) {
     // Cold path (tests, spot checks): one scan over the unique pairs.

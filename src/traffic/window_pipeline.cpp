@@ -21,6 +21,7 @@
 #include "palu/parallel/scratch_pool.hpp"
 #include "palu/parallel/shard.hpp"
 #include "palu/traffic/window_accumulator.hpp"
+#include "palu/traffic/window_source.hpp"
 
 namespace palu::traffic {
 
@@ -35,16 +36,20 @@ std::uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
 }
 
 /// Per-worker sweep scratch: one generator (edges + alias tables built
-/// once, reseeded per window), one arena-reused accumulator, one packet
-/// batch buffer.  Leased from a ScratchPool so whatever worker picks up a
-/// chunk reuses an existing arena instead of rebuilding per window.
-/// Intra-window sharding adds per-shard sub-accumulators and (on the
-/// counts path) per-shard record buckets, all arena-reused the same way.
+/// once, reseeded per window; absent on replay sweeps, which have no
+/// graph), one arena-reused accumulator, one packet batch buffer.
+/// Leased from a ScratchPool so whatever worker picks up a chunk reuses
+/// an existing arena instead of rebuilding per window.  Intra-window
+/// sharding adds per-shard sub-accumulators and (on the counts/replay
+/// paths) per-shard record buckets; replay adds a block byte buffer and
+/// capture an export record buffer, all arena-reused the same way.
 struct SweepScratch {
-  SyntheticTrafficGenerator gen;
+  std::optional<SyntheticTrafficGenerator> gen;
   WindowAccumulator acc;
   std::vector<Packet> buf;
-  std::vector<EdgePacketCounts> pairs;  // counts-path window records
+  std::vector<EdgePacketCounts> pairs;  // counts/replay window records
+  std::vector<EdgePacketCounts> export_buf;  // capture-tee staging
+  std::vector<std::byte> io_buf;             // replay block bytes
   std::vector<WindowAccumulator> shard_accs;
   std::vector<std::vector<EdgePacketCounts>> shard_pairs;
 };
@@ -164,7 +169,7 @@ stats::DegreeHistogram run_window_fast(SweepScratch& scratch, Count n_valid,
     const std::size_t n = static_cast<std::size_t>(
         std::min<Count>(left, kPacketBatch));
     const auto t0 = Clock::now();
-    scratch.gen.next_batch(std::span<Packet>(scratch.buf.data(), n));
+    scratch.gen->next_batch(std::span<Packet>(scratch.buf.data(), n));
     const auto t1 = Clock::now();
     for (std::size_t i = 0; i < n; ++i) {
       scratch.acc.add(scratch.buf[i].src, scratch.buf[i].dst);
@@ -194,7 +199,7 @@ stats::DegreeHistogram run_window_fast_sharded(SweepScratch& scratch,
     const std::size_t n = static_cast<std::size_t>(
         std::min<Count>(left, kPacketBatch));
     const auto t0 = Clock::now();
-    scratch.gen.next_batch(std::span<Packet>(scratch.buf.data(), n));
+    scratch.gen->next_batch(std::span<Packet>(scratch.buf.data(), n));
     const auto t1 = Clock::now();
     for (std::size_t i = 0; i < n; ++i) {
       const Packet& p = scratch.buf[i];
@@ -217,53 +222,66 @@ stats::DegreeHistogram run_window_fast_sharded(SweepScratch& scratch,
   return h;
 }
 
-stats::DegreeHistogram run_window_counts(SweepScratch& scratch,
-                                         Count n_valid, Quantity quantity,
-                                         StageNs& timings) {
-  scratch.acc.begin_window();
-  const auto t0 = Clock::now();
-  scratch.gen.next_window_counts(n_valid, scratch.pairs);
+/// Accumulate + bin one record-space window already staged in
+/// scratch.pairs — the shared back half of the counts-synthesis and
+/// replay paths.  Sharded accumulation routes whole records by their
+/// lower endpoint: pairs are unique, so the per-shard buckets are
+/// disjoint and the merge is a pure union; bucket order preserves the
+/// staged record order within each shard.
+stats::DegreeHistogram bin_counts_window(SweepScratch& scratch,
+                                         const WindowPlan& plan,
+                                         StageNs& timings,
+                                         std::uint64_t& merges) {
   const auto t1 = Clock::now();
-  scratch.acc.ingest_counts(scratch.pairs);
+  WindowAccumulator* acc = nullptr;
+  if (plan.shards > 1) {
+    ensure_shards(scratch, plan.shards);
+    for (std::size_t s = 0; s < plan.shards; ++s) {
+      scratch.shard_accs[s].begin_window();
+      scratch.shard_pairs[s].clear();
+    }
+    for (const EdgePacketCounts& pc : scratch.pairs) {
+      scratch
+          .shard_pairs[parallel::shard_of(pc.u, plan.shards, plan.domain)]
+          .push_back(pc);
+    }
+    for (std::size_t s = 0; s < plan.shards; ++s) {
+      scratch.shard_accs[s].ingest_counts(std::span<const EdgePacketCounts>(
+          scratch.shard_pairs[s].data(), scratch.shard_pairs[s].size()));
+    }
+    acc = &merge_window_shards(scratch, plan.shards, merges);
+  } else {
+    scratch.acc.begin_window();
+    scratch.acc.ingest_counts(scratch.pairs);
+    acc = &scratch.acc;
+  }
   const auto t2 = Clock::now();
-  stats::DegreeHistogram h = scratch.acc.histogram(quantity);
-  timings.sampling += ns_between(t0, t1);
+  stats::DegreeHistogram h = acc->histogram(plan.quantity);
   timings.accumulation += ns_between(t1, t2);
   timings.binning += ns_between(t2, Clock::now());
   return h;
 }
 
-stats::DegreeHistogram run_window_counts_sharded(SweepScratch& scratch,
-                                                 const WindowPlan& plan,
-                                                 StageNs& timings,
-                                                 std::uint64_t& merges) {
-  ensure_shards(scratch, plan.shards);
-  for (std::size_t s = 0; s < plan.shards; ++s) {
-    scratch.shard_accs[s].begin_window();
-    scratch.shard_pairs[s].clear();
-  }
+stats::DegreeHistogram run_window_counts(SweepScratch& scratch,
+                                         const WindowPlan& plan,
+                                         StageNs& timings,
+                                         std::uint64_t& merges) {
   const auto t0 = Clock::now();
-  scratch.gen.next_window_counts(plan.n_valid, scratch.pairs);
-  const auto t1 = Clock::now();
-  // Route whole records by their lower endpoint: pairs are unique, so the
-  // per-shard buckets are disjoint and the merge is a pure union.  Bucket
-  // order preserves the generator's record order within each shard.
-  for (const EdgePacketCounts& pc : scratch.pairs) {
-    scratch.shard_pairs[parallel::shard_of(pc.u, plan.shards, plan.domain)]
-        .push_back(pc);
-  }
-  for (std::size_t s = 0; s < plan.shards; ++s) {
-    scratch.shard_accs[s].ingest_counts(std::span<const EdgePacketCounts>(
-        scratch.shard_pairs[s].data(), scratch.shard_pairs[s].size()));
-  }
-  WindowAccumulator& merged = merge_window_shards(scratch, plan.shards,
-                                                  merges);
-  const auto t2 = Clock::now();
-  stats::DegreeHistogram h = merged.histogram(plan.quantity);
-  timings.sampling += ns_between(t0, t1);
-  timings.accumulation += ns_between(t1, t2);
-  timings.binning += ns_between(t2, Clock::now());
-  return h;
+  scratch.gen->next_window_counts(plan.n_valid, scratch.pairs);
+  timings.sampling += ns_between(t0, Clock::now());
+  return bin_counts_window(scratch, plan, timings, merges);
+}
+
+stats::DegreeHistogram run_window_replay(WindowSource& source,
+                                         std::size_t window,
+                                         SweepScratch& scratch,
+                                         const WindowPlan& plan,
+                                         StageNs& timings,
+                                         std::uint64_t& merges) {
+  const auto t0 = Clock::now();
+  source.read_window(window, scratch.io_buf, scratch.pairs);
+  timings.sampling += ns_between(t0, Clock::now());
+  return bin_counts_window(scratch, plan, timings, merges);
 }
 
 /// The analytic path: one deterministic expected-window evaluation, no
@@ -361,37 +379,41 @@ WindowSweepResult sweep_expected(const graph::Graph& underlying,
   return out;
 }
 
-}  // namespace
-
-WindowSweepResult sweep_windows(const graph::Graph& underlying,
-                                const RateModel& rates, Count n_valid,
-                                std::size_t num_windows, Quantity quantity,
-                                std::uint64_t seed, ThreadPool& pool,
-                                const SweepOptions& opts) {
-  PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
-  if (opts.synthesis == SynthesisMode::kExpected) {
-    // num_windows is deliberately not validated here: the analytic path
-    // ignores it (there is exactly one deterministic evaluation).
-    return sweep_expected(underlying, rates, n_valid, quantity, seed, pool,
-                          opts);
-  }
+/// Shared sweep core.  Exactly one of two shapes is active:
+/// synthesize (`underlying`/`rates` non-null, `replay_src` null) or
+/// replay (`replay_src` non-null; graph, rates, n_valid, and seed are
+/// ignored).  The public overloads validate and dispatch.
+WindowSweepResult sweep_impl(const graph::Graph* underlying,
+                             const RateModel* rates,
+                             WindowSource* replay_src, Count n_valid,
+                             std::size_t num_windows, Quantity quantity,
+                             std::uint64_t seed, ThreadPool& pool,
+                             const SweepOptions& opts) {
   PALU_CHECK(num_windows >= 1, "sweep_windows: need at least one window");
   PALU_CHECK(opts.shards_per_window >= 1,
              "sweep_windows: shards_per_window must be >= 1");
 
-  const bool counts_path = opts.synthesis == SynthesisMode::kMultinomial;
+  const bool replay = replay_src != nullptr;
+  const bool counts_path =
+      !replay && opts.synthesis == SynthesisMode::kMultinomial;
   const std::size_t shards = opts.shard_mode == ShardMode::kIntraWindow
                                  ? opts.shards_per_window
                                  : 1;
-  // Intra-window sharding always routes through the accumulator
-  // machinery; the legacy SparseCountMatrix path has no mergeable state.
-  const bool pooled_scratch = counts_path || opts.fast_path || shards > 1;
-  const WindowPlan plan{n_valid, quantity, shards, underlying.num_nodes()};
+  // Intra-window sharding, replay, and capture always route through the
+  // accumulator machinery; the legacy SparseCountMatrix path has no
+  // mergeable state and nothing to export.
+  const bool pooled_scratch = counts_path || replay || opts.fast_path ||
+                              shards > 1 || opts.capture != nullptr;
+  const WindowPlan plan{n_valid, quantity, shards,
+                        replay ? replay_src->node_domain()
+                               : underlying->num_nodes()};
 
   obs::Registry& registry =
       opts.metrics != nullptr ? *opts.metrics : obs::default_registry();
-  SweepMetrics metrics(
-      registry, counts_path ? "counts" : pooled_scratch ? "fast" : "legacy");
+  SweepMetrics metrics(registry, replay        ? "replay"
+                                 : counts_path ? "counts"
+                                 : pooled_scratch ? "fast"
+                                                  : "legacy");
   metrics.runs.inc();
   metrics.pool_threads.set(static_cast<std::int64_t>(pool.size()));
   metrics.shards_per_window.set(static_cast<std::int64_t>(shards));
@@ -446,23 +468,24 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   const Rng base(seed);
   // One shared traffic matrix: every window sees the same long-term
   // per-edge rates; only the packet draws differ between windows.
+  // Replay sweeps never touch the RNG or build a generator.
   const std::vector<double> shared_rates =
-      make_edge_rates(underlying, rates, base.fork(0));
+      replay ? std::vector<double>{}
+             : make_edge_rates(*underlying, *rates, base.fork(0));
 
   // Fast and counts paths: per-worker scratch slots; each slot pays the
   // edge copy and alias-table build once (the counts support adds itself
   // lazily on a slot's first counts window) and is reseeded per window,
-  // versus the legacy path's per-window generator construction.
+  // versus the legacy path's per-window generator construction.  Replay
+  // slots hold only the accumulator arenas and byte/record buffers.
   std::optional<ScratchPool<SweepScratch>> scratch;
   if (pooled_scratch) {
-    scratch.emplace([&underlying, &shared_rates]() {
-      return std::make_unique<SweepScratch>(SweepScratch{
-          SyntheticTrafficGenerator(underlying, shared_rates, Rng(0)),
-          WindowAccumulator{},
-          {},
-          {},
-          {},
-          {}});
+    scratch.emplace([underlying, &shared_rates, replay]() {
+      auto s = std::make_unique<SweepScratch>();
+      if (!replay) {
+        s->gen.emplace(*underlying, shared_rates, Rng(0));
+      }
+      return s;
     });
   }
 
@@ -482,22 +505,22 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
       if (should_stop()) break;  // leave the remaining slots unset
       try {
         PALU_FAILPOINT("traffic.sweep_window");
-        if (counts_path) {
-          (*lease)->gen.reseed(base.fork(t + 1));
+        if (replay) {
+          histograms[t] = run_window_replay(*replay_src, t, **lease, plan,
+                                            local, local_merges);
+        } else if (counts_path) {
+          (*lease)->gen->reseed(base.fork(t + 1));
           histograms[t] =
-              plan.shards > 1
-                  ? run_window_counts_sharded(**lease, plan, local,
-                                              local_merges)
-                  : run_window_counts(**lease, n_valid, quantity, local);
+              run_window_counts(**lease, plan, local, local_merges);
         } else if (pooled_scratch) {
-          (*lease)->gen.reseed(base.fork(t + 1));
+          (*lease)->gen->reseed(base.fork(t + 1));
           histograms[t] =
               plan.shards > 1
                   ? run_window_fast_sharded(**lease, plan, local,
                                             local_merges)
                   : run_window_fast(**lease, n_valid, quantity, local);
         } else {
-          SyntheticTrafficGenerator stream(underlying, shared_rates,
+          SyntheticTrafficGenerator stream(*underlying, shared_rates,
                                            base.fork(t + 1));
           const auto t0 = Clock::now();
           const SparseCountMatrix window = stream.window(n_valid);
@@ -505,6 +528,32 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
           histograms[t] = quantity_histogram(window, quantity);
           local.sampling += ns_between(t0, t1);
           local.binning += ns_between(t1, Clock::now());
+        }
+        if (opts.capture != nullptr) {
+          // Tee the accumulated window before the reduce.  The counts
+          // path archives its staged records directly (full support;
+          // the writer drops zero rows, which is content-neutral); the
+          // packet paths export canonical records from whichever
+          // accumulator holds the merged window.  Capture I/O is
+          // charged to binning — it is an output stage.
+          SweepScratch& sc = **lease;
+          const auto c0 = Clock::now();
+          if (counts_path) {
+            opts.capture->append(
+                t, n_valid,
+                std::span<const EdgePacketCounts>(sc.pairs.data(),
+                                                  sc.pairs.size()));
+          } else {
+            sc.export_buf.clear();
+            const WindowAccumulator& acc =
+                plan.shards > 1 ? sc.shard_accs[0] : sc.acc;
+            acc.export_counts(sc.export_buf);
+            opts.capture->append(
+                t, n_valid,
+                std::span<const EdgePacketCounts>(sc.export_buf.data(),
+                                                  sc.export_buf.size()));
+          }
+          local.binning += ns_between(c0, Clock::now());
         }
       } catch (const std::exception& e) {
         if (failpoints::is_failpoint_error(e)) {
@@ -603,12 +652,51 @@ WindowSweepResult sweep_windows(const graph::Graph& underlying,
   return out;
 }
 
+}  // namespace
+
+WindowSweepResult sweep_windows(const graph::Graph& underlying,
+                                const RateModel& rates, Count n_valid,
+                                std::size_t num_windows, Quantity quantity,
+                                std::uint64_t seed, ThreadPool& pool,
+                                const SweepOptions& opts) {
+  if (opts.source == SweepSource::kReplay) {
+    PALU_CHECK(opts.replay != nullptr,
+               "sweep_windows: source = kReplay needs SweepOptions::replay");
+    return sweep_windows(*opts.replay, num_windows, quantity, pool, opts);
+  }
+  PALU_CHECK(n_valid >= 1, "sweep_windows: need at least one packet");
+  if (opts.synthesis == SynthesisMode::kExpected) {
+    PALU_CHECK(opts.capture == nullptr,
+               "sweep_windows: capture does not compose with the analytic "
+               "expected path (there are no per-window records to store)");
+    // num_windows is deliberately not validated here: the analytic path
+    // ignores it (there is exactly one deterministic evaluation).
+    return sweep_expected(underlying, rates, n_valid, quantity, seed, pool,
+                          opts);
+  }
+  return sweep_impl(&underlying, &rates, nullptr, n_valid, num_windows,
+                    quantity, seed, pool, opts);
+}
+
 WindowSweepResult sweep_windows(const graph::Graph& underlying,
                                 const RateModel& rates, Count n_valid,
                                 std::size_t num_windows, Quantity quantity,
                                 std::uint64_t seed, ThreadPool& pool) {
   return sweep_windows(underlying, rates, n_valid, num_windows, quantity,
                        seed, pool, SweepOptions{});
+}
+
+WindowSweepResult sweep_windows(WindowSource& source,
+                                std::size_t num_windows, Quantity quantity,
+                                ThreadPool& pool, const SweepOptions& opts) {
+  PALU_CHECK(opts.capture == nullptr,
+             "sweep_windows: capture does not compose with replay (the "
+             "windows are already stored)");
+  PALU_CHECK(num_windows <= source.num_windows(),
+             "sweep_windows: replay source holds fewer windows than "
+             "requested");
+  return sweep_impl(nullptr, nullptr, &source, /*n_valid=*/1, num_windows,
+                    quantity, /*seed=*/0, pool, opts);
 }
 
 }  // namespace palu::traffic

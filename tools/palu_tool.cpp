@@ -283,6 +283,202 @@ int cmd_sweep(const cli::Args& args) {
   return 0;
 }
 
+// Shared by sweep-style commands: --shards K (>= 1) with intra-window
+// sharding turned on for K > 1.
+std::size_t parse_shards(const cli::Args& args, traffic::SweepOptions& opts) {
+  const std::int64_t shards_arg = args.get_int("shards", 1);
+  if (shards_arg < 1) {
+    throw InvalidArgument("--shards must be >= 1, got " +
+                          std::to_string(shards_arg));
+  }
+  opts.shards_per_window = static_cast<std::size_t>(shards_arg);
+  if (opts.shards_per_window > 1) {
+    opts.shard_mode = traffic::ShardMode::kIntraWindow;
+  }
+  return opts.shards_per_window;
+}
+
+void print_store_stats(const char* what, const std::string& dir,
+                       const store::WindowStoreWriter::Stats& stats) {
+  const double per_record =
+      stats.records > 0
+          ? static_cast<double>(stats.payload_bytes) /
+                static_cast<double>(stats.records)
+          : 0.0;
+  std::printf("%s: %llu windows -> %s\n", what,
+              static_cast<unsigned long long>(stats.blocks), dir.c_str());
+  std::printf("store: records=%llu payload=%llu B file=%llu B "
+              "(%.2f payload bytes/record)\n",
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.payload_bytes),
+              static_cast<unsigned long long>(stats.file_bytes), per_record);
+}
+
+int cmd_capture(const cli::Args& args) {
+  const std::string dir = args.get_string("store", "");
+  PALU_CHECK(!dir.empty(), "missing --store DIR");
+  if (!args.get_string("trace", "").empty()) {
+    // Trace mode: window a recorded trace and archive each window's pair
+    // counts.  The node domain is inferred from the trace (max id + 1) so
+    // sharded replay partitions the real id range.
+    const auto packets = load_trace(args);
+    const auto n_valid =
+        static_cast<Count>(args.get_int("nvalid", 50000));
+    PALU_CHECK(packets.size() >= n_valid, "trace smaller than one window");
+    NodeId domain = 1;
+    for (const auto& p : packets) {
+      domain = std::max(domain, std::max(p.src, p.dst) + 1);
+    }
+    store::WriterOptions wopts;
+    wopts.node_domain = domain;
+    store::WindowStoreWriter writer(dir, wopts);
+    traffic::WindowAccumulator acc;
+    std::vector<traffic::EdgePacketCounts> records;
+    const std::size_t windows = packets.size() / n_valid;
+    for (std::size_t t = 0; t < windows; ++t) {
+      acc.begin_window();
+      acc.add_packets(
+          std::span<const traffic::Packet>(packets.data() + t * n_valid,
+                                           n_valid));
+      records.clear();
+      acc.export_counts(records);
+      writer.append(t, n_valid, records);
+    }
+    writer.finish();
+    print_store_stats("capture", dir, writer.stats());
+    return 0;
+  }
+  // Synthesis mode: the sweep's network/window knobs, teed into the store
+  // while the sweep runs.  Replaying the store later reproduces this
+  // exact ensemble without a graph, rates, or RNG.
+  const auto params = core::PaluParams::solve_hubs(
+      args.get_double("lambda", 3.0), args.get_double("core", 0.4),
+      args.get_double("leaves", 0.25), args.get_double("alpha", 2.1),
+      args.get_double("window", 1.0));
+  const auto nodes = static_cast<NodeId>(args.get_int("nodes", 50000));
+  const auto n_valid = static_cast<Count>(args.get_int("nvalid", 100000));
+  const auto windows =
+      static_cast<std::size_t>(args.get_int("windows", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto quantity =
+      parse_quantity(args.get_string("quantity", "undirected_degree"));
+  traffic::SweepOptions opts;
+  const std::string synthesis = args.get_string("synthesis", "counts");
+  if (synthesis == "counts") {
+    opts.synthesis = traffic::SynthesisMode::kMultinomial;
+  } else if (synthesis != "packet") {
+    throw InvalidArgument(
+        "capture --synthesis must be 'packet' or 'counts', got '" +
+        synthesis + "'");
+  }
+  parse_shards(args, opts);
+  Rng rng(seed);
+  const auto net = core::generate_underlying(params, nodes, rng);
+  store::WriterOptions wopts;
+  // The realized network can round up past the requested node count, and
+  // replay shard routing partitions the store's domain — record what the
+  // sweep actually ran over.
+  wopts.node_domain = net.graph.num_nodes();
+  wopts.seed = seed;
+  store::WindowStoreWriter writer(dir, wopts);
+  opts.capture = &writer;
+  traffic::RateModel rates;
+  rates.kind = traffic::RateModel::Kind::kPareto;
+  ThreadPool pool;
+  const auto sweep =
+      traffic::sweep_windows(net.graph, rates, n_valid, windows, quantity,
+                             seed, pool, opts);
+  writer.finish();
+  print_store_stats("capture", dir, writer.stats());
+  std::printf("sweep: %zu windows, quantity=%s, d_max=%llu "
+              "merged_total=%llu\n",
+              sweep.windows,
+              std::string(traffic::quantity_name(quantity)).c_str(),
+              static_cast<unsigned long long>(sweep.max_value),
+              static_cast<unsigned long long>(sweep.merged.total()));
+  return 0;
+}
+
+int cmd_replay(const cli::Args& args) {
+  const std::string dir = args.get_string("store", "");
+  PALU_CHECK(!dir.empty(), "missing --store DIR");
+  store::WindowStoreReader reader(dir, ingest_options(args));
+  report_ingest("store", reader.open_report());
+  if (args.get_flag("verify")) {
+    // Decode every stored window (checksums and payload structure are
+    // verified on each read) without running the sweep.
+    std::vector<std::byte> buf;
+    std::vector<traffic::EdgePacketCounts> records;
+    std::uint64_t total_records = 0;
+    std::uint64_t total_packets = 0;
+    std::uint64_t total_bytes = 0;
+    for (std::size_t t = 0; t < reader.num_windows(); ++t) {
+      total_packets += reader.read_window(t, buf, records);
+      total_records += records.size();
+    }
+    for (const auto& m : reader.manifest()) total_bytes += m.block_bytes;
+    std::printf("verify: %s: OK (%zu windows, records=%llu "
+                "valid_packets=%llu block_bytes=%llu node_domain=%llu "
+                "seed=%llu)\n",
+                dir.c_str(), reader.num_windows(),
+                static_cast<unsigned long long>(total_records),
+                static_cast<unsigned long long>(total_packets),
+                static_cast<unsigned long long>(total_bytes),
+                static_cast<unsigned long long>(reader.header().node_domain),
+                static_cast<unsigned long long>(reader.header().seed));
+    return 0;
+  }
+  const std::int64_t windows_arg = args.get_int("windows", 0);
+  if (windows_arg < 0) {
+    throw InvalidArgument("--windows must be >= 0, got " +
+                          std::to_string(windows_arg));
+  }
+  std::size_t windows = static_cast<std::size_t>(windows_arg);
+  if (windows == 0) windows = reader.num_windows();
+  PALU_CHECK(windows <= reader.num_windows(),
+             "--windows " + std::to_string(windows) +
+                 " exceeds the store's " +
+                 std::to_string(reader.num_windows()) + " windows");
+  const auto quantity =
+      parse_quantity(args.get_string("quantity", "undirected_degree"));
+  traffic::SweepOptions opts;
+  const std::size_t shards = parse_shards(args, opts);
+  ThreadPool pool;
+  const auto sweep =
+      traffic::sweep_windows(reader, windows, quantity, pool, opts);
+  if (args.get_flag("csv")) {
+    io::write_pooled_csv(std::cout, stats::LogBinned(sweep.ensemble.mean()),
+                         sweep.ensemble.stddev());
+    return 0;
+  }
+  std::printf("replay: %zu/%zu stored windows, quantity=%s, path=replay, "
+              "shards=%zu\n",
+              sweep.windows, reader.num_windows(),
+              std::string(traffic::quantity_name(quantity)).c_str(), shards);
+  std::printf("d_max=%llu merged_total=%llu support=%zu\n",
+              static_cast<unsigned long long>(sweep.max_value),
+              static_cast<unsigned long long>(sweep.merged.total()),
+              sweep.merged.support_size());
+  std::printf("stage cpu (summed over workers): read=%.1fms "
+              "accumulation=%.1fms binning=%.1fms\n",
+              static_cast<double>(sweep.timings.sampling_cpu_ns) / 1e6,
+              static_cast<double>(sweep.timings.accumulation_cpu_ns) / 1e6,
+              static_cast<double>(sweep.timings.binning_cpu_ns) / 1e6);
+  if (sweep.merged.total() == 0) return 0;
+  const auto robust = core::robust_fit_palu(sweep.merged);
+  if (robust.ok()) {
+    std::printf("palu constants: alpha=%.4f c=%.5f mu=%.4f u=%.6f "
+                "l=%.5f  [stage=%s]\n",
+                robust.fit.alpha, robust.fit.c, robust.fit.mu,
+                robust.fit.u, robust.fit.l,
+                std::string(fit::to_string(robust.stage)).c_str());
+  } else {
+    std::printf("palu constants: (fit failed on every stage: %s)\n",
+                robust.error.c_str());
+  }
+  return 0;
+}
+
 int cmd_check_metrics(const cli::Args& args) {
   // Round-trips a Prometheus exposition file through the strict format
   // validator; CI uses this to pin the exporter's output format.
@@ -478,6 +674,7 @@ int cmd_serve(const cli::Args& args) {
   opts.max_stage_restarts = get_count("max-restarts", 5, 0);
   opts.drain_deadline_ms = args.get_double("drain-deadline-ms", 5000.0);
   opts.poll_interval_ms = args.get_double("poll-interval-ms", 50.0);
+  opts.record_path = args.get_string("record", "");
   PALU_CHECK(!(opts.restore && opts.checkpoint_path.empty()),
              "--restore needs --checkpoint FILE");
   // The snapshot families should be complete from the first interval, not
@@ -511,6 +708,21 @@ int print_help() {
       "                                               deterministic pass;\n"
       "                                               --replicates R adds\n"
       "                                               sampled sigma bands)\n"
+      "  capture  --store DIR [sweep options |\n"
+      "           --trace FILE|- --nvalid N]           archive per-window\n"
+      "                                               pair counts into a\n"
+      "                                               columnar window store:\n"
+      "                                               either tee a synthetic\n"
+      "                                               sweep (counts synthesis\n"
+      "                                               by default) or window a\n"
+      "                                               recorded trace\n"
+      "  replay   --store DIR [--windows W] [--quantity Q]\n"
+      "           [--shards K] [--csv] [--verify]      re-run the window\n"
+      "                                               sweep from a store —\n"
+      "                                               no graph, rates, or\n"
+      "                                               synthesis; --verify\n"
+      "                                               only decodes and\n"
+      "                                               checksums every block\n"
       "  analyze  --trace FILE|- --nvalid N [--csv]   fit models\n"
       "  census   --trace FILE|- --nvalid N           topology census\n"
       "  zoo      --histogram FILE|- [--csv]          rank model zoo on\n"
@@ -525,13 +737,17 @@ int print_help() {
       "           [--checkpoint FILE [--checkpoint-every K] [--restore]]\n"
       "           [--snapshot FILE [--snapshot-interval-ms MS]]\n"
       "           [--max-restarts R] [--drain-deadline-ms MS]\n"
+      "           [--record DIR]\n"
       "                                               long-running streaming\n"
       "                                               estimation daemon: tails\n"
       "                                               the trace (stdin by\n"
       "                                               default), fits PALU+ZM\n"
       "                                               per N-packet window,\n"
       "                                               one result line each;\n"
-      "                                               SIGINT/SIGTERM drain\n"
+      "                                               SIGINT/SIGTERM drain;\n"
+      "                                               --record DIR archives\n"
+      "                                               every fitted window\n"
+      "                                               into a window store\n"
       "  check-metrics --prom FILE                    validate a Prometheus\n"
       "                                               exposition file\n"
       "  help\n"
@@ -539,7 +755,8 @@ int print_help() {
       "  --metrics FILE   export the run's metrics after the command:\n"
       "                   JSON to FILE, Prometheus text to FILE with the\n"
       "                   extension replaced by .prom\n"
-      "ingest options (analyze, census, zoo, graph-census):\n"
+      "ingest options (analyze, census, zoo, graph-census, capture,\n"
+      "replay — for replay the budget covers torn-tail recovery):\n"
       "  --on-error strict|skip|repair   malformed-line policy; strict\n"
       "                                  (default) aborts on the first bad\n"
       "                                  line, skip drops bad lines, repair\n"
@@ -557,6 +774,8 @@ int print_help() {
 int dispatch(const std::string& command, const palu::cli::Args& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "sweep") return cmd_sweep(args);
+  if (command == "capture") return cmd_capture(args);
+  if (command == "replay") return cmd_replay(args);
   if (command == "analyze") return cmd_analyze(args);
   if (command == "census") return cmd_census(args);
   if (command == "zoo") return cmd_zoo(args);

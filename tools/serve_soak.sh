@@ -7,8 +7,10 @@
 # Pass criteria: the daemon survives the whole soak and drains cleanly
 # on SIGTERM (exit 0), the published window indices are strictly
 # monotone with no gaps (the windows-fitted counter never goes
-# backwards or skips), and the final metrics snapshot round-trips
-# through the strict Prometheus validator.
+# backwards or skips), the final metrics snapshot round-trips through
+# the strict Prometheus validator, and the --record window store the
+# daemon wrote validates (sealed manifest, checksums, one block per
+# fitted window) under strict replay ingest.
 #
 # Usage: serve_soak.sh /path/to/palu_tool [duration_seconds]
 set -eu
@@ -27,6 +29,7 @@ trap 'rm -rf "$DIR"' EXIT
 ) | PALU_FAILPOINT="serve.ingest:3:5,serve.fit:2:3,serve.checkpoint:2:4" \
     "$TOOL" serve --window 20000 --checkpoint "$DIR/ck.txt" \
         --snapshot "$DIR/snap.json" --snapshot-interval-ms 500 \
+        --record "$DIR/record.store" \
         > "$DIR/out.txt" 2> "$DIR/err.txt" &
 PID=$!
 
@@ -75,5 +78,19 @@ sed -n 's/^window=\([0-9]*\) .*/\1/p' "$DIR/out.txt" |
 [ -s "$DIR/snap.json" ] || { echo "FAIL: snapshot missing" >&2; exit 1; }
 "$TOOL" check-metrics --prom "$DIR/snap.prom"
 
+# The recorded store must be sealed and readable under strict ingest:
+# serve's drain finishes the writer, so a torn tail here means the
+# recorder broke the shutdown contract.
+"$TOOL" replay --store "$DIR/record.store" --verify || {
+    echo "FAIL: recorded window store does not validate" >&2
+    exit 1
+}
+STORED=$("$TOOL" replay --store "$DIR/record.store" --verify |
+    sed -n 's/.*OK (\([0-9]*\) windows.*/\1/p')
+if [ "$STORED" != "$WINDOWS" ]; then
+    echo "FAIL: store has $STORED windows, daemon fitted $WINDOWS" >&2
+    exit 1
+fi
+
 echo "serve soak: OK ($WINDOWS windows over ${DURATION}s, injected" \
-     "faults survived)"
+     "faults survived, $STORED windows recorded)"
